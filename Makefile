@@ -1,0 +1,22 @@
+.PHONY: install test bench examples docs-check all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/program_certifier.py
+	python examples/covert_channel_audit.py
+	python examples/verified_writers.py
+	python examples/confinement_service.py
+
+docs-check:
+	pytest --doctest-modules src/repro -q
+
+all: test bench

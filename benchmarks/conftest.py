@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's worked examples/figures
+(see DESIGN.md's experiment index), asserts the paper's qualitative
+result, and prints the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report table even under pytest's output capture."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            table.echo()
+
+    return _show
+
+
+def once(benchmark, fn):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""E1 (section 2.2): variety and information transmission.
+
+Reproduces the section's three observations for ``delta: beta <- alpha``
+and ``delta': if alpha < 10 then beta <- 0 else beta <- 1``:
+
+- unconstrained, the copy conveys alpha's full variety;
+- a constant constraint removes all variety and all transmission;
+- the threshold operation conveys exactly the one bit the constraint
+  ``alpha < 10`` then eliminates.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.quantitative import StateDistribution, bits_transmitted
+
+
+def _build():
+    copy = SystemBuilder().integers("alpha", "beta", bits=4)
+    copy.op_assign("delta", "beta", var("alpha"))
+    copy_system = copy.build()
+
+    threshold = SystemBuilder().integers("alpha", bits=4).integers("beta", bits=1)
+    threshold.op_if("delta", var("alpha") < 10, "beta", 0, else_expr=1)
+    threshold_system = threshold.build()
+    return copy_system, threshold_system
+
+
+def _experiment():
+    copy_system, threshold_system = _build()
+    rows = []
+    for system, label in (
+        (copy_system, "beta <- alpha"),
+        (threshold_system, "if alpha<10 then 0 else 1"),
+    ):
+        h = History.of(system.operation("delta"))
+        for phi, phi_label in (
+            (None, "tt"),
+            (Constraint.equals(system.space, "alpha", 7), "alpha=7"),
+            (
+                Constraint(
+                    system.space, lambda s: s["alpha"] < 10, name="alpha<10"
+                ),
+                "alpha<10",
+            ),
+        ):
+            dep = bool(transmits(system, {"alpha"}, "beta", h, phi))
+            dist = StateDistribution.uniform(
+                phi if phi is not None else Constraint.true(system.space)
+            )
+            bits = bits_transmitted(dist, {"alpha"}, "beta", h)
+            rows.append((label, phi_label, dep, bits))
+    return rows
+
+
+def test_e1_variety_and_transmission(benchmark, show):
+    rows = benchmark(_experiment)
+    by_key = {(r[0], r[1]): r for r in rows}
+
+    # Copy: 4 bits unconstrained; dead under the constant.
+    assert by_key[("beta <- alpha", "tt")][2] is True
+    assert by_key[("beta <- alpha", "tt")][3] == 4.0
+    assert by_key[("beta <- alpha", "alpha=7")][2] is False
+    assert by_key[("beta <- alpha", "alpha=7")][3] == 0.0
+    # Threshold: transmits one bit... until alpha<10 kills it.
+    key = "if alpha<10 then 0 else 1"
+    assert by_key[(key, "tt")][2] is True
+    assert 0.0 < by_key[(key, "tt")][3] <= 1.0
+    assert by_key[(key, "alpha<10")][2] is False
+    assert by_key[(key, "alpha<10")][3] == 0.0
+
+    table = Table(
+        ["system", "constraint", "alpha |> beta?", "bits"],
+        title="E1 (sec 2.2): constraint reduces variety, variety is transmission",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)

@@ -1,0 +1,61 @@
+"""E2 (section 2.5): reflexivity of strong dependency.
+
+- ``beta <- alpha`` keeps alpha's variety: alpha |> alpha;
+- overwriting destroys it;
+- the empty history is reflexive exactly when the object has variety
+  (Theorems 2-4/2-5).
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().integers("alpha", "beta", bits=4)
+    b.op_assign("copy", "beta", var("alpha"))
+    b.op_assign("wipe", "alpha", 0)
+    system = b.build()
+    constant = Constraint.equals(system.space, "alpha", 7).renamed("alpha=7")
+
+    cases = [
+        ("copy", None, "alpha", "alpha"),
+        ("wipe", None, "alpha", "alpha"),
+        ("", None, "alpha", "alpha"),  # empty history, full variety
+        ("", constant, "alpha", "alpha"),  # empty history, no variety
+        ("", None, "alpha", "beta"),  # empty history is only reflexive
+    ]
+    rows = []
+    for ops, phi, source, target in cases:
+        history = (
+            History.of(system.operation(ops)) if ops else History.empty()
+        )
+        dep = bool(transmits(system, {source}, target, history, phi))
+        rows.append(
+            (
+                ops or "<lambda>",
+                phi.name if phi else "tt",
+                f"{source} |> {target}",
+                dep,
+            )
+        )
+    return rows
+
+
+def test_e2_reflexivity(benchmark, show):
+    rows = benchmark(_experiment)
+    verdicts = [r[3] for r in rows]
+    # Copy preserves alpha; wipe destroys it; lambda reflexive with
+    # variety, dead without; lambda never transmits across objects.
+    assert verdicts == [True, False, True, False, False]
+
+    table = Table(
+        ["history", "constraint", "query", "holds?"],
+        title="E2 (sec 2.5): reflexivity and its two failure modes",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)

@@ -1,0 +1,93 @@
+"""E3 (section 2.6 + Theorem 2-6): the autonomy classification table and
+the set-source decomposition guarantee.
+
+The four example constraints of section 2.6 are classified exactly as the
+paper does, and Theorem 2-6 is exercised: under an autonomous constraint,
+a transmitting set always contains a transmitting singleton.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import sources_transmitting, transmits
+from repro.core.state import Space
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _classification_rows():
+    sp = Space({"alpha": range(16), "beta": range(16)})
+    examples = [
+        (
+            "alpha<=10 and beta==6 mod 11",
+            Constraint(
+                sp, lambda s: s["alpha"] <= 10 and s["beta"] % 11 == 6
+            ),
+            True,
+        ),
+        (
+            "alpha<=10 and beta<=10",
+            Constraint(sp, lambda s: s["alpha"] <= 10 and s["beta"] <= 10),
+            True,
+        ),
+        (
+            "beta == alpha+10",
+            Constraint(sp, lambda s: s["beta"] == s["alpha"] + 10),
+            False,
+        ),
+        (
+            "alpha<=10 implies beta==4",
+            Constraint(
+                sp, lambda s: s["beta"] == 4 if s["alpha"] <= 10 else True
+            ),
+            False,
+        ),
+    ]
+    return [
+        (label, phi.is_autonomous(), expected)
+        for label, phi, expected in examples
+    ]
+
+
+def _decomposition_row():
+    b = SystemBuilder().integers("alpha1", "alpha2", bits=2).obj(
+        "beta", range(7)
+    )
+    b.op_assign("delta", "beta", var("alpha1") + var("alpha2"))
+    system = b.build()
+    delta = system.operation("delta")
+    phi = Constraint(
+        system.space, lambda s: s["alpha1"] < 4 and s["alpha2"] < 4, name="aut"
+    )
+    pair = bool(transmits(system, {"alpha1", "alpha2"}, "beta", delta, phi))
+    singles = sources_transmitting(
+        system, {"alpha1", "alpha2"}, "beta", delta, phi
+    )
+    return pair, singles
+
+
+def test_e3_autonomy_classification(benchmark, show):
+    rows, (pair, singles) = benchmark(
+        lambda: (_classification_rows(), _decomposition_row())
+    )
+    for label, got, expected in rows:
+        assert got == expected, label
+
+    # Theorem 2-6: the pair transmits and so does each singleton.
+    assert pair
+    assert singles == frozenset({"alpha1", "alpha2"})
+
+    table = Table(
+        ["constraint (sec 2.6)", "autonomous?", "paper says"],
+        title="E3: autonomy classification",
+    )
+    for label, got, expected in rows:
+        table.add(label, got, expected)
+    show(table)
+
+    table2 = Table(
+        ["query", "result"],
+        title="E3: Theorem 2-6 on beta <- alpha1 + alpha2",
+    )
+    table2.add("{alpha1, alpha2} |> beta", pair)
+    table2.add("transmitting singletons", singles)
+    show(table2)

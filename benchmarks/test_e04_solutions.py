@@ -1,0 +1,62 @@
+"""E4 (section 3.2): constraint as solution, and the alpha-independence
+filter.
+
+For ``delta: if m then beta <- alpha`` both ``~m`` and ``alpha = 13``
+solve ``not alpha |> beta``; requiring alpha-independence (Def 3-1)
+rejects the degenerate freeze-the-source solution, exactly as the paper
+prescribes.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.problems import NoTransmissionProblem
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().booleans("m").ranged("alpha", lo=0, hi=15).integers(
+        "beta", bits=4
+    )
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    system = b.build()
+    sp = system.space
+
+    candidates = [
+        Constraint(sp, lambda s: not s["m"], name="~m"),
+        Constraint.equals(sp, "alpha", 13),
+        Constraint.true(sp),
+    ]
+    plain = NoTransmissionProblem(system, {"alpha"}, "beta")
+    independent = NoTransmissionProblem(
+        system, {"alpha"}, "beta", require_independent=True
+    )
+    rows = []
+    for phi in candidates:
+        rows.append(
+            (
+                phi.name,
+                plain.is_solution(phi),
+                independent.is_solution(phi),
+                phi.is_independent_of({"alpha"}),
+            )
+        )
+    return rows
+
+
+def test_e4_solutions(benchmark, show):
+    rows = benchmark(_experiment)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["~m"][1] and by_name["~m"][2]
+    assert by_name["alpha=13"][1] and not by_name["alpha=13"][2]
+    assert not by_name["tt"][1]
+
+    table = Table(
+        ["candidate phi", "solves chi?", "solves chi + independence?",
+         "alpha-independent?"],
+        title="E4 (sec 3.2): solutions to 'no alpha |> beta' for "
+        "'if m then beta <- alpha'",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)

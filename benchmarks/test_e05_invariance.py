@@ -1,0 +1,56 @@
+"""E5 (section 3.3): initial vs invariant constraints.
+
+The paper's system::
+
+    delta1: if flag then beta <- alpha else beta <- 0
+    delta2: (flag <- tt ; alpha <- x)
+
+``phi == ~flag`` is NOT invariant (delta2 sets the flag), yet it still
+solves ``not alpha |> beta``: delta2 also destroys alpha's initial
+variety, so only alpha's *later* values (x's information) reach beta.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.reachability import depends_ever
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().booleans("flag", "alpha", "x", "beta")
+    b.op_if("delta1", var("flag"), "beta", var("alpha"), else_expr=False)
+    b.op_cmd("delta2", seq(assign("flag", True), assign("alpha", var("x"))))
+    system = b.build()
+    phi = Constraint(system.space, lambda s: not s["flag"], name="~flag")
+
+    return {
+        "phi_invariant": phi.is_invariant(system),
+        "alpha_leaks": bool(depends_ever(system, {"alpha"}, "beta", phi)),
+        "x_leaks": bool(depends_ever(system, {"x"}, "beta", phi)),
+        "alpha_leaks_unconstrained": bool(
+            depends_ever(system, {"alpha"}, "beta")
+        ),
+    }
+
+
+def test_e5_initial_vs_invariant(benchmark, show):
+    facts = benchmark(_experiment)
+    # The paper's four facts, in order.
+    assert not facts["phi_invariant"]
+    assert not facts["alpha_leaks"]  # initial alpha is protected...
+    assert facts["x_leaks"]  # ...but later values (from x) do reach beta
+    assert facts["alpha_leaks_unconstrained"]
+
+    table = Table(
+        ["fact", "value"],
+        title="E5 (sec 3.3): an initial, non-invariant solution",
+    )
+    table.add("~flag invariant under delta2?", facts["phi_invariant"])
+    table.add("alpha |>_{~flag} beta (initial value protected)?",
+              facts["alpha_leaks"])
+    table.add("x |>_{~flag} beta (later values flow)?", facts["x_leaks"])
+    table.add("alpha |>_tt beta (control)?",
+              facts["alpha_leaks_unconstrained"])
+    show(table)

@@ -1,0 +1,118 @@
+"""E6 (section 3.5): join-property failure and maximal solutions.
+
+Three results, exactly as the section develops them:
+
+1. ``alpha=13`` and ``alpha=74`` (scaled: two constants) both solve
+   ``not alpha |> beta`` for ``if m then beta <- alpha``, but their join
+   does not — the join property fails.
+2. The threshold system has (at least) the paper's two distinct maximal
+   solutions ``alpha <= 10`` and ``alpha > 10``.
+3. The access-matrix problem with the alpha-independence requirement has
+   the paper's unique maximal solution
+   ``s not in <x,x> or r not in <x,alpha> or w not in <x,beta>``.
+"""
+
+from repro.analysis.report import Table
+from repro.analysis.solver import (
+    join_property_counterexample,
+    maximal_solutions,
+)
+from repro.core.constraints import Constraint
+from repro.core.problems import NoTransmissionProblem
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+
+def _join_failure():
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=2)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    system = b.build()
+    problem = NoTransmissionProblem(system, {"alpha"}, "beta")
+    candidates = [
+        Constraint.equals(system.space, "alpha", 1),
+        Constraint.equals(system.space, "alpha", 2),
+    ]
+    return problem, join_property_counterexample(problem, candidates)
+
+
+def _threshold_maximals():
+    b = SystemBuilder().ranged("alpha", lo=0, hi=15).integers("beta", bits=1)
+    b.op_if("delta", var("alpha") <= 10, "beta", 0, else_expr=1)
+    system = b.build()
+    problem = NoTransmissionProblem(system, {"alpha"}, "beta")
+    solutions = maximal_solutions(problem, system.space)
+    alpha_sets = [
+        frozenset(s["alpha"] for s in phi.satisfying) for phi in solutions
+    ]
+    return solutions, alpha_sets
+
+
+def _matrix_unique_maximal():
+    """The section 3.5 guarded copy with the three relevant rights as
+    boolean flags (the rest of the powerset matrix adds only size, not
+    structure)::
+
+        delta: if s_xx and r_xa and w_xb then beta <- alpha
+    """
+    b = SystemBuilder().booleans("s_xx", "r_xa", "w_xb").integers(
+        "alpha", "beta", bits=1
+    )
+    b.op_if(
+        "copy", var("s_xx") & var("r_xa") & var("w_xb"), "beta", var("alpha")
+    )
+    system = b.build()
+    problem = NoTransmissionProblem(
+        system, {"alpha"}, "beta", require_independent=True
+    )
+    paper_solution = Constraint(
+        system.space,
+        lambda s: not (s["s_xx"] and s["r_xa"] and s["w_xb"]),
+        name="s not in <x,x> or r not in <x,alpha> or w not in <x,beta>",
+    )
+    found = maximal_solutions(
+        problem,
+        system.space,
+        attempts=8,
+        # A-independent solutions are unions of whole alpha-orbits.
+        group_key=lambda s: s.restrict_away({"alpha"}),
+    )
+    matches = [phi.equivalent(paper_solution) for phi in found]
+    return problem, paper_solution, found, matches
+
+
+def test_e6_maximal_solutions(benchmark, show):
+    def experiment():
+        return (_join_failure(), _threshold_maximals(), _matrix_unique_maximal())
+
+    (jp, (solutions, alpha_sets), (mp, paper_phi, found, matches)) = (
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+    )
+
+    # 1. Join property fails for constant solutions.
+    problem, pair = jp
+    assert pair is not None
+    phi1, phi2 = pair
+    assert problem.is_solution(phi1) and problem.is_solution(phi2)
+    assert not problem.is_solution(phi1 | phi2)
+
+    # 2. The paper's two maximal solutions both appear.
+    assert frozenset(range(0, 11)) in alpha_sets
+    assert frozenset(range(11, 16)) in alpha_sets
+
+    # 3. The access-matrix problem's unique maximal solution is the
+    #    rights denial.
+    assert mp.is_solution(paper_phi)
+    assert all(matches)
+
+    table = Table(
+        ["result", "value"],
+        title="E6 (sec 3.5): maximal solutions and the join property",
+    )
+    table.add("join of constant solutions still a solution?", False)
+    table.add("distinct maximal solutions (threshold system)", len(solutions))
+    table.add("alpha<=10 found as maximal?", frozenset(range(11)) in alpha_sets)
+    table.add("alpha>10 found as maximal?",
+              frozenset(range(11, 16)) in alpha_sets)
+    table.add("matrix maximal == paper's rights denial?", all(matches))
+    show(table)

@@ -1,0 +1,163 @@
+"""E7 (section 3.6): comparing solutions by Worth.
+
+The two-operation rights system::
+
+    delta1: if s,r,w rights then beta <- alpha
+    delta2: if s,r,w rights then beta <- m
+
+phi1 (deny only the alpha read) is as worthy as phi_max; phi2 (deny the
+subject/write rights) also solves the problem but kills the m channel too
+— strictly less worthy.  The measure is monotonic (Def 3-2).
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.reachability import depends_ever
+from repro.core.worth import WorthMeasure, WorthOrder
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _build():
+    b = SystemBuilder().booleans("s_xx", "r_xa", "r_xm", "w_xb")
+    b.integers("alpha", "m", "beta", bits=1)
+    b.op_if(
+        "delta1", var("s_xx") & var("r_xa") & var("w_xb"), "beta", var("alpha")
+    )
+    b.op_if(
+        "delta2", var("s_xx") & var("r_xm") & var("w_xb"), "beta", var("m")
+    )
+    return b.build()
+
+
+def _experiment():
+    system = _build()
+    sp = system.space
+    phi_max = Constraint(
+        sp,
+        lambda s: not (s["s_xx"] and s["r_xa"] and s["w_xb"]),
+        name="phi_max",
+    )
+    phi1 = Constraint(sp, lambda s: not s["r_xa"], name="phi1: r not in <x,alpha>")
+    phi2 = Constraint(
+        sp,
+        lambda s: not s["s_xx"] and not s["w_xb"],
+        name="phi2: no s,w",
+    )
+    measure = WorthMeasure(
+        system, sources=[frozenset({"alpha"}), frozenset({"m"})]
+    )
+    rows = []
+    worths = {}
+    for phi in (phi_max, phi1, phi2):
+        assert not depends_ever(system, {"alpha"}, "beta", phi)
+        w = measure.worth(phi)
+        worths[phi.name] = w
+        rows.append(
+            (
+                phi.name,
+                w.permits({"alpha"}, "beta"),
+                w.permits({"m"}, "beta"),
+                len(w.paths),
+            )
+        )
+    comparisons = {
+        "phi1 vs phi_max": worths["phi1: r not in <x,alpha>"].compare(
+            worths["phi_max"]
+        ),
+        "phi2 vs phi_max": worths["phi2: no s,w"].compare(worths["phi_max"]),
+        "phi2 vs phi1": worths["phi2: no s,w"].compare(
+            worths["phi1: r not in <x,alpha>"]
+        ),
+    }
+    mono = WorthMeasure(system).monotonicity_counterexample(
+        [phi_max, phi1, phi2, Constraint.true(sp)]
+    )
+    return rows, comparisons, mono
+
+
+def _quantitative_discomfort():
+    """Section 3.6's t1/t2 system (the paper's 16-bit t's scale to 2 and
+    3 bits so the asymmetry survives enumeration)::
+
+        delta1: m1 <- t1
+        delta2: m2 <- t2
+        delta3: if t1 >= 2 and t2 >= 4 then beta <- alpha
+
+    phi1 (t1 <= 1) and phi2 (t2 <= 3) both solve ``not alpha |> beta``
+    while leaving different amounts of variety (1 vs 2 bits) — the
+    comparison the paper deems "uncomfortable".  The Worth measure calls
+    them equally worthy: both eliminate exactly the alpha path.
+    """
+    import math
+
+    b = SystemBuilder().ranged("t1", lo=0, hi=3).ranged("t2", lo=0, hi=7)
+    b.integers("m1", bits=2).integers("m2", bits=3)
+    b.integers("alpha", "beta", bits=1)
+    b.op_assign("delta1", "m1", var("t1"))
+    b.op_assign("delta2", "m2", var("t2"))
+    b.op_if(
+        "delta3", (var("t1") >= 2) & (var("t2") >= 4), "beta", var("alpha")
+    )
+    system = b.build()
+    sp = system.space
+    phi1 = Constraint(sp, lambda s: s["t1"] <= 1, name="t1<=1")
+    phi2 = Constraint(sp, lambda s: s["t2"] <= 3, name="t2<=3")
+    measure = WorthMeasure(
+        system,
+        sources=[
+            frozenset({"alpha"}),
+            frozenset({"t1"}),
+            frozenset({"t2"}),
+        ],
+    )
+    rows = []
+    worths = {}
+    for phi, kept_count in ((phi1, 2), (phi2, 4)):
+        assert not depends_ever(system, {"alpha"}, "beta", phi)
+        worths[phi.name] = measure.worth(phi)
+        rows.append(
+            (phi.name, math.log2(kept_count), len(worths[phi.name].paths))
+        )
+    order = worths["t1<=1"].compare(worths["t2<=3"])
+    return rows, order
+
+
+def test_e7_worth_comparison(benchmark, show):
+    rows, comparisons, mono = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    dis_rows, dis_order = _quantitative_discomfort()
+    # phi1 is as worthy as phi_max; phi2 strictly less worthy.
+    assert comparisons["phi1 vs phi_max"] is WorthOrder.EQUAL
+    assert comparisons["phi2 vs phi_max"] is WorthOrder.LESS
+    assert comparisons["phi2 vs phi1"] is WorthOrder.LESS
+    # All three keep alpha out of beta; only phi2 loses the m channel.
+    for name, alpha_path, m_path, _count in rows:
+        assert not alpha_path, name
+        assert m_path == (not name.startswith("phi2")), name
+    assert mono is None  # Def 3-2 monotonicity
+
+    table = Table(
+        ["solution", "alpha|>beta kept?", "m|>beta kept?", "total paths"],
+        title="E7 (sec 3.6): Worth of three solutions",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)
+
+    table2 = Table(["comparison", "order"], title="E7: Worth ordering")
+    for name, order in comparisons.items():
+        table2.add(name, order.value)
+    show(table2)
+
+    # The quantitative-discomfort coda (the t1/t2 system).
+    assert dis_order is WorthOrder.EQUAL
+    table3 = Table(
+        ["solution", "bits of variety left in the gate", "paths kept"],
+        title="E7: sec 3.6's 'uncomfortable' bit comparison — Worth "
+        "calls both solutions equal",
+    )
+    for row in dis_rows:
+        table3.add(*row)
+    show(table3)

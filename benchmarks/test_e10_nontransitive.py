@@ -1,0 +1,86 @@
+"""E10 (section 4.4 + section 1.5): strong dependency is not transitive;
+transitive baselines over-approximate.
+
+``delta1: if q then m <- alpha ; delta2: if ~q then beta <- m``:
+alpha |> m and m |> beta per-operation, yet alpha never reaches beta over
+any history.  The Denning/Case transitive model and taint tracking both
+report the false positive.
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.denning import TransitiveFlowAnalysis, precision_report
+from repro.baselines.taint import taint_reaches
+from repro.core.dependency import transmits
+from repro.core.reachability import dependency_closure, depends_ever
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+
+
+def _build():
+    b = SystemBuilder().booleans("q", "alpha", "m", "beta")
+    b.op_cmd("delta1", when(var("q"), assign("m", var("alpha"))))
+    b.op_cmd("delta2", when(~var("q"), assign("beta", var("m"))))
+    return b.build()
+
+
+def _experiment():
+    system = _build()
+    h = system.history("delta1", "delta2")
+    legs = {
+        "alpha |>^{d1} m": bool(
+            transmits(system, {"alpha"}, "m", system.history("delta1"))
+        ),
+        "m |>^{d2} beta": bool(
+            transmits(system, {"m"}, "beta", system.history("delta2"))
+        ),
+        "alpha |>^{d1 d2} beta": bool(
+            transmits(system, {"alpha"}, "beta", h)
+        ),
+        "alpha |> beta (any history)": bool(
+            depends_ever(system, {"alpha"}, "beta")
+        ),
+    }
+    baseline = TransitiveFlowAnalysis(system)
+    baselines = {
+        "transitive model: alpha -(d1 d2)-> beta": baseline.flows_over_history(
+            {"alpha"}, "beta", h
+        ),
+        "taint: alpha reaches beta over d1 d2": taint_reaches(
+            h, {"alpha"}, "beta"
+        ),
+    }
+    exact_paths = frozenset(
+        (next(iter(src)), tgt)
+        for (src, tgt), res in dependency_closure(system).items()
+        if res
+    )
+    report = precision_report(system, exact_paths)
+    return legs, baselines, report
+
+
+def test_e10_nontransitivity(benchmark, show):
+    legs, baselines, report = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    # Both legs real, composite dead — the non-transitivity headline.
+    assert legs["alpha |>^{d1} m"]
+    assert legs["m |>^{d2} beta"]
+    assert not legs["alpha |>^{d1 d2} beta"]
+    assert not legs["alpha |> beta (any history)"]
+    # Both syntactic baselines report the phantom flow.
+    assert all(baselines.values())
+    # Baselines stay sound (no false negatives), lose precision.
+    assert report["false_negatives"] == []
+    assert ("alpha", "beta") in report["false_positives"]
+
+    table = Table(
+        ["query", "answer"],
+        title="E10 (sec 4.4): non-transitivity of strong dependency",
+    )
+    for name, value in {**legs, **baselines}.items():
+        table.add(name, value)
+    table.add("baseline false positives", len(report["false_positives"]))
+    table.add("baseline false negatives", len(report["false_negatives"]))
+    table.add("baseline precision", report["precision"])
+    show(table)

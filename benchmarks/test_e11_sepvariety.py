@@ -1,0 +1,93 @@
+"""E11 (section 4.5 + the three cover figures): separation of variety.
+
+The section's three diagrams become three rows each: for
+``delta: if alpha then beta <- tt else beta <- ff`` a cover that splits
+*alpha's* variety blocks transmission in every cell; splitting an
+unrelated object m does not; and for ``delta: if m then beta <- alpha``
+the m-split blocks exactly one cell (phi1 = m still transmits) —
+Theorem 4-4/4-5's guarantee that some cell always survives a split
+independent of the source.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.covers import IndependentCover, partition_by_value
+from repro.core.dependency import transmits
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _experiment():
+    rows = []
+
+    # Figure 1: delta: if alpha then beta <- tt else beta <- ff;
+    # cover on alpha itself (NOT alpha-independent; the degenerate case
+    # the paper begins with).
+    b1 = SystemBuilder().booleans("alpha", "beta", "m")
+    b1.op_if("delta", var("alpha"), "beta", True, else_expr=False)
+    s1 = b1.build()
+    for value in (True, False):
+        phi = Constraint.equals(s1.space, "alpha", value)
+        rows.append(
+            (
+                "if alpha then beta<-tt else ff",
+                phi.name,
+                "alpha-split",
+                bool(transmits(s1, {"alpha"}, "beta", s1.operation("delta"), phi)),
+            )
+        )
+
+    # Figure 2: same system, cover on m (alpha-independent): every cell
+    # still transmits.
+    for value in (True, False):
+        phi = Constraint.equals(s1.space, "m", value)
+        rows.append(
+            (
+                "if alpha then beta<-tt else ff",
+                phi.name,
+                "m-split",
+                bool(transmits(s1, {"alpha"}, "beta", s1.operation("delta"), phi)),
+            )
+        )
+
+    # Figure 3: delta: if m then beta <- alpha; m-split blocks one cell.
+    b2 = SystemBuilder().booleans("alpha", "beta", "m")
+    b2.op_if("delta", var("m"), "beta", var("alpha"))
+    s2 = b2.build()
+    for value in (True, False):
+        phi = Constraint.equals(s2.space, "m", value)
+        rows.append(
+            (
+                "if m then beta<-alpha",
+                phi.name,
+                "m-split",
+                bool(transmits(s2, {"alpha"}, "beta", s2.operation("delta"), phi)),
+            )
+        )
+
+    # Theorem 4-5's guarantee, checked for the m-split on system 2:
+    cover = partition_by_value(s2.space, "m")
+    cover_ok = cover.check({"alpha"}).valid
+    survives = any(
+        transmits(s2, {"alpha"}, "beta", s2.operation("delta"), member)
+        for member in cover
+    )
+    return rows, cover_ok, survives
+
+
+def test_e11_separation_of_variety(benchmark, show):
+    rows, cover_ok, survives = benchmark(_experiment)
+    verdicts = [r[3] for r in rows]
+    # Figure 1: both alpha-cells silent; Figure 2: both m-cells transmit;
+    # Figure 3: m=tt transmits, m=ff silent.
+    assert verdicts == [False, False, True, True, True, False]
+    assert cover_ok
+    assert survives  # some cell always keeps the flow (Thm 4-4)
+
+    table = Table(
+        ["system", "cover member", "split on", "alpha |> beta?"],
+        title="E11 (sec 4.5): the three cover figures",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)

@@ -1,0 +1,63 @@
+"""E13 (section 5.2): the Strong Dependency Hypothesis and its failed
+converse.
+
+``delta: beta <- alpha1`` with ``phi: alpha1 = alpha2``: strong
+dependency denies the singleton path (not alpha1 |>_phi beta) even though
+information is plainly transmitted — the documented limit of the
+formalism for non-autonomous constraints, resolved by the clump
+{alpha1, alpha2} (section 5.3's Relative Autonomy Hypothesis).
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=2)
+    b.op_assign("delta", "beta", var("alpha1"))
+    system = b.build()
+    delta = system.operation("delta")
+    phi = Constraint(
+        system.space, lambda s: s["alpha1"] == s["alpha2"], name="a1=a2"
+    )
+    return {
+        "phi autonomous": phi.is_autonomous(),
+        "phi {a1,a2}-autonomous": phi.is_autonomous_relative_to(
+            {"alpha1", "alpha2"}
+        ),
+        "alpha1 |>_phi beta": bool(
+            transmits(system, {"alpha1"}, "beta", delta, phi)
+        ),
+        "alpha2 |>_phi beta": bool(
+            transmits(system, {"alpha2"}, "beta", delta, phi)
+        ),
+        "{alpha1,alpha2} |>_phi beta": bool(
+            transmits(system, {"alpha1", "alpha2"}, "beta", delta, phi)
+        ),
+        "alpha1 |>_tt beta (control)": bool(
+            transmits(system, {"alpha1"}, "beta", delta)
+        ),
+    }
+
+
+def test_e13_nonautonomous_limit(benchmark, show):
+    facts = benchmark(_experiment)
+    assert not facts["phi autonomous"]
+    assert facts["phi {a1,a2}-autonomous"]
+    # The troubling denial...
+    assert not facts["alpha1 |>_phi beta"]
+    assert not facts["alpha2 |>_phi beta"]
+    # ...resolved at the clump, where phi is relatively autonomous.
+    assert facts["{alpha1,alpha2} |>_phi beta"]
+    assert facts["alpha1 |>_tt beta (control)"]
+
+    table = Table(
+        ["query", "answer"],
+        title="E13 (sec 5.2): strong dependency under alpha1 = alpha2",
+    )
+    for name, value in facts.items():
+        table.add(name, value)
+    show(table)

@@ -1,0 +1,110 @@
+"""E14 (sections 5.3/5.4): relative autonomy.
+
+- The subtraction system ``beta <- alpha1 - alpha2`` under
+  ``alpha1 = alpha2``: not even the clump transmits (delta always writes
+  0), matching the Relative Autonomy Hypothesis.
+- The two-pair constraint ``a1=a2 and m1=m2`` is {a1,a2}-, {m1,m2}-, and
+  q-autonomous, and Theorem 5-1's substitution characterization agrees
+  with the decomposition on all of them.
+- Theorem 5-2: the union of autonomous clumps decomposes.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.theorems import thm_5_1_autonomy_characterizations
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _subtraction():
+    b = SystemBuilder().integers("alpha1", "alpha2", bits=2)
+    b.obj("beta", tuple(range(-3, 4)))
+    b.op_assign("delta", "beta", var("alpha1") - var("alpha2"))
+    system = b.build()
+    phi = Constraint(
+        system.space, lambda s: s["alpha1"] == s["alpha2"], name="a1=a2"
+    )
+    delta = system.operation("delta")
+    return {
+        "clump {a1,a2} |>_phi beta": bool(
+            transmits(system, {"alpha1", "alpha2"}, "beta", delta, phi)
+        ),
+        "clump |>_tt beta (control)": bool(
+            transmits(system, {"alpha1", "alpha2"}, "beta", delta)
+        ),
+    }
+
+
+def _two_pair_classification():
+    b = SystemBuilder().integers("a1", "a2", "m1", "m2", "q", bits=1)
+    sp = b.space()
+    phi = Constraint(
+        sp,
+        lambda s: s["a1"] == s["a2"] and s["m1"] == s["m2"],
+        name="a1=a2 & m1=m2",
+    )
+    clumps = {
+        "{a1,a2}": {"a1", "a2"},
+        "{m1,m2}": {"m1", "m2"},
+        "{q}": {"q"},
+        "{a1}": {"a1"},
+        "{a1,m1}": {"a1", "m1"},
+    }
+    rows = []
+    for label, names in clumps.items():
+        relative = phi.is_autonomous_relative_to(names)
+        thm = thm_5_1_autonomy_characterizations(phi, frozenset(names))
+        rows.append((label, relative, thm.ok))
+    return rows
+
+
+def _theorem_5_2():
+    b = SystemBuilder().integers("a1", "a2", "m", "beta", bits=1)
+    b.op_assign("delta", "beta", var("a1"))
+    system = b.build()
+    phi = Constraint(
+        system.space, lambda s: s["a1"] == s["a2"], name="a1=a2"
+    )
+    delta = system.operation("delta")
+    union = bool(
+        transmits(system, {"a1", "a2", "m"}, "beta", delta, phi)
+    )
+    clump = bool(transmits(system, {"a1", "a2"}, "beta", delta, phi))
+    single_m = bool(transmits(system, {"m"}, "beta", delta, phi))
+    return union, clump, single_m
+
+
+def test_e14_relative_autonomy(benchmark, show):
+    sub, rows, (union, clump, single_m) = benchmark(
+        lambda: (_subtraction(), _two_pair_classification(), _theorem_5_2())
+    )
+    # Subtraction: constrained, delta always writes 0.
+    assert not sub["clump {a1,a2} |>_phi beta"]
+    assert sub["clump |>_tt beta (control)"]
+    # Classification matches section 5.4's discussion.
+    expected = {
+        "{a1,a2}": True,
+        "{m1,m2}": True,
+        "{q}": True,
+        "{a1}": False,
+        "{a1,m1}": False,
+    }
+    for label, relative, thm_ok in rows:
+        assert relative == expected[label], label
+        assert thm_ok, label
+    # Theorem 5-2: union transmits, so some clump does — here {a1,a2}.
+    assert union and clump and not single_m
+
+    table = Table(
+        ["clump A", "phi A-autonomous?", "Thm 5-1 agrees?"],
+        title="E14 (sec 5.3/5.4): relative autonomy of a1=a2 & m1=m2",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)
+
+    table2 = Table(["query", "answer"], title="E14: subtraction system")
+    for name, value in sub.items():
+        table2.add(name, value)
+    show(table2)

@@ -1,0 +1,86 @@
+"""E15 (section 5.5): induction with non-autonomous constraints needs
+*set-valued* intermediates.
+
+The fan-out system::
+
+    delta1: (m1 <- alpha ; m2 <- alpha)
+    delta2: beta <- m1
+
+under the invariant non-autonomous ``phi: m1 = m2``: no single
+intermediate works (neither m1 nor m2 alone transmits to beta under phi),
+but the clump {m1, m2} does — Theorem 5-4's decomposition, with
+Theorem 5-5's M read off the witness.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits, transmits_to_set
+from repro.core.induction import decompose_dependency
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().booleans("alpha", "m1", "m2", "beta")
+    b.op_cmd(
+        "delta1", seq(assign("m1", var("alpha")), assign("m2", var("alpha")))
+    )
+    b.op_assign("delta2", "beta", var("m1"))
+    system = b.build()
+    phi = Constraint(
+        system.space, lambda s: s["m1"] == s["m2"], name="m1=m2"
+    )
+    h = system.history("delta1", "delta2")
+    d1 = system.history("delta1")
+    d2 = system.history("delta2")
+
+    facts = {
+        "phi invariant": phi.is_invariant(system),
+        "phi autonomous": phi.is_autonomous(),
+        "alpha |>_phi^{d1 d2} beta": bool(
+            transmits(system, {"alpha"}, "beta", h, phi)
+        ),
+        "m1 |>_phi^{d2} beta": bool(
+            transmits(system, {"m1"}, "beta", d2, phi)
+        ),
+        "m2 |>_phi^{d2} beta": bool(
+            transmits(system, {"m2"}, "beta", d2, phi)
+        ),
+        "{m1,m2} |>_phi^{d2} beta": bool(
+            transmits(system, {"m1", "m2"}, "beta", d2, phi)
+        ),
+        "alpha |>_phi^{d1} {m1,m2}": bool(
+            transmits_to_set(system, {"alpha"}, {"m1", "m2"}, d1, phi)
+        ),
+    }
+
+    # Theorem 5-4/5-5: decompose the composite witness at the split.
+    result = transmits(system, {"alpha"}, "beta", h, phi)
+    decomp = decompose_dependency(
+        system, phi, result.witness, split_at=1, target="beta"
+    )
+    return facts, decomp
+
+
+def test_e15_clump_induction(benchmark, show):
+    facts, decomp = benchmark(_experiment)
+    assert facts["phi invariant"] and not facts["phi autonomous"]
+    assert facts["alpha |>_phi^{d1 d2} beta"]
+    # No single intermediate; the clump carries the flow.
+    assert not facts["m1 |>_phi^{d2} beta"]
+    assert not facts["m2 |>_phi^{d2} beta"]
+    assert facts["{m1,m2} |>_phi^{d2} beta"]
+    assert facts["alpha |>_phi^{d1} {m1,m2}"]
+    # The decomposition's M contains both m's.
+    assert {"m1", "m2"} <= set(decomp.intermediates)
+
+    table = Table(
+        ["query", "answer"],
+        title="E15 (sec 5.5): set-valued intermediates under m1=m2",
+    )
+    for name, value in facts.items():
+        table.add(name, value)
+    table.add("Theorem 5-4 intermediate set M",
+              sorted(decomp.intermediates))
+    show(table)

@@ -1,0 +1,63 @@
+"""E16 (section 6.2): constraint after a history.
+
+``delta: beta <- alpha - 4`` with ``phi: alpha < 10``:
+``[delta]phi == alpha < 10 and beta = alpha - 4`` — stricter than phi,
+non-autonomous even though phi is autonomous, and sound for images
+(Theorems 6-1/6-2).
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _experiment():
+    b = SystemBuilder().ranged("alpha", lo=0, hi=12).ranged(
+        "beta", lo=-4, hi=8
+    )
+    b.op_assign("delta", "beta", var("alpha") - 4)
+    system = b.build()
+    sp = system.space
+    phi = Constraint(sp, lambda s: s["alpha"] < 10, name="alpha<10")
+    h = History.of(system.operation("delta"))
+    after = phi.after(h)
+    expected = Constraint(
+        sp,
+        lambda s: s["alpha"] < 10 and s["beta"] == s["alpha"] - 4,
+        name="alpha<10 & beta=alpha-4",
+    )
+    facts = {
+        "[delta]phi == paper's formula": after.equivalent(expected),
+        "[delta]phi implies phi (Thm 6-2)": after.implies(phi),
+        "[delta]phi strictly stricter": after.count() < phi.count(),
+        "phi autonomous": phi.is_autonomous(),
+        "[delta]phi autonomous": after.is_autonomous(),
+        "images land in [delta]phi (Thm 6-1)": all(
+            after(h(s)) for s in phi.states()
+        ),
+        "phi invariant": phi.is_invariant(system),
+    }
+    return facts, phi.count(), after.count()
+
+
+def test_e16_constraint_after_history(benchmark, show):
+    facts, phi_count, after_count = benchmark(_experiment)
+    assert facts["[delta]phi == paper's formula"]
+    assert facts["[delta]phi implies phi (Thm 6-2)"]
+    assert facts["[delta]phi strictly stricter"]
+    assert facts["phi autonomous"]
+    assert not facts["[delta]phi autonomous"]  # the section's remark
+    assert facts["images land in [delta]phi (Thm 6-1)"]
+    assert facts["phi invariant"]
+
+    table = Table(
+        ["fact", "value"],
+        title="E16 (sec 6.2): [H]phi for beta <- alpha - 4",
+    )
+    for name, value in facts.items():
+        table.add(name, value)
+    table.add("|sat(phi)|", phi_count)
+    table.add("|sat([delta]phi)|", after_count)
+    show(table)

@@ -1,0 +1,59 @@
+"""E17 (section 6.4): the oscillating system — invariant envelope vs
+inductive cover.
+
+``delta: (beta <- alpha ; alpha <- -alpha)`` with ``phi: alpha = k``:
+phi is not invariant; the tightest invariant envelope ``alpha in {k,-k}``
+re-admits variety and leaks; the inductive cover {alpha=k, alpha=-k}
+(Theorem 6-7) proves confinement, which the exact checker confirms.
+This is the ablation the paper runs in prose.
+"""
+
+from repro.analysis.report import Table
+from repro.analysis.explorer import reachable_constraint
+from repro.core.reachability import depends_ever
+from repro.systems.oscillator import build_oscillator
+
+
+def _experiment():
+    parts = build_oscillator(k=1, extra_values=1)
+    system, phi = parts.system, parts.phi
+
+    envelope_auto = reachable_constraint(system, phi)
+    facts = {
+        "phi invariant": phi.is_invariant(system),
+        "envelope invariant": parts.envelope.is_invariant(system),
+        "computed envelope matches alpha=+-k (on alpha)": (
+            {s["alpha"] for s in envelope_auto.satisfying}
+            == {s["alpha"] for s in parts.envelope.satisfying}
+        ),
+        "alpha |>_envelope beta (leak)": bool(
+            depends_ever(system, {"alpha"}, "beta", parts.envelope)
+        ),
+        "cover is inductive for phi": parts.cover.check(system, phi).valid,
+        "Thm 6-7 proof valid": parts.cover.prove_no_dependency(
+            system, {"alpha"}, "beta", phi
+        ).valid,
+        "exact: alpha |>_phi beta": bool(
+            depends_ever(system, {"alpha"}, "beta", phi)
+        ),
+    }
+    return facts
+
+
+def test_e17_oscillator(benchmark, show):
+    facts = benchmark(_experiment)
+    assert not facts["phi invariant"]
+    assert facts["envelope invariant"]
+    assert facts["computed envelope matches alpha=+-k (on alpha)"]
+    assert facts["alpha |>_envelope beta (leak)"]  # the envelope fails
+    assert facts["cover is inductive for phi"]
+    assert facts["Thm 6-7 proof valid"]  # the cover succeeds
+    assert not facts["exact: alpha |>_phi beta"]
+
+    table = Table(
+        ["fact", "value"],
+        title="E17 (sec 6.4): oscillator — envelope fails, cover succeeds",
+    )
+    for name, value in facts.items():
+        table.add(name, value)
+    show(table)

@@ -1,0 +1,99 @@
+"""E18 (section 6.5, first flowchart): Floyd assertions as an inductive
+cover.
+
+The paper's program, transcribed node for node::
+
+    delta1: if pc=1 then (if q > 10 then t <- tt else t <- ff; pc <- 2)
+    delta2: if pc=2 then (if t then beta <- alpha; pc <- 3)
+
+With entry assertion ``q < 10`` and the inductive assertion ``~t`` at
+statement 2, Theorem 6-7 proves ``not alpha |>_phi beta``; without the
+entry assertion the flow is real.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.lang.expr import if_expr, var
+from repro.systems.program import (
+    AssignNode,
+    Flowchart,
+    FloydAssertions,
+    build_program_system,
+    program_transmits,
+    prove_program_no_flow,
+)
+
+
+def _build():
+    fc = Flowchart(
+        [
+            AssignNode(1, "t", if_expr(var("q") > 10, True, False), 2),
+            AssignNode(
+                2, "beta", if_expr(var("t"), var("alpha"), var("beta")), 3
+            ),
+        ],
+        entry=1,
+        halt=3,
+    )
+    return build_program_system(
+        fc,
+        {
+            "q": range(8, 13),
+            "t": (False, True),
+            "alpha": (0, 1),
+            "beta": (0, 1),
+        },
+    )
+
+
+def _experiment():
+    ps = _build()
+    sp = ps.space
+    assertions = {
+        1: Constraint(sp, lambda s: s["q"] < 10, name="q<10"),
+        2: Constraint(sp, lambda s: not s["t"], name="~t"),
+        3: Constraint.true(sp),
+    }
+    network = FloydAssertions(ps.flowchart, sp, assertions)
+    facts = {
+        "verification conditions hold": network.check(ps.system).valid,
+        "{phi_i*} is an inductive cover": network.per_pc_cover()
+        .check(ps.system, network.entry_constraint())
+        .valid,
+        "per-pc proof (Thm 6-7) valid": prove_program_no_flow(
+            ps, assertions, {"alpha"}, "beta", cover_style="per-pc"
+        ).valid,
+        "global-cover proof valid": prove_program_no_flow(
+            ps, assertions, {"alpha"}, "beta", cover_style="global"
+        ).valid,
+        "exact: alpha |>_{q<10} beta": bool(
+            program_transmits(
+                ps,
+                {"alpha"},
+                "beta",
+                Constraint(sp, lambda s: s["q"] < 10, name="q<10"),
+            )
+        ),
+        "exact: alpha |>_tt beta (control)": bool(
+            program_transmits(ps, {"alpha"}, "beta", None)
+        ),
+    }
+    return facts
+
+
+def test_e18_floyd_assertions(benchmark, show):
+    facts = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    assert facts["verification conditions hold"]
+    assert facts["{phi_i*} is an inductive cover"]
+    assert facts["per-pc proof (Thm 6-7) valid"]
+    assert facts["global-cover proof valid"]
+    assert not facts["exact: alpha |>_{q<10} beta"]
+    assert facts["exact: alpha |>_tt beta (control)"]
+
+    table = Table(
+        ["fact", "value"],
+        title="E18 (sec 6.5): Floyd-assertion flow proof, first flowchart",
+    )
+    for name, value in facts.items():
+        table.add(name, value)
+    show(table)

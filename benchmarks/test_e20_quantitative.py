@@ -1,0 +1,88 @@
+"""E20 (section 7.4): the quantitative measures on the mod-sum channel.
+
+``delta: beta <- (alpha1 + alpha2) mod N`` with uniform inputs (the paper
+uses N = 128 = 7 bits; we run N = 8 = 3 bits — identical structure):
+
+- the pair transmits log2 N bits;
+- the equivocation measure gives alpha1 alone ZERO bits (equivocation =
+  full initial entropy);
+- the averaged measure gives alpha1 alone the full log2 N bits;
+- the interference b(A1)+b(A2)-b(A1 u A2) is -log2 N (purely contingent
+  transmission);
+- monotonicity: adding constraint never increases the pair's bits.
+"""
+
+import math
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.quantitative import (
+    StateDistribution,
+    bits_transmitted,
+    bits_transmitted_averaged,
+    equivocation,
+    interference,
+    source_entropy,
+)
+
+N = 8
+WIDTH = int(math.log2(N))
+
+
+def _experiment():
+    b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=WIDTH)
+    b.op_assign("delta", "beta", (var("alpha1") + var("alpha2")) % N)
+    system = b.build()
+    h = History.of(system.operation("delta"))
+    uniform = StateDistribution.uniform_over_space(system.space)
+
+    measures = {
+        "H(alpha1)": source_entropy(uniform, {"alpha1"}),
+        "b({a1,a2} -> beta) equivocation": bits_transmitted(
+            uniform, {"alpha1", "alpha2"}, "beta", h
+        ),
+        "b(a1 -> beta) equivocation": bits_transmitted(
+            uniform, {"alpha1"}, "beta", h
+        ),
+        "equivocation(a1 | beta)": equivocation(
+            uniform, {"alpha1"}, "beta", h
+        ),
+        "b(a1 -> beta) averaged": bits_transmitted_averaged(
+            uniform, {"alpha1"}, "beta", h
+        ),
+        "interference(a1, a2)": interference(
+            uniform, {"alpha1"}, {"alpha2"}, "beta", h
+        ),
+    }
+    # Constraint monotonicity of the pair channel.
+    halved = StateDistribution.uniform(
+        Constraint(system.space, lambda s: s["alpha1"] < N // 2, name="a1<N/2")
+    )
+    measures["b({a1,a2}) under a1 < N/2"] = bits_transmitted(
+        halved, {"alpha1", "alpha2"}, "beta", h
+    )
+    return measures
+
+
+def test_e20_quantitative(benchmark, show):
+    m = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    close = lambda a, b: abs(a - b) < 1e-9
+    assert close(m["H(alpha1)"], WIDTH)
+    assert close(m["b({a1,a2} -> beta) equivocation"], WIDTH)
+    assert close(m["b(a1 -> beta) equivocation"], 0.0)
+    assert close(m["equivocation(a1 | beta)"], WIDTH)
+    assert close(m["b(a1 -> beta) averaged"], WIDTH)
+    assert close(m["interference(a1, a2)"], -WIDTH)
+    assert m["b({a1,a2}) under a1 < N/2"] <= WIDTH + 1e-9
+
+    table = Table(
+        ["measure", "bits"],
+        title=f"E20 (sec 7.4): beta <- (a1 + a2) mod {N} "
+        f"(paper: mod 128, same shape)",
+    )
+    for name, value in m.items():
+        table.add(name, value)
+    show(table)

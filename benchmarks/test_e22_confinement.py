@@ -1,0 +1,117 @@
+"""E22 (sections 1.4/3.4): the Confinement and Security Problems on
+access-matrix systems, with baseline comparison.
+
+- Confinement: the relay through a scratch file defeats per-operation
+  enforcement thinking; the information-problem solution (rights denial)
+  closes both hops, and the section 7.5 declassifier exemption works.
+- Security: a three-level system proved secure by Corollary 4-3; adding a
+  downgrade operation breaks it with a concrete witness.
+- Baseline: the transitive model is sound but strictly less precise on
+  the confinement system.
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.denning import precision_report
+from repro.core.constraints import Constraint
+from repro.core.induction import prove_via_relation
+from repro.core.problems import ConfinementProblem, SecurityProblem
+from repro.core.reachability import dependency_closure, depends_ever
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.systems.access_matrix import AccessMatrixSystem
+from repro.systems.security import TotalOrderLattice, classification_relation
+
+
+def _confinement():
+    ams = AccessMatrixSystem(
+        subjects=["svc"],
+        files={"secret": (0, 1), "scratch": (0, 1), "drop": (0, 1)},
+        entries=[("svc", "secret"), ("svc", "scratch"), ("svc", "drop")],
+        copy_operations=[
+            ("svc", "scratch", "secret"),
+            ("svc", "drop", "scratch"),
+        ],
+        fixed_rights={("svc", "svc"): frozenset({"s"})},
+    )
+    problem = ConfinementProblem(
+        ams.system, confined={"secret"}, spies={"drop"}
+    )
+    tt = Constraint.true(ams.space)
+    deny_first_hop = ams.deny_constraint(
+        [("svc", "secret", "scratch")], name="deny secret->scratch"
+    )
+    declassified = ConfinementProblem(
+        ams.system,
+        confined={"secret"},
+        spies={"drop"},
+        declassifiers={("secret", "drop")},
+    )
+    facts = {
+        "unconstrained confined?": problem.is_solution(tt),
+        "deny-first-hop solves?": problem.is_solution(deny_first_hop),
+        "declassifier exempts path?": declassified.is_solution(tt),
+    }
+    exact_paths = frozenset(
+        (next(iter(src)), tgt)
+        for (src, tgt), res in dependency_closure(ams.system).items()
+        if res
+    )
+    report = precision_report(ams.system, exact_paths)
+    return facts, report
+
+
+def _security():
+    def build(with_downgrade: bool):
+        b = SystemBuilder().booleans("lo", "mid", "hi")
+        b.op_assign("up1", "mid", var("lo"))
+        b.op_assign("up2", "hi", var("mid"))
+        if with_downgrade:
+            b.op_assign("down", "lo", var("hi"))
+        return b.build()
+
+    lattice = TotalOrderLattice([0, 1, 2])
+    cls = {"lo": 0, "mid": 1, "hi": 2}
+    q = classification_relation(cls, lattice)
+
+    secure = build(False)
+    broken = build(True)
+    facts = {
+        "Cor 4-3 proof (secure system)": prove_via_relation(
+            secure, None, q, q_name="Cls<="
+        ).valid,
+        "SecurityProblem verdict (secure)": SecurityProblem(
+            secure, cls
+        ).is_solution(Constraint.true(secure.space)),
+        "SecurityProblem verdict (with downgrade)": SecurityProblem(
+            broken, cls
+        ).is_solution(Constraint.true(broken.space)),
+        "witness: hi |> lo in broken system": bool(
+            depends_ever(broken, {"hi"}, "lo")
+        ),
+    }
+    return facts
+
+
+def test_e22_confinement_and_security(benchmark, show):
+    (conf_facts, report), sec_facts = benchmark.pedantic(
+        lambda: (_confinement(), _security()), rounds=1, iterations=1
+    )
+    assert not conf_facts["unconstrained confined?"]
+    assert conf_facts["deny-first-hop solves?"]
+    assert conf_facts["declassifier exempts path?"]
+    assert report["false_negatives"] == []  # baseline sound
+    assert sec_facts["Cor 4-3 proof (secure system)"]
+    assert sec_facts["SecurityProblem verdict (secure)"]
+    assert not sec_facts["SecurityProblem verdict (with downgrade)"]
+    assert sec_facts["witness: hi |> lo in broken system"]
+
+    table = Table(
+        ["fact", "value"],
+        title="E22: Confinement & Security Problems end to end",
+    )
+    for name, value in {**conf_facts, **sec_facts}.items():
+        table.add(name, value)
+    table.add("baseline predicted paths", report["predicted"])
+    table.add("actual paths", report["actual"])
+    table.add("baseline precision", report["precision"])
+    show(table)

@@ -1,0 +1,125 @@
+"""E24 (section 7.2): Inferential Dependency.
+
+The paper's work-in-progress model, reproduced on its own examples:
+
+- ``beta <- alpha1`` under ``alpha1 = alpha2``: Inferential Dependency
+  indicates transmission from BOTH alpha1 and alpha2 (where strong
+  dependency denies both) — exactly the behavior section 7.2 specifies;
+- the tag-coupled variant: imposing the constraint **adds** an
+  inferential path from alpha2, demonstrating the predicted monotonicity
+  failure ("more restrictive constraints might increase the sources of
+  information");
+- the mod-sum system separates the two inferential variants: the
+  non-contingent one reports nothing from alpha1 alone, the contingent
+  one (== strong dependency) reports transmission.
+"""
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.inferential import (
+    contingently_depends,
+    inferential_paths,
+    inferentially_depends,
+)
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def _coupled_copy():
+    b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=1)
+    b.op_assign("delta", "beta", var("alpha1"))
+    system = b.build()
+    delta = system.operation("delta")
+    phi = Constraint(
+        system.space, lambda s: s["alpha1"] == s["alpha2"], name="a1=a2"
+    )
+    rows = []
+    for source in ("alpha1", "alpha2"):
+        rows.append(
+            (
+                source,
+                bool(transmits(system, {source}, "beta", delta, phi)),
+                inferentially_depends(system, {source}, "beta", delta, phi)
+                is not None,
+            )
+        )
+    return rows
+
+
+def _tag_monotonicity():
+    b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=2)
+    b.op_assign("delta", "beta", var("alpha1"))
+    system = b.build()
+    h = History.of(system.operation("delta"))
+    tag = lambda v: v >> 1
+    phi = Constraint(
+        system.space,
+        lambda s: tag(s["alpha1"]) == tag(s["alpha2"]),
+        name="a1.tag=a2.tag",
+    )
+    before = inferential_paths(system, h, None)
+    after = inferential_paths(system, h, phi)
+    return before, after
+
+
+def _modsum_variants():
+    b = SystemBuilder().integers("a1", "a2", "beta", bits=2)
+    b.op_assign("delta", "beta", (var("a1") + var("a2")) % 4)
+    system = b.build()
+    delta = system.operation("delta")
+    return {
+        "non-contingent: a1 ~> beta": inferentially_depends(
+            system, {"a1"}, "beta", delta
+        )
+        is not None,
+        "contingent: a1 ~> beta": contingently_depends(
+            system, {"a1"}, "beta", delta
+        )
+        is not None,
+        "strong: a1 |> beta": bool(
+            transmits(system, {"a1"}, "beta", delta)
+        ),
+        "non-contingent: {a1,a2} ~> beta": inferentially_depends(
+            system, {"a1", "a2"}, "beta", delta
+        )
+        is not None,
+    }
+
+
+def test_e24_inferential_dependency(benchmark, show):
+    coupled_rows, (before, after), modsum = benchmark(
+        lambda: (_coupled_copy(), _tag_monotonicity(), _modsum_variants())
+    )
+    # Section 5.2/7.2 divergence: strong no, inferential yes, both sources.
+    for source, strong, inferential in coupled_rows:
+        assert not strong and inferential, source
+    # Monotonicity failure: the constraint ADDS the alpha2 path.
+    assert ("alpha2", "beta") not in before
+    assert ("alpha2", "beta") in after
+    # Contingent-transmission split on the mod-sum system.
+    assert not modsum["non-contingent: a1 ~> beta"]
+    assert modsum["contingent: a1 ~> beta"]
+    assert modsum["strong: a1 |> beta"]
+    assert modsum["non-contingent: {a1,a2} ~> beta"]
+
+    table = Table(
+        ["source (given a1=a2)", "strong |>?", "inferential ~>?"],
+        title="E24 (sec 7.2): inferential vs strong under coupling",
+    )
+    for row in coupled_rows:
+        table.add(*row)
+    show(table)
+
+    table2 = Table(
+        ["query", "answer"],
+        title="E24: monotonicity failure + contingent transmission",
+    )
+    table2.add("paths before tag constraint", len(before))
+    table2.add("paths after tag constraint", len(after))
+    table2.add("alpha2 -> beta added by constraint",
+               ("alpha2", "beta") in after - before)
+    for name, value in modsum.items():
+        table2.add(name, value)
+    show(table2)

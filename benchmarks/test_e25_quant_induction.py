@@ -1,0 +1,102 @@
+"""E25 (section 7.4's open question): quantitative induction.
+
+The paper asks whether ``b`` can be defined so that transmission over
+``H H'`` implies an intermediate set M carrying at least as many bits on
+each leg, with the set-valued form *defined as a sum* of per-object bits.
+This bench settles the question computationally:
+
+- **No** for the summed form: a one-time-pad split (H stores a XOR r and
+  r in two cells and destroys the originals) delivers the secret to beta
+  over H H' (k = 1 bit) while every per-object channel out of H carries
+  0 bits — so every candidate M sums to 0 < k.
+- **Yes** for the joint form: with ``b(A -> M) = I(A ; M-after-H)``
+  (joint, not summed), ``M = all objects`` always works — a
+  data-processing inequality, verified exactly here and fuzzed over
+  random systems.
+"""
+
+import random
+
+from repro.analysis.random_systems import random_history, random_system
+from repro.analysis.report import Table
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import apply, var
+from repro.quantitative.distributions import StateDistribution
+from repro.quantitative.induction import (
+    joint_induction_holds,
+    summed_induction_gap,
+)
+
+
+def _xor_counterexample():
+    xor = lambda a, b: a ^ b
+    b = SystemBuilder().integers("a", "r", "m1", "m2", "beta", bits=1)
+    b.op_cmd(
+        "split",
+        seq(
+            assign("m1", var("r")),
+            assign("m2", apply(xor, var("a"), var("r"), symbol="xor")),
+            assign("a", 0),
+            assign("r", 0),
+        ),
+    )
+    b.op_cmd(
+        "join", assign("beta", apply(xor, var("m1"), var("m2"), symbol="xor"))
+    )
+    system = b.build()
+    prefix = History.of(system.operation("split"))
+    suffix = History.of(system.operation("join"))
+    dist = StateDistribution.uniform_over_space(system.space)
+    k, best_first, best_m = summed_induction_gap(
+        dist, {"a"}, "beta", prefix, suffix
+    )
+    joint = joint_induction_holds(dist, {"a"}, "beta", prefix, suffix)
+    return (k, best_first, best_m), joint
+
+
+def _fuzz_joint(rounds: int = 25):
+    rng = random.Random(7_4_1977)
+    holds_count = 0
+    for _ in range(rounds):
+        system = random_system(rng, n_objects=3, domain_size=2, n_operations=2)
+        prefix = random_history(rng, system, max_length=2)
+        suffix = random_history(rng, system, max_length=2)
+        dist = StateDistribution.uniform_over_space(system.space)
+        names = system.space.names
+        holds, _k, _f, _s = joint_induction_holds(
+            dist, {names[0]}, names[-1], prefix, suffix
+        )
+        holds_count += int(holds)
+    return holds_count, rounds
+
+
+def test_e25_quantitative_induction(benchmark, show):
+    (summed, joint), (holds_count, rounds) = benchmark.pedantic(
+        lambda: (_xor_counterexample(), _fuzz_joint()),
+        rounds=1,
+        iterations=1,
+    )
+    k, best_first, best_m = summed
+    # The negative answer to the summed form...
+    assert abs(k - 1.0) < 1e-9
+    assert best_first < k - 0.5
+    # ...and the positive answer to the joint form.
+    holds, k2, first, second = joint
+    assert holds and first >= k2 - 1e-9 and second >= k2 - 1e-9
+    assert holds_count == rounds  # DPI: no random violation either
+
+    table = Table(
+        ["quantity", "value"],
+        title="E25 (sec 7.4): can b satisfy quantitative induction?",
+    )
+    table.add("composite bits k = b(a -(HH')-> beta)", k)
+    table.add("best SUMMED first leg over all M", best_first)
+    table.add("best M for the summed form", sorted(best_m))
+    table.add("summed-form property holds", best_first >= k - 1e-9)
+    table.add("JOINT first leg I(a; state-after-H)", first)
+    table.add("JOINT second leg", second)
+    table.add("joint-form property holds", holds)
+    table.add(f"joint form over {rounds} random systems", f"{holds_count}/{rounds}")
+    show(table)

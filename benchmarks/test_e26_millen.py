@@ -1,0 +1,83 @@
+"""E26 (section 1.5): the limits of constraint-aware flow certification.
+
+The paper credits Millen 76 with ignoring information paths "in the face
+of appropriate constraints" and says its own constraint analysis
+"determin[es] ... its limits".  This bench makes the limit concrete:
+
+- for an invariant constraint the Millen-style analysis is sound and
+  precise on the guarded-copy system;
+- for a NON-invariant constraint (an arming operation invalidates it),
+  the analysis certifies a flow absent that is real — unsound;
+- re-evaluating the per-operation flows under the reachability envelope
+  (the union of every [H]phi, chapter 6's object) restores soundness.
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.millen import MillenAnalysis, soundness_violations
+from repro.core.constraints import Constraint
+from repro.core.reachability import depends_ever
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign
+from repro.lang.expr import var
+
+
+def _experiment():
+    rows = []
+
+    # Invariant case: sound and useful.
+    b1 = SystemBuilder().booleans("g", "a", "bb")
+    b1.op_if("copy", var("g"), "bb", var("a"))
+    guarded = b1.build()
+    phi_g = Constraint(guarded.space, lambda s: not s["g"], name="~g")
+    analysis = MillenAnalysis(guarded, phi_g, mode="initial")
+    rows.append(
+        (
+            "invariant ~g",
+            "initial",
+            analysis.flows_ever("a", "bb"),
+            bool(depends_ever(guarded, {"a"}, "bb", phi_g)),
+            len(soundness_violations(analysis)),
+        )
+    )
+
+    # Non-invariant case: the arming trap.
+    b2 = SystemBuilder().booleans("flag", "a", "bb")
+    b2.op_cmd("arm", assign("flag", True))
+    b2.op_if("copy", var("flag"), "bb", var("a"))
+    arming = b2.build()
+    phi_f = Constraint(arming.space, lambda s: not s["flag"], name="~flag")
+    for mode in ("initial", "envelope"):
+        analysis = MillenAnalysis(arming, phi_f, mode=mode)
+        rows.append(
+            (
+                "NON-invariant ~flag",
+                mode,
+                analysis.flows_ever("a", "bb"),
+                bool(depends_ever(arming, {"a"}, "bb", phi_f)),
+                len(soundness_violations(analysis)),
+            )
+        )
+    return rows
+
+
+def test_e26_millen_limits(benchmark, show):
+    rows = benchmark(_experiment)
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Invariant: analysis says no flow, truth agrees, no violations.
+    inv = by_key[("invariant ~g", "initial")]
+    assert not inv[2] and not inv[3] and inv[4] == 0
+    # Non-invariant, initial mode: analysis says no, truth says YES.
+    trap = by_key[("NON-invariant ~flag", "initial")]
+    assert not trap[2] and trap[3] and trap[4] > 0
+    # Envelope mode: sound again.
+    fixed = by_key[("NON-invariant ~flag", "envelope")]
+    assert fixed[2] and fixed[3] and fixed[4] == 0
+
+    table = Table(
+        ["constraint", "mode", "analysis: a->bb?", "truth: a->bb?",
+         "unsound certificates"],
+        title="E26 (sec 1.5): Millen-style certification and its limit",
+    )
+    for row in rows:
+        table.add(*row)
+    show(table)

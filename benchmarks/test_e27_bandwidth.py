@@ -1,0 +1,69 @@
+"""E27 (section 1.8): bandwidth reduction by noise injection.
+
+"One might simply be satisfied to introduce enough noise to guarantee
+that the bandwidth from the user to the disk is sufficiently low."
+
+We model a user-observable residue channel (the disk-arm position after
+a request) and sweep the amount of injected noise, reporting the
+channel's Shannon capacity at each level — the quantitative complement
+to the qualitative elimination results of chapters 2-6.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import apply, var
+from repro.quantitative.bandwidth import capacity
+from repro.quantitative.distributions import StateDistribution
+
+
+def _build_disk(noise_levels: int):
+    """disk <- (request + jitter) mod 4, jitter uniform over
+    0..noise_levels-1 (noise_levels = 1 means no noise)."""
+    mix = lambda r, j: (r + j) % 4
+    b = SystemBuilder().integers("request", "disk", bits=2)
+    b.obj("jitter", tuple(range(noise_levels)))
+    b.op_assign(
+        "seek", "disk", apply(mix, var("request"), var("jitter"), symbol="mix")
+    )
+    return b.build()
+
+
+def _experiment():
+    rows = []
+    for noise_levels in (1, 2, 3, 4):
+        system = _build_disk(noise_levels)
+        dist = StateDistribution.uniform_over_space(system.space)
+        bits = capacity(
+            dist, {"request"}, "disk", History.of(system.operation("seek"))
+        )
+        rows.append((noise_levels, bits))
+    return rows
+
+
+def test_e27_noise_vs_bandwidth(benchmark, show):
+    rows = benchmark(_experiment)
+    capacities = [bits for _levels, bits in rows]
+    # No noise: the full 2 bits leak.
+    assert capacities[0] == pytest.approx(2.0, abs=1e-6)
+    # Monotone decrease with noise...
+    assert all(a >= b - 1e-9 for a, b in zip(capacities, capacities[1:]))
+    # ...down to exactly zero at a full one-time pad (jitter uniform on
+    # the whole residue group).
+    assert capacities[-1] == pytest.approx(0.0, abs=1e-6)
+    # Intermediate level sanity: uniform jitter over k of 4 symbols
+    # leaves log2(4/k) bits.
+    assert capacities[1] == pytest.approx(1.0, abs=1e-5)
+    assert capacities[2] == pytest.approx(math.log2(4 / 3), abs=1e-5)
+
+    table = Table(
+        ["jitter symbols", "capacity (bits/use)"],
+        title="E27 (sec 1.8): noise injection vs covert bandwidth",
+    )
+    for levels, bits in rows:
+        table.add(levels, bits)
+    show(table)

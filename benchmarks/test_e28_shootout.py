@@ -1,0 +1,102 @@
+"""E28 (capstone): analyzer shootout over the paper's example corpus.
+
+Every flow analysis in the repertoire, run against the same queries on
+the paper's own systems.  The table shows exactly where each baseline
+diverges from the exact strong-dependency decision — the precision
+landscape the paper's chapter 1 surveys in prose.
+"""
+
+from repro.analysis.compare import comparison_matrix
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+
+
+def _corpus():
+    cases = []
+
+    # 1. The plain relay: everyone should find this flow.
+    b = SystemBuilder().booleans("a", "m", "bb")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "bb", var("m"))
+    cases.append(("relay", b.build(), "a", "bb", None))
+
+    # 2. The q-guarded relay (sec 4.4): no real flow; transitive
+    #    baselines cry wolf.
+    b = SystemBuilder().booleans("q", "a", "m", "bb")
+    b.op_cmd("d1", when(var("q"), assign("m", var("a"))))
+    b.op_cmd("d2", when(~var("q"), assign("bb", var("m"))))
+    cases.append(("q-relay (sec 4.4)", b.build(), "a", "bb", None))
+
+    # 3. Guarded copy under ~m (sec 3.2): the constraint closes the path;
+    #    constraint-blind analyses still flag it.
+    b = SystemBuilder().booleans("m", "a", "bb")
+    b.op_if("copy", var("m"), "bb", var("a"))
+    system = b.build()
+    phi = Constraint(system.space, lambda s: not s["m"], name="~m")
+    cases.append(("guarded copy + ~m", system, "a", "bb", phi))
+
+    # 4. The arming system (E26): non-invariant constraint; the naive
+    #    constraint-aware analysis is unsound here.
+    b = SystemBuilder().booleans("flag", "a", "bb")
+    b.op_cmd("arm", assign("flag", True))
+    b.op_if("copy", var("flag"), "bb", var("a"))
+    system = b.build()
+    phi = Constraint(system.space, lambda s: not s["flag"], name="~flag")
+    cases.append(("arming (non-invariant phi)", system, "a", "bb", phi))
+
+    # 5. Self-rewrite (syntax vs semantics): no flow, syntax disagrees.
+    b = SystemBuilder().booleans("m", "bb")
+    b.op_cmd("rewrite", when(var("m"), assign("bb", var("bb"))))
+    cases.append(("self-rewrite", b.build(), "m", "bb", None))
+
+    return cases
+
+
+def test_e28_analyzer_shootout(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: comparison_matrix(_corpus()), rounds=1, iterations=1
+    )
+    by_name = dict(results)
+
+    # Ground truths.
+    assert by_name["relay"].truth
+    assert not by_name["q-relay (sec 4.4)"].truth
+    assert not by_name["guarded copy + ~m"].truth
+    assert by_name["arming (non-invariant phi)"].truth
+    assert not by_name["self-rewrite"].truth
+
+    # The documented divergences.
+    assert by_name["q-relay (sec 4.4)"].false_positive("transitive")
+    assert by_name["q-relay (sec 4.4)"].false_positive("taint")
+    assert by_name["guarded copy + ~m"].false_positive("transitive")
+    assert not by_name["guarded copy + ~m"].false_positive("millen-initial")
+    assert by_name["arming (non-invariant phi)"].sound("millen-initial") is False
+    assert by_name["arming (non-invariant phi)"].sound("millen-envelope")
+    assert by_name["self-rewrite"].false_positive("static")
+
+    # Soundness sweep: every analyzer except millen-initial never misses
+    # a real flow (None = not applicable is allowed).
+    for name, comparison in results:
+        for verdict in comparison.verdicts:
+            if verdict.analyzer in ("millen-initial", "jones-lipton"):
+                continue
+            assert comparison.sound(verdict.analyzer) in (True, None), (
+                name,
+                verdict.analyzer,
+            )
+
+    analyzers = [v.analyzer for v in results[0][1].verdicts]
+    table = Table(
+        ["system / query", "truth"] + analyzers,
+        title="E28: analyzer shootout (flow = claims a->b flows)",
+    )
+    for name, comparison in results:
+        table.add(
+            name,
+            comparison.truth,
+            *[v.label for v in comparison.verdicts],
+        )
+    show(table)

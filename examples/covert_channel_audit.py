@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Audit a system for covert channels, qualitatively and quantitatively.
+
+Section 7.3 warns (after Rotenberg 73) that protection mechanisms can
+*introduce* information paths: the rights matrix itself is state an
+observer can sense.  We build an access-matrix system with a grant
+operation, draw the exact information-flow graph, find the covert path
+through the matrix entry, and measure its bandwidth with the section 7.4
+channel measures.
+
+Run:  python examples/covert_channel_audit.py
+"""
+
+from repro.analysis.graph import exact_flow_graph, render_dot
+from repro.analysis.report import Table
+from repro.core.system import History
+from repro.quantitative import (
+    StateDistribution,
+    bits_transmitted,
+    bits_transmitted_averaged,
+)
+from repro.systems.access_matrix import (
+    READ,
+    AccessMatrixSystem,
+    entry_name,
+)
+
+
+def build() -> AccessMatrixSystem:
+    base_kwargs = dict(
+        subjects=["hi", "lo"],
+        files={"hidata": (0, 1), "lodata": (0, 1)},
+        entries=[("lo", "hidata"), ("lo", "lodata")],
+        copy_operations=[("lo", "lodata", "hidata")],
+        fixed_rights={
+            ("lo", "lo"): frozenset({"s"}),
+            ("hi", "hidata"): frozenset({READ}),
+            ("hi", "hi"): frozenset({"s"}),
+        },
+    )
+    helper = AccessMatrixSystem(**base_kwargs)
+    # 'hi' grants 'lo' read access to hidata — a protection-state change
+    # that is itself observable downstream.
+    grant = helper.grant_operation("hi", READ, "lo", "hidata")
+    return AccessMatrixSystem(**base_kwargs, extra_operations=[grant])
+
+
+def main() -> None:
+    ams = build()
+    graph = exact_flow_graph(ams.system)
+    print("exact information-flow graph:")
+    print(render_dot(graph))
+
+    matrix_entry = entry_name("lo", "hidata")
+    table = Table(
+        ["source", "target", "flows?", "shortest witness"],
+        title="Channels into lodata",
+    )
+    for source in ams.space.names:
+        if source == "lodata":
+            continue
+        if graph.has_edge(source, "lodata"):
+            witness = graph.edges[source, "lodata"]["history"]
+            table.add(source, "lodata", True, " ".join(witness))
+        else:
+            table.add(source, "lodata", False, "-")
+    table.echo()
+
+    print(
+        f"\nNote the covert channel: the matrix entry {matrix_entry!r} "
+        "transmits to lodata (whether the copy fires reveals the right)."
+    )
+
+    # Quantify both channels over the single copy step: the data channel
+    # (hidata's value) and the covert channel (the matrix entry's value,
+    # revealed by whether the copy fires).
+    copy_op = ams.system.operation("copy(lo,lodata,hidata)")
+    h = History.of(copy_op)
+    dist = StateDistribution.uniform_over_space(ams.space)
+    bw = Table(
+        ["source", "equivocation measure", "averaged measure"],
+        title="Channel bandwidth into lodata over copy (bits)",
+    )
+    for source in ("hidata", matrix_entry):
+        bw.add(
+            source,
+            bits_transmitted(dist, {source}, "lodata", h),
+            bits_transmitted_averaged(dist, {source}, "lodata", h),
+        )
+    bw.echo()
+    print(
+        "\nThe covert channel is *contingent* (section 7.2): lodata's "
+        "value alone says nothing about the right (equivocation measure "
+        "0), but with the other objects held fixed the right's variety "
+        "does reach lodata (averaged measure > 0) — which is why strong "
+        "dependency flags the path."
+    )
+
+
+if __name__ == "__main__":
+    main()

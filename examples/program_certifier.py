@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Certify a sequential program free of a secret-to-public flow
+(section 6.5's technique as a user-facing tool).
+
+We take a small program in the mini-language, compile it to a flowchart
+system, attach Floyd assertions, and run the Theorem 6-7 proof that no
+information flows from ``secret`` to ``public`` for inputs satisfying the
+entry assertion — then cross-check with the exact model checker and show
+where the syntactic taint baseline over-approximates.
+
+Run:  python examples/program_certifier.py
+"""
+
+from repro.analysis.report import Table
+from repro.baselines.taint import taint_closure
+from repro.core.constraints import Constraint
+from repro.systems.program import (
+    build_program_system,
+    program_transmits,
+    prove_program_no_flow,
+)
+
+SOURCE = """
+gate := secret > limit;
+if gate then audit := 1 else audit := 0;
+if audit > 0 then public := 0 else public := temp
+"""
+
+
+def main() -> None:
+    ps = build_program_system(
+        SOURCE,
+        {
+            "secret": range(4),
+            "limit": range(4),
+            "gate": (False, True),
+            "audit": (0, 1),
+            "temp": (0, 1),
+            "public": (0, 1),
+        },
+    )
+    print("compiled flowchart:")
+    for pc in sorted(ps.flowchart.nodes):
+        print("  ", ps.flowchart.nodes[pc])
+
+    sp = ps.space
+
+    # Entry assertion: the secret never exceeds the audit limit, so the
+    # gate is always false and the public write comes from temp only.
+    entry = Constraint(sp, lambda s: s["secret"] <= s["limit"], name="sec<=lim")
+
+    table = Table(["entry assertion", "secret |> public?"],
+                  title="Exact strong dependency on the flowchart system")
+    for phi, label in ((None, "tt"), (entry, entry.name)):
+        result = program_transmits(ps, {"secret"}, "public", phi)
+        table.add(label, bool(result))
+    table.echo()
+
+    # Floyd proof under the entry assertion.  The network records what is
+    # true at each node when the entry assertion holds: the gate is false
+    # from node 2 on, so the then-branch (nodes 3/4) and the audited write
+    # (nodes 7/8) are unreachable — their assertions are 'false'.
+    def network(sp):
+        safe = lambda s: s["secret"] <= s["limit"]
+        no_gate = lambda s: safe(s) and not s["gate"]
+        no_audit = lambda s: no_gate(s) and s["audit"] == 0
+        unreachable = lambda s: False
+        return {
+            1: Constraint(sp, safe, name="safe"),
+            2: Constraint(sp, no_gate, name="safe&~gate"),
+            3: Constraint(sp, unreachable, name="ff"),
+            4: Constraint(sp, unreachable, name="ff"),
+            5: Constraint(sp, no_gate, name="safe&~gate"),
+            6: Constraint(sp, no_audit, name="safe&audit=0"),
+            7: Constraint(sp, unreachable, name="ff"),
+            8: Constraint(sp, unreachable, name="ff"),
+            9: Constraint(sp, no_audit, name="safe&audit=0"),
+            10: Constraint.true(sp),
+        }
+
+    proof = prove_program_no_flow(
+        ps, network(sp), {"secret"}, "public", cover_style="global"
+    )
+    print("\nFloyd/Theorem 6-7 certificate valid?", proof.valid)
+
+    # Baseline comparison: taint cannot see the entry assertion at all.
+    tainted = taint_closure(ps.system, {"secret"})
+    print("\ntaint closure from 'secret':", sorted(tainted))
+    print(
+        "taint flags secret -> public even under the safe entry "
+        "assertion (it is state-insensitive)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables `python setup.py develop` / legacy editable installs
+in offline environments that lack the `wheel` package (PEP 660 editable
+builds need it; `develop` does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

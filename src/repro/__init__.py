@@ -1,0 +1,79 @@
+"""repro — Strong Dependency: information transmission in computational systems.
+
+An executable reproduction of Ellis Cohen's *Strong Dependency* formalism
+(CMU TR 1976; SOSP 1977, "Information Transmission in Computational
+Systems").  The library turns the paper's definitions into decision
+procedures over finite computational systems, its proof techniques into
+checkable obligation engines, and its worked examples into regenerable
+experiments.
+
+Quick start::
+
+    from repro import SystemBuilder, var, transmits
+
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=2)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    system = b.build()
+    delta = system.operation("delta")
+
+    assert transmits(system, {"alpha"}, "beta", delta)          # alpha |> beta
+    phi = b.constraint(lambda s: not s["m"], name="~m")
+    assert not transmits(system, {"alpha"}, "beta", delta, phi)  # solved
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the experiment
+index reproducing each of the paper's worked examples.
+"""
+
+from repro.core import (
+    Behavior,
+    Constraint,
+    DependencyResult,
+    History,
+    Operation,
+    ReproError,
+    Space,
+    State,
+    System,
+    Witness,
+    boolean_space,
+    conjoin,
+    depends_within,
+    disjoin,
+    integer_space,
+    no_transmission,
+    transmits,
+    transmits_to_set,
+)
+from repro.lang import SystemBuilder, assign, const, op, seq, skip, var, when
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Behavior",
+    "Constraint",
+    "DependencyResult",
+    "History",
+    "Operation",
+    "ReproError",
+    "Space",
+    "State",
+    "System",
+    "SystemBuilder",
+    "Witness",
+    "__version__",
+    "assign",
+    "boolean_space",
+    "conjoin",
+    "const",
+    "depends_within",
+    "disjoin",
+    "integer_space",
+    "no_transmission",
+    "op",
+    "seq",
+    "skip",
+    "transmits",
+    "transmits_to_set",
+    "var",
+    "when",
+]

@@ -1,0 +1,68 @@
+"""Analysis tooling: explorers, flow graphs, solution search, fuzzing."""
+
+from repro.analysis.audit import AuditReport, PathFinding, audit_system
+from repro.analysis.compare import (
+    AnalyzerVerdict,
+    Comparison,
+    compare_analyzers,
+    comparison_matrix,
+)
+from repro.analysis.explorer import (
+    dependency_matrix,
+    image_set_orbit,
+    reachable_constraint,
+    reachable_states,
+)
+from repro.analysis.graph import (
+    eliminated_paths,
+    exact_flow_graph,
+    per_operation_graph,
+    render_dot,
+)
+from repro.analysis.random_systems import (
+    random_constraint,
+    random_history,
+    random_invariant_constraint,
+    random_space,
+    random_system,
+)
+from repro.analysis.report import Table, bullet_list
+from repro.analysis.solver import (
+    greedy_maximal_solution,
+    has_unique_maximal_solution,
+    is_maximal,
+    join_property_counterexample,
+    maximal_solutions,
+    repair_constraint,
+)
+
+__all__ = [
+    "AnalyzerVerdict",
+    "AuditReport",
+    "Comparison",
+    "compare_analyzers",
+    "comparison_matrix",
+    "PathFinding",
+    "Table",
+    "audit_system",
+    "bullet_list",
+    "dependency_matrix",
+    "eliminated_paths",
+    "exact_flow_graph",
+    "greedy_maximal_solution",
+    "has_unique_maximal_solution",
+    "image_set_orbit",
+    "is_maximal",
+    "join_property_counterexample",
+    "maximal_solutions",
+    "per_operation_graph",
+    "random_constraint",
+    "repair_constraint",
+    "random_history",
+    "random_invariant_constraint",
+    "random_space",
+    "random_system",
+    "reachable_constraint",
+    "reachable_states",
+    "render_dot",
+]

@@ -1,0 +1,167 @@
+"""One-call system audit: everything the formalism can say, structured.
+
+:func:`audit_system` is the "just tell me about my system" entry point a
+downstream user reaches for first: it classifies the constraint,
+checks invariance, computes the exact flow matrix, evaluates a policy
+(forbidden paths), and reports which proof technique certifies each
+absent path.  The result renders as text via :meth:`AuditReport.describe`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Table
+from repro.core.constraints import Constraint
+from repro.core.induction import (
+    prove_no_dependency,
+    prove_no_dependency_nonautonomous,
+)
+from repro.core.reachability import depends_ever
+from repro.core.system import System
+
+
+@dataclass(frozen=True)
+class PathFinding:
+    """One (source, target) cell of the audit."""
+
+    source: str
+    target: str
+    flows: bool
+    witness_history: tuple[str, ...] = ()
+    forbidden: bool = False
+    certificate: str = ""  # which technique certifies absence, if any
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    constraint_name: str
+    autonomous: bool
+    invariant: bool
+    relative_clumps: tuple[frozenset[str], ...]
+    findings: tuple[PathFinding, ...] = field(default_factory=tuple)
+
+    @property
+    def violations(self) -> tuple[PathFinding, ...]:
+        """Forbidden paths that flow."""
+        return tuple(f for f in self.findings if f.forbidden and f.flows)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"constraint: {self.constraint_name}",
+            f"  autonomous: {self.autonomous}   invariant: {self.invariant}",
+        ]
+        if self.relative_clumps:
+            clumps = ", ".join(
+                "{" + ",".join(sorted(c)) + "}" for c in self.relative_clumps
+            )
+            lines.append(f"  autonomous relative to: {clumps}")
+        table = Table(["source", "target", "flows?", "policy", "evidence"])
+        for f in self.findings:
+            policy = "FORBIDDEN" if f.forbidden else "-"
+            if f.flows:
+                evidence = " ".join(f.witness_history) or "<lambda>"
+            else:
+                evidence = f.certificate or "exact search"
+            table.add(f.source, f.target, f.flows, policy, evidence)
+        lines.append(table.render())
+        lines.append(
+            "VERDICT: "
+            + ("no policy violations" if self.ok else
+               f"{len(self.violations)} forbidden path(s) flow")
+        )
+        return "\n".join(lines)
+
+
+def _minimal_clumps(phi: Constraint, max_size: int = 2):
+    """Small object sets phi is autonomous relative to (informational)."""
+    import itertools
+
+    names = phi.space.names
+    found: list[frozenset[str]] = []
+    for size in range(2, max_size + 1):
+        for combo in itertools.combinations(names, size):
+            clump = frozenset(combo)
+            if any(existing <= clump for existing in found):
+                continue
+            if phi.is_autonomous_relative_to(clump):
+                found.append(clump)
+    return tuple(found)
+
+
+def audit_system(
+    system: System,
+    constraint: Constraint | None = None,
+    forbidden: Iterable[tuple[str, str]] = (),
+    find_clumps: bool = False,
+) -> AuditReport:
+    """Audit every singleton information path of a system.
+
+    ``forbidden`` marks policy pairs; for absent paths the audit attaches
+    the cheapest certificate that works — Corollary 4-2 when the
+    constraint is autonomous and invariant, Corollary 5-6 when merely
+    invariant, otherwise the exact pair-graph search itself.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("a", "b")
+    >>> _ = b.op_assign("copy", "b", var("a"))
+    >>> report = audit_system(b.build(), forbidden=[("a", "b")])
+    >>> report.ok
+    False
+    """
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+    forbidden_set = {tuple(pair) for pair in forbidden}
+    autonomous = phi.is_autonomous()
+    invariant = phi.is_invariant(system)
+    clumps = (
+        _minimal_clumps(phi) if (find_clumps and not autonomous) else ()
+    )
+
+    findings: list[PathFinding] = []
+    for source in system.space.names:
+        for target in system.space.names:
+            if source == target:
+                continue
+            result = depends_ever(system, {source}, target, phi)
+            certificate = ""
+            history: tuple[str, ...] = ()
+            if result:
+                history = tuple(
+                    op.name for op in result.witness.history
+                )
+            else:
+                if autonomous and invariant:
+                    proof = prove_no_dependency(system, phi, source, target)
+                    if proof.valid:
+                        certificate = "Corollary 4-2"
+                if not certificate and invariant:
+                    proof = prove_no_dependency_nonautonomous(
+                        system, phi, {source}, target
+                    )
+                    if proof.valid:
+                        certificate = "Corollary 5-6"
+                if not certificate:
+                    certificate = "exact pair-graph search"
+            findings.append(
+                PathFinding(
+                    source=source,
+                    target=target,
+                    flows=bool(result),
+                    witness_history=history,
+                    forbidden=(source, target) in forbidden_set,
+                    certificate=certificate,
+                )
+            )
+    return AuditReport(
+        constraint_name=phi.name,
+        autonomous=autonomous,
+        invariant=invariant,
+        relative_clumps=clumps,
+        findings=tuple(findings),
+    )

@@ -1,0 +1,154 @@
+"""Analyzer shootout: every flow analysis in the repertoire on one query.
+
+:func:`compare_analyzers` runs the exact decision and all applicable
+baselines against one ``does A ever reach beta?`` question, returning a
+verdict per analyzer plus agreement flags — the comparison matrix behind
+benchmark E28 and a convenient debugging tool ("which analysis is lying
+to me, and in which direction?").
+
+Analyzers and their contracts:
+
+- ``exact``          — pair-graph strong dependency; ground truth.
+- ``transitive``     — Denning/Case semantic per-op flows closed
+                       transitively; sound, over-approximate.
+- ``static``         — syntax-only certification flows; sound,
+                       over-approximates even the transitive baseline.
+- ``taint``          — dynamic taint closure; sound, over-approximate.
+- ``millen-initial`` — constraint-aware per-op flows (UNSOUND for
+                       non-invariant constraints; reported, not trusted).
+- ``millen-envelope``— the sound repair.
+- ``jones-lipton``   — transformed-system certification at a length
+                       bound; certificates are sound, non-certification
+                       is inconclusive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.baselines.denning import TransitiveFlowAnalysis
+from repro.baselines.jones_lipton import certify_no_transmission
+from repro.baselines.millen import MillenAnalysis
+from repro.baselines.static_flow import StaticFlowAnalysis
+from repro.baselines.taint import taint_closure
+from repro.core.constraints import Constraint
+from repro.core.errors import OperationError
+from repro.core.reachability import depends_ever
+from repro.core.system import System
+
+
+@dataclass(frozen=True)
+class AnalyzerVerdict:
+    analyzer: str
+    claims_flow: bool | None  # None = inconclusive / not applicable
+    note: str = ""
+
+    @property
+    def label(self) -> str:
+        if self.claims_flow is None:
+            return f"n/a ({self.note})" if self.note else "n/a"
+        return "flow" if self.claims_flow else "no flow"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    source: str
+    target: str
+    truth: bool
+    verdicts: tuple[AnalyzerVerdict, ...]
+
+    def sound(self, analyzer: str) -> bool | None:
+        """True iff the analyzer did not miss a real flow (its 'no flow'
+        verdicts may be trusted only if this holds)."""
+        for verdict in self.verdicts:
+            if verdict.analyzer == analyzer:
+                if verdict.claims_flow is None:
+                    return None
+                return verdict.claims_flow or not self.truth
+        raise KeyError(analyzer)
+
+    def false_positive(self, analyzer: str) -> bool | None:
+        for verdict in self.verdicts:
+            if verdict.analyzer == analyzer:
+                if verdict.claims_flow is None:
+                    return None
+                return verdict.claims_flow and not self.truth
+        raise KeyError(analyzer)
+
+
+def compare_analyzers(
+    system: System,
+    source: str,
+    target: str,
+    constraint: Constraint | None = None,
+    jones_lipton_bound: int = 3,
+) -> Comparison:
+    """Run every applicable analyzer on ``source |>_phi target``.
+
+    Baselines that require command bodies (static, taint) report
+    not-applicable for opaque operations; the Millen modes require a
+    constraint and report not-applicable without one.
+    """
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+    truth = bool(depends_ever(system, {source}, target, phi))
+    verdicts: list[AnalyzerVerdict] = [
+        AnalyzerVerdict("exact", truth, "ground truth"),
+    ]
+
+    transitive = TransitiveFlowAnalysis(system)
+    verdicts.append(
+        AnalyzerVerdict("transitive", transitive.flows_ever(source, target))
+    )
+
+    try:
+        static = StaticFlowAnalysis(system)
+        verdicts.append(
+            AnalyzerVerdict("static", static.flows_ever(source, target))
+        )
+    except OperationError:
+        verdicts.append(AnalyzerVerdict("static", None, "opaque operations"))
+
+    try:
+        tainted = taint_closure(system, {source})
+        verdicts.append(AnalyzerVerdict("taint", target in tainted))
+    except OperationError:
+        verdicts.append(AnalyzerVerdict("taint", None, "opaque operations"))
+
+    if constraint is not None:
+        for mode in ("initial", "envelope"):
+            analysis = MillenAnalysis(system, constraint, mode=mode)
+            verdicts.append(
+                AnalyzerVerdict(
+                    f"millen-{mode}", analysis.flows_ever(source, target)
+                )
+            )
+    else:
+        verdicts.append(AnalyzerVerdict("millen-initial", None, "no constraint"))
+        verdicts.append(AnalyzerVerdict("millen-envelope", None, "no constraint"))
+
+    jl = certify_no_transmission(
+        system, source, target, max_length=jones_lipton_bound, constraint=phi
+    )
+    verdicts.append(
+        AnalyzerVerdict(
+            "jones-lipton",
+            None if not jl.certified else False,
+            "" if jl.certified else "no certificate (inconclusive)",
+        )
+    )
+
+    return Comparison(
+        source=source, target=target, truth=truth, verdicts=tuple(verdicts)
+    )
+
+
+def comparison_matrix(
+    cases: Iterable[tuple[str, System, str, str, Constraint | None]],
+) -> list[tuple[str, Comparison]]:
+    """Run the shootout over a labelled corpus of (name, system, source,
+    target, constraint) cases."""
+    return [
+        (name, compare_analyzers(system, source, target, constraint))
+        for name, system, source, target, constraint in cases
+    ]

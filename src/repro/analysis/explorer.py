@@ -1,0 +1,85 @@
+"""Exploration utilities: reachability, dependency matrices, fixpoints.
+
+The exact existential-history dependency decision lives in
+:mod:`repro.core.reachability` (the core formalism needs it); this module
+re-exports it and adds the batch/exploration conveniences used by the
+solver, the graphs, and the benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.constraints import Constraint
+from repro.core.reachability import (  # noqa: F401  (re-exported API)
+    dependency_closure,
+    depends_ever,
+    depends_ever_set,
+)
+from repro.core.state import State
+from repro.core.system import System
+
+
+def reachable_states(
+    system: System, initial: Iterable[State]
+) -> frozenset[State]:
+    """All states reachable from ``initial`` under any history (BFS)."""
+    seen: set[State] = set(initial)
+    frontier = list(seen)
+    while frontier:
+        state = frontier.pop()
+        for op in system.operations:
+            successor = op(state)
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def reachable_constraint(
+    system: System, phi: Constraint, name: str | None = None
+) -> Constraint:
+    """The strongest constraint closed under the operations and containing
+    phi — i.e. the union of every ``[H]phi``.  This is the "invariant
+    envelope" of section 6.4's discussion (which the oscillator example
+    shows is strictly weaker than an inductive cover)."""
+    states = reachable_states(system, phi.satisfying)
+    return Constraint.from_states(
+        system.space, states, name=name or f"reach({phi.name})"
+    )
+
+
+def dependency_matrix(
+    system: System, constraint: Constraint | None = None
+) -> dict[str, dict[str, bool]]:
+    """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact)."""
+    names = system.space.names
+    return {
+        x: {y: bool(depends_ever(system, {x}, y, constraint)) for y in names}
+        for x in names
+    }
+
+
+def image_set_orbit(
+    system: System, phi: Constraint, limit: int = 10_000
+) -> list[frozenset[State]]:
+    """All distinct image sets ``[H]phi`` reachable from phi (BFS order).
+
+    Finite for finite systems; this is what decides Def 6-2 exactly and is
+    exposed for inspection/ablation benches.
+    """
+    initial = frozenset(phi.satisfying)
+    seen: list[frozenset[State]] = [initial]
+    seen_set = {initial}
+    frontier = [initial]
+    while frontier:
+        image = frontier.pop()
+        for op in system.operations:
+            successor = frozenset(op(s) for s in image)
+            if successor not in seen_set:
+                if len(seen) >= limit:
+                    raise RuntimeError("image-set orbit exceeded limit")
+                seen.append(successor)
+                seen_set.add(successor)
+                frontier.append(successor)
+    return seen

@@ -1,0 +1,76 @@
+"""Information-flow graphs over a system's objects.
+
+Thin networkx layer: nodes are object names, edges are exact
+existential-history dependencies (or single-operation dependencies, for
+the per-operation view the induction theorems consume).  Handy for
+visualizing which paths a candidate solution eliminates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.reachability import depends_ever
+from repro.core.system import System
+
+
+def exact_flow_graph(
+    system: System, constraint: Constraint | None = None
+) -> nx.DiGraph:
+    """Edges ``x -> y`` iff ``x |>_phi y`` holds over *some* history
+    (pair-graph exact).  Edge attribute ``history`` records a shortest
+    witness as operation names."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(system.space.names)
+    for x in system.space.names:
+        for y in system.space.names:
+            result = depends_ever(system, {x}, y, constraint)
+            if result:
+                graph.add_edge(
+                    x, y, history=[op.name for op in result.witness.history]
+                )
+    return graph
+
+
+def per_operation_graph(
+    system: System, constraint: Constraint | None = None
+) -> nx.MultiDiGraph:
+    """One edge per (operation, x, y) with ``x |>^delta y`` — the raw
+    per-operation flow relation, labelled by operation name."""
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(system.space.names)
+    for op in system.operations:
+        for x in system.space.names:
+            for y in system.space.names:
+                if transmits(system, {x}, y, op, constraint):
+                    graph.add_edge(x, y, operation=op.name)
+    return graph
+
+
+def eliminated_paths(
+    system: System,
+    phi: Constraint,
+    baseline: Constraint | None = None,
+) -> frozenset[tuple[str, str]]:
+    """Paths present under ``baseline`` (default: unconstrained) but absent
+    under ``phi`` — what the solution *buys* (cf. Worth, section 3.6)."""
+    before = exact_flow_graph(system, baseline)
+    after = exact_flow_graph(system, phi)
+    return frozenset(set(before.edges()) - set(after.edges()))
+
+
+def render_dot(graph: nx.DiGraph, highlight: Iterable[tuple[str, str]] = ()) -> str:
+    """A minimal GraphViz dot rendering (no external dependency)."""
+    marked = set(highlight)
+    lines = ["digraph flows {"]
+    for node in sorted(graph.nodes()):
+        lines.append(f'  "{node}";')
+    for x, y in sorted(graph.edges()):
+        style = ' [color=red]' if (x, y) in marked else ""
+        lines.append(f'  "{x}" -> "{y}"{style};')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Random finite systems and constraints, for theorem fuzzing.
+
+The paper proves its theorems by hand; this reproduction additionally
+*model-checks* them over machine-generated systems (the E21 experiment).
+Generation is seeded-``random.Random`` based so every run is replayable.
+
+Generated operations are structured guarded commands (so the syntactic
+baselines can analyze them too); generated constraints come in three
+flavours — random subset, autonomous (product of per-object subsets), and
+equality-coupled (non-autonomous) — because the theorems' hypotheses
+discriminate exactly along those lines.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.state import Space, State
+from repro.core.system import History, System
+from repro.lang.cmd import Command, assign, seq, skip, when
+from repro.lang.expr import Expr, const, var
+from repro.lang.ops import StructuredOperation
+
+
+def random_space(
+    rng: random.Random, n_objects: int = 3, domain_size: int = 2
+) -> Space:
+    """A space of ``n_objects`` objects named x0.. with integer domains."""
+    return Space(
+        {f"x{i}": tuple(range(domain_size)) for i in range(n_objects)}
+    )
+
+
+def _random_expr(rng: random.Random, names: Sequence[str], domain: Sequence[int]) -> Expr:
+    """A small random integer expression over the given names."""
+    kind = rng.random()
+    if kind < 0.45:
+        return var(rng.choice(names))
+    if kind < 0.65:
+        return const(rng.choice(domain))
+    left = var(rng.choice(names))
+    right = var(rng.choice(names))
+    top = len(domain)
+    if rng.random() < 0.5:
+        return (left + right) % top
+    return (left * right) % top
+
+
+def _random_guard(rng: random.Random, names: Sequence[str], domain: Sequence[int]) -> Expr:
+    left = var(rng.choice(names))
+    if rng.random() < 0.5:
+        return left == const(rng.choice(domain))
+    return left <= var(rng.choice(names))
+
+
+def _random_command(
+    rng: random.Random, names: Sequence[str], domain: Sequence[int], depth: int = 2
+) -> Command:
+    kind = rng.random()
+    if depth <= 0 or kind < 0.45:
+        target = rng.choice(names)
+        return assign(target, _random_expr(rng, names, domain))
+    if kind < 0.75:
+        return when(
+            _random_guard(rng, names, domain),
+            _random_command(rng, names, domain, depth - 1),
+            _random_command(rng, names, domain, depth - 1)
+            if rng.random() < 0.5
+            else None,
+        )
+    return seq(
+        _random_command(rng, names, domain, depth - 1),
+        _random_command(rng, names, domain, depth - 1),
+    )
+
+
+def random_system(
+    rng: random.Random,
+    n_objects: int = 3,
+    domain_size: int = 2,
+    n_operations: int = 2,
+) -> System:
+    """A random system of guarded-command operations over a small space."""
+    space = random_space(rng, n_objects, domain_size)
+    names = list(space.names)
+    domain = list(range(domain_size))
+    operations = [
+        StructuredOperation(
+            f"d{i}", _random_command(rng, names, domain)
+        )
+        for i in range(n_operations)
+    ]
+    return System(space, operations)
+
+
+def random_constraint(
+    rng: random.Random, space: Space, flavour: str = "subset"
+) -> Constraint:
+    """A random constraint of the requested flavour.
+
+    - ``subset``: each state kept independently with probability 1/2
+      (generally non-autonomous);
+    - ``autonomous``: a product of random non-empty per-object value sets
+      (autonomous by construction, Def 5-4);
+    - ``coupled``: two random objects forced equal (non-autonomous but
+      relatively autonomous for the pair, section 5.3).
+    """
+    if flavour == "subset":
+        kept = frozenset(s for s in space.states() if rng.random() < 0.5)
+        if not kept:
+            kept = frozenset([next(iter(space.states()))])
+        return Constraint.from_states(space, kept, name="random-subset")
+    if flavour == "autonomous":
+        allowed: dict[str, frozenset] = {}
+        for name in space.names:
+            domain = list(space.domain(name))
+            chosen = [v for v in domain if rng.random() < 0.6]
+            if not chosen:
+                chosen = [rng.choice(domain)]
+            allowed[name] = frozenset(chosen)
+        return Constraint(
+            space,
+            lambda s, allowed=allowed: all(
+                s[n] in allowed[n] for n in allowed
+            ),
+            name="random-autonomous",
+        )
+    if flavour == "coupled":
+        first, second = rng.sample(list(space.names), 2)
+        return Constraint(
+            space,
+            lambda s, a=first, b=second: s[a] == s[b],
+            name=f"{first}={second}",
+        )
+    raise ValueError(f"unknown constraint flavour {flavour!r}")
+
+
+def random_history(
+    rng: random.Random, system: System, max_length: int = 3
+) -> History:
+    length = rng.randint(0, max_length)
+    return History(
+        rng.choice(system.operations) for _ in range(length)
+    )
+
+
+def random_invariant_constraint(
+    rng: random.Random, system: System, flavour: str = "subset"
+) -> Constraint:
+    """A random constraint *closed* under the system's operations: take a
+    random constraint's satisfying set and shrink it to its largest
+    invariant subset (the greatest fixpoint of removing escaping states)."""
+    base = random_constraint(rng, system.space, flavour)
+    kept = set(base.satisfying)
+    changed = True
+    while changed:
+        changed = False
+        for state in list(kept):
+            if any(op(state) not in kept for op in system.operations):
+                kept.discard(state)
+                changed = True
+    if not kept:
+        # Fall back to a singleton orbit closure: follow one state until
+        # the orbit closes, then keep the whole orbit.
+        start = next(iter(system.space.states()))
+        orbit = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for op in system.operations:
+                successor = op(state)
+                if successor not in orbit:
+                    orbit.add(successor)
+                    frontier.append(successor)
+        kept = orbit
+    return Constraint.from_states(
+        system.space, kept, name=f"inv({base.name})"
+    )

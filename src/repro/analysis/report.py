@@ -1,0 +1,70 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper example
+reports; :class:`Table` keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """An aligned plain-text table.
+
+    >>> t = Table(["system", "flow?"])
+    >>> t.add("copy", True)
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    system | flow?
+    ------ | -----
+    copy   | yes
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip()
+        )
+        lines.append(" | ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def echo(self) -> None:
+        print()
+        print(self.render())
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, frozenset | set):
+        return "{" + ", ".join(sorted(map(str, cell))) + "}"
+    return str(cell)
+
+
+def bullet_list(items: Iterable[object], indent: str = "  - ") -> str:
+    return "\n".join(f"{indent}{item}" for item in items)

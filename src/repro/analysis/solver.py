@@ -1,0 +1,190 @@
+"""Solution search: maximal solutions and the join property (section 3.5).
+
+Every information problem in :mod:`repro.core.problems` is *antitone*:
+restricting a solution further (shrinking its satisfying set) preserves
+solution-hood, because strong dependency is monotone in the constraint
+(Theorem 2-3).  Maximal solutions are therefore maximal satisfying *sets*,
+and a single greedy pass over the state space finds one:
+
+    start from a seed solution; try adding each state in turn, keeping it
+    iff the result is still a solution.
+
+Antitonicity makes one pass sufficient — a state rejected against a
+smaller set would also be rejected against any superset.
+
+Section 3.5's headline facts are all reachable from here:
+
+- information problems generally lack the join property, so *different
+  greedy orders find genuinely different maximal solutions*
+  (:func:`maximal_solutions` collects them);
+- adding the A-independence requirement restores the join property
+  (Theorem 3-1) and with it unique maximal solutions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.problems import InformationProblem
+from repro.core.state import Space, State
+
+
+def greedy_maximal_solution(
+    problem: InformationProblem,
+    space: Space,
+    seed: Constraint | None = None,
+    order: Sequence[State] | None = None,
+    name: str = "phi_max",
+    group_key=None,
+) -> Constraint:
+    """Grow a maximal solution from ``seed`` (default: the empty
+    constraint, vacuously a solution) following ``order`` (default: the
+    space's enumeration order).
+
+    ``group_key`` (state -> hashable) makes growth proceed by whole
+    groups of states instead of singletons.  Use it when the problem
+    carries a structural side-condition that no strict subset of a group
+    can meet — e.g. A-independence (Def 3-1), where any admissible
+    satisfying set is a union of complete ``=/A=`` equivalence classes:
+    pass ``lambda s: s.restrict_away(A)``.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> from repro.core.problems import NoTransmissionProblem
+    >>> b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    >>> _ = b.op_if("delta", var("m"), "beta", var("alpha"))
+    >>> system = b.build()
+    >>> problem = NoTransmissionProblem(system, {"alpha"}, "beta")
+    >>> phi = greedy_maximal_solution(problem, system.space)
+    >>> problem.is_solution(phi) and is_maximal(problem, phi)
+    True
+    """
+    chosen: set[State] = set(seed.satisfying) if seed is not None else set()
+    if seed is not None and not problem.is_solution(seed):
+        raise ValueError(f"seed {seed.name!r} is not itself a solution")
+    sequence = list(order) if order is not None else list(space.states())
+    if group_key is None:
+        groups = [[state] for state in sequence]
+    else:
+        keyed: dict[object, list[State]] = {}
+        for state in sequence:
+            keyed.setdefault(group_key(state), []).append(state)
+        groups = list(keyed.values())
+    for group in groups:
+        additions = [s for s in group if s not in chosen]
+        if not additions:
+            continue
+        candidate = Constraint.from_states(space, chosen | set(additions))
+        if problem.is_solution(candidate):
+            chosen.update(additions)
+    return Constraint.from_states(space, chosen, name=name)
+
+
+def is_maximal(problem: InformationProblem, phi: Constraint) -> bool:
+    """No strictly-less-restrictive constraint solves the problem.
+
+    By antitonicity it suffices that no *single* additional state can be
+    admitted.
+    """
+    if not problem.is_solution(phi):
+        return False
+    current = set(phi.satisfying)
+    for state in phi.space.states():
+        if state in current:
+            continue
+        grown = Constraint.from_states(phi.space, current | {state})
+        if problem.is_solution(grown):
+            return False
+    return True
+
+
+def maximal_solutions(
+    problem: InformationProblem,
+    space: Space,
+    attempts: int | None = None,
+    group_key=None,
+) -> list[Constraint]:
+    """Collect distinct maximal solutions by greedy growth from rotated
+    state orders (each rotation starts the pass at a different state).
+
+    Not guaranteed to enumerate *every* maximal solution — there can be
+    exponentially many — but reliably exhibits multiplicity where the join
+    property fails (the section 3.5 phenomenon), and exactly one solution
+    where it holds.
+    """
+    states = list(space.states())
+    if attempts is None:
+        attempts = len(states)
+    found: list[Constraint] = []
+    seen: set[frozenset[State]] = set()
+    for shift in range(min(attempts, len(states))):
+        order = states[shift:] + states[:shift]
+        solution = greedy_maximal_solution(
+            problem, space, order=order, name=f"phi_max[{shift}]",
+            group_key=group_key,
+        )
+        key = solution.satisfying
+        if key not in seen:
+            seen.add(key)
+            found.append(solution)
+    return found
+
+
+def join_property_counterexample(
+    problem: InformationProblem, candidates: Iterable[Constraint]
+) -> tuple[Constraint, Constraint] | None:
+    """Two solutions among ``candidates`` whose join is not a solution —
+    the section 3.5 failure — or None."""
+    solutions = [phi for phi in candidates if problem.is_solution(phi)]
+    for i, phi1 in enumerate(solutions):
+        for phi2 in solutions[i + 1 :]:
+            if not problem.is_solution(phi1 | phi2):
+                return (phi1, phi2)
+    return None
+
+
+def repair_constraint(
+    problem: InformationProblem,
+    phi: Constraint,
+    group_key=None,
+    name: str | None = None,
+) -> Constraint:
+    """Weaken a *failing* candidate into a solution contained in it.
+
+    For antitone problems every subset of a solution is a solution, so a
+    greedy pass restricted to phi's satisfying states finds a solution
+    maximal *within phi* — the natural "repair" when an operator's
+    intended policy turns out to leak.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> from repro.core.problems import NoTransmissionProblem
+    >>> b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    >>> _ = b.op_if("delta", var("m"), "beta", var("alpha"))
+    >>> system = b.build()
+    >>> problem = NoTransmissionProblem(system, {"alpha"}, "beta")
+    >>> broken = Constraint.true(system.space)
+    >>> fixed = repair_constraint(problem, broken)
+    >>> problem.is_solution(fixed) and fixed.implies(broken)
+    True
+    """
+    order = [s for s in phi.space.states() if phi(s)]
+    repaired = greedy_maximal_solution(
+        problem,
+        phi.space,
+        order=order,
+        name=name or f"repair({phi.name})",
+        group_key=group_key,
+    )
+    # Greedy growth only ever adds states from `order`, hence from phi.
+    return repaired
+
+
+def has_unique_maximal_solution(
+    problem: InformationProblem, space: Space
+) -> bool:
+    """True when greedy growth finds the same maximal solution from every
+    rotation — the observable signature of the join property holding
+    (Theorem 3-1 problems)."""
+    return len(maximal_solutions(problem, space)) == 1

@@ -1,0 +1,32 @@
+"""Comparator baselines: transitive flow (Denning/Case), dynamic taint,
+and the Jones-Lipton transformed-system test."""
+
+from repro.baselines.denning import TransitiveFlowAnalysis, precision_report
+from repro.baselines.millen import MillenAnalysis, soundness_violations
+from repro.baselines.static_flow import StaticFlowAnalysis, command_flows, operation_flows
+from repro.baselines.jones_lipton import (
+    SurveillanceResult,
+    certify_no_transmission,
+    frozen_operation,
+)
+from repro.baselines.taint import (
+    taint_after,
+    taint_closure,
+    taint_reaches,
+)
+
+__all__ = [
+    "MillenAnalysis",
+    "StaticFlowAnalysis",
+    "SurveillanceResult",
+    "TransitiveFlowAnalysis",
+    "certify_no_transmission",
+    "command_flows",
+    "operation_flows",
+    "frozen_operation",
+    "precision_report",
+    "taint_after",
+    "taint_closure",
+    "soundness_violations",
+    "taint_reaches",
+]

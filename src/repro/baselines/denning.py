@@ -1,0 +1,149 @@
+"""The Denning/Case transitive flow model (section 1.5) — the baseline the
+paper argues against.
+
+Denning 75 and Case 74 sidestep implicit-flow state sensitivity by
+defining per-operation flow ``alpha -(delta)-> beta`` state-independently
+(there *exists* a state in which delta transmits), and then **assume flow
+is transitive** over sequences::
+
+    alpha -(lambda)-> beta  ==  alpha = beta
+    alpha -(H delta)-> beta ==  exists m: alpha -(H)-> m and m -(delta)-> beta
+
+The paper derives the per-operation relation from semantics (it is exactly
+single-operation strong dependency), and shows the transitivity assumption
+over-approximates: in ::
+
+    delta1: if q then m <- alpha
+    delta2: if not q then beta <- m
+
+the baseline reports ``alpha -(delta1 delta2)-> beta`` although no
+information can flow.  This module implements the baseline faithfully so
+the benches can measure that precision gap, plus the Millen 76 variant that
+computes per-operation flows *under a constraint*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.system import History, System
+
+
+class TransitiveFlowAnalysis:
+    """Flow analysis with the transitive-composition assumption.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("a", "m", "b")
+    >>> _ = b.op_assign("d1", "m", var("a")).op_assign("d2", "b", var("m"))
+    >>> system = b.build()
+    >>> analysis = TransitiveFlowAnalysis(system)
+    >>> analysis.flows_ever("a", "b")
+    True
+    """
+
+    def __init__(
+        self, system: System, constraint: Constraint | None = None
+    ) -> None:
+        self.system = system
+        self.constraint = constraint
+        self._per_op: dict[str, frozenset[tuple[str, str]]] = {}
+        for op in system.operations:
+            pairs = frozenset(
+                (x, y)
+                for x in system.space.names
+                for y in system.space.names
+                if transmits(system, {x}, y, op, constraint)
+            )
+            self._per_op[op.name] = pairs
+
+    def operation_flows(self, op_name: str) -> frozenset[tuple[str, str]]:
+        """``x -(delta)-> y`` pairs for one operation (derived from
+        semantics as the paper proposes: single-operation strong
+        dependency)."""
+        return self._per_op[op_name]
+
+    def flow_over_history(self, history: History) -> frozenset[tuple[str, str]]:
+        """The baseline's flow relation for a specific history, by exact
+        relational composition of the per-operation relations (the
+        recursive definition in section 1.5)."""
+        names = self.system.space.names
+        # lambda: identity.
+        relation: set[tuple[str, str]] = {(n, n) for n in names}
+        for op in history:
+            step = self._per_op[op.name]
+            relation = {
+                (x, z)
+                for (x, m) in relation
+                for (m2, z) in step
+                if m == m2
+            }
+        return frozenset(relation)
+
+    def flows_over_history(
+        self, sources: Iterable[str], target: str, history: History
+    ) -> bool:
+        relation = self.flow_over_history(history)
+        return any((alpha, target) in relation for alpha in sources)
+
+    def flow_graph(self) -> nx.DiGraph:
+        """The union of per-operation flow edges (self-loops included)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.system.space.names)
+        for pairs in self._per_op.values():
+            for x, y in pairs:
+                graph.add_edge(x, y)
+        return graph
+
+    def flows_ever(self, source: str, target: str) -> bool:
+        """Does the baseline predict flow over *some* history?  This is
+        graph reachability in the union flow graph: a path
+        ``x -> m1 -> ... -> target`` corresponds to the history that fires
+        one witnessing operation per edge; self-loops on unwritten objects
+        make padding harmless."""
+        if source == target:
+            return True
+        graph = self.flow_graph()
+        return nx.has_path(graph, source, target)
+
+    def predicted_paths(self) -> frozenset[tuple[str, str]]:
+        """All (source, target) pairs the baseline predicts can ever flow."""
+        graph = self.flow_graph()
+        out: set[tuple[str, str]] = set()
+        for source in self.system.space.names:
+            reachable = nx.descendants(graph, source) | {source}
+            out.update((source, t) for t in reachable)
+        return frozenset(out)
+
+
+def precision_report(
+    system: System,
+    exact_paths: frozenset[tuple[str, str]],
+    constraint: Constraint | None = None,
+) -> dict[str, object]:
+    """Compare the transitive baseline against ground truth paths
+    (pairs with true existential-history strong dependency).
+
+    Returns counts and the concrete false positives — the measurements
+    behind the paper's argument that transitivity over-approximates.
+    Soundness (no false negatives) is expected and asserted by tests.
+    """
+    analysis = TransitiveFlowAnalysis(system, constraint)
+    predicted = analysis.predicted_paths()
+    false_positives = sorted(predicted - exact_paths)
+    false_negatives = sorted(exact_paths - predicted)
+    return {
+        "predicted": len(predicted),
+        "actual": len(exact_paths),
+        "false_positives": false_positives,
+        "false_negatives": false_negatives,
+        "precision": (
+            (len(predicted) - len(false_positives)) / len(predicted)
+            if predicted
+            else 1.0
+        ),
+    }

@@ -1,0 +1,116 @@
+"""A Jones & Lipton (1975) style transformed-system comparator.
+
+Jones & Lipton argue no information is transmitted from alpha to beta if
+the system can be *transformed* into one that never accesses alpha yet
+gives beta the same values.  The paper (section 1.6) notes Strong
+Dependency instead compares the system against itself with alpha's
+initial value arbitrarily changed.
+
+This module implements the natural executable version of the
+transformed-system test: freeze alpha to a candidate constant ``c`` at
+every operation application (so the transformed system never *reads* the
+real alpha) and check that beta's trajectory is unchanged for every
+initial state and history up to a bound.  If some constant works, the
+test certifies non-transmission.
+
+The relationship to strong dependency (verified by the tests and the E21
+bench):
+
+- certification is **sound**: a working constant implies
+  ``not alpha |>^H beta`` for the checked histories;
+- it is **incomplete**: systems exist where every per-constant
+  transformation perturbs beta yet no information flows — so the
+  comparator can fail to certify paths strong dependency rules out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.state import State, Value
+from repro.core.system import History, Operation, System
+
+
+def frozen_operation(op: Operation, name: str, value: Value) -> Operation:
+    """The transformed operation: it sees ``name`` as the constant
+    ``value`` (never accessing the real object), then restores the real
+    object's current value so the transformation cannot *write through*
+    the freeze either."""
+
+    def run(state: State) -> State:
+        masked = state.replace(**{name: value})
+        result = op(masked)
+        return result.replace(**{name: state[name]})
+
+    return Operation(f"{op.name}[{name}:={value!r}]", run)
+
+
+@dataclass(frozen=True)
+class SurveillanceResult:
+    """Outcome of the transformed-system test for one (alpha, beta) pair."""
+
+    certified: bool
+    constant: Value | None
+    detail: str
+
+
+def certify_no_transmission(
+    system: System,
+    alpha: str,
+    beta: str,
+    max_length: int,
+    constraint: Constraint | None = None,
+) -> SurveillanceResult:
+    """Try every constant in alpha's domain; certify if some freeze leaves
+    beta's behavior identical on all histories up to ``max_length``."""
+    system.space.check_names([alpha, beta])
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+    initial_states = list(phi.states())
+    for value in system.space.domain(alpha):
+        if _freeze_preserves_beta(
+            system, alpha, beta, value, initial_states, max_length
+        ):
+            return SurveillanceResult(
+                True,
+                value,
+                f"freezing {alpha}:={value!r} preserves {beta} on all "
+                f"histories up to length {max_length}",
+            )
+    return SurveillanceResult(
+        False,
+        None,
+        f"no constant freeze of {alpha} preserves {beta}",
+    )
+
+
+def _freeze_preserves_beta(
+    system: System,
+    alpha: str,
+    beta: str,
+    value: Value,
+    initial_states: list[State],
+    max_length: int,
+) -> bool:
+    frozen = {
+        op.name: frozen_operation(op, alpha, value) for op in system.operations
+    }
+    # Walk original and transformed systems in lockstep (BFS over histories)
+    # comparing beta at every step.
+    frontier = [(state, state) for state in initial_states]
+    for state, shadow in frontier:
+        if state[beta] != shadow[beta]:
+            return False
+    for _ in range(max_length):
+        next_frontier: list[tuple[State, State]] = []
+        seen: set[tuple[State, State]] = set()
+        for state, shadow in frontier:
+            for op in system.operations:
+                pair = (op(state), frozen[op.name](shadow))
+                if pair[0][beta] != pair[1][beta]:
+                    return False
+                if pair not in seen:
+                    seen.add(pair)
+                    next_frontier.append(pair)
+        frontier = next_frontier
+    return True

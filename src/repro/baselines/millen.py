@@ -1,0 +1,123 @@
+"""Millen-style constraint-aware flow certification (section 1.5).
+
+Millen 76 showed how certain information paths may be *ignored in the
+face of appropriate constraints*: compute the per-operation flow relation
+under the constraint (rather than over all states) and close
+transitively.  The paper remarks that its study of constraints
+"determin[es] ... its limits (which determines the limits of Millen's
+approach as well)".
+
+This module implements the approach and makes the limit precise:
+
+- :class:`MillenAnalysis` with ``mode="initial"`` evaluates every
+  per-operation flow under the *initial* constraint phi.  For invariant
+  phi this is sound (Theorem 6-2 keeps every reachable state inside
+  phi).  For **non-invariant** phi it is *unsound*: an operation can
+  first invalidate phi and thereby arm a flow the analysis already ruled
+  out (benchmark E26 exhibits the two-operation counterexample).
+- ``mode="envelope"`` restores soundness by evaluating flows under the
+  reachability envelope of phi (the union of every ``[H]phi`` — computed
+  by fixpoint), at the usual cost of precision.
+
+Used with an inductive cover instead of the envelope, the corrected
+analysis is exactly the paper's Theorem 6-7 specialization — implemented
+in :mod:`repro.core.covers`; this module keeps the *transitive* closure
+step so the baseline stays faithful to the flow-model literature.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.errors import ConstraintError
+from repro.core.system import System
+
+
+class MillenAnalysis:
+    """Constraint-aware transitive flow analysis.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("g", "a", "bb")
+    >>> _ = b.op_if("copy", var("g"), "bb", var("a"))
+    >>> system = b.build()
+    >>> phi = Constraint(system.space, lambda s: not s["g"], name="~g")
+    >>> MillenAnalysis(system, phi).flows_ever("a", "bb")  # phi invariant
+    False
+    """
+
+    def __init__(
+        self,
+        system: System,
+        constraint: Constraint,
+        mode: str = "initial",
+    ) -> None:
+        if constraint.space != system.space:
+            raise ConstraintError(
+                "constraint and system are over different spaces"
+            )
+        if mode not in ("initial", "envelope"):
+            raise ConstraintError(f"unknown mode {mode!r}")
+        self.system = system
+        self.initial_constraint = constraint
+        self.mode = mode
+        if mode == "initial":
+            self.effective_constraint = constraint
+        else:
+            # Imported here: repro.analysis aggregates comparison tooling
+            # that itself imports this module (deferred to break the cycle).
+            from repro.analysis.explorer import reachable_constraint
+
+            self.effective_constraint = reachable_constraint(
+                system, constraint
+            )
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(system.space.names)
+        for op in system.operations:
+            for x in system.space.names:
+                for y in system.space.names:
+                    if transmits(
+                        system, {x}, y, op, self.effective_constraint
+                    ):
+                        self._graph.add_edge(x, y, operation=op.name)
+
+    def per_operation_flows(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._graph.edges())
+
+    def flows_ever(self, source: str, target: str) -> bool:
+        """The analysis's verdict: reachability in the constrained flow
+        graph."""
+        if source == target:
+            return True
+        return nx.has_path(self._graph, source, target)
+
+    def certified_absent(self) -> frozenset[tuple[str, str]]:
+        """All (source, target) pairs the analysis certifies flow-free."""
+        out: set[tuple[str, str]] = set()
+        for source in self.system.space.names:
+            reachable = nx.descendants(self._graph, source) | {source}
+            out.update(
+                (source, target)
+                for target in self.system.space.names
+                if target not in reachable
+            )
+        return frozenset(out)
+
+
+def soundness_violations(
+    analysis: MillenAnalysis,
+) -> list[tuple[str, str]]:
+    """Certified-absent pairs that in fact transmit (exact pair-graph
+    check under the *initial* constraint) — nonempty exactly when the
+    mode/constraint combination is unsound."""
+    from repro.core.reachability import depends_ever
+
+    violations = []
+    for source, target in sorted(analysis.certified_absent()):
+        if depends_ever(
+            analysis.system, {source}, target, analysis.initial_constraint
+        ):
+            violations.append((source, target))
+    return violations

@@ -1,0 +1,166 @@
+"""Purely syntactic (certification-style) flow extraction.
+
+Denning's certification mechanism (Denning 75, discussed in section 1.5)
+derives flows from program *syntax*: an assignment flows its right-hand
+side's reads into its target (explicit), and every guard enclosing the
+assignment flows into the target too (implicit).  No state enumeration at
+all — the cheapest, least precise analysis in the repertoire.
+
+The paper instead derives per-operation flows from *semantics* ("we will
+show how such a definition may be derived from the semantics of a given
+operation").  This module implements the syntactic alternative over
+:class:`~repro.lang.cmd.Command` bodies so the two can be compared:
+
+- syntactic flows always include the semantic per-operation strong
+  dependencies (soundness — property-tested), and
+- strictly over-approximate when syntax suggests flows semantics refutes
+  (e.g. ``if m then beta <- beta``: syntactically m flows into beta, but
+  rewriting beta with itself conveys nothing).
+
+Implementation: abstract dependency semantics.  Track, per object, the
+set of *initial* objects its current value may depend on; assignments
+rebind, branches join, guards taint everything written beneath them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.errors import OperationError
+from repro.core.system import History, Operation, System
+from repro.lang.cmd import Assign, Command, If, Seq, Skip
+from repro.lang.ops import StructuredOperation
+
+FlowPair = tuple[str, str]
+DepMap = dict[str, frozenset[str]]
+
+
+def _process(command: Command, deps: DepMap, guard_deps: frozenset[str]) -> DepMap:
+    """Abstract execution: map each object to the initial objects its
+    value may depend on after the command."""
+    if isinstance(command, Skip):
+        return deps
+    if isinstance(command, Assign):
+        sources: frozenset[str] = guard_deps
+        for read in command.expr.reads():
+            sources |= deps.get(read, frozenset([read]))
+        updated = dict(deps)
+        updated[command.target] = sources
+        return updated
+    if isinstance(command, Seq):
+        for part in command.parts:
+            deps = _process(part, deps, guard_deps)
+        return deps
+    if isinstance(command, If):
+        inner = guard_deps
+        for read in command.guard.reads():
+            inner |= deps.get(read, frozenset([read]))
+        then_deps = _process(command.then_cmd, dict(deps), inner)
+        else_deps = _process(command.else_cmd, dict(deps), inner)
+        merged: DepMap = {}
+        for name in set(then_deps) | set(else_deps):
+            default = frozenset([name])
+            merged[name] = then_deps.get(name, default) | else_deps.get(
+                name, default
+            )
+        return merged
+    raise OperationError(f"cannot extract flows from {command!r}")
+
+
+def command_flows(
+    command: Command, objects: tuple[str, ...] | None = None
+) -> frozenset[FlowPair]:
+    """Syntactic flow pairs ``(initial source, final target)`` of one
+    command body, including survival (identity) flows.
+
+    ``objects`` fixes the universe (defaults to the names the command
+    mentions); objects untouched by the command flow to themselves.
+    """
+    universe = (
+        tuple(objects)
+        if objects is not None
+        else tuple(sorted(command.reads() | command.writes()))
+    )
+    deps: DepMap = {name: frozenset([name]) for name in universe}
+    final = _process(command, deps, frozenset())
+    return frozenset(
+        (source, target)
+        for target in universe
+        for source in final.get(target, frozenset([target]))
+    )
+
+
+def operation_flows(
+    op: Operation, objects: tuple[str, ...] | None = None
+) -> frozenset[FlowPair]:
+    """Syntactic flows of one operation (requires a command body)."""
+    if not isinstance(op, StructuredOperation):
+        raise OperationError(
+            f"operation {op.name!r} has no command body; syntactic flow "
+            "extraction requires StructuredOperation"
+        )
+    return command_flows(op.command, objects)
+
+
+class StaticFlowAnalysis:
+    """Transitive closure over syntactic per-operation flows — Denning's
+    certification discipline as a whole-system analysis."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        names = system.space.names
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(names)
+        self._per_op: dict[str, frozenset[FlowPair]] = {}
+        for op in system.operations:
+            pairs = operation_flows(op, names)
+            self._per_op[op.name] = pairs
+            self._graph.add_edges_from(pairs)
+
+    def operation_flows(self, op_name: str) -> frozenset[FlowPair]:
+        return self._per_op[op_name]
+
+    def flows_ever(self, source: str, target: str) -> bool:
+        if source == target:
+            return True
+        return nx.has_path(self._graph, source, target)
+
+    def flow_over_history(self, history: History) -> frozenset[FlowPair]:
+        """Relational composition of syntactic per-operation flows."""
+        names = self.system.space.names
+        relation: set[FlowPair] = {(n, n) for n in names}
+        for op in history:
+            step = self._per_op[op.name]
+            relation = {
+                (x, z) for (x, m) in relation for (m2, z) in step if m == m2
+            }
+        return frozenset(relation)
+
+    def flows_over_history(
+        self, sources, target: str, history: History
+    ) -> bool:
+        relation = self.flow_over_history(history)
+        return any((alpha, target) in relation for alpha in sources)
+
+
+def certify_lattice(
+    system: System,
+    classification,
+    leq,
+) -> list[tuple[str, str, str]]:
+    """Denning-style lattice certification: every syntactic per-operation
+    flow must go up the classification order.
+
+    Returns the violations as ``(operation, source, target)`` triples —
+    empty means *certified*.  Certification is sound (syntactic flows
+    cover semantic ones) and incomplete (it may reject secure systems,
+    e.g. the self-rewrite pattern); Corollary 4-3 is the semantic
+    counterpart (`repro.core.induction.prove_via_relation`).
+    """
+    analysis = StaticFlowAnalysis(system)
+    violations: list[tuple[str, str, str]] = []
+    for op in system.operations:
+        for source, target in sorted(analysis.operation_flows(op.name)):
+            if not leq(classification[source], classification[target]):
+                violations.append((op.name, source, target))
+    return violations

@@ -1,0 +1,116 @@
+"""Dynamic taint tracking — a syntactic runtime baseline.
+
+Taint tracking labels objects and propagates labels through command
+structure: an assignment taints its target with the taint of everything
+the right-hand side reads, plus the taints of every guard controlling the
+assignment (the classic handling of *implicit flows*, cf. Denning 75's
+"implicit flow" and Jones & Lipton 75's "negative inference").
+
+Taint is an over-approximation of strong dependency along a single
+history: per-state it is insensitive to values (a guarded assignment
+taints even when the guard is false — else untaken-branch leaks are
+missed), so the benches can exhibit both its soundness and its imprecision
+against the semantic checker.
+
+Only :class:`~repro.lang.ops.StructuredOperation` bodies can be tracked —
+taint is a *syntactic* technique and needs the command AST.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.errors import OperationError
+from repro.core.system import History, Operation, System
+from repro.lang.cmd import Assign, Command, If, Seq, Skip
+from repro.lang.ops import StructuredOperation
+
+TaintSet = frozenset[str]
+
+
+def _taint_command(
+    command: Command, tainted: set[str], guard_taint: bool
+) -> None:
+    """Propagate taint through one command, in place.
+
+    ``guard_taint`` records whether any enclosing guard read a tainted
+    object; every write under a tainted guard becomes tainted (implicit
+    flow).
+    """
+    if isinstance(command, Skip):
+        return
+    if isinstance(command, Assign):
+        rhs_tainted = bool(command.expr.reads() & tainted)
+        if rhs_tainted or guard_taint:
+            tainted.add(command.target)
+        else:
+            tainted.discard(command.target)
+        return
+    if isinstance(command, Seq):
+        for part in command.parts:
+            _taint_command(part, tainted, guard_taint)
+        return
+    if isinstance(command, If):
+        inner_guard = guard_taint or bool(command.guard.reads() & tainted)
+        # Conservative join of both branches: anything either branch might
+        # taint becomes tainted; untainting requires both branches to
+        # untaint, which this simple tracker does not attempt.
+        before = set(tainted)
+        then_set = set(before)
+        _taint_command(command.then_cmd, then_set, inner_guard)
+        else_set = set(before)
+        _taint_command(command.else_cmd, else_set, inner_guard)
+        tainted.clear()
+        tainted.update(then_set | else_set)
+        return
+    raise OperationError(f"cannot taint-track command {command!r}")
+
+
+def taint_after(
+    history: History | Operation, initial_tainted: Iterable[str]
+) -> TaintSet:
+    """Run the taint tracker over a history of structured operations.
+
+    >>> from repro.lang.ops import assign_op
+    >>> from repro.lang.expr import var
+    >>> d1 = assign_op("d1", "m", var("a"))
+    >>> d2 = assign_op("d2", "b", var("m"))
+    >>> sorted(taint_after(History.of(d1, d2), {"a"}))
+    ['a', 'b', 'm']
+    """
+    if isinstance(history, Operation):
+        history = History.of(history)
+    tainted = set(initial_tainted)
+    for op in history:
+        if not isinstance(op, StructuredOperation):
+            raise OperationError(
+                f"operation {op.name!r} has no command body; taint tracking "
+                "requires StructuredOperation"
+            )
+        _taint_command(op.command, tainted, guard_taint=False)
+    return frozenset(tainted)
+
+
+def taint_reaches(
+    history: History | Operation,
+    sources: Iterable[str],
+    target: str,
+) -> bool:
+    """Does taint from ``sources`` reach ``target`` over ``history``?"""
+    return target in taint_after(history, sources)
+
+
+def taint_closure(
+    system: System, sources: Iterable[str]
+) -> TaintSet:
+    """Objects ever taintable from ``sources`` over *any* history: iterate
+    single-operation taint steps to a fixpoint (monotone, so it
+    terminates)."""
+    tainted = frozenset(sources)
+    while True:
+        expanded = set(tainted)
+        for op in system.operations:
+            expanded |= taint_after(History.of(op), tainted)
+        if frozenset(expanded) == tainted:
+            return tainted
+        tainted = frozenset(expanded)

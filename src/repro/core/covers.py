@@ -1,0 +1,300 @@
+"""Separation of variety and inductive covers.
+
+Two cover-based techniques extend Strong Dependency Induction:
+
+- **A-independent covers** (Def 4-1, Theorems 4-4/4-5, section 4.5) handle
+  *non-transitive* dependency.  If constraints ``phi_1..phi_n`` cover the
+  state space along lines independent of the source set A, then any
+  transmission from A must already happen under one of the ``phi_i`` —
+  so proving ``not A |>_{phi & phi_i} beta`` for *every* i proves
+  ``not A |>_phi beta``.
+
+- **Inductive covers** (Def 6-2, Theorem 6-7, section 6.4) handle
+  *non-invariant* constraints.  If every ``[H]phi`` is contained in some
+  member of the cover (e.g. Floyd assertions indexed by program counter),
+  per-operation obligations under each member suffice.
+
+Both are implemented as checkable objects: the *cover conditions* are
+decided exactly over the finite space, and the *application theorems* are
+provided as provers that compose with the induction engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.errors import CoverError
+from repro.core.induction import Obligation, Proof, prove_no_dependency_nonautonomous
+from repro.core.state import State
+from repro.core.system import System
+
+
+class IndependentCover:
+    """A family ``{phi_i}`` intended as an A-independent cover (Def 4-1).
+
+    >>> from repro.core.state import boolean_space
+    >>> sp = boolean_space("alpha", "q")
+    >>> cover = IndependentCover([
+    ...     Constraint(sp, lambda s: s["q"], name="q"),
+    ...     Constraint(sp, lambda s: not s["q"], name="~q"),
+    ... ])
+    >>> cover.check({"alpha"}).valid
+    True
+    """
+
+    def __init__(self, members: Sequence[Constraint]) -> None:
+        members = list(members)
+        if not members:
+            raise CoverError("a cover needs at least one member")
+        space = members[0].space
+        for member in members[1:]:
+            if member.space != space:
+                raise CoverError("cover members are over different spaces")
+        self.members: tuple[Constraint, ...] = tuple(members)
+        self.space = space
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def check(self, independent_of: Iterable[str]) -> Proof:
+        """Decide Def 4-1: every member is A-independent and the members
+        jointly cover the whole space."""
+        names = self.space.check_names(independent_of)
+        obligations = [
+            Obligation(
+                f"{member.name} is {sorted(names)}-independent",
+                member.is_independent_of(names),
+                member.independence_witness(names),
+            )
+            for member in self.members
+        ]
+        uncovered = self.uncovered_state()
+        obligations.append(
+            Obligation(
+                "members cover the entire state space",
+                uncovered is None,
+                uncovered,
+            )
+        )
+        return Proof(
+            conclusion=f"{{{', '.join(m.name for m in self.members)}}} "
+            f"is an {sorted(names)}-independent cover",
+            obligations=tuple(obligations),
+        )
+
+    def uncovered_state(self) -> State | None:
+        """A state satisfied by no member, or None if the family covers."""
+        for state in self.space.states():
+            if not any(member(state) for member in self.members):
+                return state
+        return None
+
+    def prove_no_dependency(
+        self,
+        system: System,
+        sources: Iterable[str],
+        beta: str,
+        phi: Constraint | None = None,
+        prover: Callable[[System, Constraint, frozenset[str], str], Proof]
+        | None = None,
+    ) -> Proof:
+        """Theorem 4-5's proof technique: to show ``not A |>_phi beta``,
+        exhibit an A-independent cover and show
+        ``not A |>_{phi & phi_i} beta`` for every member.
+
+        Each per-member goal (a for-all-histories statement) is discharged
+        by ``prover``; the default uses Corollary 5-6
+        (:func:`~repro.core.induction.prove_no_dependency_nonautonomous`),
+        which only requires the conjoined constraint to be invariant.
+        """
+        source_set = system.space.check_names(sources)
+        base = phi if phi is not None else Constraint.true(system.space)
+        if prover is None:
+            prover = lambda sys_, cphi, a_set, target: (
+                prove_no_dependency_nonautonomous(sys_, cphi, a_set, target)
+            )
+        obligations: list[Obligation] = []
+        cover_proof = self.check(source_set)
+        obligations.append(
+            Obligation(cover_proof.conclusion, cover_proof.valid, cover_proof)
+        )
+        sub_proofs: list[Proof] = []
+        for member in self.members:
+            conjoined = (base & member).renamed(f"{base.name}&{member.name}")
+            sub = prover(system, conjoined, source_set, beta)
+            sub_proofs.append(sub)
+            obligations.append(Obligation(sub.conclusion, sub.valid, sub))
+        return Proof(
+            conclusion=f"not {sorted(source_set)} |>_{base.name} {beta} "
+            "(by separation of variety, Thm 4-5)",
+            obligations=tuple(obligations),
+        )
+
+
+def partition_by_value(space, name: str) -> IndependentCover:
+    """The canonical cover that *separates the variety* of one object: one
+    member per domain value (``phi_i(s) == s.name = v_i``), as in the
+    section 4.6 examples."""
+    members = [
+        Constraint.equals(space, name, value) for value in space.domain(name)
+    ]
+    return IndependentCover(members)
+
+
+def partition_by(space, fn: Callable[[State], object], name: str = "part") -> IndependentCover:
+    """Cover induced by the fibers of an arbitrary state function."""
+    keys: dict[object, None] = {}
+    for state in space.states():
+        keys.setdefault(fn(state))
+    members = [
+        Constraint(space, (lambda k: lambda s: fn(s) == k)(key), name=f"{name}={key!r}")
+        for key in keys
+    ]
+    return IndependentCover(members)
+
+
+class InductiveCover:
+    """A family ``{phi_i}`` intended as an inductive cover for phi (Def 6-2):
+    for every history H, ``[H]phi`` is contained in some member.
+
+    Def 6-2 quantifies over infinitely many histories; for finite systems it
+    is decided *exactly* by a fixpoint over reachable image sets: the
+    distinct sets ``[H]phi`` form a finite transition system under the
+    operations (each delta maps image set S to delta(S)), which
+    :meth:`check` explores exhaustively.
+    """
+
+    def __init__(self, members: Sequence[Constraint]) -> None:
+        members = list(members)
+        if not members:
+            raise CoverError("a cover needs at least one member")
+        space = members[0].space
+        for member in members[1:]:
+            if member.space != space:
+                raise CoverError("cover members are over different spaces")
+        self.members: tuple[Constraint, ...] = tuple(members)
+        self.space = space
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def _containing_member(self, image: frozenset[State]) -> Constraint | None:
+        for member in self.members:
+            if image <= member.satisfying:
+                return member
+        return None
+
+    def check(self, system: System, phi: Constraint) -> Proof:
+        """Decide Def 6-2 for ``phi`` by exploring every reachable image set
+        ``[H]phi`` of the (finite) system."""
+        if system.space != self.space:
+            raise CoverError("cover and system are over different spaces")
+        initial = frozenset(phi.satisfying)
+        seen: set[frozenset[State]] = set()
+        frontier: list[tuple[frozenset[State], str]] = [(initial, "lambda")]
+        obligations: list[Obligation] = []
+        while frontier:
+            image, label = frontier.pop()
+            if image in seen:
+                continue
+            seen.add(image)
+            member = self._containing_member(image)
+            obligations.append(
+                Obligation(
+                    f"[{label}]{phi.name} is contained in some member"
+                    + (f" ({member.name})" if member else ""),
+                    member is not None,
+                    None if member else sorted(image, key=repr)[:1],
+                )
+            )
+            if member is None:
+                continue
+            for op in system.operations:
+                frontier.append(
+                    (frozenset(op(s) for s in image), f"{label} {op.name}")
+                )
+        return Proof(
+            conclusion=f"{{{', '.join(m.name for m in self.members)}}} "
+            f"is an inductive cover for {phi.name}",
+            obligations=tuple(obligations),
+        )
+
+    def prove_no_dependency(
+        self,
+        system: System,
+        sources: Iterable[str],
+        beta: str,
+        phi: Constraint,
+    ) -> Proof:
+        """Theorem 6-7's proof technique: with an inductive cover for phi,
+        ``not A |>_phi beta`` follows if either
+        (a) under every member, no operation transmits from A outside A, or
+        (b) under every member, no operation transmits into beta from any
+        set excluding beta (decided with the largest such set).
+        """
+        source_set = system.space.check_names(sources)
+        obligations: list[Obligation] = []
+        cover_proof = self.check(system, phi)
+        obligations.append(
+            Obligation(cover_proof.conclusion, cover_proof.valid, cover_proof)
+        )
+
+        out_failures: list[Obligation] = []
+        for member in self.members:
+            for m in system.space.names:
+                if m in source_set:
+                    continue
+                for op in system.operations:
+                    result = transmits(system, source_set, m, op, member)
+                    if result:
+                        out_failures.append(
+                            Obligation(
+                                f"A |>^{op.name}_{member.name} {m}",
+                                False,
+                                result.witness,
+                            )
+                        )
+        alt_a = Obligation(
+            "(a) under every member, A transmits only into A",
+            not out_failures,
+            out_failures[0].witness if out_failures else None,
+        )
+
+        everything_else = frozenset(system.space.names) - {beta}
+        in_failure = None
+        if everything_else:
+            for member in self.members:
+                for op in system.operations:
+                    result = transmits(system, everything_else, beta, op, member)
+                    if result:
+                        in_failure = result.witness
+                        break
+                if in_failure is not None:
+                    break
+        alt_b = Obligation(
+            f"(b) under every member, nothing outside {{{beta}}} transmits "
+            f"to {beta}",
+            in_failure is None,
+            in_failure,
+        )
+
+        alternatives = Obligation(
+            "alternative (a) or alternative (b) holds", alt_a.ok or alt_b.ok
+        )
+        obligations.extend(
+            ob for ob in (alt_a, alt_b) if ob.ok or not alternatives.ok
+        )
+        obligations.append(alternatives)
+        return Proof(
+            conclusion=f"not {sorted(source_set)} |>_{phi.name} {beta} "
+            "(by inductive cover, Thm 6-7)",
+            obligations=tuple(obligations),
+        )

@@ -1,0 +1,449 @@
+"""Strong Dependency Induction (chapters 4-6).
+
+Strong dependency quantifies over *all* histories (Def 2-7/2-11), which no
+finite amount of per-history checking discharges.  The paper's induction
+theorems reduce the question to per-operation obligations:
+
+- **Theorem 4-1** (phi autonomous + invariant): transmission over ``H H'``
+  passes through an intermediate object m.
+- **Corollary 4-2**: if no single operation transmits out of alpha, or no
+  single operation transmits into beta, then ``not alpha |>_phi beta``.
+- **Corollary 4-3**: a reflexive transitive relation q closed under
+  per-operation dependency bounds all dependency — the formal basis for
+  lattice-style security arguments (Denning 75).
+- **Theorem 5-4 / Corollary 5-6**: the invariant, possibly non-autonomous
+  generalization, with *sets* of intermediate objects.
+- **Theorem 6-3 / Corollary 6-5**: the non-invariant generalization via
+  ``[H]phi``.
+
+Each prover here returns a :class:`Proof` object listing its obligations
+with pass/fail status and witnesses, so a failed proof *explains itself*.
+
+A note on set-quantified obligations: Corollary 5-6's second alternative
+quantifies over all sets M ("no M not containing beta transmits to beta").
+By monotonicity in the source set (Theorem 2-2) it suffices to test the
+single largest candidate ``M = all objects except beta`` — which is how
+these obligations are decided in one dependency query each.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import DependencyResult, Witness, transmits, transmits_to_set
+from repro.core.errors import ProofError
+from repro.core.state import State
+from repro.core.system import History, System
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One named proof obligation with its outcome."""
+
+    description: str
+    ok: bool
+    witness: object = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class Proof:
+    """The outcome of an inductive proof attempt.
+
+    :attr:`valid` means every obligation passed and therefore
+    :attr:`conclusion` holds.  When invalid, the failed obligations say
+    exactly which per-operation check broke, with a witness.
+    """
+
+    conclusion: str
+    obligations: tuple[Obligation, ...] = field(default_factory=tuple)
+
+    @property
+    def valid(self) -> bool:
+        return all(ob.ok for ob in self.obligations)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    @property
+    def failures(self) -> tuple[Obligation, ...]:
+        return tuple(ob for ob in self.obligations if not ob.ok)
+
+    def require(self) -> "Proof":
+        """Raise :class:`ProofError` unless the proof is valid."""
+        if not self.valid:
+            summary = "; ".join(ob.description for ob in self.failures[:3])
+            raise ProofError(
+                f"proof of {self.conclusion!r} failed: {summary}"
+            )
+        return self
+
+    def describe(self) -> str:
+        lines = [f"Proof of: {self.conclusion}", f"valid: {self.valid}"]
+        for ob in self.obligations:
+            mark = "ok " if ob.ok else "FAIL"
+            lines.append(f"  [{mark}] {ob.description}")
+        return "\n".join(lines)
+
+
+def per_operation_flows(
+    system: System,
+    constraint: Constraint | None = None,
+    sources: Iterable[str] | None = None,
+    targets: Iterable[str] | None = None,
+) -> dict[tuple[str, str], DependencyResult]:
+    """The single-operation dependency relation, maximized over operations:
+    ``flows[(x, y)]`` holds iff some delta has ``x |>_phi^delta y``.
+
+    This is the executable analogue of the flow relation
+    ``x -(delta)-> y`` the paper derives from semantics (section 1.5), and
+    the raw material of every induction argument.
+    """
+    names_src = tuple(sources) if sources is not None else system.space.names
+    names_tgt = tuple(targets) if targets is not None else system.space.names
+    flows: dict[tuple[str, str], DependencyResult] = {}
+    for x in names_src:
+        for y in names_tgt:
+            found: DependencyResult | None = None
+            for op in system.operations:
+                result = transmits(system, {x}, y, op, constraint)
+                if result:
+                    found = result
+                    break
+            if found is None:
+                found = DependencyResult(
+                    False,
+                    frozenset([x]),
+                    frozenset([y]),
+                    constraint.name if constraint else "tt",
+                )
+            flows[(x, y)] = found
+    return flows
+
+
+def _check_preconditions(
+    system: System, phi: Constraint, need_autonomous: bool
+) -> list[Obligation]:
+    obligations = [
+        Obligation(
+            f"{phi.name} is invariant under every operation",
+            phi.is_invariant(system),
+            phi.invariance_witness(system),
+        )
+    ]
+    if need_autonomous:
+        obligations.append(
+            Obligation(
+                f"{phi.name} is autonomous",
+                phi.is_autonomous(),
+                phi.autonomy_witness(),
+            )
+        )
+    return obligations
+
+
+def prove_no_dependency(
+    system: System,
+    phi: Constraint | None,
+    alpha: str,
+    beta: str,
+) -> Proof:
+    """Corollary 4-2: prove ``not alpha |>_phi beta`` (over *all* histories).
+
+    Requires phi autonomous and invariant and ``alpha != beta``; then it
+    suffices that either (a) no operation transmits from alpha to any other
+    object, or (b) no operation transmits to beta from any other object.
+
+    The returned proof is *valid* only if the preconditions and at least one
+    alternative hold in full.
+    """
+    if alpha == beta:
+        raise ProofError("corollary 4-2 requires alpha != beta")
+    phi = phi if phi is not None else Constraint.true(system.space)
+    obligations = _check_preconditions(system, phi, need_autonomous=True)
+
+    out_failures: list[Obligation] = []
+    for m in system.space.names:
+        if m == alpha:
+            continue
+        for op in system.operations:
+            result = transmits(system, {alpha}, m, op, phi)
+            if result:
+                out_failures.append(
+                    Obligation(
+                        f"{alpha} |>^{op.name} {m} given {phi.name}",
+                        False,
+                        result.witness,
+                    )
+                )
+    alt_a = Obligation(
+        f"(a) no operation transmits from {alpha} to any other object",
+        not out_failures,
+        out_failures[0].witness if out_failures else None,
+    )
+
+    in_failures: list[Obligation] = []
+    for m in system.space.names:
+        if m == beta:
+            continue
+        for op in system.operations:
+            result = transmits(system, {m}, beta, op, phi)
+            if result:
+                in_failures.append(
+                    Obligation(
+                        f"{m} |>^{op.name} {beta} given {phi.name}",
+                        False,
+                        result.witness,
+                    )
+                )
+    alt_b = Obligation(
+        f"(b) no operation transmits to {beta} from any other object",
+        not in_failures,
+        in_failures[0].witness if in_failures else None,
+    )
+
+    alternatives = Obligation(
+        "alternative (a) or alternative (b) holds",
+        alt_a.ok or alt_b.ok,
+        None if (alt_a.ok or alt_b.ok) else (alt_a.witness or alt_b.witness),
+    )
+    obligations.extend([alt_a, alt_b, alternatives])
+    # The proof is valid iff preconditions hold and one alternative holds;
+    # drop the individual failed alternative when the other succeeded, so
+    # `valid` reflects the disjunction.
+    final = tuple(
+        ob
+        for ob in obligations
+        if ob.description not in (alt_a.description, alt_b.description)
+        or ob.ok
+        or not alternatives.ok
+    )
+    return Proof(
+        conclusion=f"not {alpha} |>_{phi.name} {beta}",
+        obligations=final,
+    )
+
+
+def prove_via_relation(
+    system: System,
+    phi: Constraint | None,
+    q: Callable[[str, str], bool],
+    q_name: str = "q",
+) -> Proof:
+    """Corollary 4-3: if q is reflexive and transitive, phi autonomous and
+    invariant, and every per-operation dependency implies q, then *every*
+    dependency over any history implies q.
+
+    This is the engine behind multilevel-security arguments: take
+    ``q(x, y) = Cls(x) <= Cls(y)``.
+    """
+    phi = phi if phi is not None else Constraint.true(system.space)
+    names = system.space.names
+    obligations = _check_preconditions(system, phi, need_autonomous=True)
+
+    reflexive = all(q(x, x) for x in names)
+    obligations.append(Obligation(f"{q_name} is reflexive", reflexive))
+    transitive_witness = None
+    for x in names:
+        for y in names:
+            if not q(x, y):
+                continue
+            for z in names:
+                if q(y, z) and not q(x, z):
+                    transitive_witness = (x, y, z)
+    obligations.append(
+        Obligation(f"{q_name} is transitive", transitive_witness is None,
+                   transitive_witness)
+    )
+
+    for op in system.operations:
+        for x in names:
+            for y in names:
+                if q(x, y):
+                    continue
+                result = transmits(system, {x}, y, op, phi)
+                obligations.append(
+                    Obligation(
+                        f"not {x} |>^{op.name} {y} given {phi.name} "
+                        f"(since not {q_name}({x},{y}))",
+                        not result,
+                        result.witness if result else None,
+                    )
+                )
+    return Proof(
+        conclusion=(
+            f"forall x,y,H: x |>_{phi.name}^H y  implies  {q_name}(x,y)"
+        ),
+        obligations=tuple(obligations),
+    )
+
+
+def prove_no_dependency_nonautonomous(
+    system: System,
+    phi: Constraint | None,
+    sources: Iterable[str],
+    beta: str,
+) -> Proof:
+    """Corollary 5-6: the invariant (possibly non-autonomous) form.
+
+    Requires phi invariant and ``beta not in A``; then it suffices that
+    either (a) no operation transmits from A except into A itself, or
+    (b) no operation transmits into beta from any set excluding beta —
+    decided, by source-set monotonicity, with the single largest source
+    set ``all objects - {beta}``.
+    """
+    phi = phi if phi is not None else Constraint.true(system.space)
+    source_set = system.space.check_names(sources)
+    if beta in source_set:
+        raise ProofError("corollary 5-6 requires beta not in A")
+    obligations = _check_preconditions(system, phi, need_autonomous=False)
+
+    out_failures: list[Obligation] = []
+    for m in system.space.names:
+        if m in source_set:
+            continue
+        for op in system.operations:
+            result = transmits(system, source_set, m, op, phi)
+            if result:
+                out_failures.append(
+                    Obligation(
+                        f"A |>^{op.name} {m} given {phi.name}",
+                        False,
+                        result.witness,
+                    )
+                )
+    alt_a = Obligation(
+        "(a) no operation transmits from A to any object outside A",
+        not out_failures,
+        out_failures[0].witness if out_failures else None,
+    )
+
+    everything_else = frozenset(system.space.names) - {beta}
+    in_failure: Witness | None = None
+    if everything_else:
+        for op in system.operations:
+            result = transmits(system, everything_else, beta, op, phi)
+            if result:
+                in_failure = result.witness
+                break
+    alt_b = Obligation(
+        f"(b) no operation transmits to {beta} from outside {{{beta}}}",
+        in_failure is None,
+        in_failure,
+    )
+
+    alternatives = Obligation(
+        "alternative (a) or alternative (b) holds", alt_a.ok or alt_b.ok
+    )
+    obligations.extend(
+        ob for ob in (alt_a, alt_b) if ob.ok or not alternatives.ok
+    )
+    obligations.append(alternatives)
+    return Proof(
+        conclusion=f"not {sorted(source_set)} |>_{phi.name} {beta}",
+        obligations=tuple(obligations),
+    )
+
+
+def intermediate_objects(
+    witness: Witness, prefix: History
+) -> frozenset[str]:
+    """Theorem 5-5's intermediate set ``M = {m | H(s1).m != H(s2).m}`` for a
+    split of the witness history at ``prefix``."""
+    s1 = prefix(witness.sigma1)
+    s2 = prefix(witness.sigma2)
+    return s1.differs_at(s2)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A Theorem 4-1 / 5-4 decomposition of a dependency over ``H Hprime``.
+
+    ``A |>_phi^H M`` and ``M |>_{phi'}^{Hprime} beta`` where ``phi'`` is
+    phi itself for invariant constraints (Theorem 5-4) or ``[H]phi``
+    (Theorem 6-3).
+    """
+
+    sources: frozenset[str]
+    intermediates: frozenset[str]
+    target: str
+    prefix: History
+    suffix: History
+    first_leg: DependencyResult
+    second_leg: DependencyResult
+
+
+def decompose_dependency(
+    system: System,
+    phi: Constraint | None,
+    witness: Witness,
+    split_at: int,
+    target: str,
+    invariant: bool = True,
+) -> Decomposition:
+    """Split a concrete dependency witness at position ``split_at`` of its
+    history and return the Theorem 5-4 (invariant) or Theorem 6-3
+    (non-invariant: second leg constrained by ``[H]phi``) decomposition.
+
+    Raises :class:`ProofError` if either leg unexpectedly fails — which the
+    theorems guarantee cannot happen, so a raise here indicates a modelling
+    error (e.g. phi not actually invariant when ``invariant=True``).
+    """
+    phi = phi if phi is not None else Constraint.true(system.space)
+    prefix = witness.history[:split_at]
+    suffix = witness.history[split_at:]
+    middle = intermediate_objects(witness, prefix)
+    if not middle:
+        raise ProofError(
+            "witness states agree after the prefix; no intermediate set "
+            "(the dependency cannot survive this split)"
+        )
+    first = transmits_to_set(system, witness.sources, middle, prefix, phi)
+    second_phi = phi if invariant else phi.after(prefix)
+    second = transmits(system, middle, target, suffix, second_phi)
+    if not first or not second:
+        raise ProofError(
+            "decomposition legs failed; check invariance/autonomy of phi"
+        )
+    return Decomposition(
+        sources=witness.sources,
+        intermediates=middle,
+        target=target,
+        prefix=prefix,
+        suffix=suffix,
+        first_leg=first,
+        second_leg=second,
+    )
+
+
+def find_intermediate(
+    system: System,
+    phi: Constraint | None,
+    alpha: str,
+    beta: str,
+    prefix: History,
+    suffix: History,
+) -> tuple[str, DependencyResult, DependencyResult] | None:
+    """Theorem 4-1 search: given ``alpha |>_phi^{H H'} beta`` with phi
+    autonomous and invariant, find a single object m with
+    ``alpha |>_phi^H m`` and ``m |>_phi^{H'} beta``.  Returns None if the
+    composite dependency does not hold at all."""
+    phi = phi if phi is not None else Constraint.true(system.space)
+    composite = transmits(system, {alpha}, beta, prefix + suffix, phi)
+    if not composite:
+        return None
+    for m in system.space.names:
+        first = transmits(system, {alpha}, m, prefix, phi)
+        if not first:
+            continue
+        second = transmits(system, {m}, beta, suffix, phi)
+        if second:
+            return (m, first, second)
+    raise ProofError(
+        "Theorem 4-1 violated: no intermediate object found "
+        "(is phi autonomous and invariant?)"
+    )

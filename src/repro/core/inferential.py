@@ -1,0 +1,196 @@
+"""Inferential Dependency (section 7.2) — the paper's work-in-progress
+alternative model, made exact for finite systems.
+
+The sketch: beta *inferentially depends* on A after H given phi if an
+observer who sees only beta's final value can make some inference about
+A's initial value that "says more" about A than phi alone.
+
+For a finite system the observer's knowledge is computable.  Before
+observing, phi alone allows::
+
+    prior(A) = { sigma.A | phi(sigma) }
+
+After observing ``H(sigma).beta = v``::
+
+    K(v) = { sigma.A | phi(sigma), H(sigma).beta = v }
+
+and inferential dependency holds iff some attainable observation strictly
+shrinks the prior: ``K(v)`` a proper subset of ``prior(A)``.
+
+Two variants, as the paper anticipates ("we can define Inferential
+Dependency in two different ways; one would indicate contingent
+information transmission, one would not"):
+
+- :func:`inferentially_depends` — the **non-contingent** variant above.
+  On ``beta <- (a1 + a2) mod N`` it reports *no* dependency from a1
+  alone (any beta value leaves a1 uniform), matching section 7.2's
+  discussion.
+- :func:`contingently_depends` — the **contingent** variant: the shrink
+  is evaluated *within* each context (each assignment of the objects
+  outside A).  A short argument (verified by the property tests) shows
+  this variant coincides exactly with strong dependency: within a
+  context, distinct A-values are distinct states, so a non-constant
+  observation map shrinks knowledge iff it distinguishes two states
+  differing only at A.
+
+Headline reproductions (benchmark E24):
+
+- the section 5.2 example (``beta <- alpha1`` under ``alpha1 = alpha2``):
+  strong dependency denies both singletons; inferential dependency
+  affirms both — "Inferential Dependency would indicate that information
+  is transmitted from both alpha1 and alpha2";
+- the *monotonicity failure* the paper predicts: imposing the
+  tag-coupling constraint **adds** an inferential path from alpha2 that
+  the unconstrained system lacks (so Theorem 2-3 cannot hold for
+  inferential dependency);
+- the claimed agreement with strong dependency for relatively autonomous
+  constraints, fuzz-checked.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.errors import ConstraintError
+from repro.core.state import State, Value
+from repro.core.system import History, Operation, System
+
+
+@dataclass(frozen=True)
+class Inference:
+    """A concrete informative observation.
+
+    Observing ``observation`` at the target shrinks the observer's
+    knowledge about A's initial value from ``prior`` to ``posterior``.
+    """
+
+    sources: frozenset[str]
+    target: str
+    observation: Value
+    prior: frozenset[tuple[Value, ...]]
+    posterior: frozenset[tuple[Value, ...]]
+
+    def describe(self) -> str:
+        return (
+            f"seeing {self.target} = {self.observation!r} narrows "
+            f"{sorted(self.sources)} from {len(self.prior)} to "
+            f"{len(self.posterior)} possibilities"
+        )
+
+
+def _resolve(system: System, constraint: Constraint | None) -> Constraint:
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+    if phi.space != system.space:
+        raise ConstraintError("constraint and system are over different spaces")
+    return phi
+
+
+def knowledge_sets(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> dict[Value, frozenset[tuple[Value, ...]]]:
+    """``K(v)`` for every attainable observation v: the A-values
+    compatible with phi and with seeing ``target = v`` after H."""
+    if isinstance(history, Operation):
+        history = History.of(history)
+    source_set = system.space.check_names(sources)
+    system.space.check_names([target])
+    phi = _resolve(system, constraint)
+    out: dict[Value, set[tuple[Value, ...]]] = {}
+    for state in phi.states():
+        observation = history(state)[target]
+        out.setdefault(observation, set()).add(state.project(source_set))
+    return {v: frozenset(ks) for v, ks in out.items()}
+
+
+def inferentially_depends(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> Inference | None:
+    """The non-contingent variant: does some observation say more about A
+    than phi alone?  Returns the most informative shrink, or None."""
+    source_set = system.space.check_names(sources)
+    table = knowledge_sets(system, source_set, target, history, constraint)
+    if not table:
+        return None
+    prior = frozenset().union(*table.values())
+    best: Inference | None = None
+    for observation, posterior in sorted(table.items(), key=lambda kv: repr(kv[0])):
+        if posterior < prior and (
+            best is None or len(posterior) < len(best.posterior)
+        ):
+            best = Inference(
+                sources=source_set,
+                target=target,
+                observation=observation,
+                prior=prior,
+                posterior=posterior,
+            )
+    return best
+
+
+def contingently_depends(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> Inference | None:
+    """The contingent variant: the shrink is evaluated within each
+    *context* (fixed values of every object outside A).
+
+    Provably equivalent to strong dependency (Def 2-10); kept as an
+    independent implementation so the property suite can confirm the
+    equivalence rather than assume it.
+    """
+    if isinstance(history, Operation):
+        history = History.of(history)
+    source_set = system.space.check_names(sources)
+    system.space.check_names([target])
+    phi = _resolve(system, constraint)
+    contexts: dict[tuple[Value, ...], dict[Value, set[tuple[Value, ...]]]] = {}
+    for state in phi.states():
+        context = state.restrict_away(source_set)
+        observation = history(state)[target]
+        contexts.setdefault(context, {}).setdefault(observation, set()).add(
+            state.project(source_set)
+        )
+    for table in contexts.values():
+        prior = frozenset().union(*(frozenset(k) for k in table.values()))
+        for observation, posterior in table.items():
+            posterior = frozenset(posterior)
+            if posterior < prior:
+                return Inference(
+                    sources=source_set,
+                    target=target,
+                    observation=observation,
+                    prior=prior,
+                    posterior=posterior,
+                )
+    return None
+
+
+def inferential_paths(
+    system: System,
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> frozenset[tuple[str, str]]:
+    """All (singleton source, target) pairs with non-contingent
+    inferential dependency over the given history — used to exhibit the
+    paper's monotonicity failure (adding constraint can ADD paths)."""
+    out: set[tuple[str, str]] = set()
+    for source in system.space.names:
+        for target in system.space.names:
+            if inferentially_depends(
+                system, {source}, target, history, constraint
+            ):
+                out.add((source, target))
+    return frozenset(out)

@@ -1,0 +1,312 @@
+"""Information problems and their solutions (chapter 3).
+
+The paper defines a *problem* as a predicate ``chi(phi)`` over candidate
+initial constraints; phi *solves* the problem when ``chi(phi)`` holds.
+Three families are implemented:
+
+- :class:`EnforcementProblem` (Def 1-4, section 1.4): behavioral problems —
+  phi enforces Psi when every behavior from a phi-state is acceptable.
+  These are the *contrast class*: the paper's point is that information
+  problems are **not** enforcement problems.
+- :class:`NoTransmissionProblem` (section 3.2):
+  ``chi(phi) == not A |>_phi beta  [and phi A-independent]``.
+- :class:`ConfinementProblem` and :class:`SecurityProblem` (section 3.4),
+  including the declassification extension sketched in section 7.5.
+
+All information problems here are *antitone*: any constraint implying a
+solution is itself a solution (restricting variety can only remove paths,
+Theorem 2-3).  Maximal-solution search exploits this; see
+:mod:`repro.analysis.solver`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.constraints import Constraint
+from repro.core.errors import ConstraintError
+from repro.core.reachability import depends_ever
+from repro.core.state import State
+from repro.core.system import Operation, System
+
+
+@dataclass(frozen=True)
+class ProblemVerdict:
+    """Why a candidate constraint does or does not solve a problem."""
+
+    is_solution: bool
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.is_solution
+
+
+class EnforcementProblem:
+    """A behavioral problem ``Psi`` given by a per-step acceptability check.
+
+    ``Psi(sigma, H delta)`` holds iff ``Psi(sigma, H)`` holds and the step
+    ``delta`` executed in state ``H(sigma)`` is acceptable (section 1.4's
+    recursive definition).  ``phi enforces Psi`` (Def 1-4) iff every
+    behavior from a phi-state is acceptable — checked exactly for finite
+    systems by exploring the reachable states from sat(phi).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        step_ok: Callable[[State, Operation], bool],
+        name: str = "Psi",
+    ) -> None:
+        self.system = system
+        self.step_ok = step_ok
+        self.name = name
+
+    def enforcement_counterexample(
+        self, phi: Constraint
+    ) -> tuple[State, Operation] | None:
+        """A reachable (state, operation) whose step is unacceptable, or
+        None if phi enforces Psi.
+
+        Finite-system argument: Psi fails for some <sigma, H> iff some
+        state reachable from sat(phi) executes an unacceptable step; the
+        reachable set is computed by fixpoint.
+        """
+        if phi.space != self.system.space:
+            raise ConstraintError("constraint and system over different spaces")
+        seen: set[State] = set(phi.satisfying)
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            for op in self.system.operations:
+                if not self.step_ok(state, op):
+                    return (state, op)
+                successor = op(state)
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return None
+
+    def enforces(self, phi: Constraint) -> bool:
+        """Def 1-4: ``(forall sigma, H)(phi(sigma) implies Psi(sigma, H))``."""
+        return self.enforcement_counterexample(phi) is None
+
+
+class InformationProblem:
+    """Base class: a problem is a predicate over candidate constraints."""
+
+    name = "chi"
+
+    def verdict(self, phi: Constraint) -> ProblemVerdict:
+        raise NotImplementedError
+
+    def is_solution(self, phi: Constraint) -> bool:
+        return bool(self.verdict(phi))
+
+    def solutions_among(
+        self, candidates: Iterable[Constraint]
+    ) -> list[Constraint]:
+        return [phi for phi in candidates if self.is_solution(phi)]
+
+
+class NoTransmissionProblem(InformationProblem):
+    """``chi(phi) == not A |>_phi beta`` (section 3.2), optionally requiring
+    phi to be A-independent (Def 3-1) to exclude degenerate
+    "freeze-the-source" solutions.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    >>> _ = b.op_if("delta", var("m"), "beta", var("alpha"))
+    >>> system = b.build()
+    >>> problem = NoTransmissionProblem(system, {"alpha"}, "beta")
+    >>> phi = Constraint(system.space, lambda s: not s["m"], name="~m")
+    >>> problem.is_solution(phi)
+    True
+    """
+
+    def __init__(
+        self,
+        system: System,
+        sources: Iterable[str],
+        target: str,
+        require_independent: bool = False,
+    ) -> None:
+        self.system = system
+        self.sources = system.space.check_names(sources)
+        self.target = target
+        system.space.check_names([target])
+        self.require_independent = require_independent
+        self.name = f"not {sorted(self.sources)} |> {target}"
+
+    def verdict(self, phi: Constraint) -> ProblemVerdict:
+        reasons: list[str] = []
+        if self.require_independent and not phi.is_independent_of(self.sources):
+            reasons.append(
+                f"{phi.name} is not {sorted(self.sources)}-independent"
+            )
+        result = depends_ever(self.system, self.sources, self.target, phi)
+        if result:
+            reasons.append(
+                f"dependency persists: {result.witness.history!r} transmits"
+            )
+        return ProblemVerdict(not reasons, tuple(reasons))
+
+
+class ConfinementProblem(InformationProblem):
+    """Lampson's Confinement Problem (section 3.4)::
+
+        chi(phi) == forall alpha, beta:
+            alpha |>_phi beta  and  Confined(alpha)  implies  not Spy(beta)
+
+    ``declassifiers`` implements the section 7.5 extension: paths whose
+    source/target pair appears there are exempted, modelling trustworthy
+    declassification.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        confined: Iterable[str],
+        spies: Iterable[str],
+        declassifiers: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self.system = system
+        self.confined = system.space.check_names(confined)
+        self.spies = system.space.check_names(spies)
+        self.declassifiers = frozenset(declassifiers)
+        self.name = (
+            f"confine {sorted(self.confined)} from {sorted(self.spies)}"
+        )
+
+    def forbidden_paths(self) -> list[tuple[str, str]]:
+        """The (source, target) pairs the problem forbids."""
+        return [
+            (alpha, beta)
+            for alpha in sorted(self.confined)
+            for beta in sorted(self.spies)
+            if (alpha, beta) not in self.declassifiers
+        ]
+
+    def verdict(self, phi: Constraint) -> ProblemVerdict:
+        reasons: list[str] = []
+        for alpha, beta in self.forbidden_paths():
+            result = depends_ever(self.system, {alpha}, beta, phi)
+            if result:
+                reasons.append(
+                    f"confined {alpha} still transmits to spy {beta} "
+                    f"via {result.witness.history!r}"
+                )
+        return ProblemVerdict(not reasons, tuple(reasons))
+
+
+class TrustedDeclassificationProblem(InformationProblem):
+    """The section 7.5 extension, operation-centric: certain *trustworthy
+    executors* (operations) are allowed to transmit where transmission
+    would not normally be permitted.
+
+    ``chi(phi)`` holds iff every forbidden path is **mediated**: with the
+    trusted operations removed from the system, no confined object
+    transmits to any spy.  (Flows that do occur in the full system must
+    therefore pass through a trusted operation — the Bell & LaPadula 73
+    trusted-subject discipline, stated information-theoretically.)
+    """
+
+    def __init__(
+        self,
+        system: System,
+        confined: Iterable[str],
+        spies: Iterable[str],
+        trusted_operations: Iterable[str],
+    ) -> None:
+        self.system = system
+        self.confined = system.space.check_names(confined)
+        self.spies = system.space.check_names(spies)
+        trusted = frozenset(trusted_operations)
+        known = set(system.operation_names)
+        unknown = trusted - known
+        if unknown:
+            raise ConstraintError(
+                f"unknown trusted operations {sorted(unknown)!r}"
+            )
+        self.trusted_operations = trusted
+        self.untrusted_system = System(
+            system.space,
+            [op for op in system.operations if op.name not in trusted],
+            check_closed=False,
+        )
+        self.name = (
+            f"confine {sorted(self.confined)} from {sorted(self.spies)} "
+            f"except via {sorted(trusted)}"
+        )
+
+    def verdict(self, phi: Constraint) -> ProblemVerdict:
+        reasons: list[str] = []
+        for alpha in sorted(self.confined):
+            for beta in sorted(self.spies):
+                result = depends_ever(
+                    self.untrusted_system, {alpha}, beta, phi
+                )
+                if result:
+                    reasons.append(
+                        f"{alpha} reaches {beta} WITHOUT any trusted "
+                        f"operation, via {result.witness.history!r}"
+                    )
+        return ProblemVerdict(not reasons, tuple(reasons))
+
+    def unmediated_paths(
+        self, phi: Constraint | None = None
+    ) -> list[tuple[str, str]]:
+        """Forbidden paths realizable without trusted operations."""
+        resolved = (
+            phi if phi is not None else Constraint.true(self.system.space)
+        )
+        return [
+            (alpha, beta)
+            for alpha in sorted(self.confined)
+            for beta in sorted(self.spies)
+            if depends_ever(self.untrusted_system, {alpha}, beta, resolved)
+        ]
+
+
+class SecurityProblem(InformationProblem):
+    """The multilevel Security Problem (section 3.4)::
+
+        chi(phi) == forall alpha, beta:
+            alpha |>_phi beta  implies  Cls(alpha) <= Cls(beta)
+
+    ``leq`` defaults to ``<=`` on the classification values; pass a partial
+    order for Denning-style clearance/classification vectors.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        classification: Mapping[str, object],
+        leq: Callable[[object, object], bool] | None = None,
+    ) -> None:
+        self.system = system
+        missing = set(system.space.names) - set(classification)
+        if missing:
+            raise ConstraintError(
+                f"classification missing for objects {sorted(missing)!r}"
+            )
+        self.classification = dict(classification)
+        self.leq = leq if leq is not None else (lambda a, b: a <= b)  # type: ignore[operator]
+        self.name = "security"
+
+    def verdict(self, phi: Constraint) -> ProblemVerdict:
+        reasons: list[str] = []
+        for alpha in self.system.space.names:
+            for beta in self.system.space.names:
+                if self.leq(self.classification[alpha], self.classification[beta]):
+                    continue
+                result = depends_ever(self.system, {alpha}, beta, phi)
+                if result:
+                    reasons.append(
+                        f"{alpha} (cls {self.classification[alpha]!r}) "
+                        f"transmits down to {beta} "
+                        f"(cls {self.classification[beta]!r}) "
+                        f"via {result.witness.history!r}"
+                    )
+        return ProblemVerdict(not reasons, tuple(reasons))

@@ -1,0 +1,189 @@
+"""Exact existential-history dependency via pair-graph reachability.
+
+``A |>_phi beta`` (Def 2-11) asks whether *some* history transmits — a
+quantifier over the infinitely many histories.  For a finite system it is
+nevertheless decidable: run the two experiment states in lockstep.
+
+Consider the product graph whose nodes are ordered state pairs
+``(s1, s2)`` and whose edges apply one operation to both components::
+
+    (s1, s2)  --delta-->  (delta(s1), delta(s2))
+
+Initial nodes are the Def 2-8 pairs: both satisfy phi and are equal except
+at A.  Then ``A |>_phi beta`` holds iff some node with ``s1.beta != s2.beta``
+is reachable — and the edge labels along the path *are* the witness history.
+
+The node set is finite (at most ``|Sigma|^2``), so breadth-first search
+decides the property exactly and yields a shortest witness.  This is the
+library's replacement for the paper's per-proof reasoning about "all
+histories", and the backbone of the Worth measure and the problem solvers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import DependencyResult, Witness
+from repro.core.errors import ConstraintError
+from repro.core.state import State
+from repro.core.system import History, System
+
+
+def _initial_pairs(
+    system: System,
+    sources: frozenset[str],
+    phi: Constraint,
+) -> Iterable[tuple[State, State]]:
+    """Def 2-8 pairs: phi-states equal except at the source set.
+
+    Pairs are generated unordered-deduplicated (s1 before s2 in enumeration
+    order) — dependency is symmetric in the pair.
+    """
+    buckets: dict[tuple, list[State]] = {}
+    for state in phi.states():
+        buckets.setdefault(state.restrict_away(sources), []).append(state)
+    for bucket in buckets.values():
+        for i, s1 in enumerate(bucket):
+            for s2 in bucket[i + 1 :]:
+                yield (s1, s2)
+
+
+def depends_ever(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """Decide ``A |>_phi beta`` (Def 2-7/2-11) *exactly* — over all
+    histories of any length — by pair-graph BFS.
+
+    A positive result carries a shortest witness history and the state
+    pair.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("a", "m", "b")
+    >>> _ = b.op_assign("d1", "m", var("a")).op_assign("d2", "b", var("m"))
+    >>> system = b.build()
+    >>> result = depends_ever(system, {"a"}, "b")
+    >>> bool(result), len(result.witness.history)
+    (True, 2)
+    """
+    source_set = system.space.check_names(sources)
+    system.space.check_names([target])
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+    if phi.space != system.space:
+        raise ConstraintError("constraint and system are over different spaces")
+
+    # BFS with parent pointers so the witness history can be reconstructed.
+    parents: dict[tuple[State, State], tuple[tuple[State, State], str] | None] = {}
+    queue: deque[tuple[State, State]] = deque()
+    for pair in _initial_pairs(system, source_set, phi):
+        if pair not in parents:
+            parents[pair] = None
+            queue.append(pair)
+
+    def reconstruct(pair: tuple[State, State]) -> Witness:
+        ops: list[str] = []
+        cursor: tuple[State, State] = pair
+        while True:
+            parent = parents[cursor]
+            if parent is None:
+                break
+            cursor, op_name = parent
+            ops.append(op_name)
+        ops.reverse()
+        history = History(system.operation(name) for name in ops)
+        return Witness(
+            sources=source_set,
+            targets=frozenset([target]),
+            history=history,
+            sigma1=cursor[0],
+            sigma2=cursor[1],
+        )
+
+    while queue:
+        pair = queue.popleft()
+        s1, s2 = pair
+        if s1[target] != s2[target]:
+            witness = reconstruct(pair)
+            return DependencyResult(
+                True, source_set, frozenset([target]), phi.name, witness
+            )
+        for op in system.operations:
+            successor = (op(s1), op(s2))
+            if successor not in parents:
+                parents[successor] = (pair, op.name)
+                queue.append(successor)
+    return DependencyResult(False, source_set, frozenset([target]), phi.name)
+
+
+def depends_ever_set(
+    system: System,
+    sources: Iterable[str],
+    targets: Iterable[str],
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """Exact ``A |>_phi B`` for a set target (Def 5-7): some reachable pair
+    differs at *every* object of B."""
+    source_set = system.space.check_names(sources)
+    target_set = system.space.check_names(targets)
+    if not target_set:
+        raise ConstraintError("target set B must be non-empty")
+    phi = constraint if constraint is not None else Constraint.true(system.space)
+
+    target_list = sorted(target_set)
+    parents: dict[tuple[State, State], tuple[tuple[State, State], str] | None] = {}
+    queue: deque[tuple[State, State]] = deque()
+    for pair in _initial_pairs(system, source_set, phi):
+        if pair not in parents:
+            parents[pair] = None
+            queue.append(pair)
+
+    while queue:
+        pair = queue.popleft()
+        s1, s2 = pair
+        if all(s1[t] != s2[t] for t in target_list):
+            ops: list[str] = []
+            cursor = pair
+            while parents[cursor] is not None:
+                cursor, op_name = parents[cursor]  # type: ignore[misc]
+                ops.append(op_name)
+            ops.reverse()
+            witness = Witness(
+                sources=source_set,
+                targets=target_set,
+                history=History(system.operation(n) for n in ops),
+                sigma1=cursor[0],
+                sigma2=cursor[1],
+            )
+            return DependencyResult(True, source_set, target_set, phi.name, witness)
+        for op in system.operations:
+            successor = (op(s1), op(s2))
+            if successor not in parents:
+                parents[successor] = (pair, op.name)
+                queue.append(successor)
+    return DependencyResult(False, source_set, target_set, phi.name)
+
+
+def dependency_closure(
+    system: System,
+    constraint: Constraint | None = None,
+    sources: Iterable[frozenset[str]] | None = None,
+) -> dict[tuple[frozenset[str], str], DependencyResult]:
+    """All exact existential-history dependencies for a family of source
+    sets (default: singletons) against every target — i.e. the paper's
+    ``Worth`` raw data (section 3.6) computed exactly."""
+    if sources is None:
+        source_family: list[frozenset[str]] = [
+            frozenset([n]) for n in system.space.names
+        ]
+    else:
+        source_family = [frozenset(a) for a in sources]
+    out: dict[tuple[frozenset[str], str], DependencyResult] = {}
+    for source in source_family:
+        for target in system.space.names:
+            out[(source, target)] = depends_ever(system, source, target, constraint)
+    return out

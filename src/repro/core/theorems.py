@@ -1,0 +1,512 @@
+"""Executable statements of the paper's theorems.
+
+Each function decides one theorem's claim for a *concrete* finite system
+(and, where applicable, constraint/history), returning a
+:class:`TheoremCheck`.  A valid theorem can never produce a failing check;
+the random-system fuzzer (:mod:`repro.analysis.random_systems`) and the
+hypothesis property tests exercise these across large families of systems,
+which is this reproduction's analogue of the paper's hand proofs.
+
+Naming follows the paper: ``thm_2_6`` is Theorem 2-6, etc.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import (
+    transmits,
+    transmits_to_set,
+)
+from repro.core.state import State
+from repro.core.system import History, System
+
+
+@dataclass(frozen=True)
+class TheoremCheck:
+    """Outcome of checking one theorem instance."""
+
+    theorem: str
+    ok: bool
+    detail: str = ""
+    counterexample: object = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _ok(name: str, detail: str = "") -> TheoremCheck:
+    return TheoremCheck(name, True, detail)
+
+
+def _fail(name: str, detail: str, counterexample: object = None) -> TheoremCheck:
+    return TheoremCheck(name, False, detail, counterexample)
+
+
+def thm_2_2_source_monotonicity(
+    system: System,
+    a1: frozenset[str],
+    a2: frozenset[str],
+    target: str,
+    history: History,
+    phi: Constraint | None = None,
+) -> TheoremCheck:
+    """Theorem 2-2: ``A1 <= A2  and  A1 |>_phi^H beta  implies
+    A2 |>_phi^H beta``."""
+    name = "Thm 2-2 (source monotonicity)"
+    if not a1 <= a2:
+        return _ok(name, "vacuous: A1 not a subset of A2")
+    if transmits(system, a1, target, history, phi) and not transmits(
+        system, a2, target, history, phi
+    ):
+        return _fail(name, f"A1={sorted(a1)} transmits but A2={sorted(a2)} does not")
+    return _ok(name)
+
+
+def thm_2_3_constraint_monotonicity(
+    system: System,
+    phi1: Constraint,
+    phi2: Constraint,
+    sources: frozenset[str],
+    target: str,
+    history: History,
+) -> TheoremCheck:
+    """Theorem 2-3: ``phi1 <= phi2  and  A |>_phi1^H beta  implies
+    A |>_phi2^H beta`` — more variety, more opportunity to transmit."""
+    name = "Thm 2-3 (constraint monotonicity)"
+    if not phi1.implies(phi2):
+        return _ok(name, "vacuous: phi1 does not imply phi2")
+    if transmits(system, sources, target, history, phi1) and not transmits(
+        system, sources, target, history, phi2
+    ):
+        return _fail(name, f"{phi1.name} transmits but weaker {phi2.name} does not")
+    return _ok(name)
+
+
+def thm_2_4_no_variety_no_transmission(
+    system: System,
+    phi: Constraint,
+    sources: frozenset[str],
+    history: History,
+) -> TheoremCheck:
+    """Theorem 2-4: if phi eliminates all variety in A, then A transmits to
+    no object over any history (checked for the given history against all
+    targets)."""
+    name = "Thm 2-4 (no variety, no transmission)"
+    if not phi.eliminates_variety_in(sources):
+        return _ok(name, "vacuous: phi leaves variety in A")
+    for target in system.space.names:
+        result = transmits(system, sources, target, history, phi)
+        if result:
+            return _fail(
+                name,
+                f"A={sorted(sources)} has no variety yet transmits to {target}",
+                result.witness,
+            )
+    return _ok(name)
+
+
+def thm_2_5_empty_history_reflexive(
+    system: System,
+    phi: Constraint | None,
+    sources: frozenset[str],
+) -> TheoremCheck:
+    """Theorem 2-5: ``A |>_phi^lambda beta  implies  beta in A`` — the empty
+    history transmits only reflexively."""
+    name = "Thm 2-5 (empty history)"
+    empty = History.empty()
+    for target in system.space.names:
+        if target in sources:
+            continue
+        result = transmits(system, sources, target, empty, phi)
+        if result:
+            return _fail(
+                name,
+                f"lambda transmits from {sorted(sources)} to outside object "
+                f"{target}",
+                result.witness,
+            )
+    return _ok(name)
+
+
+def thm_2_6_autonomous_decomposition(
+    system: System,
+    phi: Constraint | None,
+    sources: frozenset[str],
+    target: str,
+    history: History,
+) -> TheoremCheck:
+    """Theorem 2-6 (and 2-1 with phi = tt): for autonomous phi,
+    ``A |>_phi^H beta`` implies some single ``alpha in A`` transmits."""
+    name = "Thm 2-6 (singleton source exists)"
+    resolved = phi if phi is not None else Constraint.true(system.space)
+    if not resolved.is_autonomous():
+        return _ok(name, "vacuous: phi not autonomous")
+    if not transmits(system, sources, target, history, resolved):
+        return _ok(name, "vacuous: A does not transmit")
+    for alpha in sources:
+        if transmits(system, {alpha}, target, history, resolved):
+            return _ok(name)
+    return _fail(
+        name,
+        f"A={sorted(sources)} transmits to {target} but no singleton does",
+    )
+
+
+def thm_3_1_join_property(
+    system: System,
+    phi1: Constraint,
+    phi2: Constraint,
+    sources: frozenset[str],
+    target: str,
+    history_bound: int,
+) -> TheoremCheck:
+    """Theorem 3-1: for the problem ``not A |>_phi beta  and  phi
+    A-independent``, solutions are closed under join.
+
+    Checked over histories up to ``history_bound`` (the theorem is
+    per-history; see the appendix proof, which splits on which disjunct a
+    pair of states satisfies).
+    """
+    name = "Thm 3-1 (join property under A-independence)"
+    for phi in (phi1, phi2):
+        if not phi.is_independent_of(sources):
+            return _ok(name, "vacuous: a solution is not A-independent")
+    joined = phi1 | phi2
+    for history in system.histories(history_bound):
+        if transmits(system, sources, target, history, phi1):
+            return _ok(name, "vacuous: phi1 is not a solution")
+        if transmits(system, sources, target, history, phi2):
+            return _ok(name, "vacuous: phi2 is not a solution")
+        result = transmits(system, sources, target, history, joined)
+        if result:
+            return _fail(
+                name,
+                f"join {joined.name} transmits over {history!r} though both "
+                "disjuncts are solutions",
+                result.witness,
+            )
+    return _ok(name)
+
+
+def thm_4_1_intermediate_object(
+    system: System,
+    phi: Constraint,
+    alpha: str,
+    beta: str,
+    prefix: History,
+    suffix: History,
+) -> TheoremCheck:
+    """Theorem 4-1: for autonomous invariant phi,
+    ``alpha |>_phi^{H H'} beta`` implies some m with ``alpha |>_phi^H m``
+    and ``m |>_phi^{H'} beta``."""
+    name = "Thm 4-1 (intermediate object)"
+    if not (phi.is_autonomous() and phi.is_invariant(system)):
+        return _ok(name, "vacuous: phi not autonomous+invariant")
+    if not transmits(system, {alpha}, beta, prefix + suffix, phi):
+        return _ok(name, "vacuous: no composite dependency")
+    for m in system.space.names:
+        if transmits(system, {alpha}, m, prefix, phi) and transmits(
+            system, {m}, beta, suffix, phi
+        ):
+            return _ok(name)
+    return _fail(name, f"no intermediate object between {alpha} and {beta}")
+
+
+def thm_4_2_endpoints(
+    system: System,
+    phi: Constraint,
+    alpha: str,
+    beta: str,
+) -> TheoremCheck:
+    """Theorem 4-2: for autonomous invariant phi and alpha != beta, if
+    ``alpha |>_phi beta`` over some history, then some operation
+    transmits out of alpha (to another object) and some operation
+    transmits into beta (from another object)."""
+    name = "Thm 4-2 (endpoint operations exist)"
+    if alpha == beta:
+        return _ok(name, "vacuous: alpha = beta")
+    if not (phi.is_autonomous() and phi.is_invariant(system)):
+        return _ok(name, "vacuous: phi not autonomous+invariant")
+    from repro.core.reachability import depends_ever
+
+    if not depends_ever(system, {alpha}, beta, phi):
+        return _ok(name, "vacuous: no dependency over any history")
+    out_exists = any(
+        transmits(system, {alpha}, m, History.of(op), phi)
+        for m in system.space.names
+        if m != alpha
+        for op in system.operations
+    )
+    in_exists = any(
+        transmits(system, {m}, beta, History.of(op), phi)
+        for m in system.space.names
+        if m != beta
+        for op in system.operations
+    )
+    if out_exists and in_exists:
+        return _ok(name)
+    return _fail(
+        name,
+        f"dependency {alpha} |> {beta} holds but "
+        f"out-op={out_exists}, in-op={in_exists}",
+    )
+
+
+def thm_4_3_relation_bound(
+    system: System,
+    phi: Constraint,
+    q,
+    history: History,
+) -> TheoremCheck:
+    """Theorem 4-3 / Corollary 4-3: for autonomous invariant phi and a
+    reflexive transitive q closed under per-operation dependency, every
+    dependency over ``history`` respects q."""
+    name = "Thm 4-3 (relation bounds all histories)"
+    names = system.space.names
+    if not (phi.is_autonomous() and phi.is_invariant(system)):
+        return _ok(name, "vacuous: phi not autonomous+invariant")
+    if not all(q(x, x) for x in names):
+        return _ok(name, "vacuous: q not reflexive")
+    for x in names:
+        for y in names:
+            if not q(x, y):
+                continue
+            for z in names:
+                if q(y, z) and not q(x, z):
+                    return _ok(name, "vacuous: q not transitive")
+    for op in system.operations:
+        for x in names:
+            for y in names:
+                if not q(x, y) and transmits(
+                    system, {x}, y, History.of(op), phi
+                ):
+                    return _ok(name, "vacuous: q not closed per-operation")
+    for x in names:
+        for y in names:
+            if q(x, y):
+                continue
+            result = transmits(system, {x}, y, history, phi)
+            if result:
+                return _fail(
+                    name,
+                    f"{x} |>^H {y} violates q over {history!r}",
+                    result.witness,
+                )
+    return _ok(name)
+
+
+def thm_4_5_cover(
+    system: System,
+    phi: Constraint | None,
+    members: tuple[Constraint, ...],
+    sources: frozenset[str],
+    target: str,
+    history: History,
+) -> TheoremCheck:
+    """Theorem 4-5: for an A-independent cover {phi_i},
+    ``A |>_phi^H beta`` implies ``A |>_{phi & phi_i}^H beta`` for some i."""
+    name = "Thm 4-5 (separation of variety)"
+    base = phi if phi is not None else Constraint.true(system.space)
+    for member in members:
+        if not member.is_independent_of(sources):
+            return _ok(name, "vacuous: member not A-independent")
+    covered = all(
+        any(member(s) for member in members) for s in system.space.states()
+    )
+    if not covered:
+        return _ok(name, "vacuous: members do not cover the space")
+    if not transmits(system, sources, target, history, base):
+        return _ok(name, "vacuous: no dependency under phi")
+    for member in members:
+        if transmits(system, sources, target, history, base & member):
+            return _ok(name)
+    return _fail(name, "dependency under phi survives no cover member")
+
+
+def thm_5_1_autonomy_characterizations(
+    phi: Constraint, names: frozenset[str]
+) -> TheoremCheck:
+    """Theorem 5-1: the substitution characterization of A-autonomy agrees
+    with the decomposition definition (Def 5-2).
+
+    The decomposition direction is checked constructively: when the
+    substitution closure holds, ``phi1(s) = exists s' in sat: s' =/A= s``
+    (A-independent) and ``phi2(s) = exists s' in sat: s'.A = s.A``
+    (A-strict) must satisfy ``phi == phi1 & phi2`` — mirroring the
+    appendix proof.
+    """
+    name = "Thm 5-1 (autonomy characterizations agree)"
+    space = phi.space
+    closure = phi.is_autonomous_relative_to(names)
+    sat = phi.satisfying
+    if not sat:
+        return _ok(name, "vacuous: phi unsatisfiable")
+    rest_parts = {s.restrict_away(names) for s in sat}
+    a_parts = {s.project(names) for s in sat}
+    phi1 = Constraint(
+        space, lambda s: s.restrict_away(names) in rest_parts, name="phi1"
+    )
+    phi2 = Constraint(space, lambda s: s.project(names) in a_parts, name="phi2")
+    decomposes = (phi1 & phi2).equivalent(phi)
+    if closure != decomposes:
+        return _fail(
+            name,
+            f"substitution closure={closure} but canonical decomposition "
+            f"equivalence={decomposes}",
+        )
+    if closure and not (
+        phi1.is_independent_of(names) and phi2.is_strict_on(names)
+    ):
+        return _fail(name, "canonical parts lost independence/strictness")
+    return _ok(name)
+
+
+def thm_5_2_clump_decomposition(
+    system: System,
+    phi: Constraint,
+    clumps: tuple[frozenset[str], ...],
+    target: str,
+    history: History,
+) -> TheoremCheck:
+    """Theorem 5-2: if phi is A_i-autonomous for each clump, transmission
+    from the union implies transmission from some clump."""
+    name = "Thm 5-2 (clump decomposition)"
+    for clump in clumps:
+        if not phi.is_autonomous_relative_to(clump):
+            return _ok(name, "vacuous: phi not autonomous for a clump")
+    union = frozenset().union(*clumps)
+    if not union or target in union:
+        return _ok(name, "vacuous: empty union or reflexive target")
+    if not transmits(system, union, target, history, phi):
+        return _ok(name, "vacuous: union does not transmit")
+    for clump in clumps:
+        if transmits(system, clump, target, history, phi):
+            return _ok(name)
+    return _fail(name, "union transmits but no clump does")
+
+
+def thm_5_3_set_target_projection(
+    system: System,
+    phi: Constraint | None,
+    sources: frozenset[str],
+    targets: frozenset[str],
+    history: History,
+) -> TheoremCheck:
+    """Theorem 5-3: ``A |>_phi^H B`` implies ``A |>_phi^H beta`` for every
+    beta in B."""
+    name = "Thm 5-3 (set-target projection)"
+    if not transmits_to_set(system, sources, targets, history, phi):
+        return _ok(name, "vacuous: no set-target dependency")
+    for beta in targets:
+        if not transmits(system, sources, beta, history, phi):
+            return _fail(name, f"B-dependency holds but {beta} alone fails")
+    return _ok(name)
+
+
+def thm_5_5_witness_decomposition(
+    system: System,
+    phi: Constraint,
+    sources: frozenset[str],
+    target: str,
+    prefix: History,
+    suffix: History,
+) -> TheoremCheck:
+    """Theorem 5-5: for invariant phi, a witness pair for ``A |> beta`` over
+    ``H H'`` decomposes exactly at ``M = {m | H(s1).m != H(s2).m}``."""
+    name = "Thm 5-5 (witness decomposition)"
+    if not phi.is_invariant(system):
+        return _ok(name, "vacuous: phi not invariant")
+    result = transmits(system, sources, target, prefix + suffix, phi)
+    if not result:
+        return _ok(name, "vacuous: no dependency")
+    w = result.witness
+    assert w is not None
+    mid1, mid2 = prefix(w.sigma1), prefix(w.sigma2)
+    middle = mid1.differs_at(mid2)
+    if not middle:
+        return _fail(name, "witness states agree after prefix yet differ later")
+    first = transmits_to_set(system, sources, middle, prefix, phi)
+    if not first:
+        return _fail(name, f"first leg A |>^H M fails for M={sorted(middle)}")
+    second = transmits(system, middle, target, suffix, phi)
+    if not second:
+        return _fail(name, f"second leg M |>^H' beta fails for M={sorted(middle)}")
+    return _ok(name)
+
+
+def thm_6_1_image_soundness(
+    system: System, phi: Constraint, history: History
+) -> TheoremCheck:
+    """Theorem 6-1: ``phi(s)`` implies ``[H]phi(H(s))``."""
+    name = "Thm 6-1 ([H]phi contains the image)"
+    after = phi.after(history)
+    for state in phi.states():
+        if not after(history(state)):
+            return _fail(name, f"[H]phi misses image of {state!r}", state)
+    return _ok(name)
+
+
+def thm_6_2_invariant_strictness(
+    system: System, phi: Constraint, history: History
+) -> TheoremCheck:
+    """Theorem 6-2: for invariant phi, ``[H]phi <= phi``."""
+    name = "Thm 6-2 ([H]phi <= phi for invariant phi)"
+    if not phi.is_invariant(system):
+        return _ok(name, "vacuous: phi not invariant")
+    if not phi.after(history).implies(phi):
+        return _fail(name, "[H]phi escapes phi despite invariance")
+    return _ok(name)
+
+
+def thm_6_3_noninvariant_decomposition(
+    system: System,
+    phi: Constraint,
+    sources: frozenset[str],
+    target: str,
+    prefix: History,
+    suffix: History,
+) -> TheoremCheck:
+    """Theorem 6-3: ``A |>_phi^{H H'} beta`` implies some M with
+    ``A |>_phi^H M`` and ``M |>_{[H]phi}^{H'} beta`` — no invariance
+    required."""
+    name = "Thm 6-3 (non-invariant decomposition)"
+    result = transmits(system, sources, target, prefix + suffix, phi)
+    if not result:
+        return _ok(name, "vacuous: no dependency")
+    w = result.witness
+    assert w is not None
+    mid1, mid2 = prefix(w.sigma1), prefix(w.sigma2)
+    middle = mid1.differs_at(mid2)
+    if not middle:
+        return _fail(name, "witness states agree after prefix yet differ later")
+    first = transmits_to_set(system, sources, middle, prefix, phi)
+    if not first:
+        return _fail(name, f"first leg fails for M={sorted(middle)}")
+    second = transmits(system, middle, target, suffix, phi.after(prefix))
+    if not second:
+        return _fail(name, f"second leg under [H]phi fails for M={sorted(middle)}")
+    return _ok(name)
+
+
+ALL_THEOREMS = (
+    "thm_2_2_source_monotonicity",
+    "thm_2_3_constraint_monotonicity",
+    "thm_2_4_no_variety_no_transmission",
+    "thm_2_5_empty_history_reflexive",
+    "thm_2_6_autonomous_decomposition",
+    "thm_3_1_join_property",
+    "thm_4_1_intermediate_object",
+    "thm_4_2_endpoints",
+    "thm_4_3_relation_bound",
+    "thm_4_5_cover",
+    "thm_5_1_autonomy_characterizations",
+    "thm_5_2_clump_decomposition",
+    "thm_5_3_set_target_projection",
+    "thm_5_5_witness_decomposition",
+    "thm_6_1_image_soundness",
+    "thm_6_2_invariant_strictness",
+    "thm_6_3_noninvariant_decomposition",
+)

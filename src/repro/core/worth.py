@@ -1,0 +1,135 @@
+"""The Worth measure for comparing solutions (section 3.6).
+
+The paper rejects quantitative (bit-counting) comparison of solutions in
+favour of a qualitative one::
+
+    Worth(phi) == { <A, beta> | A |>_phi beta }
+
+— the set of information paths a solution still *permits*.  Worths are
+ordered by inclusion; a solution is at least as worthy as another when it
+permits no path the other forbids.  Because dependency is monotone in the
+constraint (Theorem 2-3), this measure is *monotonic* (Def 3-2): less
+restrictive solutions are at least as worthy.
+
+:class:`WorthMeasure` computes worths exactly (via pair-graph reachability)
+for a fixed family of source sets, and compares solutions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.constraints import Constraint
+from repro.core.reachability import depends_ever
+from repro.core.system import System
+
+
+class WorthOrder(Enum):
+    """Relative worth of two solutions under the inclusion order."""
+
+    EQUAL = "equal"
+    LESS = "less"  # left permits strictly fewer paths (less worthy)
+    GREATER = "greater"  # left permits strictly more paths (worthier)
+    INCOMPARABLE = "incomparable"
+
+
+Path = tuple[frozenset[str], str]
+
+
+@dataclass(frozen=True)
+class Worth:
+    """The worth of one solution: the set of permitted information paths."""
+
+    constraint_name: str
+    paths: frozenset[Path]
+
+    def __le__(self, other: "Worth") -> bool:
+        return self.paths <= other.paths
+
+    def compare(self, other: "Worth") -> WorthOrder:
+        if self.paths == other.paths:
+            return WorthOrder.EQUAL
+        if self.paths < other.paths:
+            return WorthOrder.LESS
+        if self.paths > other.paths:
+            return WorthOrder.GREATER
+        return WorthOrder.INCOMPARABLE
+
+    def permits(self, sources: Iterable[str], target: str) -> bool:
+        return (frozenset(sources), target) in self.paths
+
+    def describe(self) -> str:
+        lines = [f"Worth({self.constraint_name}): {len(self.paths)} paths"]
+        for sources, target in sorted(
+            self.paths, key=lambda p: (sorted(p[0]), p[1])
+        ):
+            lines.append(f"  {sorted(sources)} |> {target}")
+        return "\n".join(lines)
+
+
+class WorthMeasure:
+    """Computes and compares worths over a fixed system and source family.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    >>> _ = b.op_if("delta", var("m"), "beta", var("alpha"))
+    >>> system = b.build()
+    >>> measure = WorthMeasure(system)
+    >>> w_tt = measure.worth(None)
+    >>> w_tt.permits({"alpha"}, "beta")
+    True
+    """
+
+    def __init__(
+        self,
+        system: System,
+        sources: Iterable[frozenset[str]] | None = None,
+    ) -> None:
+        self.system = system
+        if sources is None:
+            self.sources: tuple[frozenset[str], ...] = tuple(
+                frozenset([n]) for n in system.space.names
+            )
+        else:
+            self.sources = tuple(frozenset(a) for a in sources)
+
+    def worth(self, constraint: Constraint | None) -> Worth:
+        """Compute ``Worth(phi)`` exactly (all histories, pair-graph BFS)."""
+        name = constraint.name if constraint is not None else "tt"
+        paths = frozenset(
+            (source, target)
+            for source in self.sources
+            for target in self.system.space.names
+            if depends_ever(self.system, source, target, constraint)
+        )
+        return Worth(constraint_name=name, paths=paths)
+
+    def compare(
+        self, phi1: Constraint | None, phi2: Constraint | None
+    ) -> WorthOrder:
+        """Order two solutions by worth (permitted-path inclusion)."""
+        return self.worth(phi1).compare(self.worth(phi2))
+
+    def monotonicity_counterexample(
+        self, constraints: Iterable[Constraint]
+    ) -> tuple[Constraint, Constraint] | None:
+        """Check Def 3-2 monotonicity across a family: whenever
+        ``phi1 <= phi2``, ``Worth(phi1) <= Worth(phi2)`` must hold.
+
+        Theorem 2-3 guarantees this for strong dependency, so any
+        counterexample signals a bug; the check exists for the fuzzing
+        harness and for alternative (non-monotonic) measures discussed in
+        section 7.2.
+        """
+        family = list(constraints)
+        worths = {id(phi): self.worth(phi) for phi in family}
+        for phi1 in family:
+            for phi2 in family:
+                if phi1 is phi2 or not phi1.implies(phi2):
+                    continue
+                if not worths[id(phi1)] <= worths[id(phi2)]:
+                    return (phi1, phi2)
+        return None

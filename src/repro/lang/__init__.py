@@ -1,0 +1,53 @@
+"""DSL for defining computational systems: expressions, commands, builders."""
+
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import Assign, Command, If, Seq, Skip, assign, seq, skip, when
+from repro.lang.expr import (
+    Apply,
+    BinOp,
+    Const,
+    Expr,
+    IfExpr,
+    UnaryOp,
+    Var,
+    apply,
+    coerce,
+    const,
+    if_expr,
+    var,
+)
+from repro.lang.ops import (
+    StructuredOperation,
+    assign_op,
+    guarded_assign_op,
+    op,
+)
+
+__all__ = [
+    "Apply",
+    "Assign",
+    "BinOp",
+    "Command",
+    "Const",
+    "Expr",
+    "If",
+    "IfExpr",
+    "Seq",
+    "Skip",
+    "StructuredOperation",
+    "SystemBuilder",
+    "UnaryOp",
+    "Var",
+    "apply",
+    "assign",
+    "assign_op",
+    "coerce",
+    "const",
+    "guarded_assign_op",
+    "if_expr",
+    "op",
+    "seq",
+    "skip",
+    "var",
+    "when",
+]

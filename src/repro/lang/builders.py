@@ -1,0 +1,113 @@
+"""Fluent builder for small computational systems.
+
+Most paper examples are a space of 2-4 small objects plus 1-3 guarded
+operations.  :class:`SystemBuilder` keeps those definitions to a few lines::
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder()
+    >>> _ = b.booleans("m").integers("alpha", "beta", bits=2)
+    >>> _ = b.op_if("delta", var("m"), "beta", var("alpha"))
+    >>> system = b.build()
+    >>> system.space.size
+    32
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+from repro.lang.cmd import Command, assign, seq, when
+from repro.lang.expr import coerce
+from repro.lang.ops import StructuredOperation
+
+
+class SystemBuilder:
+    """Accumulates object domains and operations, then builds a
+    :class:`~repro.core.system.System`."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, tuple[Value, ...]] = {}
+        self._operations: list[Operation] = []
+
+    # -- objects ----------------------------------------------------------------
+
+    def obj(self, name: str, domain: Iterable[Value]) -> "SystemBuilder":
+        """Declare one object with an explicit domain."""
+        if name in self._domains:
+            raise SpaceError(f"object {name!r} already declared")
+        self._domains[name] = tuple(domain)
+        return self
+
+    def booleans(self, *names: str) -> "SystemBuilder":
+        """Declare boolean objects."""
+        for name in names:
+            self.obj(name, (False, True))
+        return self
+
+    def integers(self, *names: str, bits: int = 2) -> "SystemBuilder":
+        """Declare unsigned ``bits``-bit integer objects."""
+        domain = tuple(range(2**bits))
+        for name in names:
+            self.obj(name, domain)
+        return self
+
+    def ranged(self, *names: str, lo: int, hi: int) -> "SystemBuilder":
+        """Declare integer objects with domain ``lo..hi`` inclusive."""
+        domain = tuple(range(lo, hi + 1))
+        for name in names:
+            self.obj(name, domain)
+        return self
+
+    # -- operations ---------------------------------------------------------------
+
+    def operation(self, operation: Operation) -> "SystemBuilder":
+        """Add a prebuilt operation."""
+        self._operations.append(operation)
+        return self
+
+    def op_cmd(self, name: str, command: Command) -> "SystemBuilder":
+        """Add an operation from a command body."""
+        self._operations.append(StructuredOperation(name, command))
+        return self
+
+    def op_assign(self, name: str, target: str, expr: object) -> "SystemBuilder":
+        """``name: target <- expr``."""
+        return self.op_cmd(name, assign(target, expr))
+
+    def op_if(
+        self,
+        name: str,
+        guard: object,
+        target: str,
+        expr: object,
+        else_expr: object | None = None,
+    ) -> "SystemBuilder":
+        """``name: if guard then target <- expr [else target <- else_expr]``."""
+        then_cmd = assign(target, expr)
+        else_cmd = assign(target, else_expr) if else_expr is not None else None
+        return self.op_cmd(name, when(coerce(guard), then_cmd, else_cmd))
+
+    def op_seq(self, name: str, *commands: Command) -> "SystemBuilder":
+        """``name: (c1; c2; ...)``."""
+        return self.op_cmd(name, seq(*commands))
+
+    # -- products -------------------------------------------------------------------
+
+    def space(self) -> Space:
+        return Space(self._domains)
+
+    def build(self, check_closed: bool = True) -> System:
+        """Build the system.  Raises if no objects were declared."""
+        return System(self.space(), self._operations, check_closed=check_closed)
+
+    def constraint(self, fn, name: str = "phi") -> Constraint:
+        """A constraint over this builder's space (handy in tests)."""
+        return Constraint(self.space(), fn, name=name)
+
+    def state(self, **values: Value) -> State:
+        return self.space().state(**values)

@@ -1,0 +1,46 @@
+"""Quantitative information transmission (the section 7.4 extension)."""
+
+from repro.quantitative.channel import (
+    bits_transmitted,
+    bits_transmitted_averaged,
+    capacity_table,
+    equivocation,
+    interference,
+    source_entropy,
+)
+from repro.quantitative.bandwidth import capacity, channel_matrix
+from repro.quantitative.distributions import StateDistribution
+from repro.quantitative.induction import (
+    bits_transmitted_joint,
+    joint_induction_holds,
+    summed_induction_gap,
+    summed_set_bits,
+)
+from repro.quantitative.entropy import (
+    conditional_entropy,
+    entropy,
+    joint_entropy,
+    marginalize,
+    mutual_information,
+)
+
+__all__ = [
+    "StateDistribution",
+    "bits_transmitted",
+    "capacity",
+    "channel_matrix",
+    "bits_transmitted_averaged",
+    "bits_transmitted_joint",
+    "capacity_table",
+    "joint_induction_holds",
+    "summed_induction_gap",
+    "summed_set_bits",
+    "conditional_entropy",
+    "entropy",
+    "equivocation",
+    "interference",
+    "joint_entropy",
+    "marginalize",
+    "mutual_information",
+    "source_entropy",
+]

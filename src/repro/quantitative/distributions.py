@@ -1,0 +1,109 @@
+"""Probability distributions over states (section 7.4).
+
+The paper generalizes an initial constraint phi to a distribution ``pr``
+over initial states, with ``[H]pr`` the push-forward distribution after a
+history.  Probabilities are exact :class:`fractions.Fraction` values so
+entropy computations have no spurious floating-point variety.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from fractions import Fraction
+
+from repro.core.constraints import Constraint
+from repro.core.errors import DistributionError
+from repro.core.state import Space, State
+from repro.core.system import History
+
+
+class StateDistribution:
+    """An exact probability distribution over the states of a space."""
+
+    def __init__(
+        self, space: Space, probabilities: Mapping[State, Fraction]
+    ) -> None:
+        self.space = space
+        cleaned: dict[State, Fraction] = {}
+        total = Fraction(0)
+        for state, p in probabilities.items():
+            p = Fraction(p)
+            if p < 0:
+                raise DistributionError(f"negative probability for {state!r}")
+            if p == 0:
+                continue
+            if state not in space:
+                raise DistributionError(f"{state!r} is not a state of the space")
+            cleaned[state] = cleaned.get(state, Fraction(0)) + p
+            total += p
+        if total != 1:
+            raise DistributionError(f"probabilities sum to {total}, not 1")
+        self._probs = cleaned
+
+    @classmethod
+    def uniform(cls, constraint: Constraint) -> "StateDistribution":
+        """Equal probability over the states satisfying a constraint — the
+        paper's implicit assumption ("each state satisfying phi occurs
+        with equal probability")."""
+        constraint.require_satisfiable()
+        states = sorted(constraint.satisfying, key=repr)
+        p = Fraction(1, len(states))
+        return cls(constraint.space, {s: p for s in states})
+
+    @classmethod
+    def uniform_over_space(cls, space: Space) -> "StateDistribution":
+        return cls.uniform(Constraint.true(space))
+
+    def probability(self, state: State) -> Fraction:
+        return self._probs.get(state, Fraction(0))
+
+    @property
+    def support(self) -> frozenset[State]:
+        return frozenset(self._probs)
+
+    def items(self) -> Iterable[tuple[State, Fraction]]:
+        return self._probs.items()
+
+    def push_forward(self, history: History) -> "StateDistribution":
+        """``[H]pr``: the distribution of ``H(sigma)`` when sigma ~ pr."""
+        out: dict[State, Fraction] = {}
+        for state, p in self._probs.items():
+            successor = history(state)
+            out[successor] = out.get(successor, Fraction(0)) + p
+        return StateDistribution(self.space, out)
+
+    def marginal(
+        self, feature: Callable[[State], object]
+    ) -> dict[object, Fraction]:
+        """Distribution of an arbitrary feature of the state."""
+        out: dict[object, Fraction] = {}
+        for state, p in self._probs.items():
+            key = feature(state)
+            out[key] = out.get(key, Fraction(0)) + p
+        return out
+
+    def joint(
+        self,
+        feature_x: Callable[[State], object],
+        feature_y: Callable[[State], object],
+    ) -> dict[tuple[object, object], Fraction]:
+        """Joint distribution of two features of the same state draw."""
+        out: dict[tuple[object, object], Fraction] = {}
+        for state, p in self._probs.items():
+            key = (feature_x(state), feature_y(state))
+            out[key] = out.get(key, Fraction(0)) + p
+        return out
+
+    def condition(
+        self, predicate: Callable[[State], bool]
+    ) -> "StateDistribution":
+        """The conditional distribution given a predicate."""
+        mass = sum(
+            (p for s, p in self._probs.items() if predicate(s)), Fraction(0)
+        )
+        if mass == 0:
+            raise DistributionError("conditioning on a zero-probability event")
+        return StateDistribution(
+            self.space,
+            {s: p / mass for s, p in self._probs.items() if predicate(s)},
+        )

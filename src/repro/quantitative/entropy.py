@@ -1,0 +1,70 @@
+"""Shannon entropy over exact discrete distributions.
+
+Utility layer for the section 7.4 channel measures: entropy, joint and
+conditional entropy, mutual information, and equivocation, all over
+``Fraction``-valued probability tables (converted to floats only inside
+``log2``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from fractions import Fraction
+
+from repro.core.errors import DistributionError
+
+
+def _validate(table: Mapping[object, Fraction]) -> None:
+    total = sum(table.values(), Fraction(0))
+    if total != 1:
+        raise DistributionError(f"probabilities sum to {total}, not 1")
+    if any(p < 0 for p in table.values()):
+        raise DistributionError("negative probability")
+
+
+def entropy(table: Mapping[object, Fraction]) -> float:
+    """``H(X) = -sum p log2 p`` in bits.
+
+    >>> from fractions import Fraction as F
+    >>> entropy({0: F(1, 2), 1: F(1, 2)})
+    1.0
+    """
+    _validate(table)
+    return -sum(
+        float(p) * math.log2(float(p)) for p in table.values() if p > 0
+    )
+
+
+def joint_entropy(joint: Mapping[tuple[object, object], Fraction]) -> float:
+    """``H(X, Y)`` from a joint table keyed by (x, y)."""
+    return entropy(joint)
+
+
+def marginalize(
+    joint: Mapping[tuple[object, object], Fraction], index: int
+) -> dict[object, Fraction]:
+    """Marginal of a joint table onto one coordinate (0 = X, 1 = Y)."""
+    out: dict[object, Fraction] = {}
+    for key, p in joint.items():
+        out[key[index]] = out.get(key[index], Fraction(0)) + p
+    return out
+
+
+def conditional_entropy(
+    joint: Mapping[tuple[object, object], Fraction]
+) -> float:
+    """``H(X | Y) = H(X, Y) - H(Y)`` — the paper's *equivocation* of the
+    source with respect to the observation when X is the source and Y the
+    observed object."""
+    return joint_entropy(joint) - entropy(marginalize(joint, 1))
+
+
+def mutual_information(
+    joint: Mapping[tuple[object, object], Fraction]
+) -> float:
+    """``I(X; Y) = H(X) - H(X | Y)`` in bits; clamped at zero against
+    floating-point dust."""
+    value = entropy(marginalize(joint, 0)) - conditional_entropy(joint)
+    # `max(-0.0, 0.0)` keeps the negative zero; compare explicitly.
+    return value if value > 0.0 else 0.0

@@ -1,0 +1,135 @@
+"""Quantitative Strong Dependency Induction (section 7.4's open question).
+
+The paper asks whether a bits-transmitted measure can satisfy an
+induction property: if ``b(A -(pr::H H')-> beta) = k`` then some set M
+has ``b(A -(pr::H)-> M) >= k`` and ``b(M -([H]pr::H')-> beta) >= k``,
+where the set-valued form is *defined as the sum* ::
+
+    b(X -(pr::H)-> M) == sum over m in M of b(X -(pr::H)-> m)
+
+This module answers the question both ways:
+
+- :func:`summed_induction_gap` — the summed form **fails**: a mixing
+  history (XOR-split) can encode A's variety jointly across objects so
+  that every per-object mutual information is zero while the composite
+  channel still delivers k bits.  The gap function returns, for the best
+  possible M, how far short the summed first leg falls; the E25 bench
+  exhibits a concrete counterexample system.
+- :func:`joint_induction_holds` — replace the sum with the *joint*
+  measure ``I(A ; M-after-H)`` and the property is a data-processing
+  inequality: beta-after-H-H' is a function of the state after H, so
+  ``M = all objects`` always witnesses it.  The checker verifies both
+  legs with exact arithmetic.
+
+Both use :func:`bits_transmitted_joint`, the joint-target generalization
+of the equivocation measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from fractions import Fraction
+
+from repro.core.system import History
+from repro.quantitative.channel import bits_transmitted
+from repro.quantitative.distributions import StateDistribution
+from repro.quantitative.entropy import mutual_information
+
+
+def bits_transmitted_joint(
+    dist: StateDistribution,
+    sources: Iterable[str],
+    targets: Iterable[str],
+    history: History,
+) -> float:
+    """``I(A_initial ; targets_after_H)`` — the joint (non-summed)
+    set-target channel measure."""
+    source_names = sorted(frozenset(sources))
+    target_names = sorted(frozenset(targets))
+    joint: dict[tuple[object, object], Fraction] = {}
+    for state, p in dist.items():
+        final = history(state)
+        key = (
+            tuple(state[n] for n in source_names),
+            tuple(final[n] for n in target_names),
+        )
+        joint[key] = joint.get(key, Fraction(0)) + p
+    return mutual_information(joint)
+
+
+def summed_set_bits(
+    dist: StateDistribution,
+    sources: Iterable[str],
+    targets: Iterable[str],
+    history: History,
+) -> float:
+    """The paper's proposed set-target measure: the SUM of per-object
+    bits (its own definition in the section 7.4 display)."""
+    return sum(
+        bits_transmitted(dist, sources, target, history)
+        for target in frozenset(targets)
+    )
+
+
+def summed_induction_gap(
+    dist: StateDistribution,
+    sources: Iterable[str],
+    target: str,
+    prefix: History,
+    suffix: History,
+) -> tuple[float, float, frozenset[str]]:
+    """Evaluate the summed-form induction property on a concrete split.
+
+    Returns ``(k, best_first_leg, best_M)`` where ``k`` is the composite
+    bits, ``best_first_leg`` maximizes the summed first leg over all
+    candidate M that satisfy the *second* leg (>= k bits into the
+    target under the pushed-forward distribution), and ``best_M`` attains
+    it.  The property fails on this instance iff
+    ``best_first_leg < k`` (up to float dust).
+
+    Candidate M sets are all subsets of the space's objects — exponential,
+    fine at example scale.
+    """
+    import itertools
+
+    composite = prefix + suffix
+    k = bits_transmitted(dist, sources, target, composite)
+    pushed = dist.push_forward(prefix)
+    names = dist.space.names
+    best_first = float("-inf")
+    best_m: frozenset[str] = frozenset()
+    for size in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            m = frozenset(combo)
+            second = summed_set_bits(pushed, m, [target], suffix)
+            if second + 1e-9 < k:
+                continue
+            first = summed_set_bits(dist, sources, m, prefix)
+            if first > best_first:
+                best_first, best_m = first, m
+    if best_first == float("-inf"):
+        # No M satisfies even the second leg under the summed measure.
+        best_first = 0.0
+    return k, best_first, best_m
+
+
+def joint_induction_holds(
+    dist: StateDistribution,
+    sources: Iterable[str],
+    target: str,
+    prefix: History,
+    suffix: History,
+    tolerance: float = 1e-9,
+) -> tuple[bool, float, float, float]:
+    """The repaired property: with the joint measure and
+    ``M = all objects``, both legs dominate the composite (a
+    data-processing inequality).  Returns
+    ``(holds, k, first_leg, second_leg)``."""
+    composite = prefix + suffix
+    k = bits_transmitted(dist, sources, target, composite)
+    all_objects = dist.space.names
+    first = bits_transmitted_joint(dist, sources, all_objects, prefix)
+    pushed = dist.push_forward(prefix)
+    second = bits_transmitted_joint(pushed, all_objects, [target], suffix)
+    holds = first + tolerance >= k and second + tolerance >= k
+    return holds, k, first, second

@@ -1,0 +1,72 @@
+"""Substrate systems: access matrices, pointer chains, oscillators,
+security lattices, and sequential programs."""
+
+from repro.systems.access_matrix import (
+    ALL_RIGHTS,
+    READ,
+    SUBJECT,
+    WRITE,
+    AccessMatrixSystem,
+    entry_name,
+    rights_domain,
+)
+from repro.systems.hydra import VerifiedWritersSystem, cap_name
+from repro.systems.labels import (
+    HighWaterMarkSystem,
+    StaticLabelSystem,
+    label_name,
+)
+from repro.systems.mechanism import (
+    ObservedWitness,
+    added_paths,
+    history_observer,
+    observed_transmits,
+    observed_transmits_ever,
+    restrict_operations,
+    timed_observer,
+    trace_observer,
+    value_observer,
+)
+from repro.systems.oscillator import OscillatorParts, build_oscillator
+from repro.systems.pointer import PointerSystem, data_name, ptr_name
+from repro.systems.security import (
+    Lattice,
+    PowersetLattice,
+    ProductLattice,
+    TotalOrderLattice,
+    classification_relation,
+)
+
+__all__ = [
+    "ALL_RIGHTS",
+    "AccessMatrixSystem",
+    "HighWaterMarkSystem",
+    "Lattice",
+    "ObservedWitness",
+    "StaticLabelSystem",
+    "added_paths",
+    "history_observer",
+    "label_name",
+    "observed_transmits",
+    "observed_transmits_ever",
+    "restrict_operations",
+    "timed_observer",
+    "trace_observer",
+    "value_observer",
+    "OscillatorParts",
+    "PointerSystem",
+    "PowersetLattice",
+    "ProductLattice",
+    "READ",
+    "SUBJECT",
+    "TotalOrderLattice",
+    "VerifiedWritersSystem",
+    "cap_name",
+    "WRITE",
+    "build_oscillator",
+    "classification_relation",
+    "data_name",
+    "entry_name",
+    "ptr_name",
+    "rights_domain",
+]

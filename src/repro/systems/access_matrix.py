@@ -1,0 +1,235 @@
+"""The access-matrix protection substrate (section 1.3).
+
+Protection in operating systems is modelled with a matrix of rights
+(Lampson 71): before an operation accesses an object, the matrix entry
+``<executor, object>`` is checked for the appropriate right.  The paper's
+simple system has three rights:
+
+- ``s`` (subject): ``s in <x, x>`` allows x to execute operations,
+- ``r`` (read):    ``r in <x, alpha>`` allows x to read file alpha,
+- ``w`` (write):   ``w in <x, beta>`` allows x to write file beta,
+
+and the canonical guarded operation::
+
+    copy(user, fnew, fold):
+        if s in <user, user> and r in <user, fold> and w in <user, fnew>
+        then fnew <- fold
+
+This module builds :class:`~repro.core.system.System` instances in which
+matrix entries are themselves state objects (named ``M[x,y]``), so both
+file contents *and* protection state participate in the information-flow
+analysis — exactly the setting of the paper's sections 3.5/3.6 examples
+and of the Hydra work the formalism grew out of.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+
+#: The three rights of the paper's simple system.
+SUBJECT = "s"
+READ = "r"
+WRITE = "w"
+ALL_RIGHTS = frozenset({SUBJECT, READ, WRITE})
+
+
+def entry_name(executor: str, target: str) -> str:
+    """The state-object name of matrix entry ``<executor, target>``."""
+    return f"M[{executor},{target}]"
+
+
+def is_entry_name(name: str) -> bool:
+    return name.startswith("M[") and name.endswith("]")
+
+
+def rights_domain(rights: Iterable[str] = ALL_RIGHTS) -> tuple[frozenset[str], ...]:
+    """All subsets of the given rights, as a deterministic domain tuple."""
+    items = sorted(set(rights))
+    subsets: list[frozenset[str]] = [frozenset()]
+    for right in items:
+        subsets += [subset | {right} for subset in subsets]
+    return tuple(subsets)
+
+
+class AccessMatrixSystem:
+    """A computational system over files plus an explicit rights matrix.
+
+    Parameters
+    ----------
+    subjects:
+        Names of potential executors (appear as matrix rows).
+    files:
+        Mapping file name -> finite content domain.
+    entries:
+        Which matrix entries are *mutable state* with the full rights
+        domain.  Entries not listed are fixed to the rights given in
+        ``fixed_rights`` (default: no rights), keeping the state space
+        small.  Use ``entries="all"`` for a fully dynamic matrix.
+    copy_operations:
+        Triples ``(user, fnew, fold)`` to install as guarded copy
+        operations (the section 1.3 ``copy``).
+
+    >>> ams = AccessMatrixSystem(
+    ...     subjects=["x"],
+    ...     files={"alpha": (0, 1), "beta": (0, 1)},
+    ...     entries=[("x", "x"), ("x", "alpha"), ("x", "beta")],
+    ...     copy_operations=[("x", "beta", "alpha")],
+    ... )
+    >>> "copy(x,beta,alpha)" in ams.system.operation_names
+    True
+    """
+
+    def __init__(
+        self,
+        subjects: Sequence[str],
+        files: Mapping[str, Iterable[Value]],
+        entries: Iterable[tuple[str, str]] | str = (),
+        copy_operations: Iterable[tuple[str, str, str]] = (),
+        fixed_rights: Mapping[tuple[str, str], frozenset[str]] | None = None,
+        extra_operations: Iterable[Operation] = (),
+    ) -> None:
+        self.subjects = tuple(subjects)
+        self.files = {name: tuple(domain) for name, domain in files.items()}
+        overlap = set(self.subjects) & set(self.files)
+        if overlap:
+            raise SpaceError(f"names used as both subject and file: {sorted(overlap)!r}")
+
+        all_parties = tuple(self.subjects) + tuple(self.files)
+        if entries == "all":
+            entry_pairs = [(x, y) for x in self.subjects for y in all_parties]
+        else:
+            entry_pairs = list(entries)  # type: ignore[arg-type]
+        for x, y in entry_pairs:
+            if x not in self.subjects:
+                raise SpaceError(f"matrix row {x!r} is not a subject")
+            if y not in all_parties:
+                raise SpaceError(f"matrix column {y!r} is unknown")
+        self.dynamic_entries = tuple(entry_pairs)
+        self.fixed_rights = dict(fixed_rights or {})
+
+        domains: dict[str, Iterable[Value]] = dict(self.files)
+        for x, y in entry_pairs:
+            domains[entry_name(x, y)] = rights_domain()
+        self.space = Space(domains)
+
+        operations = [
+            self._copy_operation(user, fnew, fold)
+            for user, fnew, fold in copy_operations
+        ]
+        operations.extend(extra_operations)
+        self.system = System(self.space, operations)
+
+    # -- rights ------------------------------------------------------------------
+
+    def rights(self, state: State, executor: str, target: str) -> frozenset[str]:
+        """``<executor, target>(sigma)``: the rights in the matrix entry.
+
+        Dynamic entries read from the state; others return the configured
+        fixed rights (default none)."""
+        if (executor, target) in self.dynamic_entries:
+            return state[entry_name(executor, target)]  # type: ignore[return-value]
+        return self.fixed_rights.get((executor, target), frozenset())
+
+    def has_right(
+        self, state: State, right: str, executor: str, target: str
+    ) -> bool:
+        """``right in <executor, target>(sigma)``."""
+        return right in self.rights(state, executor, target)
+
+    # -- operations -----------------------------------------------------------------
+
+    def _copy_operation(self, user: str, fnew: str, fold: str) -> Operation:
+        """Section 1.3's guarded copy."""
+        for f in (fnew, fold):
+            if f not in self.files:
+                raise SpaceError(f"{f!r} is not a file")
+
+        def run(state: State) -> State:
+            allowed = (
+                self.has_right(state, SUBJECT, user, user)
+                and self.has_right(state, READ, user, fold)
+                and self.has_right(state, WRITE, user, fnew)
+            )
+            if allowed:
+                return state.replace(**{fnew: state[fold]})
+            return state
+
+        return Operation(
+            f"copy({user},{fnew},{fold})",
+            run,
+            description=(
+                f"if s in <{user},{user}> and r in <{user},{fold}> and "
+                f"w in <{user},{fnew}> then {fnew} <- {fold}"
+            ),
+        )
+
+    def grant_operation(
+        self, granter: str, right: str, beneficiary: str, target: str
+    ) -> Operation:
+        """A rights-transfer operation: if granter has the right over
+        target, add it to <beneficiary, target>.  Models the matrix
+        *itself* as an information channel (Rotenberg 73's warning)."""
+        entry = entry_name(beneficiary, target)
+        if (beneficiary, target) not in self.dynamic_entries:
+            raise SpaceError(
+                f"entry <{beneficiary},{target}> is not dynamic; "
+                "grant would not be expressible as a state change"
+            )
+
+        def run(state: State) -> State:
+            if self.has_right(state, right, granter, target):
+                updated = state[entry] | {right}  # type: ignore[operator]
+                return state.replace(**{entry: frozenset(updated)})
+            return state
+
+        return Operation(
+            f"grant({granter},{right},{beneficiary},{target})",
+            run,
+            description=(
+                f"if {right} in <{granter},{target}> then "
+                f"<{beneficiary},{target}> +:= {right}"
+            ),
+        )
+
+    # -- constraints ------------------------------------------------------------------
+
+    def deny_constraint(
+        self, denials: Iterable[tuple[str, str, str]], name: str = "deny"
+    ) -> Constraint:
+        """The paper's maximal-solution shape (section 3.5): a disjunction
+        of *missing* rights per triple, conjoined over triples.
+
+        Each triple ``(user, fold, fnew)`` contributes::
+
+            s not in <user,user> or r not in <user,fold> or
+            w not in <user,fnew>
+        """
+        triples = list(denials)
+
+        def holds(state: State) -> bool:
+            for user, fold, fnew in triples:
+                if (
+                    self.has_right(state, SUBJECT, user, user)
+                    and self.has_right(state, READ, user, fold)
+                    and self.has_right(state, WRITE, user, fnew)
+                ):
+                    return False
+            return True
+
+        return Constraint(self.space, holds, name=name)
+
+    def missing_right_constraint(
+        self, right: str, executor: str, target: str
+    ) -> Constraint:
+        """``right not in <executor, target>`` as an initial constraint
+        (e.g. the paper's phi1: r not in <x, alpha>)."""
+        return Constraint(
+            self.space,
+            lambda s: not self.has_right(s, right, executor, target),
+            name=f"{right} not in <{executor},{target}>",
+        )

@@ -1,0 +1,191 @@
+"""A Hydra-flavoured verified-writers substrate (sections 1.1 and 2.6).
+
+The formalism grew out of the Hydra operating system's protection work
+(Wulf 74; Cohen & Jefferson 75).  Section 2.6 recalls one problem from
+Cohen 76: *guarantee that a set of "sensitive" objects can only be
+altered by certain processes executing verified programs* — and notes
+that the initial constraint on the protection state that guaranteed it
+"was quite complex, but autonomous nonetheless".
+
+This module reconstructs a small version of that setting:
+
+- *procedures* execute on behalf of the system; each is (statically)
+  **verified** or not — verification is part of a procedure's identity,
+  not mutable state;
+- per-(procedure, object) **write capabilities** are mutable state
+  objects ``cap[p,o]``;
+- ``write(p, o, src)`` stores ``src`` into ``o`` when p holds the
+  capability;
+- ``transfer(p, q, o)`` propagates p's capability on o to q — and the
+  *mechanism* only mints transfer operations whose recipient is
+  verified (a static check, in the spirit of Hydra's type-checked
+  capability amplification).
+
+The paper's "complex but autonomous" constraint is
+:meth:`integrity_constraint`: for every unverified procedure and every
+sensitive object, the capability is initially absent.  It constrains one
+state object at a time (a conjunction of per-``cap[p,o]`` conditions), so
+it is autonomous — and, thanks to the restricted transfer operations, it
+is invariant, making the full Strong Dependency Induction toolkit
+applicable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.problems import EnforcementProblem
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+
+
+def cap_name(procedure: str, obj: str) -> str:
+    """State-object name of the write capability ``<procedure, obj>``."""
+    return f"cap[{procedure},{obj}]"
+
+
+class VerifiedWritersSystem:
+    """The verified-writers protection scenario.
+
+    Parameters
+    ----------
+    procedures:
+        Mapping procedure name -> verified? (static).
+    objects:
+        Mapping data-object name -> finite content domain.
+    sensitive:
+        The objects whose integrity is to be protected.
+    writes:
+        Triples ``(procedure, target, source)`` to install as guarded
+        write operations.
+    transfers:
+        Triples ``(giver, receiver, object)``; receivers must be
+        verified (the static mechanism) or construction fails.
+    """
+
+    def __init__(
+        self,
+        procedures: Mapping[str, bool],
+        objects: Mapping[str, Iterable[Value]],
+        sensitive: Iterable[str],
+        writes: Iterable[tuple[str, str, str]] = (),
+        transfers: Iterable[tuple[str, str, str]] = (),
+    ) -> None:
+        self.procedures = dict(procedures)
+        self.objects = {name: tuple(dom) for name, dom in objects.items()}
+        self.sensitive = frozenset(sensitive)
+        unknown = self.sensitive - set(self.objects)
+        if unknown:
+            raise SpaceError(f"unknown sensitive objects {sorted(unknown)!r}")
+
+        domains: dict[str, Iterable[Value]] = dict(self.objects)
+        self._write_triples = list(writes)
+        self._transfer_triples = list(transfers)
+        needed_caps: set[str] = set()
+        for p, target, _source in self._write_triples:
+            self._check_procedure(p)
+            needed_caps.add(cap_name(p, target))
+        for giver, receiver, obj in self._transfer_triples:
+            self._check_procedure(giver)
+            self._check_procedure(receiver)
+            if not self.procedures[receiver]:
+                raise SpaceError(
+                    f"transfer to unverified procedure {receiver!r}: the "
+                    "mechanism refuses to mint this operation"
+                )
+            needed_caps.add(cap_name(giver, obj))
+            needed_caps.add(cap_name(receiver, obj))
+        for cap in sorted(needed_caps):
+            domains[cap] = (False, True)
+        self.space = Space(domains)
+
+        operations = [
+            self._write_op(p, target, source)
+            for p, target, source in self._write_triples
+        ]
+        operations += [
+            self._transfer_op(giver, receiver, obj)
+            for giver, receiver, obj in self._transfer_triples
+        ]
+        self.system = System(self.space, operations)
+
+    def _check_procedure(self, name: str) -> None:
+        if name not in self.procedures:
+            raise SpaceError(f"unknown procedure {name!r}")
+
+    def _write_op(self, p: str, target: str, source: str) -> Operation:
+        cap = cap_name(p, target)
+
+        def run(state: State) -> State:
+            if state[cap]:
+                return state.replace(**{target: state[source]})
+            return state
+
+        return Operation(
+            f"write({p},{target},{source})",
+            run,
+            description=f"if cap[{p},{target}] then {target} <- {source}",
+        )
+
+    def _transfer_op(self, giver: str, receiver: str, obj: str) -> Operation:
+        give_cap = cap_name(giver, obj)
+        recv_cap = cap_name(receiver, obj)
+
+        def run(state: State) -> State:
+            if state[give_cap]:
+                return state.replace(**{recv_cap: True})
+            return state
+
+        return Operation(
+            f"transfer({giver},{receiver},{obj})",
+            run,
+            description=f"if cap[{giver},{obj}] then cap[{receiver},{obj}] <- tt",
+        )
+
+    # -- the paper's constraint and problem --------------------------------------
+
+    def integrity_constraint(self) -> Constraint:
+        """Section 2.6's 'complex but autonomous' constraint: every
+        unverified procedure initially lacks every capability on every
+        sensitive object.  A conjunction of single-object conditions —
+        autonomous by construction."""
+        forbidden = [
+            cap_name(p, obj)
+            for p, verified in self.procedures.items()
+            if not verified
+            for obj in sorted(self.sensitive)
+            if cap_name(p, obj) in set(self.space.names)
+        ]
+
+        return Constraint(
+            self.space,
+            lambda s: all(not s[cap] for cap in forbidden),
+            name="unverified-have-no-sensitive-caps",
+        )
+
+    def integrity_problem(self) -> EnforcementProblem:
+        """The behavioral statement: sensitive objects are altered only by
+        verified procedures' writes (Def 1-4 enforcement)."""
+
+        writes_by_op = {
+            f"write({p},{target},{source})": (p, target)
+            for p, target, source in self._write_triples
+        }
+
+        def step_ok(state: State, op: Operation) -> bool:
+            meta = writes_by_op.get(op.name)
+            if meta is None:
+                return True  # transfers never touch data objects
+            p, target = meta
+            if target not in self.sensitive:
+                return True
+            successor = op(state)
+            if successor[target] == state[target]:
+                return True  # no alteration occurred
+            return self.procedures[p]
+
+        return EnforcementProblem(
+            self.system, step_ok, name="verified-writers-only"
+        )

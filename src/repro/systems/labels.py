@@ -1,0 +1,218 @@
+"""Run-time label mechanisms (section 7.3).
+
+The paper surveys two kinds of run-time mechanisms that prevent
+transmission:
+
+- the **star-property** mechanism (Bell & LaPadula 73): classifications
+  of ordinary objects are *fixed*, and writes are permitted only upward.
+  Denning 75 showed such mechanisms prevent downward transmission without
+  adding covert channels — reproducible here with Corollary 4-3.
+- **varying classifications** (Adept-50, Weissman 69): an object's label
+  rises to the join of the labels of the data that reached it.  Denning
+  76 showed the naive version leaks covertly: when the label is raised
+  *conditionally* on the data observed, the label itself becomes a
+  channel.  The paper's remark — raise unconditionally / constrain the
+  initial state — removes the channel.
+
+Both mechanisms are provided as system generators so the claims are
+checkable by the exact dependency engine (benchmark E23).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.errors import SpaceError
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+from repro.systems.security import Lattice
+
+
+def label_name(obj: str) -> str:
+    """State-object name of ``obj``'s current classification label."""
+    return f"lbl[{obj}]"
+
+
+class StaticLabelSystem:
+    """Fixed classifications; copies generated only along the order.
+
+    The mechanism is *static*: the generator refuses to emit any
+    downward copy, so the system contains only label-respecting
+    operations — the star-property enforced at system-construction time.
+
+    >>> from repro.systems.security import TotalOrderLattice
+    >>> s = StaticLabelSystem(
+    ...     {"lo": 0, "hi": 1}, TotalOrderLattice([0, 1]), domain=(0, 1)
+    ... )
+    >>> sorted(s.system.operation_names)
+    ['copy(hi,lo)']
+    """
+
+    def __init__(
+        self,
+        classification: Mapping[str, object],
+        lattice: Lattice,
+        domain: Iterable[Value] = (0, 1),
+    ) -> None:
+        self.classification = dict(classification)
+        self.lattice = lattice
+        values = tuple(domain)
+        self.space = Space({name: values for name in self.classification})
+        operations = []
+        for target in self.classification:
+            for source in self.classification:
+                if source == target:
+                    continue
+                if lattice.leq(
+                    self.classification[source], self.classification[target]
+                ):
+                    operations.append(self._copy(target, source))
+        self.system = System(self.space, operations)
+
+    def _copy(self, target: str, source: str) -> Operation:
+        return Operation(
+            f"copy({target},{source})",
+            lambda s, t=target, src=source: s.replace(**{t: s[src]}),
+            description=f"{target} <- {source} (upward only)",
+        )
+
+    def relation(self):
+        """Corollary 4-3's q: ``Cls(x) <= Cls(y)``."""
+        return lambda x, y: self.lattice.leq(
+            self.classification[x], self.classification[y]
+        )
+
+
+class HighWaterMarkSystem:
+    """Varying classifications: each object carries a label that rises to
+    the join of the labels of data that reached it.
+
+    Every object contributes two state objects: its data (``name``) and
+    its current label (``lbl[name]``).  The generated operation models a
+    Trojan-style *conditional read*: the reader copies the source only
+    when the source's data is "interesting" (non-zero) — exactly the
+    data-dependent access pattern Denning 76 used to exhibit Adept-50's
+    covert leak.  Two mechanism styles:
+
+    - ``observe`` (the Adept-50 bug): the reader's label rises to the
+      join only when the transfer *actually happens*.  Whether the label
+      rose now depends on the secret data — the label itself becomes a
+      covert channel (``data[hi] |> lbl[lo]``).
+    - ``safe`` (raise-on-attempt): the reader's label rises to the join
+      unconditionally when the operation runs, whether or not the data
+      moved.  The label then depends only on which operations ran, never
+      on data — no covert label channel.
+
+    In both styles the mechanism's *intended* guarantee is the high-water
+    property: any object holding secret-derived data carries a label at
+    least the secret's — checkable with :meth:`high_water_invariant` under
+    :meth:`constrained_start`, the paper's "initial properties of an
+    access matrix" remedy (section 7.3).
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[str],
+        lattice: Lattice,
+        domain: Iterable[Value] = (0, 1),
+        style: str = "observe",
+    ) -> None:
+        names = list(objects)
+        if len(set(names)) != len(names):
+            raise SpaceError("duplicate object names")
+        if style not in ("observe", "safe"):
+            raise SpaceError(f"unknown style {style!r}")
+        self.objects = tuple(names)
+        self.lattice = lattice
+        values = tuple(domain)
+        domains: dict[str, Iterable[Value]] = {}
+        for name in names:
+            domains[name] = values
+            domains[label_name(name)] = tuple(lattice.elements)
+        self.space = Space(domains)
+        operations = []
+        for reader in names:
+            for source in names:
+                if reader == source:
+                    continue
+                operations.append(self._conditional_read(reader, source, style))
+        self.system = System(self.space, operations)
+
+    def _conditional_read(
+        self, reader: str, source: str, style: str
+    ) -> Operation:
+        """The Trojan's conditional read: copy only when the source data
+        is non-zero; raise the label per the mechanism style."""
+
+        def run(state: State) -> State:
+            src_lbl = state[label_name(source)]
+            rdr_lbl = state[label_name(reader)]
+            raised = self.lattice.join(rdr_lbl, src_lbl)
+            fires = state[source] != 0
+            changes: dict[str, Value] = {}
+            if fires:
+                changes[reader] = state[source]
+            if fires or style == "safe":
+                changes[label_name(reader)] = raised
+            if not changes:
+                return state
+            return state.replace(**changes)
+
+        verb = "raise on transfer" if style == "observe" else "raise on attempt"
+        return Operation(
+            f"condread({reader},{source})",
+            run,
+            description=f"if {source} != 0 then {reader} <- {source}; {verb}",
+        )
+
+    def constrained_start(self, classification: Mapping[str, object]):
+        """The initial constraint pinning labels to a configuration —
+        the paper's 'initial properties of an access matrix'."""
+        from repro.core.constraints import Constraint
+
+        pinned = {label_name(n): c for n, c in classification.items()}
+        return Constraint(
+            self.space,
+            lambda s: all(s[k] == v for k, v in pinned.items()),
+            name="labels-initialized",
+        )
+
+    def high_water_invariant(
+        self, classification: Mapping[str, object]
+    ) -> "Operation | None":
+        """The mechanism's intended guarantee, checked over every state
+        reachable from a :meth:`constrained_start` state: any object whose
+        data could derive from a source classified ``c`` must carry a
+        label >= c whenever it actually received such data.
+
+        Concretely (and checkably): after any history, an object's label
+        dominates the label every transferred-in source had at transfer
+        time.  We verify the standard consequence — a reader whose data
+        equals a non-zero value last written from ``source`` has
+        ``lbl >= classification[source]`` — by exploring reachable states
+        with provenance tracking.  Returns a violating (state, operation)
+        pair or None.
+        """
+        from repro.core.problems import EnforcementProblem
+
+        def step_ok(state: State, op: Operation) -> bool:
+            successor = op(state)
+            # Whenever data moved from source to reader, the reader's new
+            # label must dominate the source's label at transfer time.
+            for reader in self.objects:
+                for source in self.objects:
+                    if reader == source:
+                        continue
+                    if op.name != f"condread({reader},{source})":
+                        continue
+                    if successor[reader] != state[reader]:  # transfer fired
+                        if not self.lattice.leq(
+                            state[label_name(source)],
+                            successor[label_name(reader)],
+                        ):
+                            return False
+            return True
+
+        problem = EnforcementProblem(self.system, step_ok, name="high-water")
+        phi = self.constrained_start(classification)
+        return problem.enforcement_counterexample(phi)

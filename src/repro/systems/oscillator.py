@@ -1,0 +1,66 @@
+"""The oscillating system of section 6.4.
+
+::
+
+    delta: (beta <- alpha ; alpha <- -alpha)
+    phi(sigma) == sigma.alpha = k
+
+alpha flips sign on every step, so phi is *not* invariant; the most
+restrictive invariant envelope ``alpha in {k, -k}`` re-admits variety and
+fails to prove confinement.  The inductive cover ``{alpha = k, alpha = -k}``
+(Theorem 6-7) succeeds.  This module packages the family so the example
+and its ablation (envelope vs cover) are one import away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.covers import InductiveCover
+from repro.core.errors import SpaceError
+from repro.core.system import System
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import var
+
+
+@dataclass(frozen=True)
+class OscillatorParts:
+    """Everything the section 6.4 discussion needs, prebuilt."""
+
+    system: System
+    phi: Constraint  # alpha = k (non-invariant)
+    envelope: Constraint  # alpha in {k, -k} (invariant but too weak)
+    cover: InductiveCover  # {alpha = k, alpha = -k}
+
+
+def build_oscillator(k: int = 1, extra_values: int = 1) -> OscillatorParts:
+    """Build the oscillator over the domain {-k..k-ish} scaled small.
+
+    ``extra_values`` adds symmetric values beyond +-k so that the envelope
+    constraint is a strict subset of the space (k=37 in the paper; any
+    nonzero k behaves identically).
+    """
+    if k <= 0:
+        raise SpaceError("k must be positive")
+    magnitudes = sorted({k} | {k + i for i in range(1, extra_values + 1)})
+    domain = sorted({v for m in magnitudes for v in (m, -m)} | {0})
+    b = SystemBuilder().obj("alpha", domain).obj("beta", domain)
+    b.op_cmd(
+        "delta",
+        seq(assign("beta", var("alpha")), assign("alpha", 0 - var("alpha"))),
+    )
+    system = b.build()
+    space = system.space
+    phi = Constraint.equals(space, "alpha", k).renamed(f"alpha={k}")
+    envelope = Constraint(
+        space, lambda s: s["alpha"] in (k, -k), name=f"alpha=+-{k}"
+    )
+    cover = InductiveCover(
+        [
+            Constraint.equals(space, "alpha", k).renamed(f"alpha={k}"),
+            Constraint.equals(space, "alpha", -k).renamed(f"alpha={-k}"),
+        ]
+    )
+    return OscillatorParts(system=system, phi=phi, envelope=envelope, cover=cover)

@@ -1,0 +1,175 @@
+"""The pointer-chain system of section 4.3.
+
+Each object contains *data* plus a single *pointer* to another object.  Two
+operation families act on pairs ``(y, x)``::
+
+    delta1(y, x):  if y.ptr = x then y.data <- x.data
+    delta2(y, x):  if y.ptr = x then y.ptr  <- x.ptr
+
+The paper's worked Strong Dependency Induction proof shows: partition the
+objects by a predicate ``Chain`` (those that may reach ``alpha`` through
+pointers) with ``Chain(alpha)`` and ``not Chain(beta)``; then the
+constraint ::
+
+    phi(sigma) == forall y: Chain(sigma.y.ptr) implies Chain(y)
+
+is autonomous and invariant, guarantees there is no pointer chain from
+beta to alpha, and — via Corollary 4-3 with
+``q(x, y) = Chain(x) implies Chain(y)`` — proves that no information can
+ever be transmitted from alpha to beta.
+
+In the state encoding, object ``x`` contributes two state objects:
+``data[x]`` (finite content domain) and ``ptr[x]`` (domain: the object
+names).  The *source* of the paper's problem is ``data[alpha]``, the
+target ``data[beta]``; pointer cells are ordinary objects and participate
+in the analysis (delta2 genuinely transmits pointer variety).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+
+
+def data_name(obj: str) -> str:
+    """State-object name of ``obj.data``."""
+    return f"data[{obj}]"
+
+
+def ptr_name(obj: str) -> str:
+    """State-object name of ``obj.ptr``."""
+    return f"ptr[{obj}]"
+
+
+class PointerSystem:
+    """The section 4.3 system over a finite set of pointer objects.
+
+    >>> ps = PointerSystem(["a", "b", "c"], data_domain=(0, 1))
+    >>> ps.system.space.size
+    216
+    >>> sorted(ps.system.operation_names)[:2]
+    ['copy_data(a,b)', 'copy_data(a,c)']
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[str],
+        data_domain: Iterable[Value] = (0, 1),
+    ) -> None:
+        if len(objects) < 2:
+            raise SpaceError("a pointer system needs at least two objects")
+        if len(set(objects)) != len(objects):
+            raise SpaceError("duplicate object names")
+        self.objects = tuple(objects)
+        domain = tuple(data_domain)
+
+        domains: dict[str, Iterable[Value]] = {}
+        for obj in self.objects:
+            domains[data_name(obj)] = domain
+            domains[ptr_name(obj)] = self.objects
+        self.space = Space(domains)
+
+        operations = []
+        for y, x in itertools.permutations(self.objects, 2):
+            operations.append(self._copy_data(y, x))
+            operations.append(self._copy_ptr(y, x))
+        self.system = System(self.space, operations)
+
+    def _copy_data(self, y: str, x: str) -> Operation:
+        """delta1(y, x): if y.ptr = x then y.data <- x.data."""
+
+        def run(state: State) -> State:
+            if state[ptr_name(y)] == x:
+                return state.replace(**{data_name(y): state[data_name(x)]})
+            return state
+
+        return Operation(
+            f"copy_data({y},{x})",
+            run,
+            description=f"if {y}.ptr = {x} then {y}.data <- {x}.data",
+        )
+
+    def _copy_ptr(self, y: str, x: str) -> Operation:
+        """delta2(y, x): if y.ptr = x then y.ptr <- x.ptr."""
+
+        def run(state: State) -> State:
+            if state[ptr_name(y)] == x:
+                return state.replace(**{ptr_name(y): state[ptr_name(x)]})
+            return state
+
+        return Operation(
+            f"copy_ptr({y},{x})",
+            run,
+            description=f"if {y}.ptr = {x} then {y}.ptr <- {x}.ptr",
+        )
+
+    # -- the paper's predicates -----------------------------------------------------
+
+    def points(self, state: State, start: str, goal: str) -> bool:
+        """``points(start, goal, n)`` for some n >= 0: there is a chain of
+        pointers from ``start`` to ``goal`` in ``state`` (section 4.3's
+        recursive definition, closed over all lengths)."""
+        seen: set[str] = set()
+        cursor = start
+        while cursor not in seen:
+            if cursor == goal:
+                return True
+            seen.add(cursor)
+            cursor = state[ptr_name(cursor)]  # type: ignore[assignment]
+        return cursor == goal
+
+    def chain_constraint(self, chain: Iterable[str]) -> Constraint:
+        """The paper's phi for a chosen Chain set::
+
+            phi(sigma) == forall y: Chain(sigma.y.ptr) implies Chain(y)
+
+        i.e. no object outside the chain set points into it.  The paper
+        proves (and the library's checkers confirm) that this phi is
+        autonomous and invariant under both operation families.
+        """
+        chain_set = frozenset(chain)
+        unknown = chain_set - set(self.objects)
+        if unknown:
+            raise SpaceError(f"unknown chain objects {sorted(unknown)!r}")
+
+        def holds(state: State) -> bool:
+            for y in self.objects:
+                if state[ptr_name(y)] in chain_set and y not in chain_set:
+                    return False
+            return True
+
+        return Constraint(
+            self.space, holds, name=f"chain-closed({','.join(sorted(chain_set))})"
+        )
+
+    def chain_relation(self, chain: Iterable[str]):
+        """Corollary 4-3's q over *state-object* names::
+
+            q(x, y) == Chain(x) implies Chain(y)
+
+        Data and pointer cells inherit their object's Chain membership.
+        """
+        chain_set = frozenset(chain)
+
+        def in_chain(state_object: str) -> bool:
+            for obj in self.objects:
+                if state_object in (data_name(obj), ptr_name(obj)):
+                    return obj in chain_set
+            raise SpaceError(f"unknown state object {state_object!r}")
+
+        return lambda x, y: (not in_chain(x)) or in_chain(y)
+
+    def no_chain_witness(
+        self, phi: Constraint, start: str, goal: str
+    ) -> State | None:
+        """A phi-state containing a pointer chain from start to goal, or
+        None — used to confirm phi guarantees ``not points(beta, alpha)``."""
+        for state in phi.states():
+            if self.points(state, start, goal):
+                return state
+        return None

@@ -1,0 +1,66 @@
+"""Sequential-program substrate: mini-language, flowcharts, Floyd assertions."""
+
+from repro.systems.program.analysis import (
+    ProgramSystem,
+    build_program_system,
+    program_transmits,
+    prove_program_no_flow,
+)
+from repro.systems.program.assertions import FloydAssertions
+from repro.systems.program.ast import (
+    AssignStmt,
+    IfStmt,
+    SeqStmt,
+    SkipStmt,
+    Stmt,
+    WhileStmt,
+    p_assign,
+    p_if,
+    p_seq,
+    p_skip,
+    p_while,
+)
+from repro.systems.program.flowchart import (
+    PC,
+    AssignNode,
+    Flowchart,
+    JumpNode,
+    TestNode,
+    compile_program,
+)
+from repro.systems.program.parser import parse, parse_expr
+from repro.systems.program.semantics import (
+    NonTermination,
+    execute,
+    semantic_noninterference,
+)
+
+__all__ = [
+    "PC",
+    "AssignNode",
+    "AssignStmt",
+    "Flowchart",
+    "FloydAssertions",
+    "IfStmt",
+    "JumpNode",
+    "NonTermination",
+    "ProgramSystem",
+    "SeqStmt",
+    "SkipStmt",
+    "Stmt",
+    "TestNode",
+    "WhileStmt",
+    "build_program_system",
+    "compile_program",
+    "execute",
+    "p_assign",
+    "p_if",
+    "p_seq",
+    "p_skip",
+    "p_while",
+    "parse",
+    "parse_expr",
+    "program_transmits",
+    "prove_program_no_flow",
+    "semantic_noninterference",
+]

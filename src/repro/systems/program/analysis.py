@@ -1,0 +1,121 @@
+"""End-to-end program information-flow analysis (section 6.5).
+
+Glue between the program substrate and the core proof engines:
+
+- :func:`build_program_system` — parse-or-take a statement, compile to a
+  flowchart, and build the pc-guarded computational system.
+- :func:`prove_program_no_flow` — the paper's technique: verify a Floyd
+  assertion network, form an inductive cover, and discharge Theorem 6-7's
+  obligations to conclude ``not A |>_phi beta``.
+- :func:`program_transmits` — the *exact* strong-dependency answer for the
+  flowchart system (pair-graph reachability), used to cross-check proofs
+  and to reproduce the section 6.5 observer discussion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import DependencyResult
+from repro.core.induction import Proof
+from repro.core.reachability import depends_ever
+from repro.core.state import Value
+from repro.core.system import System
+from repro.systems.program.assertions import FloydAssertions
+from repro.systems.program.ast import Stmt
+from repro.systems.program.flowchart import Flowchart, compile_program
+from repro.systems.program.parser import parse
+
+
+@dataclass(frozen=True)
+class ProgramSystem:
+    """A compiled program plus its computational system."""
+
+    flowchart: Flowchart
+    system: System
+
+    @property
+    def space(self):
+        return self.system.space
+
+    def entry_constraint(self, extra: Constraint | None = None) -> Constraint:
+        return self.flowchart.entry_constraint(self.space, extra)
+
+
+def build_program_system(
+    program: str | Stmt | Flowchart,
+    domains: Mapping[str, Iterable[Value]],
+) -> ProgramSystem:
+    """Compile source text, a statement, or a prebuilt flowchart into a
+    pc-guarded computational system.
+
+    >>> ps = build_program_system("b := a", {"a": (0, 1), "b": (0, 1)})
+    >>> ps.system.operation_names
+    ('delta1',)
+    """
+    if isinstance(program, str):
+        flowchart = compile_program(parse(program))
+    elif isinstance(program, Stmt):
+        flowchart = compile_program(program)
+    else:
+        flowchart = program
+    return ProgramSystem(flowchart, flowchart.to_system(domains))
+
+
+def prove_program_no_flow(
+    ps: ProgramSystem,
+    assertions: Mapping[int, Constraint],
+    sources: Iterable[str],
+    target: str,
+    cover_style: str = "global",
+) -> Proof:
+    """The section 6.5 proof technique, end to end.
+
+    1. Check the Floyd verification conditions for ``assertions``.
+    2. Build the inductive cover (``per-pc`` for straight-line flowcharts,
+       ``global`` in general).
+    3. Apply Theorem 6-7 to conclude ``not A |>_phi beta`` where phi is
+       the entry assertion conjoined with ``pc = entry``.
+
+    The returned proof contains all three stages as obligations.
+    """
+    network = FloydAssertions(ps.flowchart, ps.space, assertions)
+    vc_proof = network.check(ps.system)
+    if cover_style == "per-pc":
+        cover = network.per_pc_cover()
+    elif cover_style == "global":
+        cover = network.global_cover()
+    else:
+        raise ValueError(f"unknown cover style {cover_style!r}")
+    phi = network.entry_constraint()
+    main = cover.prove_no_dependency(ps.system, sources, target, phi)
+    return Proof(
+        conclusion=main.conclusion,
+        obligations=(
+            *(vc_proof.obligations),
+            *(main.obligations),
+        ),
+    )
+
+
+def program_transmits(
+    ps: ProgramSystem,
+    sources: Iterable[str],
+    target: str,
+    entry_assertion: Constraint | None = None,
+) -> DependencyResult:
+    """Exact strong dependency on the flowchart system: does any operation
+    sequence transmit from ``sources`` to ``target`` given the entry
+    constraint?
+
+    Per section 6.5, this assumes the observer of the target knows the
+    executed history — so a program that writes ``beta := 0`` on *both*
+    branches of a secret test still transmits (the write's timing reveals
+    the branch); compare :func:`semantic_noninterference
+    <repro.systems.program.semantics.semantic_noninterference>`, the
+    whole-program notion under which it does not.
+    """
+    phi = ps.entry_constraint(entry_assertion)
+    return depends_ever(ps.system, sources, target, phi)

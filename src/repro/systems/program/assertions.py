@@ -1,0 +1,139 @@
+"""Floyd assertions as inductive covers (section 6.5).
+
+Attach an assertion ``phi_i`` to each statement ``delta_i`` (plus an entry
+assertion and an exit assertion).  Their pc-tagged forms ::
+
+    phi_i*(sigma) == phi_i(sigma) and sigma.pc = i
+
+always cover the reachable states: control is always at some node, and a
+*verified* assertion network means the assertion there holds.  This makes
+``{phi_i*}`` an inductive cover for ``entry-assertion and pc = entry``
+(Def 6-2) whenever every node has a single successor (the paper's
+flowcharts — tests are folded into conditional assignments).  For general
+branching flowcharts the image of a single ``phi_i*`` under a TestNode
+spans two pcs and no single member contains it; the *global* Floyd
+invariant ``Theta = OR_i phi_i*`` is then the inductive cover to use
+(a one-member cover; Theorem 6-7 still applies).
+
+:class:`FloydAssertions` checks the verification conditions and
+manufactures both cover styles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.constraints import Constraint, disjoin
+from repro.core.covers import InductiveCover
+from repro.core.errors import ProgramError
+from repro.core.induction import Obligation, Proof
+from repro.core.state import Space
+from repro.core.system import System
+from repro.systems.program.flowchart import PC, Flowchart
+
+
+class FloydAssertions:
+    """An assertion network for a flowchart program.
+
+    Parameters
+    ----------
+    flowchart:
+        The program.
+    space:
+        The program system's state space (variables + pc).
+    assertions:
+        Mapping pc -> assertion over *program variables* (they may mention
+        the pc but need not).  Every node pc and the halt pc must be
+        covered; use :meth:`trivial` for "no information" points.
+    """
+
+    def __init__(
+        self,
+        flowchart: Flowchart,
+        space: Space,
+        assertions: Mapping[int, Constraint],
+    ) -> None:
+        self.flowchart = flowchart
+        self.space = space
+        needed = set(flowchart.nodes) | {flowchart.halt}
+        missing = needed - set(assertions)
+        if missing:
+            raise ProgramError(
+                f"assertions missing for pcs {sorted(missing)!r} "
+                "(use trivial() for don't-care points)"
+            )
+        for pc, phi in assertions.items():
+            if phi.space != space:
+                raise ProgramError(
+                    f"assertion for pc {pc} is over a different space"
+                )
+        self.assertions = dict(assertions)
+
+    @staticmethod
+    def trivial(space: Space) -> Constraint:
+        """The always-true assertion."""
+        return Constraint.true(space)
+
+    def starred(self, pc: int) -> Constraint:
+        """``phi_i* == phi_i and pc = i`` (the paper's phi-star)."""
+        phi = self.assertions[pc]
+        return Constraint(
+            self.space,
+            lambda s, phi=phi, pc=pc: s[PC] == pc and phi(s),
+            name=f"{phi.name}*pc={pc}",
+        )
+
+    # -- verification conditions -------------------------------------------------------
+
+    def check(self, system: System) -> Proof:
+        """Floyd's verification conditions, decided exactly: executing any
+        node from a state satisfying its starred assertion lands in a state
+        satisfying the starred assertion of the new pc."""
+        obligations: list[Obligation] = []
+        for pc in sorted(self.flowchart.nodes):
+            op = system.operation(f"delta{pc}")
+            starred = self.starred(pc)
+            violation = None
+            for state in starred.states():
+                successor = op(state)
+                succ_pc = successor[PC]
+                target = self.assertions.get(succ_pc)  # type: ignore[arg-type]
+                if target is None or not target(successor):
+                    violation = (state, successor)
+                    break
+            obligations.append(
+                Obligation(
+                    f"VC for delta{pc}: "
+                    f"{self.assertions[pc].name} is preserved into successors",
+                    violation is None,
+                    violation,
+                )
+            )
+        return Proof(
+            conclusion="Floyd assertion network is verified",
+            obligations=tuple(obligations),
+        )
+
+    # -- covers -------------------------------------------------------------------------
+
+    def per_pc_cover(self) -> InductiveCover:
+        """The paper's cover ``{phi_i*}`` — exact for single-successor
+        flowcharts; :meth:`~repro.core.covers.InductiveCover.check` will
+        reject it (with a witness) for branching programs."""
+        members = [self.starred(pc) for pc in sorted(self.assertions)]
+        return InductiveCover(members)
+
+    def global_cover(self) -> InductiveCover:
+        """The one-member cover ``{Theta}``, ``Theta = OR_i phi_i*`` — the
+        global Floyd invariant; valid for any verified network."""
+        theta = disjoin(
+            [self.starred(pc) for pc in sorted(self.assertions)],
+            name="Theta",
+        )
+        return InductiveCover([theta])
+
+    def entry_constraint(self) -> Constraint:
+        """``entry-assertion and pc = entry``."""
+        return self.flowchart.entry_constraint(
+            self.space, self.assertions[self.flowchart.entry]
+        )

@@ -1,0 +1,143 @@
+"""Statement AST for the mini-language of section 6.5.
+
+Programs are structured statements (skip / assignment / conditional /
+while / sequence) over the expression language of
+:mod:`repro.lang.expr`.  They can be executed directly
+(:mod:`repro.systems.program.semantics`) or compiled to a flowchart
+computational system with an explicit program counter
+(:mod:`repro.systems.program.flowchart`) — the paper's Lipton-style
+modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.expr import Expr, coerce
+
+
+class Stmt:
+    """Base class for statements."""
+
+    def reads(self) -> frozenset[str]:
+        """Variables the statement may read (guards included)."""
+        raise NotImplementedError
+
+    def writes(self) -> frozenset[str]:
+        """Variables the statement may write."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SkipStmt(Stmt):
+    def reads(self) -> frozenset[str]:
+        return frozenset()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class AssignStmt(Stmt):
+    target: str
+    expr: Expr
+
+    def reads(self) -> frozenset[str]:
+        return self.expr.reads()
+
+    def writes(self) -> frozenset[str]:
+        return frozenset([self.target])
+
+    def __repr__(self) -> str:
+        return f"{self.target} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class SeqStmt(Stmt):
+    parts: tuple[Stmt, ...]
+
+    def reads(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.reads()
+        return out
+
+    def writes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.writes()
+        return out
+
+    def __repr__(self) -> str:
+        return "; ".join(map(repr, self.parts))
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Stmt
+
+    def reads(self) -> frozenset[str]:
+        return self.cond.reads() | self.then_stmt.reads() | self.else_stmt.reads()
+
+    def writes(self) -> frozenset[str]:
+        return self.then_stmt.writes() | self.else_stmt.writes()
+
+    def __repr__(self) -> str:
+        if isinstance(self.else_stmt, SkipStmt):
+            return f"if {self.cond!r} then {{ {self.then_stmt!r} }}"
+        return (
+            f"if {self.cond!r} then {{ {self.then_stmt!r} }} "
+            f"else {{ {self.else_stmt!r} }}"
+        )
+
+
+@dataclass(frozen=True)
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+
+    def reads(self) -> frozenset[str]:
+        return self.cond.reads() | self.body.reads()
+
+    def writes(self) -> frozenset[str]:
+        return self.body.writes()
+
+    def __repr__(self) -> str:
+        return f"while {self.cond!r} do {{ {self.body!r} }}"
+
+
+def p_skip() -> SkipStmt:
+    return SkipStmt()
+
+
+def p_assign(target: str, expr: object) -> AssignStmt:
+    return AssignStmt(target, coerce(expr))
+
+
+def p_seq(*parts: Stmt) -> Stmt:
+    flat: list[Stmt] = []
+    for part in parts:
+        if isinstance(part, SeqStmt):
+            flat.extend(part.parts)
+        elif not isinstance(part, SkipStmt):
+            flat.append(part)
+    if not flat:
+        return SkipStmt()
+    if len(flat) == 1:
+        return flat[0]
+    return SeqStmt(tuple(flat))
+
+
+def p_if(cond: object, then_stmt: Stmt, else_stmt: Stmt | None = None) -> IfStmt:
+    return IfStmt(
+        coerce(cond), then_stmt, else_stmt if else_stmt is not None else SkipStmt()
+    )
+
+
+def p_while(cond: object, body: Stmt) -> WhileStmt:
+    return WhileStmt(coerce(cond), body)

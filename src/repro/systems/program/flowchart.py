@@ -1,0 +1,324 @@
+"""Flowchart programs with an explicit program counter (section 6.5).
+
+Following the paper (after Lipton 73), a flowchart program is modelled as a
+computational system with one operation per statement::
+
+    delta_i:  if pc = i then (effect_i ; pc <- successor)
+
+so arbitrary operation sequences are permitted but only the operation whose
+guard matches the pc has any effect — program order emerges from the pc.
+
+Node kinds:
+
+- :class:`AssignNode` — ``x := e; pc <- next`` (``e`` may be conditional,
+  matching the paper's combined test-assign nodes),
+- :class:`TestNode` — ``pc <- true_next if cond else false_next``,
+- :class:`JumpNode` — ``pc <- next`` (compiled from control joins).
+
+A :class:`Flowchart` is built either directly (to transcribe the paper's
+figures node for node) or by compiling a structured
+:class:`~repro.systems.program.ast.Stmt` via :func:`compile_program`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.errors import ProgramError
+from repro.core.state import Space, State, Value
+from repro.core.system import Operation, System
+from repro.lang.expr import Expr, coerce
+from repro.systems.program.ast import (
+    AssignStmt,
+    IfStmt,
+    SeqStmt,
+    SkipStmt,
+    Stmt,
+    WhileStmt,
+)
+
+PC = "pc"
+
+
+@dataclass(frozen=True)
+class AssignNode:
+    """``pc = pc_  ->  target := expr ; pc <- next``."""
+
+    pc: int
+    target: str
+    expr: Expr
+    next: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expr", coerce(self.expr))
+
+    def successors(self) -> tuple[int, ...]:
+        return (self.next,)
+
+    def __repr__(self) -> str:
+        return f"[{self.pc}] {self.target} := {self.expr!r} -> {self.next}"
+
+
+@dataclass(frozen=True)
+class TestNode:
+    """``pc = pc_  ->  pc <- (true_next if cond else false_next)``."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    pc: int
+    cond: Expr
+    true_next: int
+    false_next: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cond", coerce(self.cond))
+
+    def successors(self) -> tuple[int, ...]:
+        return (self.true_next, self.false_next)
+
+    def __repr__(self) -> str:
+        return (
+            f"[{self.pc}] if {self.cond!r} -> {self.true_next} "
+            f"else {self.false_next}"
+        )
+
+
+@dataclass(frozen=True)
+class JumpNode:
+    """``pc = pc_  ->  pc <- next``."""
+
+    pc: int
+    next: int
+
+    def successors(self) -> tuple[int, ...]:
+        return (self.next,)
+
+    def __repr__(self) -> str:
+        return f"[{self.pc}] goto {self.next}"
+
+
+Node = AssignNode | TestNode | JumpNode
+
+
+class Flowchart:
+    """A flowchart program: numbered nodes, an entry pc, and a halt pc."""
+
+    def __init__(
+        self, nodes: Iterable[Node], entry: int = 1, halt: int | None = None
+    ) -> None:
+        node_list = list(nodes)
+        self.nodes: dict[int, Node] = {}
+        for node in node_list:
+            if node.pc in self.nodes:
+                raise ProgramError(f"duplicate pc {node.pc}")
+            self.nodes[node.pc] = node
+        if not self.nodes:
+            raise ProgramError("a flowchart needs at least one node")
+        self.entry = entry
+        self.halt = halt if halt is not None else max(self.nodes) + 1
+        if self.halt in self.nodes:
+            raise ProgramError("halt pc collides with a node")
+        if entry not in self.nodes and entry != self.halt:
+            raise ProgramError(f"entry pc {entry} has no node")
+        for node in self.nodes.values():
+            for succ in node.successors():
+                if succ not in self.nodes and succ != self.halt:
+                    raise ProgramError(
+                        f"node {node!r} jumps to undefined pc {succ}"
+                    )
+
+    @property
+    def pc_domain(self) -> tuple[int, ...]:
+        return tuple(sorted(set(self.nodes) | {self.halt, self.entry}))
+
+    def variables(self) -> frozenset[str]:
+        """Program variables mentioned by any node."""
+        out: set[str] = set()
+        for node in self.nodes.values():
+            if isinstance(node, AssignNode):
+                out.add(node.target)
+                out |= node.expr.reads()
+            elif isinstance(node, TestNode):
+                out |= node.cond.reads()
+        return frozenset(out)
+
+    # -- system construction --------------------------------------------------------
+
+    def space(self, domains: Mapping[str, Iterable[Value]]) -> Space:
+        """State space: the program variables plus the pc."""
+        missing = self.variables() - set(domains)
+        if missing:
+            raise ProgramError(
+                f"no domain given for program variables {sorted(missing)!r}"
+            )
+        merged: dict[str, Iterable[Value]] = {
+            name: tuple(values) for name, values in domains.items()
+        }
+        if PC in merged:
+            raise ProgramError("'pc' is reserved")
+        merged[PC] = self.pc_domain
+        return Space(merged)
+
+    def _node_operation(self, node: Node) -> Operation:
+        # Operations are built as guarded *commands*, so the syntactic
+        # baselines (taint, flow extraction) can analyze program systems.
+        from repro.lang.cmd import assign as cmd_assign, seq as cmd_seq, when
+        from repro.lang.expr import if_expr, var
+        from repro.lang.ops import StructuredOperation
+
+        guard = var(PC) == node.pc
+        if isinstance(node, AssignNode):
+            body = cmd_seq(
+                cmd_assign(node.target, node.expr), cmd_assign(PC, node.next)
+            )
+        elif isinstance(node, TestNode):
+            body = cmd_assign(
+                PC, if_expr(node.cond, node.true_next, node.false_next)
+            )
+        else:
+            body = cmd_assign(PC, node.next)
+        return StructuredOperation(
+            f"delta{node.pc}",
+            when(guard, body),
+            description=f"if pc = {node.pc} then ({body!r})",
+        )
+
+    def to_system(self, domains: Mapping[str, Iterable[Value]]) -> System:
+        """One pc-guarded operation per node, over variables + pc."""
+        space = self.space(domains)
+        return System(
+            space,
+            [self._node_operation(self.nodes[pc]) for pc in sorted(self.nodes)],
+        )
+
+    def step_operation(self) -> Operation:
+        """The *sequential control mechanism* (sections 6.5/7.3): a single
+        operation that executes whichever node the pc selects (no-op at
+        halt).  Histories of the step system are program runs of a given
+        length — the execution model under which an observer sees only
+        the passage of time, not which instruction ran."""
+        per_node = {
+            pc: self._node_operation(node) for pc, node in self.nodes.items()
+        }
+
+        def run(state: State) -> State:
+            op = per_node.get(state[PC])  # type: ignore[arg-type]
+            if op is None:
+                return state  # halted
+            return op(state)
+
+        return Operation(
+            "step", run, description="execute the node selected by the pc"
+        )
+
+    def to_step_system(self, domains: Mapping[str, Iterable[Value]]) -> System:
+        """The mechanism-mediated system: only ``step`` is exposed."""
+        return System(self.space(domains), [self.step_operation()])
+
+    def entry_constraint(
+        self, space: Space, extra: Constraint | None = None
+    ) -> Constraint:
+        """``phi(sigma) == sigma.pc = entry [and entry-assertion]``
+        — the section 6.5 constraint guaranteeing execution begins at
+        "start"."""
+        at_entry = Constraint.equals(space, PC, self.entry).renamed(
+            f"pc={self.entry}"
+        )
+        if extra is None:
+            return at_entry
+        return (extra & at_entry).renamed(f"({extra.name} & pc={self.entry})")
+
+    # -- direct execution ----------------------------------------------------------------
+
+    def run_to_halt(self, state: State, fuel: int = 10_000) -> State:
+        """Execute from the state's own pc until the halt pc."""
+        steps = 0
+        while state[PC] != self.halt:
+            node = self.nodes.get(state[PC])  # type: ignore[arg-type]
+            if node is None:
+                raise ProgramError(f"pc {state[PC]!r} has no node")
+            state = self._node_operation(node)(state)
+            steps += 1
+            if steps > fuel:
+                raise ProgramError("flowchart execution fuel exhausted")
+        return state
+
+
+def compile_program(stmt: Stmt, entry: int = 1) -> Flowchart:
+    """Compile a structured statement into a flowchart.
+
+    Standard single-pass compilation with backpatching; node numbering is
+    program order starting at ``entry``.
+
+    >>> from repro.systems.program.ast import p_assign, p_if, p_seq
+    >>> from repro.lang.expr import var
+    >>> fc = compile_program(p_seq(
+    ...     p_assign("t", var("q") > 2),
+    ...     p_if(var("t"), p_assign("b", var("a"))),
+    ... ))
+    >>> len(fc.nodes), fc.halt
+    (3, 4)
+    """
+    instructions: list[dict] = []
+
+    def emit(kind: str, **fields) -> int:
+        instructions.append({"kind": kind, **fields})
+        return len(instructions) - 1
+
+    def comp(s: Stmt) -> None:
+        if isinstance(s, SkipStmt):
+            return
+        if isinstance(s, AssignStmt):
+            emit("assign", target=s.target, expr=s.expr)
+            return
+        if isinstance(s, SeqStmt):
+            for part in s.parts:
+                comp(part)
+            return
+        if isinstance(s, IfStmt):
+            test_index = emit("test", cond=s.cond)
+            comp(s.then_stmt)
+            if isinstance(s.else_stmt, SkipStmt):
+                instructions[test_index]["false_target"] = len(instructions)
+            else:
+                jump_index = emit("jump")
+                instructions[test_index]["false_target"] = len(instructions)
+                comp(s.else_stmt)
+                instructions[jump_index]["target"] = len(instructions)
+            return
+        if isinstance(s, WhileStmt):
+            test_index = emit("test", cond=s.cond)
+            comp(s.body)
+            emit("jump", target=test_index)
+            instructions[test_index]["false_target"] = len(instructions)
+            return
+        raise ProgramError(f"cannot compile {s!r}")
+
+    comp(stmt)
+    if not instructions:
+        # A pure skip program: a single jump to halt keeps the shape valid.
+        emit("jump", target=1)
+
+    def pc_of(index: int) -> int:
+        return entry + index
+
+    nodes: list[Node] = []
+    for index, ins in enumerate(instructions):
+        if ins["kind"] == "assign":
+            nodes.append(
+                AssignNode(pc_of(index), ins["target"], ins["expr"], pc_of(index + 1))
+            )
+        elif ins["kind"] == "test":
+            nodes.append(
+                TestNode(
+                    pc_of(index),
+                    ins["cond"],
+                    pc_of(index + 1),
+                    pc_of(ins["false_target"]),
+                )
+            )
+        else:
+            nodes.append(JumpNode(pc_of(index), pc_of(ins["target"])))
+    return Flowchart(nodes, entry=entry, halt=pc_of(len(instructions)))

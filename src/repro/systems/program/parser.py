@@ -1,0 +1,268 @@
+"""A small parser for the mini-language.
+
+Grammar (semicolon sequences, C-ish precedence)::
+
+    program  := stmt (';' stmt)* [';']
+    stmt     := 'skip'
+              | IDENT ':=' expr
+              | 'if' expr 'then' block ['else' block]
+              | 'while' expr 'do' block
+    block    := stmt | '{' program '}'
+    expr     := or_e
+    or_e     := and_e ('or' and_e)*
+    and_e    := not_e ('and' not_e)*
+    not_e    := 'not' not_e | cmp_e
+    cmp_e    := add_e [('<' | '<=' | '>' | '>=' | '=' | '!=') add_e]
+    add_e    := mul_e (('+' | '-') mul_e)*
+    mul_e    := atom (('*' | '%' | '/') atom)*
+    atom     := INT | 'true' | 'false' | IDENT | '(' expr ')' | '-' atom
+
+Example::
+
+    >>> stmt = parse("if q > 10 then t := true else t := false; "
+    ...              "if t then beta := alpha")
+    >>> from repro.systems.program.ast import SeqStmt
+    >>> isinstance(stmt, SeqStmt)
+    True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+from repro.lang.expr import Expr, const, var
+from repro.systems.program.ast import (
+    Stmt,
+    p_assign,
+    p_if,
+    p_seq,
+    p_skip,
+    p_while,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<int>\d+)|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>:=|<=|>=|!=|[-+*/%<>=();{}]))"
+)
+
+_KEYWORDS = frozenset(
+    {"if", "then", "else", "while", "do", "skip", "true", "false", "and", "or", "not"}
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "int" | "ident" | "op" | "kw" | "eof"
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    line = 1
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None or match.end() == index:
+            rest = source[index:].lstrip()
+            if not rest:
+                break
+            raise ParseError(f"unexpected character {rest[0]!r}", line)
+        line += source.count("\n", index, match.start())
+        if match.group("int") is not None:
+            tokens.append(_Token("int", match.group("int"), line))
+        elif match.group("ident") is not None:
+            text = match.group("ident")
+            kind = "kw" if text in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, line))
+        else:
+            tokens.append(_Token("op", match.group("op"), line))
+        index = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def match(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            return False
+        self.advance()
+        return True
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------------
+
+    def program(self) -> Stmt:
+        parts = [self.stmt()]
+        while self.match("op", ";"):
+            if self.peek().kind == "eof" or self.peek().text == "}":
+                break  # trailing semicolon
+            parts.append(self.stmt())
+        return p_seq(*parts)
+
+    def stmt(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "kw" and token.text == "skip":
+            self.advance()
+            return p_skip()
+        if token.kind == "kw" and token.text == "if":
+            self.advance()
+            cond = self.expr()
+            self.expect("kw", "then")
+            then_stmt = self.block()
+            else_stmt = self.block() if self.match("kw", "else") else None
+            return p_if(cond, then_stmt, else_stmt)
+        if token.kind == "kw" and token.text == "while":
+            self.advance()
+            cond = self.expr()
+            self.expect("kw", "do")
+            return p_while(cond, self.block())
+        if token.kind == "ident":
+            name = self.advance().text
+            self.expect("op", ":=")
+            return p_assign(name, self.expr())
+        raise ParseError(
+            f"expected a statement, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+    def block(self) -> Stmt:
+        if self.match("op", "{"):
+            inner = self.program()
+            self.expect("op", "}")
+            return inner
+        return self.stmt()
+
+    def expr(self) -> Expr:
+        return self.or_e()
+
+    def or_e(self) -> Expr:
+        left = self.and_e()
+        while self.match("kw", "or"):
+            left = left | self.and_e()
+        return left
+
+    def and_e(self) -> Expr:
+        left = self.not_e()
+        while self.match("kw", "and"):
+            left = left & self.not_e()
+        return left
+
+    def not_e(self) -> Expr:
+        if self.match("kw", "not"):
+            return ~self.not_e()
+        return self.cmp_e()
+
+    _CMP = {"<": "__lt__", "<=": "__le__", ">": "__gt__", ">=": "__ge__"}
+
+    def cmp_e(self) -> Expr:
+        left = self.add_e()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("<", "<=", ">", ">=", "=", "!="):
+            self.advance()
+            right = self.add_e()
+            if token.text == "=":
+                return left == right
+            if token.text == "!=":
+                return left != right
+            return getattr(left, self._CMP[token.text])(right)
+        return left
+
+    def add_e(self) -> Expr:
+        left = self.mul_e()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                right = self.mul_e()
+                left = left + right if token.text == "+" else left - right
+            else:
+                return left
+
+    def mul_e(self) -> Expr:
+        left = self.atom()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "%", "/"):
+                self.advance()
+                right = self.atom()
+                if token.text == "*":
+                    left = left * right
+                elif token.text == "%":
+                    left = left % right
+                else:
+                    left = left // right
+            else:
+                return left
+
+    def atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return const(int(token.text))
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self.advance()
+            return const(token.text == "true")
+        if token.kind == "ident":
+            self.advance()
+            return var(token.text)
+        if self.match("op", "("):
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        if self.match("op", "-"):
+            return -self.atom()
+        raise ParseError(
+            f"expected an expression, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse(source: str) -> Stmt:
+    """Parse a mini-language program into a statement AST."""
+    parser = _Parser(source)
+    stmt = parser.program()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}", trailing.position
+        )
+    return stmt
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(source)
+    expr = parser.expr()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}", trailing.position
+        )
+    return expr

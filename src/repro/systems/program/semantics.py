@@ -1,0 +1,97 @@
+"""Direct big-step execution of mini-language programs.
+
+Execution against a :class:`~repro.core.state.State` with a fuel bound
+(while-loops may diverge); the flowchart compilation in
+:mod:`repro.systems.program.flowchart` must agree with this semantics,
+which the integration tests check.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import EvaluationError
+from repro.core.state import State
+from repro.systems.program.ast import (
+    AssignStmt,
+    IfStmt,
+    SeqStmt,
+    SkipStmt,
+    Stmt,
+    WhileStmt,
+)
+
+
+class NonTermination(EvaluationError):
+    """Raised when execution exhausts its fuel budget."""
+
+
+def execute(stmt: Stmt, state: State, fuel: int = 10_000) -> State:
+    """Run ``stmt`` to completion; raise :class:`NonTermination` when the
+    step budget is exhausted.
+
+    >>> from repro.core.state import Space
+    >>> from repro.systems.program.ast import p_assign
+    >>> from repro.lang.expr import var
+    >>> sp = Space({"x": range(4), "y": range(4)})
+    >>> execute(p_assign("y", var("x")), sp.state(x=3, y=0))["y"]
+    3
+    """
+    final, _remaining = _run(stmt, state, fuel)
+    return final
+
+
+def _run(stmt: Stmt, state: State, fuel: int) -> tuple[State, int]:
+    if fuel <= 0:
+        raise NonTermination("execution fuel exhausted")
+    if isinstance(stmt, SkipStmt):
+        return state, fuel - 1
+    if isinstance(stmt, AssignStmt):
+        return state.replace(**{stmt.target: stmt.expr.eval(state)}), fuel - 1
+    if isinstance(stmt, SeqStmt):
+        for part in stmt.parts:
+            state, fuel = _run(part, state, fuel)
+        return state, fuel
+    if isinstance(stmt, IfStmt):
+        branch = stmt.then_stmt if stmt.cond.eval(state) else stmt.else_stmt
+        return _run(branch, state, fuel - 1)
+    if isinstance(stmt, WhileStmt):
+        while stmt.cond.eval(state):
+            state, fuel = _run(stmt.body, state, fuel - 1)
+            if fuel <= 0:
+                raise NonTermination("execution fuel exhausted")
+        return state, fuel - 1
+    raise EvaluationError(f"unknown statement {stmt!r}")
+
+
+def semantic_noninterference(
+    stmt: Stmt,
+    space,
+    source: str,
+    target: str,
+    entry=None,
+    fuel: int = 10_000,
+) -> tuple[State, State] | None:
+    """The *semantic* (whole-program, termination-observing) check: a pair
+    of entry states differing only at ``source`` whose final ``target``
+    values differ, or None if none exists.
+
+    This is what "looking at the program" concludes in section 6.5's
+    two-branch example — it differs from strong dependency on the
+    flowchart system, because strong dependency assumes the observer sees
+    the history.  Keeping both notions lets the benches reproduce the
+    paper's discussion exactly.
+    """
+    buckets: dict[tuple, list[State]] = {}
+    for state in space.states():
+        if entry is not None and not entry(state):
+            continue
+        buckets.setdefault(state.restrict_away({source}), []).append(state)
+    for bucket in buckets.values():
+        first: State | None = None
+        first_out = None
+        for state in bucket:
+            out = execute(stmt, state, fuel)[target]
+            if first is None:
+                first, first_out = state, out
+            elif out != first_out:
+                return (first, state)
+    return None

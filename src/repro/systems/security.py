@@ -1,0 +1,169 @@
+"""Classification lattices for the Security Problem (section 3.4).
+
+The paper's Security Problem requires ``Cls(alpha) <= Cls(beta)`` whenever
+information can be transmitted from alpha to beta.  Classifications "need
+not be a single value, but could be a vector of clearance/classification
+values, in which case <= would describe a partial rather than a total
+order" — i.e. Denning's lattice model.
+
+This module provides:
+
+- :class:`TotalOrderLattice` — classic unclassified < confidential <
+  secret < top-secret chains;
+- :class:`PowersetLattice` — category sets ordered by inclusion;
+- :class:`ProductLattice` — (level, categories) pairs, the full
+  military-style lattice;
+- :func:`classification_relation` — the Corollary 4-3 relation ``q`` for a
+  classification assignment, ready to hand to
+  :func:`repro.core.induction.prove_via_relation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.core.errors import ConstraintError
+
+
+class Lattice:
+    """A partial order with meet/join over a finite carrier.
+
+    Subclasses define :meth:`leq`; meet/join are computed by search, which
+    is fine for the small lattices security labels use.
+    """
+
+    def __init__(self, elements: Iterable[object]) -> None:
+        self.elements = tuple(elements)
+        if not self.elements:
+            raise ConstraintError("a lattice needs at least one element")
+
+    def leq(self, a: object, b: object) -> bool:
+        raise NotImplementedError
+
+    def _bound(self, a: object, b: object, upper: bool) -> object:
+        def dominates(c: object) -> bool:
+            if upper:
+                return self.leq(a, c) and self.leq(b, c)
+            return self.leq(c, a) and self.leq(c, b)
+
+        candidates = [c for c in self.elements if dominates(c)]
+        if not candidates:
+            raise ConstraintError("lattice bound does not exist")
+        best = candidates[0]
+        for c in candidates[1:]:
+            if (upper and self.leq(c, best)) or (not upper and self.leq(best, c)):
+                best = c
+        # Verify 'best' is really least/greatest (lattice well-formedness).
+        for c in candidates:
+            ok = self.leq(best, c) if upper else self.leq(c, best)
+            if not ok:
+                raise ConstraintError("carrier is not a lattice for these elements")
+        return best
+
+    def join(self, a: object, b: object) -> object:
+        """Least upper bound."""
+        return self._bound(a, b, upper=True)
+
+    def meet(self, a: object, b: object) -> object:
+        """Greatest lower bound."""
+        return self._bound(a, b, upper=False)
+
+    def is_valid_order(self) -> bool:
+        """Reflexive, antisymmetric, transitive over the carrier."""
+        els = self.elements
+        for a in els:
+            if not self.leq(a, a):
+                return False
+        for a in els:
+            for b in els:
+                if a != b and self.leq(a, b) and self.leq(b, a):
+                    return False
+                if not self.leq(a, b):
+                    continue
+                for c in els:
+                    if self.leq(b, c) and not self.leq(a, c):
+                        return False
+        return True
+
+
+class TotalOrderLattice(Lattice):
+    """Levels ordered by their position in the given sequence.
+
+    >>> lat = TotalOrderLattice(["U", "C", "S", "TS"])
+    >>> lat.leq("U", "S"), lat.leq("S", "U")
+    (True, False)
+    """
+
+    def __init__(self, levels: Sequence[object]) -> None:
+        super().__init__(levels)
+        self._rank = {level: i for i, level in enumerate(levels)}
+        if len(self._rank) != len(levels):
+            raise ConstraintError("duplicate levels")
+
+    def leq(self, a: object, b: object) -> bool:
+        return self._rank[a] <= self._rank[b]
+
+
+class PowersetLattice(Lattice):
+    """Frozensets of categories ordered by inclusion.
+
+    >>> lat = PowersetLattice(["crypto", "nuclear"])
+    >>> lat.leq(frozenset(), frozenset({"crypto"}))
+    True
+    """
+
+    def __init__(self, categories: Iterable[str]) -> None:
+        cats = sorted(set(categories))
+        subsets: list[frozenset[str]] = [frozenset()]
+        for cat in cats:
+            subsets += [s | {cat} for s in subsets]
+        super().__init__(subsets)
+
+    def leq(self, a: object, b: object) -> bool:
+        return a <= b  # type: ignore[operator]
+
+    def join(self, a: object, b: object) -> object:
+        return a | b  # type: ignore[operator]
+
+    def meet(self, a: object, b: object) -> object:
+        return a & b  # type: ignore[operator]
+
+
+class ProductLattice(Lattice):
+    """Component-wise product of two lattices — e.g. (level, categories).
+
+    >>> lat = ProductLattice(TotalOrderLattice([0, 1]), PowersetLattice(["c"]))
+    >>> lat.leq((0, frozenset()), (1, frozenset({"c"})))
+    True
+    >>> lat.leq((1, frozenset()), (0, frozenset({"c"})))
+    False
+    """
+
+    def __init__(self, left: Lattice, right: Lattice) -> None:
+        self.left = left
+        self.right = right
+        super().__init__(
+            (a, b) for a in left.elements for b in right.elements
+        )
+
+    def leq(self, a: object, b: object) -> bool:
+        return self.left.leq(a[0], b[0]) and self.right.leq(a[1], b[1])  # type: ignore[index]
+
+    def join(self, a: object, b: object) -> object:
+        return (self.left.join(a[0], b[0]), self.right.join(a[1], b[1]))  # type: ignore[index]
+
+    def meet(self, a: object, b: object) -> object:
+        return (self.left.meet(a[0], b[0]), self.right.meet(a[1], b[1]))  # type: ignore[index]
+
+
+def classification_relation(
+    classification: Mapping[str, object], lattice: Lattice
+) -> Callable[[str, str], bool]:
+    """The Corollary 4-3 relation ``q(x, y) = Cls(x) <= Cls(y)`` for a
+    per-object classification.  Reflexive and transitive by construction
+    (it inherits both from the lattice order)."""
+
+    def q(x: str, y: str) -> bool:
+        return lattice.leq(classification[x], classification[y])
+
+    return q

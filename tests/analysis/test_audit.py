@@ -1,0 +1,81 @@
+"""Unit tests for the one-call audit."""
+
+import pytest
+
+from repro.analysis.audit import audit_system
+from repro.core.constraints import Constraint
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def guarded():
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    return b.build()
+
+
+class TestAudit:
+    def test_detects_policy_violation(self, guarded):
+        report = audit_system(guarded, forbidden=[("alpha", "beta")])
+        assert not report.ok
+        violation = report.violations[0]
+        assert (violation.source, violation.target) == ("alpha", "beta")
+        assert violation.witness_history == ("delta",)
+
+    def test_constraint_clears_policy(self, guarded):
+        phi = Constraint(guarded.space, lambda s: not s["m"], name="~m")
+        report = audit_system(guarded, phi, forbidden=[("alpha", "beta")])
+        assert report.ok
+        assert report.autonomous and report.invariant
+
+    def test_certificates_prefer_corollary_4_2(self, guarded):
+        phi = Constraint(guarded.space, lambda s: not s["m"], name="~m")
+        report = audit_system(guarded, phi, forbidden=[("alpha", "beta")])
+        absent = {
+            (f.source, f.target): f for f in report.findings if not f.flows
+        }
+        assert absent[("alpha", "beta")].certificate == "Corollary 4-2"
+
+    def test_corollary_5_6_for_invariant_nonautonomous(self):
+        b = SystemBuilder().booleans("m1", "m2", "beta")
+        b.op_assign("sync", "m1", var("m2"))
+        system = b.build()
+        phi = Constraint(
+            system.space, lambda s: s["m1"] == s["m2"], name="m1=m2"
+        )
+        report = audit_system(system, phi)
+        assert not report.autonomous and report.invariant
+        absent = {
+            (f.source, f.target): f for f in report.findings if not f.flows
+        }
+        assert absent[("m1", "beta")].certificate == "Corollary 5-6"
+
+    def test_exact_fallback_for_noninvariant(self):
+        b = SystemBuilder().booleans("flag", "a", "bb")
+        b.op_assign("arm", "flag", True)
+        b.op_if("copy", var("flag"), "bb", var("a"))
+        system = b.build()
+        phi = Constraint(system.space, lambda s: not s["flag"], name="~flag")
+        report = audit_system(system, phi)
+        assert not report.invariant
+        absent = [f for f in report.findings if not f.flows]
+        assert absent
+        assert all(
+            f.certificate == "exact pair-graph search" for f in absent
+        )
+
+    def test_clump_discovery(self):
+        b = SystemBuilder().booleans("m1", "m2", "q")
+        b.op_assign("id", "q", var("q"))
+        system = b.build()
+        phi = Constraint(
+            system.space, lambda s: s["m1"] == s["m2"], name="m1=m2"
+        )
+        report = audit_system(system, phi, find_clumps=True)
+        assert frozenset({"m1", "m2"}) in report.relative_clumps
+
+    def test_describe_renders(self, guarded):
+        report = audit_system(guarded, forbidden=[("alpha", "beta")])
+        text = report.describe()
+        assert "VERDICT" in text and "FORBIDDEN" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the analyzer comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import compare_analyzers, comparison_matrix
+from repro.core.constraints import Constraint
+from repro.core.system import Operation, System
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def relay():
+    b = SystemBuilder().booleans("a", "m", "bb")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "bb", var("m"))
+    return b.build()
+
+
+class TestCompareAnalyzers:
+    def test_all_agree_on_plain_relay(self, relay):
+        comparison = compare_analyzers(relay, "a", "bb")
+        assert comparison.truth
+        for verdict in comparison.verdicts:
+            if verdict.claims_flow is not None:
+                assert verdict.claims_flow, verdict.analyzer
+
+    def test_verdict_labels(self, relay):
+        comparison = compare_analyzers(relay, "a", "bb")
+        labels = {v.analyzer: v.label for v in comparison.verdicts}
+        assert labels["exact"] == "flow"
+        assert labels["millen-initial"].startswith("n/a")
+
+    def test_soundness_and_false_positive_accessors(self, relay):
+        comparison = compare_analyzers(relay, "bb", "a")  # no flow that way
+        assert not comparison.truth
+        assert comparison.sound("exact")
+        assert comparison.false_positive("exact") is False
+        with pytest.raises(KeyError):
+            comparison.sound("nonexistent")
+
+    def test_opaque_operations_degrade_gracefully(self):
+        sp = SystemBuilder().booleans("a", "bb").space()
+        opaque = System(
+            sp, [Operation("copy", lambda s: s.replace(bb=s["a"]))]
+        )
+        comparison = compare_analyzers(opaque, "a", "bb")
+        labels = {v.analyzer: v for v in comparison.verdicts}
+        assert labels["static"].claims_flow is None
+        assert labels["taint"].claims_flow is None
+        assert labels["exact"].claims_flow is True
+        assert labels["transitive"].claims_flow is True
+
+    def test_constraint_enables_millen_modes(self, relay):
+        phi = Constraint.equals(relay.space, "a", False)
+        comparison = compare_analyzers(relay, "a", "bb", phi)
+        labels = {v.analyzer: v for v in comparison.verdicts}
+        assert labels["millen-initial"].claims_flow is not None
+        assert labels["millen-envelope"].claims_flow is not None
+        assert not comparison.truth  # the frozen source cannot transmit
+
+    def test_jones_lipton_certificate_is_no_flow(self, relay):
+        phi = Constraint.equals(relay.space, "a", False)
+        comparison = compare_analyzers(relay, "a", "bb", phi)
+        jl = next(
+            v for v in comparison.verdicts if v.analyzer == "jones-lipton"
+        )
+        assert jl.claims_flow is False  # certified absent
+
+    def test_matrix_runs_corpus(self, relay):
+        results = comparison_matrix(
+            [("relay", relay, "a", "bb", None)]
+        )
+        assert len(results) == 1
+        name, comparison = results[0]
+        assert name == "relay" and comparison.truth

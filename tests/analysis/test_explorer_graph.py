@@ -1,0 +1,84 @@
+"""Unit tests for exploration utilities and flow graphs."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.analysis.explorer import (
+    dependency_matrix,
+    image_set_orbit,
+    reachable_constraint,
+    reachable_states,
+)
+from repro.analysis.graph import (
+    eliminated_paths,
+    exact_flow_graph,
+    per_operation_graph,
+    render_dot,
+)
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.systems.oscillator import build_oscillator
+
+
+@pytest.fixture
+def relay():
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+class TestExplorer:
+    def test_reachable_states(self, relay):
+        start = relay.space.state(a=True, m=False, b=False)
+        reached = reachable_states(relay, [start])
+        # a never changes; m and b eventually both mirror a.
+        assert relay.space.state(a=True, m=True, b=True) in reached
+        assert all(s["a"] for s in reached)
+
+    def test_reachable_constraint_is_invariant(self, relay):
+        phi = Constraint.where(relay.space, a=True, m=False, b=False)
+        envelope = reachable_constraint(relay, phi)
+        assert envelope.is_invariant(relay)
+        assert phi.implies(envelope)
+
+    def test_dependency_matrix(self, relay):
+        matrix = dependency_matrix(relay)
+        assert matrix["a"]["b"] is True
+        assert matrix["b"]["a"] is False
+
+    def test_image_set_orbit_oscillator(self):
+        parts = build_oscillator()
+        orbit = image_set_orbit(parts.system, parts.phi)
+        # [lambda]phi (beta unconstrained), then the two alternating
+        # singleton images (alpha=-k, beta=k) and (alpha=k, beta=-k).
+        assert len(orbit) == 3
+        assert {len(image) for image in orbit[1:]} == {1}
+
+
+class TestGraphs:
+    def test_exact_flow_graph_edges(self, relay):
+        graph = exact_flow_graph(relay)
+        assert graph.has_edge("a", "b")
+        assert graph.edges["a", "b"]["history"] == ["d1", "d2"]
+        assert not graph.has_edge("b", "a")
+
+    def test_per_operation_graph_labels(self, relay):
+        graph = per_operation_graph(relay)
+        labels = {
+            data["operation"]
+            for _u, _v, data in graph.edges(data=True)
+        }
+        assert labels == {"d1", "d2"}
+
+    def test_eliminated_paths(self, relay):
+        frozen = Constraint.equals(relay.space, "a", False)
+        removed = eliminated_paths(relay, frozen)
+        assert ("a", "b") in removed
+        assert ("a", "m") in removed
+
+    def test_render_dot(self, relay):
+        graph = exact_flow_graph(relay)
+        dot = render_dot(graph, highlight=[("a", "b")])
+        assert dot.startswith("digraph")
+        assert '"a" -> "b" [color=red];' in dot

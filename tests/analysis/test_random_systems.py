@@ -1,0 +1,77 @@
+"""Unit tests for the random system/constraint generators."""
+
+import random
+
+import pytest
+
+from repro.analysis.random_systems import (
+    random_constraint,
+    random_history,
+    random_invariant_constraint,
+    random_space,
+    random_system,
+)
+
+
+class TestGenerators:
+    def test_replayable(self):
+        s1 = random_system(random.Random(42))
+        s2 = random_system(random.Random(42))
+        # Same seed, same transition behavior.
+        for state in s1.space.states():
+            for op1, op2 in zip(s1.operations, s2.operations):
+                assert op1(state) == op2(state)
+
+    def test_space_shape(self):
+        sp = random_space(random.Random(0), n_objects=4, domain_size=3)
+        assert len(sp.names) == 4
+        assert sp.size == 81
+
+    def test_systems_are_closed(self):
+        rng = random.Random(1)
+        for _ in range(5):
+            system = random_system(rng)  # System() checks closure itself
+            assert len(system.operations) == 2
+
+    def test_autonomous_flavour(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            space = random_space(rng)
+            phi = random_constraint(rng, space, "autonomous")
+            assert phi.is_autonomous()
+            assert phi.is_satisfiable
+
+    def test_coupled_flavour_is_relatively_autonomous(self):
+        rng = random.Random(3)
+        space = random_space(rng, n_objects=3)
+        phi = random_constraint(rng, space, "coupled")
+        assert not phi.is_autonomous()
+        # The coupled pair forms an autonomous clump.
+        a, b = phi.name.split("=")
+        assert phi.is_autonomous_relative_to({a, b})
+
+    def test_subset_flavour_satisfiable(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            space = random_space(rng)
+            assert random_constraint(rng, space, "subset").is_satisfiable
+
+    def test_unknown_flavour(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_constraint(rng, random_space(rng), "nope")
+
+    def test_invariant_constraint_is_invariant(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            system = random_system(rng)
+            phi = random_invariant_constraint(rng, system)
+            assert phi.is_satisfiable
+            assert phi.is_invariant(system)
+
+    def test_random_history_bounds(self):
+        rng = random.Random(6)
+        system = random_system(rng)
+        for _ in range(10):
+            h = random_history(rng, system, max_length=3)
+            assert len(h) <= 3

@@ -1,0 +1,53 @@
+"""Unit tests for the report tables."""
+
+import pytest
+
+from repro.analysis.report import Table, bullet_list
+
+
+class TestTable:
+    def test_alignment(self):
+        t = Table(["name", "ok"])
+        t.add("short", True)
+        t.add("a-much-longer-name", False)
+        rendered = t.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        # All rows share the same column boundary.
+        pipes = {line.index("|") for line in lines}
+        assert len(pipes) == 1
+
+    def test_title(self):
+        t = Table(["x"], title="My title")
+        t.add(1)
+        rendered = t.render()
+        assert rendered.splitlines()[0] == "My title"
+        assert rendered.splitlines()[1] == "========"
+
+    def test_cell_count_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_formatting(self):
+        t = Table(["v"])
+        t.add(True)
+        t.add(False)
+        t.add(0.123456)
+        t.add(frozenset({"b", "a"}))
+        rendered = t.render()
+        assert "yes" in rendered and "no" in rendered
+        assert "0.123" in rendered
+        assert "{a, b}" in rendered
+
+    def test_echo_prints(self, capsys):
+        t = Table(["v"])
+        t.add(1)
+        t.echo()
+        assert "v" in capsys.readouterr().out
+
+
+class TestBulletList:
+    def test_items(self):
+        text = bullet_list(["one", "two"])
+        assert text == "  - one\n  - two"

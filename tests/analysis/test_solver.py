@@ -1,0 +1,122 @@
+"""Unit tests for maximal-solution search and the join property
+(section 3.5 reproduced computationally)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.problems import NoTransmissionProblem
+from repro.analysis.solver import (
+    greedy_maximal_solution,
+    has_unique_maximal_solution,
+    is_maximal,
+    join_property_counterexample,
+    maximal_solutions,
+)
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def guarded():
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    return b.build()
+
+
+@pytest.fixture
+def threshold():
+    """delta: if alpha <= 10 then beta <- 0 else beta <- 1 (section 3.5)."""
+    b = SystemBuilder().ranged("alpha", lo=0, hi=15).integers("beta", bits=1)
+    b.op_if("delta", var("alpha") <= 10, "beta", 0, else_expr=1)
+    return b.build()
+
+
+class TestGreedy:
+    def test_result_is_maximal_solution(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        phi = greedy_maximal_solution(problem, guarded.space)
+        assert problem.is_solution(phi)
+        assert is_maximal(problem, phi)
+
+    def test_seed_grows(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        seed = Constraint.where(guarded.space, m=False, alpha=0, beta=0)
+        phi = greedy_maximal_solution(problem, guarded.space, seed=seed)
+        assert seed.implies(phi)
+        assert is_maximal(problem, phi)
+
+    def test_bad_seed_rejected(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        with pytest.raises(ValueError):
+            greedy_maximal_solution(
+                problem, guarded.space, seed=Constraint.true(guarded.space)
+            )
+
+
+class TestRepair:
+    def test_repairs_failing_candidate(self, guarded):
+        from repro.analysis.solver import repair_constraint
+
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        broken = Constraint.true(guarded.space)
+        fixed = repair_constraint(problem, broken)
+        assert problem.is_solution(fixed)
+        assert fixed.implies(broken)
+        assert fixed.is_satisfiable
+
+    def test_repair_stays_inside_phi(self, guarded):
+        from repro.analysis.solver import repair_constraint
+
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        region = Constraint(
+            guarded.space, lambda s: s["beta"] == 0, name="beta=0"
+        )
+        fixed = repair_constraint(problem, region)
+        assert fixed.implies(region)
+        assert problem.is_solution(fixed)
+
+    def test_repair_of_solution_is_itself(self, guarded):
+        from repro.analysis.solver import repair_constraint
+
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        good = Constraint(guarded.space, lambda s: not s["m"], name="~m")
+        fixed = repair_constraint(problem, good)
+        assert fixed.equivalent(good)
+
+
+class TestMultiplicity:
+    def test_threshold_has_multiple_maximal_solutions(self, threshold):
+        problem = NoTransmissionProblem(threshold, {"alpha"}, "beta")
+        solutions = maximal_solutions(problem, threshold.space)
+        assert len(solutions) >= 2
+        # The paper's two: alpha <= 10, alpha > 10.
+        alpha_sets = [
+            frozenset(s["alpha"] for s in phi.satisfying) for phi in solutions
+        ]
+        assert frozenset(range(0, 11)) in alpha_sets
+        assert frozenset(range(11, 16)) in alpha_sets
+
+    def test_all_found_solutions_are_maximal(self, threshold):
+        problem = NoTransmissionProblem(threshold, {"alpha"}, "beta")
+        for phi in maximal_solutions(threshold and problem, threshold.space):
+            assert is_maximal(problem, phi)
+
+    def test_join_property_counterexample(self, threshold):
+        """alpha=6 and alpha in 8..10 are both solutions; so is their
+        join — but alpha=6 or alpha=12 is not."""
+        problem = NoTransmissionProblem(threshold, {"alpha"}, "beta")
+        sp = threshold.space
+        candidates = [
+            Constraint.equals(sp, "alpha", 6),
+            Constraint.equals(sp, "alpha", 12),
+        ]
+        pair = join_property_counterexample(problem, candidates)
+        assert pair is not None
+
+    def test_unique_maximal_under_independence(self, guarded):
+        """Theorem 3-1: with A-independence required, the maximal solution
+        is unique (the join property holds)."""
+        problem = NoTransmissionProblem(
+            guarded, {"alpha"}, "beta", require_independent=True
+        )
+        assert has_unique_maximal_solution(problem, guarded.space)

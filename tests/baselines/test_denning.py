@@ -1,0 +1,96 @@
+"""Unit tests for the transitive flow baseline (section 1.5's model)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.reachability import dependency_closure, depends_ever
+from repro.baselines.denning import TransitiveFlowAnalysis, precision_report
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def relay():
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+@pytest.fixture
+def nontransitive():
+    b = SystemBuilder().booleans("q", "a", "m", "b")
+    b.op_cmd("d1", when(var("q"), assign("m", var("a"))))
+    b.op_cmd("d2", when(~var("q"), assign("b", var("m"))))
+    return b.build()
+
+
+class TestPerOperation:
+    def test_per_op_flows_are_semantic(self, relay):
+        analysis = TransitiveFlowAnalysis(relay)
+        assert ("a", "m") in analysis.operation_flows("d1")
+        assert ("a", "b") not in analysis.operation_flows("d1")
+        # Reflexive survival: 'a' is never overwritten by d1.
+        assert ("a", "a") in analysis.operation_flows("d1")
+        # 'm' IS overwritten by d1, so it does not flow to itself there.
+        assert ("m", "m") not in analysis.operation_flows("d1")
+
+    def test_constrained_flows(self, nontransitive):
+        phi = Constraint(
+            nontransitive.space, lambda s: not s["q"], name="~q"
+        )
+        analysis = TransitiveFlowAnalysis(nontransitive, phi)
+        assert ("a", "m") not in analysis.operation_flows("d1")
+        assert ("m", "b") in analysis.operation_flows("d2")
+
+
+class TestHistoryComposition:
+    def test_relay_history(self, relay):
+        analysis = TransitiveFlowAnalysis(relay)
+        h = relay.history("d1", "d2")
+        assert analysis.flows_over_history({"a"}, "b", h)
+
+    def test_empty_history_is_identity(self, relay):
+        analysis = TransitiveFlowAnalysis(relay)
+        relation = analysis.flow_over_history(relay.history())
+        assert relation == frozenset(
+            {(n, n) for n in relay.space.names}
+        )
+
+    def test_false_positive_on_nontransitive_example(self, nontransitive):
+        """The paper's headline complaint: the baseline assumes
+        transitivity and reports a -> b over d1 d2, but no information
+        flows (no state can satisfy both guards)."""
+        analysis = TransitiveFlowAnalysis(nontransitive)
+        h = nontransitive.history("d1", "d2")
+        assert analysis.flows_over_history({"a"}, "b", h)  # baseline: yes
+        assert not depends_ever(nontransitive, {"a"}, "b")  # truth: no
+
+
+class TestClosure:
+    def test_flows_ever_reachability(self, relay):
+        analysis = TransitiveFlowAnalysis(relay)
+        assert analysis.flows_ever("a", "b")
+        assert not analysis.flows_ever("b", "a")
+        assert analysis.flows_ever("a", "a")
+
+    def test_soundness_no_false_negatives(self, nontransitive):
+        """Everything strong dependency finds, the baseline also finds."""
+        analysis = TransitiveFlowAnalysis(nontransitive)
+        exact = dependency_closure(nontransitive)
+        for (source, target), result in exact.items():
+            if result:
+                (alpha,) = source
+                assert analysis.flows_ever(alpha, target)
+
+    def test_precision_report(self, nontransitive):
+        exact = frozenset(
+            (next(iter(src)), tgt)
+            for (src, tgt), res in dependency_closure(nontransitive).items()
+            if res
+        )
+        report = precision_report(nontransitive, exact)
+        assert report["false_negatives"] == []
+        assert ("a", "b") in report["false_positives"]
+        assert 0 < report["precision"] < 1

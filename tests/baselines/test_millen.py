@@ -1,0 +1,87 @@
+"""Unit tests for the Millen-style constrained flow baseline and its
+documented limits (section 1.5)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.errors import ConstraintError
+from repro.core.reachability import depends_ever
+from repro.baselines.millen import MillenAnalysis, soundness_violations
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def arming_system():
+    """delta1 arms the guard; delta2 copies under it.  The constraint
+    ~flag is NOT invariant — the classic trap."""
+    b = SystemBuilder().booleans("flag", "a", "bb")
+    b.op_cmd("arm", assign("flag", True))
+    b.op_if("copy", var("flag"), "bb", var("a"))
+    return b.build()
+
+
+class TestInvariantCase:
+    def test_sound_and_useful_for_invariant_phi(self):
+        b = SystemBuilder().booleans("g", "a", "bb")
+        b.op_if("copy", var("g"), "bb", var("a"))
+        system = b.build()
+        phi = Constraint(system.space, lambda s: not s["g"], name="~g")
+        assert phi.is_invariant(system)
+        analysis = MillenAnalysis(system, phi)
+        assert not analysis.flows_ever("a", "bb")
+        assert soundness_violations(analysis) == []
+
+
+class TestNonInvariantLimit:
+    def test_initial_mode_is_unsound(self, arming_system):
+        """Millen under the initial constraint certifies a -> bb absent,
+        but arm;copy transmits — the paper's predicted limit."""
+        phi = Constraint(
+            arming_system.space, lambda s: not s["flag"], name="~flag"
+        )
+        assert not phi.is_invariant(arming_system)
+        analysis = MillenAnalysis(arming_system, phi, mode="initial")
+        assert not analysis.flows_ever("a", "bb")  # certified absent...
+        assert depends_ever(arming_system, {"a"}, "bb", phi)  # ...yet real
+        assert ("a", "bb") in soundness_violations(analysis)
+
+    def test_envelope_mode_restores_soundness(self, arming_system):
+        phi = Constraint(
+            arming_system.space, lambda s: not s["flag"], name="~flag"
+        )
+        analysis = MillenAnalysis(arming_system, phi, mode="envelope")
+        assert analysis.flows_ever("a", "bb")
+        assert soundness_violations(analysis) == []
+
+    def test_envelope_loses_precision_gracefully(self, arming_system):
+        """The envelope mode can only over-approximate: everything the
+        initial mode flags, it flags too."""
+        phi = Constraint(
+            arming_system.space, lambda s: not s["flag"], name="~flag"
+        )
+        initial = MillenAnalysis(arming_system, phi, mode="initial")
+        envelope = MillenAnalysis(arming_system, phi, mode="envelope")
+        assert initial.per_operation_flows() <= envelope.per_operation_flows()
+
+
+class TestValidation:
+    def test_bad_mode_rejected(self, arming_system):
+        with pytest.raises(ConstraintError):
+            MillenAnalysis(
+                arming_system,
+                Constraint.true(arming_system.space),
+                mode="nope",
+            )
+
+    def test_cross_space_rejected(self, arming_system):
+        other = SystemBuilder().booleans("x").space()
+        with pytest.raises(ConstraintError):
+            MillenAnalysis(arming_system, Constraint.true(other))
+
+    def test_reflexive_flow_always_reported(self, arming_system):
+        analysis = MillenAnalysis(
+            arming_system, Constraint.true(arming_system.space)
+        )
+        assert analysis.flows_ever("a", "a")

@@ -1,0 +1,79 @@
+"""Unit tests for the dynamic taint baseline."""
+
+import pytest
+
+from repro.core.errors import OperationError
+from repro.core.system import History, Operation
+from repro.baselines.taint import taint_after, taint_closure, taint_reaches
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+from repro.lang.ops import assign_op, op
+
+
+class TestPropagation:
+    def test_explicit_flow(self):
+        d = assign_op("d", "b", var("a"))
+        assert taint_after(d, {"a"}) == frozenset({"a", "b"})
+
+    def test_untainting_by_constant_overwrite(self):
+        d = assign_op("d", "b", 0)
+        assert taint_after(d, {"a", "b"}) == frozenset({"a"})
+
+    def test_relay_chain(self):
+        d1 = assign_op("d1", "m", var("a"))
+        d2 = assign_op("d2", "b", var("m"))
+        assert taint_reaches(History.of(d1, d2), {"a"}, "b")
+        assert not taint_reaches(History.of(d2, d1), {"a"}, "b")
+
+    def test_implicit_flow_via_guard(self):
+        d = op("d", when(var("secret"), assign("out", 1)))
+        assert "out" in taint_after(d, {"secret"})
+
+    def test_branch_join_is_conservative(self):
+        d = op(
+            "d",
+            when(var("g"), assign("x", var("a")), assign("x", 0)),
+        )
+        # Either branch may execute; x must be considered tainted.
+        assert "x" in taint_after(d, {"a"})
+
+    def test_seq_inside_guard(self):
+        d = op(
+            "d",
+            when(var("g"), seq(assign("x", 1), assign("y", var("x")))),
+        )
+        tainted = taint_after(d, {"g"})
+        assert {"x", "y"} <= tainted
+
+    def test_requires_structured_operation(self):
+        raw = Operation("raw", lambda s: s)
+        with pytest.raises(OperationError):
+            taint_after(History.of(raw), {"a"})
+
+
+class TestImprecision:
+    def test_false_positive_on_nontransitive_system(self):
+        """Taint, like the transitive baseline, flags the q-guarded
+        relay even though no information can flow."""
+        b = SystemBuilder().booleans("q", "a", "m", "bb")
+        b.op_cmd("d1", when(var("q"), assign("m", var("a"))))
+        b.op_cmd("d2", when(~var("q"), assign("bb", var("m"))))
+        system = b.build()
+        assert taint_reaches(system.history("d1", "d2"), {"a"}, "bb")
+
+    def test_constant_write_in_both_branches_still_tainted(self):
+        """Taint cannot see that both branches write the same constant."""
+        d = op("d", when(var("a"), assign("bb", 0), assign("bb", 0)))
+        assert "bb" in taint_after(d, {"a"})
+
+
+class TestClosure:
+    def test_closure_fixpoint(self):
+        b = SystemBuilder().booleans("a", "m", "bb", "clean")
+        b.op_assign("d1", "m", var("a"))
+        b.op_assign("d2", "bb", var("m"))
+        b.op_assign("d3", "clean", 1)
+        system = b.build()
+        closure = taint_closure(system, {"a"})
+        assert closure == frozenset({"a", "m", "bb"})

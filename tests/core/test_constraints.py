@@ -1,0 +1,247 @@
+"""Unit tests for the constraint algebra and structural classes.
+
+The autonomy examples come straight from section 2.6; relative autonomy
+from sections 5.3/5.4; [H]phi from section 6.2.
+"""
+
+import pytest
+
+from repro.core.constraints import Constraint, conjoin, disjoin
+from repro.core.errors import ConstraintError, EmptyConstraintError
+from repro.core.state import Space, boolean_space
+from repro.core.system import History, Operation, System
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def space():
+    # alpha, beta small ints; enough variety for section 2.6's examples.
+    return Space({"alpha": range(16), "beta": range(16)})
+
+
+class TestBasics:
+    def test_satisfying_and_count(self, space):
+        phi = Constraint(space, lambda s: s["alpha"] < 4, name="alpha<4")
+        assert phi.count() == 4 * 16
+        assert all(s["alpha"] < 4 for s in phi.satisfying)
+
+    def test_true_false(self, space):
+        assert Constraint.true(space).count() == space.size
+        assert Constraint.false(space).count() == 0
+        assert not Constraint.false(space).is_satisfiable
+
+    def test_require_satisfiable(self, space):
+        with pytest.raises(EmptyConstraintError):
+            Constraint.false(space).require_satisfiable()
+        Constraint.true(space).require_satisfiable()
+
+    def test_equals_and_where(self, space):
+        phi = Constraint.equals(space, "alpha", 13)
+        assert phi.count() == 16
+        both = Constraint.where(space, alpha=1, beta=2)
+        assert both.count() == 1
+
+    def test_algebra(self, space):
+        a = Constraint(space, lambda s: s["alpha"] < 8, name="lo")
+        b = Constraint(space, lambda s: s["alpha"] >= 4, name="hi")
+        assert (a & b).count() == 4 * 16
+        assert (a | b).count() == space.size
+        assert (~a).count() == 8 * 16
+
+    def test_implies_and_equivalent(self, space):
+        small = Constraint(space, lambda s: s["alpha"] < 4)
+        big = Constraint(space, lambda s: s["alpha"] < 8)
+        assert small.implies(big)
+        assert not big.implies(small)
+        assert small.equivalent(Constraint(space, lambda s: s["alpha"] <= 3))
+
+    def test_cross_space_rejected(self, space):
+        other = boolean_space("x")
+        with pytest.raises(ConstraintError):
+            Constraint.true(space) & Constraint.true(other)
+
+    def test_conjoin_disjoin(self, space):
+        parts = [
+            Constraint(space, lambda s: s["alpha"] < 8),
+            Constraint(space, lambda s: s["beta"] < 8),
+        ]
+        assert conjoin(parts).count() == 64
+        assert disjoin(parts).count() == 256 - 64
+        with pytest.raises(ConstraintError):
+            conjoin([])
+
+    def test_from_states(self, space):
+        chosen = [space.state(alpha=0, beta=0), space.state(alpha=1, beta=1)]
+        phi = Constraint.from_states(space, chosen)
+        assert phi.count() == 2
+
+
+class TestIndependenceAndStrictness:
+    """Def 3-1 (A-independence) and Def 5-1 (A-strictness)."""
+
+    def test_independent(self, space):
+        phi = Constraint(space, lambda s: s["beta"] < 10)
+        assert phi.is_independent_of({"alpha"})
+        assert not phi.is_independent_of({"beta"})
+
+    def test_independence_witness(self, space):
+        phi = Constraint(space, lambda s: s["alpha"] < 10)
+        witness = phi.independence_witness({"alpha"})
+        assert witness is not None
+        s1, s2 = witness
+        assert s1.equal_except_at(s2, {"alpha"})
+        assert phi(s1) != phi(s2)
+
+    def test_strict(self, space):
+        phi = Constraint(space, lambda s: s["alpha"] < 10)
+        assert phi.is_strict_on({"alpha"})
+        assert not phi.is_strict_on({"beta"})
+
+    def test_trivial_constraint_is_both(self, space):
+        tt = Constraint.true(space)
+        assert tt.is_independent_of({"alpha"})
+        assert tt.is_strict_on({"alpha"})
+
+    def test_strictness_witness(self, space):
+        phi = Constraint(space, lambda s: s["beta"] == 0)
+        witness = phi.strictness_witness({"alpha"})
+        assert witness is not None
+        s1, s2 = witness
+        assert s1.project({"alpha"}) == s2.project({"alpha"})
+        assert phi(s1) != phi(s2)
+
+
+class TestAutonomy:
+    """The four example constraints of section 2.6, verbatim."""
+
+    @pytest.fixture
+    def sp(self):
+        return Space({"alpha": range(16), "beta": range(16)})
+
+    def test_example_1_autonomous(self, sp):
+        # alpha <= 10 and beta == 6 mod 11
+        phi = Constraint(sp, lambda s: s["alpha"] <= 10 and s["beta"] % 11 == 6)
+        assert phi.is_autonomous()
+
+    def test_example_2_autonomous(self, sp):
+        # alpha <= 10 and beta <= 10
+        phi = Constraint(sp, lambda s: s["alpha"] <= 10 and s["beta"] <= 10)
+        assert phi.is_autonomous()
+
+    def test_example_3_non_autonomous(self, sp):
+        # beta == alpha + 10
+        phi = Constraint(sp, lambda s: s["beta"] == s["alpha"] + 10)
+        assert not phi.is_autonomous()
+
+    def test_example_4_non_autonomous(self, sp):
+        # alpha <= 10 implies beta == 4
+        phi = Constraint(sp, lambda s: s["beta"] == 4 if s["alpha"] <= 10 else True)
+        assert not phi.is_autonomous()
+
+    def test_autonomy_witness_is_concrete(self, sp):
+        phi = Constraint(sp, lambda s: s["beta"] == s["alpha"])
+        witness = phi.autonomy_witness()
+        assert witness is not None
+        name, s1, s2 = witness
+        assert phi(s1) and phi(s2)
+        assert not phi(s2.substitute(s1, [name]))
+
+    def test_unsatisfiable_is_vacuously_autonomous(self, sp):
+        assert Constraint.false(sp).is_autonomous()
+
+
+class TestRelativeAutonomy:
+    """Sections 5.3/5.4: A-autonomy via substitution (Theorem 5-1)."""
+
+    @pytest.fixture
+    def sp(self):
+        return Space(
+            {"a1": range(4), "a2": range(4), "m1": range(4), "m2": range(4)}
+        )
+
+    def test_paired_constraint(self, sp):
+        # a1 == a2 and m1 == m2 (the section 5.4 example).
+        phi = Constraint(
+            sp, lambda s: s["a1"] == s["a2"] and s["m1"] == s["m2"]
+        )
+        assert phi.is_autonomous_relative_to({"a1", "a2"})
+        assert phi.is_autonomous_relative_to({"m1", "m2"})
+        # Also q-autonomous for unconstrained objects (see section 5.4):
+        # here every single unconstrained-of-others set works.
+        assert not phi.is_autonomous_relative_to({"a1"})
+        assert not phi.is_autonomous()
+
+    def test_relative_autonomy_witness(self, sp):
+        phi = Constraint(sp, lambda s: s["a1"] == s["m1"])
+        witness = phi.relative_autonomy_witness({"a1"})
+        assert witness is not None
+        s1, s2 = witness
+        assert phi(s1) and phi(s2)
+        assert not phi(s2.substitute(s1, {"a1"}))
+
+    def test_autonomous_implies_relatively_autonomous_everywhere(self, sp):
+        phi = Constraint(sp, lambda s: s["a1"] < 2 and s["m1"] > 1)
+        assert phi.is_autonomous()
+        for name in sp.names:
+            assert phi.is_autonomous_relative_to({name})
+
+    def test_whole_space_clump_always_autonomous(self, sp):
+        phi = Constraint(sp, lambda s: s["a1"] + s["a2"] == s["m1"])
+        assert phi.is_autonomous_relative_to(set(sp.names))
+
+
+class TestVarietyElimination:
+    def test_eliminates_variety(self, space):
+        phi = Constraint.equals(space, "alpha", 13)
+        assert phi.eliminates_variety_in({"alpha"})
+        assert not phi.eliminates_variety_in({"beta"})
+
+    def test_unsatisfiable_eliminates_everything(self, space):
+        assert Constraint.false(space).eliminates_variety_in({"alpha", "beta"})
+
+
+class TestInvarianceAndAfter:
+    @pytest.fixture
+    def system(self):
+        b = SystemBuilder().ranged("alpha", lo=0, hi=12).ranged(
+            "beta", lo=-4, hi=8
+        )
+        b.op_assign("delta", "beta", var("alpha") - 4)
+        return b.build()
+
+    def test_invariance(self, system):
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10)
+        assert phi.is_invariant(system)  # delta never writes alpha
+        psi = Constraint(system.space, lambda s: s["beta"] == 0)
+        assert not psi.is_invariant(system)
+        witness = psi.invariance_witness(system)
+        state, op_name, successor = witness
+        assert psi(state) and not psi(successor)
+        assert op_name == "delta"
+
+    def test_after_section_6_2_example(self, system):
+        # phi == alpha < 10; [delta]phi == alpha < 10 and beta == alpha - 4.
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10)
+        after = phi.after(History.of(system.operation("delta")))
+        expected = Constraint(
+            system.space,
+            lambda s: s["alpha"] < 10 and s["beta"] == s["alpha"] - 4,
+        )
+        assert after.equivalent(expected)
+
+    def test_after_empty_history_is_phi(self, system):
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10)
+        assert phi.after(History.empty()).equivalent(phi)
+
+    def test_theorem_6_2_invariant_strictness(self, system):
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10)
+        h = History.of(system.operation("delta"))
+        assert phi.after(h).implies(phi)
+
+    def test_after_need_not_be_autonomous(self, system):
+        # Section 6.2's remark: [H]phi may lose autonomy.
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10)
+        assert phi.is_autonomous()
+        after = phi.after(History.of(system.operation("delta")))
+        assert not after.is_autonomous()

@@ -1,0 +1,173 @@
+"""Unit tests for separation of variety and inductive covers
+(sections 4.5, 4.6, 6.4)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.covers import (
+    IndependentCover,
+    InductiveCover,
+    partition_by,
+    partition_by_value,
+)
+from repro.core.errors import CoverError
+from repro.core.reachability import depends_ever
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def nontransitive_system():
+    """Section 4.6: d1: if q then m <- alpha ; d2: if ~q then beta <- m."""
+    b = SystemBuilder().booleans("q", "alpha", "m", "beta")
+    b.op_cmd("d1", when(var("q"), assign("m", var("alpha"))))
+    b.op_cmd("d2", when(~var("q"), assign("beta", var("m"))))
+    return b.build()
+
+
+class TestIndependentCover:
+    def test_construction_requires_members(self):
+        with pytest.raises(CoverError):
+            IndependentCover([])
+
+    def test_mixed_spaces_rejected(self, nontransitive_system):
+        sp1 = nontransitive_system.space
+        b = SystemBuilder().booleans("x")
+        with pytest.raises(CoverError):
+            IndependentCover(
+                [Constraint.true(sp1), Constraint.true(b.space())]
+            )
+
+    def test_check_accepts_good_cover(self, nontransitive_system):
+        sp = nontransitive_system.space
+        cover = IndependentCover(
+            [
+                Constraint(sp, lambda s: s["q"], name="q"),
+                Constraint(sp, lambda s: not s["q"], name="~q"),
+            ]
+        )
+        assert cover.check({"alpha"}).valid
+
+    def test_check_rejects_non_independent_member(self, nontransitive_system):
+        sp = nontransitive_system.space
+        cover = IndependentCover(
+            [
+                Constraint(sp, lambda s: s["alpha"], name="alpha"),
+                Constraint(sp, lambda s: not s["alpha"], name="~alpha"),
+            ]
+        )
+        proof = cover.check({"alpha"})
+        assert not proof.valid
+
+    def test_check_rejects_non_covering_family(self, nontransitive_system):
+        sp = nontransitive_system.space
+        cover = IndependentCover([Constraint(sp, lambda s: s["q"], name="q")])
+        proof = cover.check({"alpha"})
+        assert not proof.valid
+        assert cover.uncovered_state() is not None
+
+    def test_section_4_6_proof(self, nontransitive_system):
+        """The paper's separation-of-variety proof, end to end."""
+        sp = nontransitive_system.space
+        cover = IndependentCover(
+            [
+                Constraint(sp, lambda s: s["q"], name="q"),
+                Constraint(sp, lambda s: not s["q"], name="~q"),
+            ]
+        )
+        proof = cover.prove_no_dependency(nontransitive_system, {"alpha"}, "beta")
+        assert proof.valid
+        # Cross-check with exact reachability.
+        assert not depends_ever(nontransitive_system, {"alpha"}, "beta")
+
+    def test_cover_on_wrong_object_fails(self):
+        """Section 4.5: splitting on m instead of alpha does not help for
+        'if m then beta <- alpha'."""
+        b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+        b.op_if("delta", var("m"), "beta", var("alpha"))
+        system = b.build()
+        sp = system.space
+        cover = IndependentCover(
+            [
+                Constraint(sp, lambda s: s["m"], name="m"),
+                Constraint(sp, lambda s: not s["m"], name="~m"),
+            ]
+        )
+        proof = cover.prove_no_dependency(system, {"alpha"}, "beta")
+        # phi1 = m still allows transmission; the whole proof must fail.
+        assert not proof.valid
+
+    def test_partition_by_value(self):
+        b = SystemBuilder().integers("x", bits=2).booleans("y")
+        sp = b.space()
+        cover = partition_by_value(sp, "x")
+        assert len(cover) == 4
+        assert cover.check({"y"}).valid
+        assert not cover.check({"x"}).valid  # members constrain x
+
+    def test_partition_by_function(self):
+        b = SystemBuilder().integers("x", bits=2).booleans("y")
+        sp = b.space()
+        cover = partition_by(sp, lambda s: s["x"] % 2, name="parity")
+        assert len(cover) == 2
+        assert cover.check({"y"}).valid
+
+
+class TestInductiveCover:
+    @pytest.fixture
+    def oscillator(self):
+        """Section 6.4: delta: (beta <- alpha ; alpha <- -alpha),
+        phi: alpha = 37 (scaled down to +-1)."""
+        b = SystemBuilder().obj("alpha", (-1, 1)).obj("beta", (-1, 1))
+        b.op_cmd("delta", seq(assign("beta", var("alpha")), assign("alpha", -var("alpha"))))
+        return b.build()
+
+    def test_oscillator_cover_checks(self, oscillator):
+        sp = oscillator.space
+        phi = Constraint.equals(sp, "alpha", 1)
+        cover = InductiveCover(
+            [
+                Constraint.equals(sp, "alpha", 1),
+                Constraint.equals(sp, "alpha", -1),
+            ]
+        )
+        assert cover.check(oscillator, phi).valid
+
+    def test_oscillator_proof(self, oscillator):
+        """Theorem 6-7 beats the invariant-envelope approach (section 6.4)."""
+        sp = oscillator.space
+        phi = Constraint.equals(sp, "alpha", 1)
+        cover = InductiveCover(
+            [
+                Constraint.equals(sp, "alpha", 1),
+                Constraint.equals(sp, "alpha", -1),
+            ]
+        )
+        proof = cover.prove_no_dependency(oscillator, {"alpha"}, "beta", phi)
+        assert proof.valid
+        assert not depends_ever(oscillator, {"alpha"}, "beta", phi)
+
+    def test_invariant_envelope_fails(self, oscillator):
+        """The smallest invariant phi* containing phi does NOT solve the
+        problem — the paper's motivation for inductive covers."""
+        sp = oscillator.space
+        envelope = Constraint(
+            sp, lambda s: s["alpha"] in (-1, 1), name="alpha=+-1"
+        )
+        assert envelope.is_invariant(oscillator)
+        assert depends_ever(oscillator, {"alpha"}, "beta", envelope)
+
+    def test_non_cover_flagged(self, oscillator):
+        sp = oscillator.space
+        phi = Constraint.equals(sp, "alpha", 1)
+        bad = InductiveCover([Constraint.equals(sp, "alpha", 1)])
+        proof = bad.check(oscillator, phi)
+        assert not proof.valid
+
+    def test_wrong_system_rejected(self, oscillator):
+        b = SystemBuilder().booleans("x")
+        other = b.op_assign("id", "x", var("x")).build()
+        cover = InductiveCover([Constraint.true(oscillator.space)])
+        with pytest.raises(CoverError):
+            cover.check(other, Constraint.true(oscillator.space))

@@ -1,0 +1,222 @@
+"""Unit tests for strong dependency checkers, using the paper's own
+running examples (sections 2.2-2.5, 5.2, 5.5)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import (
+    dependency_pairs,
+    depends_within,
+    no_transmission,
+    sources_transmitting,
+    transmits,
+    transmits_to_set,
+)
+from repro.core.errors import ConstraintError, UnknownObjectError
+from repro.core.state import Space
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def copy_system():
+    """delta: beta <- alpha over 4-bit-ish integers (section 2.2)."""
+    b = SystemBuilder().integers("alpha", "beta", bits=2)
+    b.op_assign("delta", "beta", var("alpha"))
+    return b.build()
+
+
+class TestBasicTransmission:
+    def test_copy_transmits(self, copy_system):
+        delta = copy_system.operation("delta")
+        result = transmits(copy_system, {"alpha"}, "beta", delta)
+        assert result
+        w = result.witness
+        assert w.sigma1.equal_except_at(w.sigma2, {"alpha"})
+        a1, a2 = w.after
+        assert a1["beta"] != a2["beta"]
+
+    def test_constant_constraint_blocks(self, copy_system):
+        # Section 2.2: alpha known to be a constant -> no transmission.
+        delta = copy_system.operation("delta")
+        phi = Constraint.equals(copy_system.space, "alpha", 2)
+        assert no_transmission(copy_system, {"alpha"}, "beta", delta, phi)
+
+    def test_threshold_example(self):
+        # delta: if alpha < 10 then beta <- 0 else beta <- 1 (section 2.2).
+        b = SystemBuilder().ranged("alpha", lo=0, hi=15).integers("beta", bits=1)
+        b.op_if("delta", var("alpha") < 10, "beta", 0, else_expr=1)
+        system = b.build()
+        delta = system.operation("delta")
+        # Unconstrained: one bit flows.
+        assert transmits(system, {"alpha"}, "beta", delta)
+        # Constrained alpha < 10: no variety crosses the threshold.
+        phi = Constraint(system.space, lambda s: s["alpha"] < 10, name="alpha<10")
+        assert not transmits(system, {"alpha"}, "beta", delta, phi)
+
+    def test_operation_accepted_directly(self, copy_system):
+        delta = copy_system.operation("delta")
+        assert transmits(copy_system, {"alpha"}, "beta", delta)
+        assert transmits(copy_system, {"alpha"}, "beta", History.of(delta))
+
+    def test_unknown_names_rejected(self, copy_system):
+        delta = copy_system.operation("delta")
+        with pytest.raises(UnknownObjectError):
+            transmits(copy_system, {"zzz"}, "beta", delta)
+        with pytest.raises(UnknownObjectError):
+            transmits(copy_system, {"alpha"}, "zzz", delta)
+
+    def test_cross_space_constraint_rejected(self, copy_system):
+        other = Space({"x": range(2)})
+        with pytest.raises(ConstraintError):
+            transmits(
+                copy_system,
+                {"alpha"},
+                "beta",
+                copy_system.operation("delta"),
+                Constraint.true(other),
+            )
+
+
+class TestReflexivity:
+    """Section 2.5."""
+
+    def test_identity_like_op_reflexive(self):
+        b = SystemBuilder().integers("alpha", "beta", bits=2)
+        b.op_assign("delta", "beta", var("alpha"))
+        system = b.build()
+        # alpha |>^delta alpha: variety stays in alpha.
+        assert transmits(system, {"alpha"}, "alpha", system.operation("delta"))
+
+    def test_overwrite_destroys_reflexivity(self):
+        b = SystemBuilder().integers("alpha", bits=2)
+        b.op_assign("zero", "alpha", 0)
+        system = b.build()
+        assert not transmits(system, {"alpha"}, "alpha", system.operation("zero"))
+
+    def test_empty_history_reflexive_with_variety(self, copy_system):
+        empty = History.empty()
+        assert transmits(copy_system, {"alpha"}, "alpha", empty)
+
+    def test_constant_constraint_kills_empty_history_reflexivity(
+        self, copy_system
+    ):
+        # phi == alpha = 37-analogue: no variety -> not even reflexive.
+        phi = Constraint.equals(copy_system.space, "alpha", 1)
+        assert not transmits(copy_system, {"alpha"}, "alpha", History.empty(), phi)
+
+    def test_theorem_2_5_empty_history_only_reflexive(self, copy_system):
+        assert not transmits(copy_system, {"alpha"}, "beta", History.empty())
+
+
+class TestSetSources:
+    def test_sum_transmits_from_set_and_singletons(self):
+        # delta: beta <- alpha1 + alpha2 (section 2.3).
+        b = SystemBuilder().integers("alpha1", "alpha2", bits=2)
+        b.obj("beta", range(7))
+        b.op_assign("delta", "beta", var("alpha1") + var("alpha2"))
+        system = b.build()
+        delta = system.operation("delta")
+        assert transmits(system, {"alpha1", "alpha2"}, "beta", delta)
+        assert transmits(system, {"alpha1"}, "beta", delta)
+        assert transmits(system, {"alpha2"}, "beta", delta)
+        assert sources_transmitting(
+            system, {"alpha1", "alpha2"}, "beta", delta
+        ) == frozenset({"alpha1", "alpha2"})
+
+    def test_theorem_2_1_some_singleton_transmits(self):
+        b = SystemBuilder().booleans("a", "b", "c")
+        b.op_assign("delta", "c", var("a"))
+        system = b.build()
+        delta = system.operation("delta")
+        assert transmits(system, {"a", "b"}, "c", delta)
+        singles = sources_transmitting(system, {"a", "b"}, "c", delta)
+        assert singles == frozenset({"a"})
+
+
+class TestSetTargets:
+    """Defs 5-5/5-6: states must differ at EVERY target after H."""
+
+    @pytest.fixture
+    def fanout(self):
+        # delta1: (m1 <- alpha ; m2 <- alpha) — section 5.5's system.
+        b = SystemBuilder().booleans("alpha", "m1", "m2", "beta")
+        b.op_cmd("delta1", seq(assign("m1", var("alpha")), assign("m2", var("alpha"))))
+        b.op_assign("delta2", "beta", var("m1"))
+        return b.build()
+
+    def test_alpha_reaches_both(self, fanout):
+        delta1 = fanout.operation("delta1")
+        result = transmits_to_set(fanout, {"alpha"}, {"m1", "m2"}, delta1)
+        assert result
+        a1, a2 = result.witness.after
+        assert a1["m1"] != a2["m1"] and a1["m2"] != a2["m2"]
+
+    def test_section_5_5_clump_dependency(self, fanout):
+        """phi: m1 = m2 (invariant, non-autonomous).  Singletons fail but
+        the clump {m1, m2} transmits to beta."""
+        phi = Constraint(
+            fanout.space, lambda s: s["m1"] == s["m2"], name="m1=m2"
+        )
+        delta2 = fanout.operation("delta2")
+        assert not transmits(fanout, {"m1"}, "beta", delta2, phi)
+        assert not transmits(fanout, {"m2"}, "beta", delta2, phi)
+        assert transmits(fanout, {"m1", "m2"}, "beta", delta2, phi)
+
+    def test_empty_target_set_rejected(self, fanout):
+        with pytest.raises(ConstraintError):
+            transmits_to_set(
+                fanout, {"alpha"}, set(), fanout.operation("delta1")
+            )
+
+
+class TestNonAutonomousCaveat:
+    """Section 5.2: with phi == (alpha1 = alpha2), strong dependency says
+    nothing flows from alpha1 even though information clearly does —
+    the documented limit of the formalism."""
+
+    def test_hypothesis_failure_example(self):
+        b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=2)
+        b.op_assign("delta", "beta", var("alpha1"))
+        system = b.build()
+        delta = system.operation("delta")
+        phi = Constraint(
+            system.space, lambda s: s["alpha1"] == s["alpha2"], name="a1=a2"
+        )
+        # Strong dependency denies the singleton path...
+        assert not transmits(system, {"alpha1"}, "beta", delta, phi)
+        # ...but affirms the clump, which is the paper's resolution.
+        assert transmits(system, {"alpha1", "alpha2"}, "beta", delta, phi)
+        assert phi.is_autonomous_relative_to({"alpha1", "alpha2"})
+
+
+class TestBoundedSearch:
+    def test_depends_within_finds_two_step_path(self):
+        b = SystemBuilder().booleans("a", "m", "b")
+        b.op_assign("d1", "m", var("a"))
+        b.op_assign("d2", "b", var("m"))
+        system = b.build()
+        result = depends_within(system, {"a"}, "b", max_length=2)
+        assert result
+        assert [op.name for op in result.witness.history] == ["d1", "d2"]
+
+    def test_depends_within_respects_bound(self):
+        b = SystemBuilder().booleans("a", "m", "b")
+        b.op_assign("d1", "m", var("a"))
+        b.op_assign("d2", "b", var("m"))
+        system = b.build()
+        assert not depends_within(system, {"a"}, "b", max_length=1)
+
+
+class TestDependencyPairs:
+    def test_pairs_matrix(self):
+        b = SystemBuilder().booleans("a", "b")
+        b.op_assign("copy", "b", var("a"))
+        system = b.build()
+        pairs = dependency_pairs(system, system.operation("copy"))
+        assert pairs[(frozenset({"a"}), "b")]
+        assert pairs[(frozenset({"a"}), "a")]  # reflexive, a unchanged
+        assert not pairs[(frozenset({"b"}), "a")]
+        assert not pairs[(frozenset({"b"}), "b")]  # b overwritten

@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            errors.SpaceError,
+            errors.StateError,
+            errors.OperationError,
+            errors.ConstraintError,
+            errors.CoverError,
+            errors.ProofError,
+            errors.ProgramError,
+            errors.DistributionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, errors.ReproError)
+
+    def test_fine_grained_subclassing(self):
+        assert issubclass(errors.UnknownObjectError, errors.SpaceError)
+        assert issubclass(errors.DomainError, errors.SpaceError)
+        assert issubclass(errors.EmptyConstraintError, errors.ConstraintError)
+        assert issubclass(errors.ParseError, errors.ProgramError)
+        assert issubclass(errors.EvaluationError, errors.ProgramError)
+
+
+class TestPayloads:
+    def test_unknown_object_error_carries_context(self):
+        exc = errors.UnknownObjectError("ghost", ("a", "b"))
+        assert exc.name == "ghost"
+        assert exc.known == ("a", "b")
+        assert "ghost" in str(exc) and "a" in str(exc)
+
+    def test_domain_error_carries_context(self):
+        exc = errors.DomainError("x", 99)
+        assert exc.name == "x" and exc.value == 99
+        assert "99" in str(exc)
+
+    def test_parse_error_line_prefix(self):
+        exc = errors.ParseError("bad token", line=3)
+        assert exc.line == 3
+        assert str(exc).startswith("line 3:")
+        plain = errors.ParseError("bad token")
+        assert plain.line is None
+
+    def test_single_catch_point(self):
+        """A caller catching ReproError sees every library failure."""
+        from repro.core.state import Space
+
+        with pytest.raises(errors.ReproError):
+            Space({})

@@ -1,0 +1,200 @@
+"""Unit tests for Strong Dependency Induction (chapter 4/5 provers)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.errors import ProofError
+from repro.core.induction import (
+    decompose_dependency,
+    find_intermediate,
+    intermediate_objects,
+    per_operation_flows,
+    prove_no_dependency,
+    prove_no_dependency_nonautonomous,
+    prove_via_relation,
+)
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def chain_system():
+    """d1: m <- alpha ; d2: beta <- m — the section 4.2 relay."""
+    b = SystemBuilder().booleans("alpha", "m", "beta")
+    b.op_assign("d1", "m", var("alpha"))
+    b.op_assign("d2", "beta", var("m"))
+    return b.build()
+
+
+@pytest.fixture
+def guarded_system():
+    """delta: if m then beta <- alpha (section 3.2)."""
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    return b.build()
+
+
+class TestPerOperationFlows:
+    def test_flow_matrix(self, chain_system):
+        flows = per_operation_flows(chain_system)
+        assert flows[("alpha", "m")]
+        assert flows[("m", "beta")]
+        assert not flows[("alpha", "beta")]  # no single op does it
+        assert flows[("alpha", "alpha")]  # never overwritten
+
+    def test_restricted_sources_targets(self, chain_system):
+        flows = per_operation_flows(
+            chain_system, sources=["alpha"], targets=["m"]
+        )
+        assert set(flows) == {("alpha", "m")}
+
+
+class TestCorollary42:
+    def test_proof_succeeds_for_guarded_system(self, guarded_system):
+        phi = Constraint(
+            guarded_system.space, lambda s: not s["m"], name="~m"
+        )
+        proof = prove_no_dependency(guarded_system, phi, "alpha", "beta")
+        assert proof.valid
+        # And the conclusion is genuinely true (cross-check exhaustively).
+        for h in guarded_system.histories(3):
+            assert not transmits(guarded_system, {"alpha"}, "beta", h, phi)
+
+    def test_proof_fails_without_constraint(self, guarded_system):
+        proof = prove_no_dependency(guarded_system, None, "alpha", "beta")
+        assert not proof.valid
+        assert proof.failures
+
+    def test_requires_distinct_objects(self, guarded_system):
+        with pytest.raises(ProofError):
+            prove_no_dependency(guarded_system, None, "alpha", "alpha")
+
+    def test_nonautonomous_precondition_flagged(self, guarded_system):
+        phi = Constraint(
+            guarded_system.space,
+            lambda s: s["alpha"] == s["beta"],
+            name="a=b",
+        )
+        proof = prove_no_dependency(guarded_system, phi, "alpha", "beta")
+        assert any("autonomous" in ob.description for ob in proof.failures)
+
+    def test_require_raises_with_context(self, guarded_system):
+        proof = prove_no_dependency(guarded_system, None, "alpha", "beta")
+        with pytest.raises(ProofError):
+            proof.require()
+
+    def test_valid_proof_requires_cleanly(self, guarded_system):
+        phi = Constraint(guarded_system.space, lambda s: not s["m"], name="~m")
+        proof = prove_no_dependency(guarded_system, phi, "alpha", "beta")
+        assert proof.require() is proof
+
+
+class TestCorollary43Relation:
+    def test_classification_argument(self):
+        """Security-style proof: flows only go up the classification."""
+        b = SystemBuilder().booleans("lo", "hi")
+        b.op_assign("up", "hi", var("lo"))
+        system = b.build()
+        cls = {"lo": 0, "hi": 1}
+        proof = prove_via_relation(
+            system, None, lambda x, y: cls[x] <= cls[y], q_name="Cls<="
+        )
+        assert proof.valid
+
+    def test_downward_flow_breaks_proof(self):
+        b = SystemBuilder().booleans("lo", "hi")
+        b.op_assign("down", "lo", var("hi"))
+        system = b.build()
+        cls = {"lo": 0, "hi": 1}
+        proof = prove_via_relation(
+            system, None, lambda x, y: cls[x] <= cls[y], q_name="Cls<="
+        )
+        assert not proof.valid
+        assert any("hi" in ob.description for ob in proof.failures)
+
+    def test_non_transitive_relation_flagged(self):
+        b = SystemBuilder().booleans("a", "b", "c")
+        b.op_assign("noop_like", "a", var("a"))
+        system = b.build()
+        pairs = {("a", "b"), ("b", "c")}  # not transitive: missing (a, c)
+        q = lambda x, y: x == y or (x, y) in pairs
+        proof = prove_via_relation(system, None, q)
+        assert any("transitive" in ob.description for ob in proof.failures)
+
+
+class TestCorollary56NonAutonomous:
+    def test_invariant_nonautonomous_proof(self):
+        """phi: m1 = m2 with ops that preserve it; beta never written."""
+        b = SystemBuilder().booleans("m1", "m2", "beta")
+        b.op_cmd("sync", seq(assign("m1", var("m2"))))
+        system = b.build()
+        phi = Constraint(system.space, lambda s: s["m1"] == s["m2"], name="m1=m2")
+        assert not phi.is_autonomous()
+        proof = prove_no_dependency_nonautonomous(system, phi, {"m1", "m2"}, "beta")
+        assert proof.valid
+
+    def test_beta_in_sources_rejected(self, chain_system):
+        with pytest.raises(ProofError):
+            prove_no_dependency_nonautonomous(
+                chain_system, None, {"alpha", "beta"}, "beta"
+            )
+
+    def test_failing_alternative_reports_witness(self, chain_system):
+        proof = prove_no_dependency_nonautonomous(
+            chain_system, None, {"alpha"}, "beta"
+        )
+        assert not proof.valid
+
+
+class TestDecomposition:
+    def test_theorem_4_1_find_intermediate(self, chain_system):
+        h1 = chain_system.history("d1")
+        h2 = chain_system.history("d2")
+        found = find_intermediate(chain_system, None, "alpha", "beta", h1, h2)
+        assert found is not None
+        m, first, second = found
+        assert m == "m"
+        assert first and second
+
+    def test_find_intermediate_none_when_no_dependency(self, chain_system):
+        h1 = chain_system.history("d2")  # wrong order: beta <- m first
+        h2 = chain_system.history("d1")
+        assert (
+            find_intermediate(chain_system, None, "alpha", "beta", h1, h2)
+            is None
+        )
+
+    def test_intermediate_objects_from_witness(self, chain_system):
+        h = chain_system.history("d1", "d2")
+        result = transmits(chain_system, {"alpha"}, "beta", h)
+        middle = intermediate_objects(result.witness, h[:1])
+        # After d1, the witness states differ at alpha and m.
+        assert "m" in middle and "alpha" in middle
+
+    def test_decompose_dependency_legs_hold(self, chain_system):
+        h = chain_system.history("d1", "d2")
+        result = transmits(chain_system, {"alpha"}, "beta", h)
+        decomp = decompose_dependency(
+            chain_system, None, result.witness, split_at=1, target="beta"
+        )
+        assert decomp.first_leg and decomp.second_leg
+        assert "m" in decomp.intermediates
+
+    def test_decompose_noninvariant_uses_image_constraint(self):
+        """Theorem 6-3: the second leg runs under [H]phi."""
+        b = SystemBuilder().booleans("alpha", "m", "beta", "flag")
+        b.op_cmd("set", seq(assign("flag", True), assign("m", var("alpha"))))
+        b.op_cmd("fwd", assign("beta", var("m")))
+        system = b.build()
+        phi = Constraint(system.space, lambda s: not s["flag"], name="~flag")
+        h = system.history("set", "fwd")
+        result = transmits(system, {"alpha"}, "beta", h, phi)
+        assert result
+        decomp = decompose_dependency(
+            system, phi, result.witness, split_at=1, target="beta",
+            invariant=False,
+        )
+        assert decomp.second_leg.constraint_name.startswith("[")

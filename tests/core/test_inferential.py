@@ -1,0 +1,152 @@
+"""Unit tests for Inferential Dependency (section 7.2)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import transmits
+from repro.core.inferential import (
+    contingently_depends,
+    inferential_paths,
+    inferentially_depends,
+    knowledge_sets,
+)
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def copy_system():
+    b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=1)
+    b.op_assign("delta", "beta", var("alpha1"))
+    return b.build()
+
+
+class TestKnowledgeSets:
+    def test_copy_reveals_source(self, copy_system):
+        table = knowledge_sets(
+            copy_system, {"alpha1"}, "beta", copy_system.operation("delta")
+        )
+        # Observing beta = v pins alpha1 = v.
+        assert table[0] == frozenset({(0,)})
+        assert table[1] == frozenset({(1,)})
+
+    def test_unread_object_unrevealed(self, copy_system):
+        table = knowledge_sets(
+            copy_system, {"alpha2"}, "beta", copy_system.operation("delta")
+        )
+        for posterior in table.values():
+            assert posterior == frozenset({(0,), (1,)})
+
+
+class TestSection52Example:
+    """beta <- alpha1 under alpha1 = alpha2: strong dependency denies the
+    singletons, inferential dependency affirms both (the paper's stated
+    behavior for the Inferential model)."""
+
+    def test_divergence_from_strong_dependency(self, copy_system):
+        phi = Constraint(
+            copy_system.space,
+            lambda s: s["alpha1"] == s["alpha2"],
+            name="a1=a2",
+        )
+        delta = copy_system.operation("delta")
+        for source in ("alpha1", "alpha2"):
+            assert not transmits(copy_system, {source}, "beta", delta, phi)
+            inference = inferentially_depends(
+                copy_system, {source}, "beta", delta, phi
+            )
+            assert inference is not None, source
+            assert len(inference.posterior) == 1  # beta pins the value
+
+
+class TestContingentTransmission:
+    """The mod-sum example: contingent-only transmission (section 7.2)."""
+
+    @pytest.fixture
+    def modsum(self):
+        b = SystemBuilder().integers("a1", "a2", "beta", bits=2)
+        b.op_assign("delta", "beta", (var("a1") + var("a2")) % 4)
+        return b.build()
+
+    def test_noncontingent_says_nothing_about_singleton(self, modsum):
+        delta = modsum.operation("delta")
+        assert inferentially_depends(modsum, {"a1"}, "beta", delta) is None
+
+    def test_contingent_affirms_singleton(self, modsum):
+        delta = modsum.operation("delta")
+        assert contingently_depends(modsum, {"a1"}, "beta", delta) is not None
+
+    def test_pair_transmits_under_both(self, modsum):
+        delta = modsum.operation("delta")
+        assert inferentially_depends(modsum, {"a1", "a2"}, "beta", delta)
+        assert contingently_depends(modsum, {"a1", "a2"}, "beta", delta)
+
+
+class TestContingentEqualsStrong:
+    def test_agreement_on_examples(self, copy_system):
+        delta = copy_system.operation("delta")
+        phi = Constraint(
+            copy_system.space,
+            lambda s: s["alpha1"] == s["alpha2"],
+            name="a1=a2",
+        )
+        for source in ("alpha1", "alpha2"):
+            for constraint in (None, phi):
+                strong = bool(
+                    transmits(copy_system, {source}, "beta", delta, constraint)
+                )
+                contingent = (
+                    contingently_depends(
+                        copy_system, {source}, "beta", delta, constraint
+                    )
+                    is not None
+                )
+                assert strong == contingent
+
+
+class TestMonotonicityFailure:
+    """Section 7.2: 'imposing phi adds an information path (from alpha2
+    to beta)' — inferential dependency is not monotone in the
+    constraint."""
+
+    @pytest.fixture
+    def tagged(self):
+        """Objects are (tag, payload) pairs encoded as 2-bit ints: the
+        high bit is the tag.  delta: beta <- alpha1."""
+        b = SystemBuilder().integers("alpha1", "alpha2", "beta", bits=2)
+        b.op_assign("delta", "beta", var("alpha1"))
+        return b.build()
+
+    def test_constraint_adds_inferential_path(self, tagged):
+        delta = tagged.operation("delta")
+        tag = lambda v: v >> 1
+        phi = Constraint(
+            tagged.space,
+            lambda s: tag(s["alpha1"]) == tag(s["alpha2"]),
+            name="a1.tag=a2.tag",
+        )
+        h = History.of(delta)
+        before = inferential_paths(tagged, h, None)
+        after = inferential_paths(tagged, h, phi)
+        assert ("alpha2", "beta") not in before
+        assert ("alpha2", "beta") in after  # the added path
+        # The direct path is present in both.
+        assert ("alpha1", "beta") in before and ("alpha1", "beta") in after
+
+    def test_inference_is_partial_for_tag_coupling(self, tagged):
+        """Observing beta reveals alpha2's tag but not its payload: the
+        posterior shrinks to the half sharing the tag."""
+        delta = tagged.operation("delta")
+        tag = lambda v: v >> 1
+        phi = Constraint(
+            tagged.space,
+            lambda s: tag(s["alpha1"]) == tag(s["alpha2"]),
+            name="a1.tag=a2.tag",
+        )
+        inference = inferentially_depends(
+            tagged, {"alpha2"}, "beta", delta, phi
+        )
+        assert inference is not None
+        assert len(inference.prior) == 4
+        assert len(inference.posterior) == 2

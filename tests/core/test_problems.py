@@ -1,0 +1,198 @@
+"""Unit tests for information problems (chapter 3) and enforcement
+problems (section 1.4)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.errors import ConstraintError
+from repro.core.problems import (
+    ConfinementProblem,
+    EnforcementProblem,
+    NoTransmissionProblem,
+    SecurityProblem,
+)
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def guarded():
+    """delta: if m then beta <- alpha (the section 3.2 running example)."""
+    b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+    b.op_if("delta", var("m"), "beta", var("alpha"))
+    return b.build()
+
+
+class TestNoTransmissionProblem:
+    def test_guard_solution(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        phi = Constraint(guarded.space, lambda s: not s["m"], name="~m")
+        assert problem.is_solution(phi)
+
+    def test_constant_source_solution(self, guarded):
+        # Section 3.2: freezing alpha works too...
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        frozen = Constraint.equals(guarded.space, "alpha", 0)
+        assert problem.is_solution(frozen)
+
+    def test_independence_filter_rejects_frozen_source(self, guarded):
+        # ...unless the problem demands alpha-independence (Def 3-1).
+        problem = NoTransmissionProblem(
+            guarded, {"alpha"}, "beta", require_independent=True
+        )
+        frozen = Constraint.equals(guarded.space, "alpha", 0)
+        verdict = problem.verdict(frozen)
+        assert not verdict
+        assert any("independent" in r for r in verdict.reasons)
+        phi = Constraint(guarded.space, lambda s: not s["m"], name="~m")
+        assert problem.is_solution(phi)
+
+    def test_non_solution_reports_history(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        verdict = problem.verdict(Constraint.true(guarded.space))
+        assert not verdict
+        assert any("transmits" in r for r in verdict.reasons)
+
+    def test_solutions_among(self, guarded):
+        problem = NoTransmissionProblem(guarded, {"alpha"}, "beta")
+        candidates = [
+            Constraint.true(guarded.space),
+            Constraint(guarded.space, lambda s: not s["m"], name="~m"),
+        ]
+        solutions = problem.solutions_among(candidates)
+        assert [phi.name for phi in solutions] == ["~m"]
+
+
+class TestConfinementProblem:
+    @pytest.fixture
+    def leaky(self):
+        """secret -> scratch -> spy relay, plus a benign public channel."""
+        b = SystemBuilder().booleans("secret", "scratch", "spy", "public")
+        b.op_assign("stash", "scratch", var("secret"))
+        b.op_assign("leak", "spy", var("scratch"))
+        b.op_assign("announce", "public", var("public"))
+        return b.build()
+
+    def test_unconstrained_system_leaks(self, leaky):
+        problem = ConfinementProblem(leaky, confined={"secret"}, spies={"spy"})
+        verdict = problem.verdict(Constraint.true(leaky.space))
+        assert not verdict
+        assert any("secret" in r and "spy" in r for r in verdict.reasons)
+
+    def test_freezing_scratch_does_not_help(self, leaky):
+        # An initial constraint on scratch only kills *initial* variety —
+        # secret is copied into scratch afterwards (section 3.3's lesson
+        # in reverse: here the relay still works).
+        phi = Constraint.equals(leaky.space, "scratch", False)
+        problem = ConfinementProblem(leaky, confined={"secret"}, spies={"spy"})
+        assert not problem.is_solution(phi)
+
+    def test_freezing_secret_solves(self, leaky):
+        phi = Constraint.equals(leaky.space, "secret", False)
+        problem = ConfinementProblem(leaky, confined={"secret"}, spies={"spy"})
+        assert problem.is_solution(phi)
+
+    def test_declassifier_exempts_path(self, leaky):
+        problem = ConfinementProblem(
+            leaky,
+            confined={"secret"},
+            spies={"spy"},
+            declassifiers={("secret", "spy")},
+        )
+        assert problem.forbidden_paths() == []
+        assert problem.is_solution(Constraint.true(leaky.space))
+
+    def test_forbidden_paths_enumeration(self, leaky):
+        problem = ConfinementProblem(
+            leaky, confined={"secret", "scratch"}, spies={"spy"}
+        )
+        assert set(problem.forbidden_paths()) == {
+            ("secret", "spy"),
+            ("scratch", "spy"),
+        }
+
+
+class TestSecurityProblem:
+    @pytest.fixture
+    def two_level(self):
+        b = SystemBuilder().booleans("lo", "hi")
+        b.op_assign("up", "hi", var("lo"))
+        return b.build()
+
+    def test_upward_only_system_is_secure(self, two_level):
+        problem = SecurityProblem(two_level, {"lo": 0, "hi": 1})
+        assert problem.is_solution(Constraint.true(two_level.space))
+
+    def test_downward_flow_detected(self):
+        b = SystemBuilder().booleans("lo", "hi")
+        b.op_assign("down", "lo", var("hi"))
+        system = b.build()
+        problem = SecurityProblem(system, {"lo": 0, "hi": 1})
+        verdict = problem.verdict(Constraint.true(system.space))
+        assert not verdict
+        assert any("transmits down" in r for r in verdict.reasons)
+
+    def test_partial_order_vector_classifications(self):
+        """Denning-style (clearance, category) vectors with incomparable
+        elements."""
+        b = SystemBuilder().booleans("crypto", "nuclear")
+        b.op_assign("mix", "nuclear", var("crypto"))
+        system = b.build()
+        cls = {"crypto": frozenset({"C"}), "nuclear": frozenset({"N"})}
+        problem = SecurityProblem(system, cls, leq=lambda a, b: a <= b)
+        # crypto's category is not a subset of nuclear's: flow forbidden.
+        assert not problem.is_solution(Constraint.true(system.space))
+
+    def test_missing_classification_rejected(self, two_level):
+        with pytest.raises(ConstraintError):
+            SecurityProblem(two_level, {"lo": 0})
+
+
+class TestEnforcementProblem:
+    @pytest.fixture
+    def writer(self):
+        b = SystemBuilder().booleans("gate", "file")
+        b.op_cmd("write", when(var("gate"), assign("file", True)))
+        return b.build()
+
+    def test_enforcement_holds_with_gate_closed(self, writer):
+        # Acceptable steps: 'write' may not modify 'file'.
+        def step_ok(state, op):
+            return op(state)["file"] == state["file"]
+
+        problem = EnforcementProblem(writer, step_ok)
+        closed = Constraint(
+            writer.space, lambda s: not s["gate"], name="~gate"
+        )
+        assert problem.enforces(closed)
+
+    def test_enforcement_counterexample(self, writer):
+        def step_ok(state, op):
+            return op(state)["file"] == state["file"]
+
+        problem = EnforcementProblem(writer, step_ok)
+        verdict = problem.enforcement_counterexample(
+            Constraint.true(writer.space)
+        )
+        assert verdict is not None
+        state, op = verdict
+        assert state["gate"] and not state["file"]
+
+    def test_reachability_matters(self):
+        """A state unacceptable only after an operation re-opens the gate
+        is still found (Def 1-4 quantifies over all histories)."""
+        b = SystemBuilder().booleans("gate", "file")
+        b.op_cmd("open", assign("gate", True))
+        b.op_cmd("write", when(var("gate"), assign("file", True)))
+        system = b.build()
+
+        def step_ok(state, op):
+            return op(state)["file"] == state["file"]
+
+        problem = EnforcementProblem(system, step_ok)
+        closed = Constraint(
+            system.space, lambda s: not s["gate"] and not s["file"], name="safe0"
+        )
+        # 'open' can always re-open the gate, so enforcement fails.
+        assert not problem.enforces(closed)

@@ -1,0 +1,123 @@
+"""Unit tests for exact existential-history dependency (pair-graph BFS)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import depends_within
+from repro.core.errors import ConstraintError, UnknownObjectError
+from repro.core.reachability import (
+    dependency_closure,
+    depends_ever,
+    depends_ever_set,
+)
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def relay():
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+class TestDependsEver:
+    def test_multi_step_path_found(self, relay):
+        result = depends_ever(relay, {"a"}, "b")
+        assert result
+        assert [op.name for op in result.witness.history] == ["d1", "d2"]
+
+    def test_shortest_witness(self, relay):
+        # BFS guarantees a shortest history; d1 d2 is minimal here.
+        result = depends_ever(relay, {"a"}, "b")
+        assert len(result.witness.history) == 2
+
+    def test_no_path_means_false(self, relay):
+        # Nothing ever writes 'a'.
+        assert not depends_ever(relay, {"b"}, "a")
+        assert not depends_ever(relay, {"m"}, "a")
+
+    def test_agrees_with_bounded_search(self, relay):
+        for source in ("a", "m", "b"):
+            for target in ("a", "m", "b"):
+                exact = bool(depends_ever(relay, {source}, target))
+                bounded = bool(
+                    depends_within(relay, {source}, target, max_length=4)
+                )
+                assert exact == bounded, (source, target)
+
+    def test_exact_beats_short_bounds(self):
+        """A chain long enough that shallow bounded search misses it."""
+        b = SystemBuilder().booleans("x0", "x1", "x2", "x3", "x4")
+        for i in range(4):
+            b.op_assign(f"d{i}", f"x{i + 1}", var(f"x{i}"))
+        system = b.build()
+        assert not depends_within(system, {"x0"}, "x4", max_length=3)
+        result = depends_ever(system, {"x0"}, "x4")
+        assert result
+        assert len(result.witness.history) == 4
+
+    def test_constraint_respected(self, relay):
+        phi = Constraint.equals(relay.space, "a", False)
+        assert not depends_ever(relay, {"a"}, "b", phi)
+
+    def test_unknown_names_rejected(self, relay):
+        with pytest.raises(UnknownObjectError):
+            depends_ever(relay, {"zzz"}, "b")
+
+    def test_cross_space_constraint_rejected(self, relay):
+        other = SystemBuilder().booleans("q").space()
+        with pytest.raises(ConstraintError):
+            depends_ever(relay, {"a"}, "b", Constraint.true(other))
+
+    def test_witness_pair_is_valid(self, relay):
+        result = depends_ever(relay, {"a"}, "b")
+        w = result.witness
+        assert w.sigma1.equal_except_at(w.sigma2, {"a"})
+        a1, a2 = w.after
+        assert a1["b"] != a2["b"]
+
+    def test_guard_blocks_all_histories(self):
+        """The section 4.4 q-system: no history at all transmits a -> b."""
+        b = SystemBuilder().booleans("q", "a", "m", "b")
+        b.op_cmd("d1", when(var("q"), assign("m", var("a"))))
+        b.op_cmd("d2", when(~var("q"), assign("b", var("m"))))
+        system = b.build()
+        assert not depends_ever(system, {"a"}, "b")
+
+
+class TestDependsEverSet:
+    def test_set_target(self):
+        b = SystemBuilder().booleans("a", "m1", "m2")
+        b.op_cmd("fan", seq(assign("m1", var("a")), assign("m2", var("a"))))
+        system = b.build()
+        assert depends_ever_set(system, {"a"}, {"m1", "m2"})
+
+    def test_set_target_requires_simultaneous_difference(self):
+        """m1 and m2 receive complementary values: a pair differing at both
+        still exists, but only via the single op that writes both."""
+        b = SystemBuilder().booleans("a", "m1", "m2")
+        b.op_assign("one", "m1", var("a"))
+        system = b.build()
+        # 'one' never writes m2, so differing at m2 requires the initial
+        # pair to differ there — but the pairs may differ only at {a}.
+        assert not depends_ever_set(system, {"a"}, {"m1", "m2"})
+
+    def test_empty_target_set_rejected(self, relay):
+        with pytest.raises(ConstraintError):
+            depends_ever_set(relay, {"a"}, set())
+
+
+class TestDependencyClosure:
+    def test_closure_matrix(self, relay):
+        closure = dependency_closure(relay)
+        assert closure[(frozenset({"a"}), "b")]
+        assert closure[(frozenset({"a"}), "m")]
+        assert not closure[(frozenset({"b"}), "a")]
+
+    def test_closure_with_custom_sources(self, relay):
+        closure = dependency_closure(relay, sources=[frozenset({"a", "m"})])
+        assert closure[(frozenset({"a", "m"}), "b")]
+        assert len(closure) == len(relay.space.names)

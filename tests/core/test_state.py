@@ -1,0 +1,191 @@
+"""Unit tests for states and spaces (section 1.2 definitions)."""
+
+import pytest
+
+from repro.core.errors import (
+    DomainError,
+    SpaceError,
+    StateError,
+    UnknownObjectError,
+)
+from repro.core.state import Space, State, boolean_space, integer_space
+
+
+class TestState:
+    def test_mapping_protocol(self):
+        s = State({"b": 2, "a": 1})
+        assert s["a"] == 1
+        assert s["b"] == 2
+        assert len(s) == 2
+        assert list(s) == ["a", "b"]  # lexicographic
+        assert dict(s) == {"a": 1, "b": 2}
+
+    def test_names_sorted_lexicographically(self):
+        s = State({"zeta": 0, "alpha": 1, "mu": 2})
+        assert s.names == ("alpha", "mu", "zeta")
+
+    def test_missing_name_raises_keyerror(self):
+        s = State({"a": 1})
+        with pytest.raises(KeyError):
+            s["missing"]
+
+    def test_equality_and_hash(self):
+        s1 = State({"a": 1, "b": 2})
+        s2 = State({"b": 2, "a": 1})
+        s3 = State({"a": 1, "b": 3})
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+        assert len({s1, s2, s3}) == 2
+
+    def test_immutability(self):
+        s = State({"a": 1})
+        with pytest.raises(AttributeError):
+            s._values = (9,)
+
+    def test_project_is_sigma_dot_a(self):
+        s = State({"a": 1, "b": 2, "c": 3})
+        assert s.project({"c", "a"}) == (1, 3)  # lexicographic order of A
+        assert s.project([]) == ()
+
+    def test_restrict_away(self):
+        s = State({"a": 1, "b": 2, "c": 3})
+        assert s.restrict_away({"b"}) == (1, 3)
+        assert s.restrict_away(set()) == (1, 2, 3)
+
+    def test_equal_except_at_def_1_1(self):
+        s1 = State({"a": 1, "b": 2, "c": 3})
+        s2 = State({"a": 9, "b": 2, "c": 3})
+        s3 = State({"a": 9, "b": 7, "c": 3})
+        assert s1.equal_except_at(s2, {"a"})
+        assert not s1.equal_except_at(s3, {"a"})
+        assert s1.equal_except_at(s3, {"a", "b"})
+        # Equal states are equal-except-at any set, including the empty set.
+        assert s1.equal_except_at(s1, set())
+
+    def test_equal_except_at_different_shapes(self):
+        with pytest.raises(StateError):
+            State({"a": 1}).equal_except_at(State({"b": 1}), set())
+
+    def test_differs_at(self):
+        s1 = State({"a": 1, "b": 2, "c": 3})
+        s2 = State({"a": 9, "b": 2, "c": 0})
+        assert s1.differs_at(s2) == frozenset({"a", "c"})
+        assert s1.differs_at(s1) == frozenset()
+
+    def test_substitute_def_5_3(self):
+        # sigma2 <|A sigma1: like sigma2 but with sigma1's values at A.
+        sigma1 = State({"a1": 1, "a2": 1, "m": 2, "q": 3})
+        sigma2 = State({"a1": 101, "a2": 101, "m": 102, "q": 103})
+        combined = sigma2.substitute(sigma1, {"a1", "a2"})
+        assert combined["a1"] == 1 and combined["a2"] == 1
+        assert combined["m"] == 102 and combined["q"] == 103
+
+    def test_substitute_unknown_name(self):
+        s = State({"a": 1})
+        with pytest.raises(StateError):
+            s.substitute(s, {"zzz"})
+
+    def test_replace(self):
+        s = State({"a": 1, "b": 2})
+        assert s.replace(a=5) == State({"a": 5, "b": 2})
+        with pytest.raises(StateError):
+            s.replace(zzz=1)
+
+
+class TestSpace:
+    def test_size_and_enumeration(self):
+        sp = Space({"a": range(3), "b": (False, True)})
+        assert sp.size == 6
+        states = list(sp.states())
+        assert len(states) == 6
+        assert len(set(states)) == 6
+        assert all(s in sp for s in states)
+
+    def test_enumeration_deterministic(self):
+        sp = Space({"a": range(3), "b": range(2)})
+        assert list(sp.states()) == list(sp.states())
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SpaceError):
+            Space({})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SpaceError):
+            Space({"a": ()})
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(SpaceError):
+            Space({"a": (1, 1)})
+
+    def test_state_constructor_validates(self):
+        sp = Space({"a": range(2)})
+        assert sp.state(a=1)["a"] == 1
+        with pytest.raises(DomainError):
+            sp.state(a=7)
+        with pytest.raises(SpaceError):
+            sp.state()  # missing value
+        with pytest.raises(UnknownObjectError):
+            sp.state(a=0, zzz=1)
+
+    def test_membership(self):
+        sp = Space({"a": range(2), "b": range(2)})
+        assert sp.state(a=0, b=1) in sp
+        assert State({"a": 5, "b": 0}) not in sp
+        assert State({"a": 0}) not in sp  # wrong shape
+        assert "not a state" not in sp
+
+    def test_domain_lookup(self):
+        sp = Space({"a": (10, 20)})
+        assert sp.domain("a") == (10, 20)
+        with pytest.raises(UnknownObjectError):
+            sp.domain("b")
+
+    def test_check_names(self):
+        sp = Space({"a": range(2), "b": range(2)})
+        assert sp.check_names(["a"]) == frozenset({"a"})
+        with pytest.raises(UnknownObjectError):
+            sp.check_names(["a", "nope"])
+
+    def test_variants_enumerates_equivalence_class(self):
+        sp = Space({"a": range(3), "b": range(2)})
+        base = sp.state(a=0, b=0)
+        variants = list(sp.variants(base, {"a"}))
+        assert len(variants) == 3
+        assert all(v.equal_except_at(base, {"a"}) for v in variants)
+        assert base in variants
+
+    def test_restrict(self):
+        sp = Space({"a": range(4), "b": range(4)})
+        smaller = sp.restrict(a=(0, 1))
+        assert smaller.size == 8
+        with pytest.raises(UnknownObjectError):
+            sp.restrict(zzz=(1,))
+
+    def test_with_objects(self):
+        sp = Space({"a": range(2)})
+        bigger = sp.with_objects(b=range(3))
+        assert bigger.size == 6
+        with pytest.raises(SpaceError):
+            sp.with_objects(a=range(2))
+
+    def test_immutability(self):
+        sp = Space({"a": range(2)})
+        with pytest.raises(AttributeError):
+            sp._names = ()
+
+
+class TestFactories:
+    def test_boolean_space(self):
+        sp = boolean_space("p", "q", "r")
+        assert sp.size == 8
+        assert sp.domain("p") == (False, True)
+
+    def test_integer_space(self):
+        sp = integer_space(3, "x", "y")
+        assert sp.domain("x") == tuple(range(8))
+        assert sp.size == 64
+
+    def test_integer_space_bad_bits(self):
+        with pytest.raises(SpaceError):
+            integer_space(0, "x")

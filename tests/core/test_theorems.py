@@ -1,0 +1,258 @@
+"""Concrete-instance tests for the executable theorem statements.
+
+The fuzzing harness exercises these over random systems; here each theorem
+gets targeted instances including the paper's own examples, plus checks
+that the *vacuous* branches trigger where intended.
+"""
+
+import pytest
+
+from repro.core import theorems as T
+from repro.core.constraints import Constraint
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def relay():
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+@pytest.fixture
+def guarded():
+    b = SystemBuilder().booleans("q", "a", "m", "b")
+    b.op_cmd("d1", when(var("q"), assign("m", var("a"))))
+    b.op_cmd("d2", when(~var("q"), assign("b", var("m"))))
+    return b.build()
+
+
+def tt(system):
+    return Constraint.true(system.space)
+
+
+class TestMonotonicity:
+    def test_thm_2_2(self, relay):
+        h = relay.history("d1")
+        check = T.thm_2_2_source_monotonicity(
+            relay, frozenset({"a"}), frozenset({"a", "b"}), "m", h
+        )
+        assert check.ok
+
+    def test_thm_2_2_vacuous_on_non_subset(self, relay):
+        h = relay.history("d1")
+        check = T.thm_2_2_source_monotonicity(
+            relay, frozenset({"a"}), frozenset({"b"}), "m", h
+        )
+        assert check.ok and "vacuous" in check.detail
+
+    def test_thm_2_3(self, relay):
+        h = relay.history("d1")
+        phi1 = Constraint.equals(relay.space, "b", False)
+        phi2 = tt(relay)
+        check = T.thm_2_3_constraint_monotonicity(
+            relay, phi1, phi2, frozenset({"a"}), "m", h
+        )
+        assert check.ok
+
+
+class TestVarietyAndReflexivity:
+    def test_thm_2_4(self, relay):
+        phi = Constraint.equals(relay.space, "a", False)
+        check = T.thm_2_4_no_variety_no_transmission(
+            relay, phi, frozenset({"a"}), relay.history("d1", "d2")
+        )
+        assert check.ok
+
+    def test_thm_2_5(self, relay):
+        check = T.thm_2_5_empty_history_reflexive(
+            relay, None, frozenset({"a"})
+        )
+        assert check.ok
+
+    def test_thm_2_6(self, relay):
+        h = relay.history("d1")
+        check = T.thm_2_6_autonomous_decomposition(
+            relay, None, frozenset({"a", "b"}), "m", h
+        )
+        assert check.ok
+
+    def test_thm_2_6_vacuous_for_nonautonomous(self, relay):
+        phi = Constraint(relay.space, lambda s: s["a"] == s["b"], name="a=b")
+        check = T.thm_2_6_autonomous_decomposition(
+            relay, phi, frozenset({"a"}), "m", relay.history("d1")
+        )
+        assert check.ok and "vacuous" in check.detail
+
+
+class TestJoinProperty:
+    def test_thm_3_1_with_independent_solutions(self):
+        b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+        b.op_if("delta", var("m"), "beta", var("alpha"))
+        system = b.build()
+        # Two alpha-independent solutions (both force ~m in different ways).
+        phi1 = Constraint(
+            system.space, lambda s: not s["m"] and s["beta"] == 0, name="p1"
+        )
+        phi2 = Constraint(
+            system.space, lambda s: not s["m"] and s["beta"] == 1, name="p2"
+        )
+        check = T.thm_3_1_join_property(
+            system, phi1, phi2, frozenset({"alpha"}), "beta", history_bound=2
+        )
+        assert check.ok
+
+    def test_thm_3_1_vacuous_for_dependent_solutions(self):
+        """Without A-independence the join property fails (section 3.5's
+        alpha=13 / alpha=74 example) — the theorem check is vacuous for
+        those candidates, matching the theorem's hypothesis."""
+        b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+        b.op_if("delta", var("m"), "beta", var("alpha"))
+        system = b.build()
+        phi1 = Constraint.equals(system.space, "alpha", 0)
+        phi2 = Constraint.equals(system.space, "alpha", 1)
+        check = T.thm_3_1_join_property(
+            system, phi1, phi2, frozenset({"alpha"}), "beta", history_bound=1
+        )
+        assert check.ok and "vacuous" in check.detail
+
+
+class TestInduction:
+    def test_thm_4_1(self, relay):
+        phi = tt(relay)
+        check = T.thm_4_1_intermediate_object(
+            relay, phi, "a", "b", relay.history("d1"), relay.history("d2")
+        )
+        assert check.ok
+
+    def test_thm_4_2(self, relay):
+        check = T.thm_4_2_endpoints(relay, tt(relay), "a", "b")
+        assert check.ok and "vacuous" not in check.detail
+
+    def test_thm_4_2_vacuous_without_dependency(self, relay):
+        check = T.thm_4_2_endpoints(relay, tt(relay), "b", "a")
+        assert check.ok and "vacuous" in check.detail
+
+    def test_thm_4_3(self, relay):
+        rank = {"a": 0, "m": 1, "b": 2}
+        q = lambda x, y: rank[x] <= rank[y]
+        check = T.thm_4_3_relation_bound(
+            relay, tt(relay), q, relay.history("d1", "d2")
+        )
+        assert check.ok and "vacuous" not in check.detail
+
+    def test_thm_4_3_vacuous_when_not_closed(self, relay):
+        rank = {"a": 2, "m": 1, "b": 0}  # flows go DOWN this order
+        q = lambda x, y: rank[x] <= rank[y]
+        check = T.thm_4_3_relation_bound(
+            relay, tt(relay), q, relay.history("d1")
+        )
+        assert check.ok and "vacuous" in check.detail
+
+    def test_thm_4_5(self, guarded):
+        members = (
+            Constraint(guarded.space, lambda s: s["q"], name="q"),
+            Constraint(guarded.space, lambda s: not s["q"], name="~q"),
+        )
+        check = T.thm_4_5_cover(
+            guarded,
+            None,
+            members,
+            frozenset({"a"}),
+            "m",
+            guarded.history("d1"),
+        )
+        assert check.ok
+
+
+class TestRelativeAutonomy:
+    def test_thm_5_1_on_example_constraints(self):
+        b = SystemBuilder().integers("a1", "a2", "m1", "m2", bits=1)
+        sp = b.space()
+        paired = Constraint(
+            sp, lambda s: s["a1"] == s["a2"] and s["m1"] == s["m2"]
+        )
+        for names in ({"a1", "a2"}, {"m1", "m2"}, {"a1"}, {"a1", "m1"}):
+            check = T.thm_5_1_autonomy_characterizations(
+                paired, frozenset(names)
+            )
+            assert check.ok, check.detail
+
+    def test_thm_5_2(self):
+        b = SystemBuilder().booleans("a1", "a2", "m", "beta")
+        b.op_assign("d", "beta", var("a1"))
+        system = b.build()
+        phi = Constraint(
+            system.space, lambda s: s["a1"] == s["a2"], name="a1=a2"
+        )
+        clumps = (frozenset({"a1", "a2"}), frozenset({"m"}))
+        check = T.thm_5_2_clump_decomposition(
+            system, phi, clumps, "beta", system.history("d")
+        )
+        assert check.ok
+
+    def test_thm_5_3(self):
+        b = SystemBuilder().booleans("a", "m1", "m2")
+        b.op_cmd("fan", seq(assign("m1", var("a")), assign("m2", var("a"))))
+        system = b.build()
+        check = T.thm_5_3_set_target_projection(
+            system,
+            None,
+            frozenset({"a"}),
+            frozenset({"m1", "m2"}),
+            system.history("fan"),
+        )
+        assert check.ok
+
+    def test_thm_5_5(self, relay):
+        check = T.thm_5_5_witness_decomposition(
+            relay,
+            tt(relay),
+            frozenset({"a"}),
+            "b",
+            relay.history("d1"),
+            relay.history("d2"),
+        )
+        assert check.ok
+
+
+class TestImageConstraints:
+    def test_thm_6_1(self, relay):
+        phi = Constraint(relay.space, lambda s: s["a"], name="a")
+        check = T.thm_6_1_image_soundness(relay, phi, relay.history("d1", "d2"))
+        assert check.ok
+
+    def test_thm_6_2(self, relay):
+        phi = Constraint(relay.space, lambda s: s["a"], name="a")
+        assert phi.is_invariant(relay)
+        check = T.thm_6_2_invariant_strictness(relay, phi, relay.history("d1"))
+        assert check.ok
+
+    def test_thm_6_3_noninvariant(self):
+        """Decomposition with a non-invariant constraint: the second leg
+        must use [H]phi (Theorem 6-3)."""
+        b = SystemBuilder().booleans("a", "m", "b", "flag")
+        b.op_cmd("set", seq(assign("flag", True), assign("m", var("a"))))
+        b.op_assign("fwd", "b", var("m"))
+        system = b.build()
+        phi = Constraint(system.space, lambda s: not s["flag"], name="~flag")
+        assert not phi.is_invariant(system)
+        check = T.thm_6_3_noninvariant_decomposition(
+            system,
+            phi,
+            frozenset({"a"}),
+            "b",
+            system.history("set"),
+            system.history("fwd"),
+        )
+        assert check.ok
+
+
+class TestRegistry:
+    def test_all_theorems_exist(self):
+        for name in T.ALL_THEOREMS:
+            assert hasattr(T, name), name

@@ -1,0 +1,93 @@
+"""Unit tests for the Worth measure (section 3.6)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.worth import WorthMeasure, WorthOrder
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def two_channel():
+    """Section 3.6's shape: two guarded channels into beta.
+
+    d1: if r1 then beta <- alpha     (channel from alpha)
+    d2: if r2 then beta <- m         (channel from m)
+    """
+    b = SystemBuilder().booleans("r1", "r2", "alpha", "m", "beta")
+    b.op_if("d1", var("r1"), "beta", var("alpha"))
+    b.op_if("d2", var("r2"), "beta", var("m"))
+    return b.build()
+
+
+class TestWorth:
+    def test_unconstrained_worth_contains_both_channels(self, two_channel):
+        measure = WorthMeasure(two_channel)
+        w = measure.worth(None)
+        assert w.permits({"alpha"}, "beta")
+        assert w.permits({"m"}, "beta")
+
+    def test_targeted_solution_preserves_other_channel(self, two_channel):
+        """phi1 (close only channel 1) is as worthy as possible: it removes
+        the alpha path and nothing else."""
+        measure = WorthMeasure(two_channel)
+        phi1 = Constraint(two_channel.space, lambda s: not s["r1"], name="~r1")
+        w = measure.worth(phi1)
+        assert not w.permits({"alpha"}, "beta")
+        assert w.permits({"m"}, "beta")
+
+    def test_blunt_solution_is_less_worthy(self, two_channel):
+        """phi2 closes everything into beta — solves the problem but
+        eliminates the m path too (the paper's phi2)."""
+        measure = WorthMeasure(two_channel)
+        phi1 = Constraint(two_channel.space, lambda s: not s["r1"], name="~r1")
+        phi2 = Constraint(
+            two_channel.space,
+            lambda s: not s["r1"] and not s["r2"],
+            name="~r1&~r2",
+        )
+        assert measure.compare(phi2, phi1) is WorthOrder.LESS
+        assert measure.compare(phi1, phi2) is WorthOrder.GREATER
+
+    def test_equal_worth_for_equivalent_restrictions(self, two_channel):
+        measure = WorthMeasure(two_channel)
+        phi_a = Constraint(two_channel.space, lambda s: not s["r1"], name="a")
+        phi_b = Constraint(
+            two_channel.space, lambda s: s["r1"] is False, name="b"
+        )
+        assert measure.compare(phi_a, phi_b) is WorthOrder.EQUAL
+
+    def test_incomparable_solutions(self, two_channel):
+        measure = WorthMeasure(two_channel)
+        only1 = Constraint(two_channel.space, lambda s: not s["r1"], name="~r1")
+        only2 = Constraint(two_channel.space, lambda s: not s["r2"], name="~r2")
+        assert measure.compare(only1, only2) is WorthOrder.INCOMPARABLE
+
+    def test_worth_describe_lists_paths(self, two_channel):
+        measure = WorthMeasure(two_channel)
+        text = measure.worth(None).describe()
+        assert "paths" in text and "beta" in text
+
+    def test_monotonicity_theorem_2_3(self, two_channel):
+        """Def 3-2: the Worth measure is monotonic because dependency is
+        monotone in the constraint."""
+        measure = WorthMeasure(two_channel)
+        family = [
+            Constraint.true(two_channel.space),
+            Constraint(two_channel.space, lambda s: not s["r1"], name="~r1"),
+            Constraint(
+                two_channel.space,
+                lambda s: not s["r1"] and not s["r2"],
+                name="~r1&~r2",
+            ),
+        ]
+        assert measure.monotonicity_counterexample(family) is None
+
+    def test_custom_source_family(self, two_channel):
+        measure = WorthMeasure(
+            two_channel, sources=[frozenset({"alpha", "m"})]
+        )
+        w = measure.worth(None)
+        assert w.permits({"alpha", "m"}, "beta")
+        assert len({a for a, _ in w.paths}) == 1

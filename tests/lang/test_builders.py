@@ -1,0 +1,66 @@
+"""Unit tests for SystemBuilder."""
+
+import pytest
+
+from repro.core.errors import SpaceError
+from repro.core.system import Operation
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign
+from repro.lang.expr import var
+
+
+class TestObjects:
+    def test_domains(self):
+        b = SystemBuilder().booleans("p").integers("x", bits=3).ranged(
+            "r", lo=-2, hi=2
+        ).obj("e", ("red", "green"))
+        sp = b.space()
+        assert sp.domain("p") == (False, True)
+        assert sp.domain("x") == tuple(range(8))
+        assert sp.domain("r") == (-2, -1, 0, 1, 2)
+        assert sp.domain("e") == ("red", "green")
+
+    def test_duplicate_rejected(self):
+        b = SystemBuilder().booleans("p")
+        with pytest.raises(SpaceError):
+            b.booleans("p")
+
+
+class TestOperations:
+    def test_op_variants(self):
+        b = SystemBuilder().booleans("g").integers("x", "y", bits=1)
+        b.op_assign("copy", "y", var("x"))
+        b.op_if("guarded", var("g"), "y", var("x"))
+        b.op_if("branch", var("g"), "y", 0, else_expr=1)
+        b.op_seq("both", assign("x", 0), assign("y", 0))
+        b.operation(Operation("ext", lambda s: s))
+        system = b.build()
+        assert set(system.operation_names) == {
+            "copy",
+            "guarded",
+            "branch",
+            "both",
+            "ext",
+        }
+
+    def test_semantics_of_op_if_else(self):
+        b = SystemBuilder().booleans("g").integers("y", bits=1)
+        b.op_if("branch", var("g"), "y", 0, else_expr=1)
+        system = b.build()
+        branch = system.operation("branch")
+        assert branch(system.space.state(g=True, y=1))["y"] == 0
+        assert branch(system.space.state(g=False, y=0))["y"] == 1
+
+    def test_constraint_helper(self):
+        b = SystemBuilder().integers("x", bits=2)
+        phi = b.constraint(lambda s: s["x"] < 2, name="small")
+        assert phi.count() == 2
+        assert phi.name == "small"
+
+    def test_state_helper(self):
+        b = SystemBuilder().booleans("p")
+        assert b.state(p=True)["p"] is True
+
+    def test_build_requires_objects(self):
+        with pytest.raises(SpaceError):
+            SystemBuilder().build()

@@ -1,0 +1,71 @@
+"""Unit tests for the command AST."""
+
+import pytest
+
+from repro.core.state import Space
+from repro.lang.cmd import Skip, assign, seq, skip, when
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def space():
+    return Space({"a": range(4), "b": range(4), "g": (False, True)})
+
+
+class TestExecution:
+    def test_skip(self, space):
+        s = space.state(a=1, b=2, g=True)
+        assert skip().run(s) == s
+
+    def test_assign(self, space):
+        s = space.state(a=1, b=2, g=True)
+        assert assign("b", var("a")).run(s)["b"] == 1
+
+    def test_assign_constant(self, space):
+        s = space.state(a=1, b=2, g=True)
+        assert assign("b", 3).run(s)["b"] == 3
+
+    def test_seq_later_sees_earlier_writes(self, space):
+        # b <- a ; a <- b + 1: second assignment sees the new b.
+        cmd = seq(assign("b", var("a")), assign("a", var("b") + 1))
+        s = cmd.run(space.state(a=1, b=0, g=False))
+        assert s["b"] == 1 and s["a"] == 2
+
+    def test_oscillator_semantics(self, space):
+        # (b <- a ; a <- 3 - a): b receives the OLD a.
+        cmd = seq(assign("b", var("a")), assign("a", 3 - var("a")))
+        s = cmd.run(space.state(a=1, b=0, g=False))
+        assert s["b"] == 1 and s["a"] == 2
+
+    def test_when_true_branch(self, space):
+        cmd = when(var("g"), assign("b", 1), assign("b", 2))
+        assert cmd.run(space.state(a=0, b=0, g=True))["b"] == 1
+        assert cmd.run(space.state(a=0, b=0, g=False))["b"] == 2
+
+    def test_when_default_else_is_skip(self, space):
+        cmd = when(var("g"), assign("b", 1))
+        s = space.state(a=0, b=0, g=False)
+        assert cmd.run(s) == s
+
+    def test_seq_empty_and_singleton(self, space):
+        assert isinstance(seq(), Skip)
+        single = assign("b", 1)
+        assert seq(single) is single
+
+
+class TestStructure:
+    def test_writes(self):
+        cmd = seq(assign("a", 1), when(var("g"), assign("b", 2)))
+        assert cmd.writes() == frozenset({"a", "b"})
+
+    def test_reads_include_guard(self):
+        cmd = when(var("g"), assign("b", var("a")))
+        assert cmd.reads() == frozenset({"g", "a"})
+
+    def test_skip_reads_writes_nothing(self):
+        assert skip().writes() == frozenset()
+        assert skip().reads() == frozenset()
+
+    def test_repr_readable(self):
+        cmd = when(var("g"), assign("b", var("a")))
+        assert repr(cmd) == "if g then b <- a"

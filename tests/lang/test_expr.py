@@ -1,0 +1,90 @@
+"""Unit tests for the expression DSL."""
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.state import Space, State
+from repro.lang.expr import apply, coerce, const, if_expr, var
+
+
+@pytest.fixture
+def state():
+    return State({"a": 3, "b": 5, "flag": True})
+
+
+class TestEvaluation:
+    def test_var_and_const(self, state):
+        assert var("a").eval(state) == 3
+        assert const(42).eval(state) == 42
+
+    def test_unknown_var(self, state):
+        with pytest.raises(EvaluationError):
+            var("zzz").eval(state)
+
+    def test_arithmetic(self, state):
+        assert (var("a") + var("b")).eval(state) == 8
+        assert (var("b") - var("a")).eval(state) == 2
+        assert (var("a") * 2).eval(state) == 6
+        assert (var("b") % 2).eval(state) == 1
+        assert (var("b") // 2).eval(state) == 2
+        assert (-var("a")).eval(state) == -3
+
+    def test_comparisons(self, state):
+        assert (var("a") < var("b")).eval(state) is True
+        assert (var("a") >= 4).eval(state) is False
+        assert (var("a") == 3).eval(state) is True
+        assert (var("a") != 3).eval(state) is False
+        assert (var("a") <= 3).eval(state) is True
+        assert (var("b") > 10).eval(state) is False
+
+    def test_boolean_connectives(self, state):
+        assert (var("flag") & (var("a") < 4)).eval(state) is True
+        assert (var("flag") & (var("a") > 4)).eval(state) is False
+        assert ((var("a") > 4) | var("flag")).eval(state) is True
+        assert (~var("flag")).eval(state) is False
+
+    def test_if_expr(self, state):
+        e = if_expr(var("flag"), var("a"), var("b"))
+        assert e.eval(state) == 3
+        assert if_expr(~var("flag"), var("a"), var("b")).eval(state) == 5
+
+    def test_apply(self, state):
+        e = apply(lambda x, y: max(x, y), var("a"), var("b"), symbol="max")
+        assert e.eval(state) == 5
+
+    def test_coerce(self):
+        assert coerce(7).value == 7
+        e = var("x")
+        assert coerce(e) is e
+
+    def test_raw_values_lift_in_operators(self, state):
+        assert (var("a") + 1).eval(state) == 4
+
+    def test_type_error_wrapped(self, state):
+        with pytest.raises(EvaluationError):
+            (var("flag") + "x").eval(state)
+
+
+class TestReads:
+    def test_var_reads(self):
+        assert var("a").reads() == frozenset({"a"})
+        assert const(1).reads() == frozenset()
+
+    def test_composite_reads(self):
+        e = (var("a") + var("b")) < var("c")
+        assert e.reads() == frozenset({"a", "b", "c"})
+
+    def test_if_expr_reads_all_parts(self):
+        e = if_expr(var("g"), var("t"), var("f"))
+        assert e.reads() == frozenset({"g", "t", "f"})
+
+    def test_apply_reads(self):
+        e = apply(lambda x, y: x, var("p"), var("q"))
+        assert e.reads() == frozenset({"p", "q"})
+
+
+class TestRepr:
+    def test_reprs_are_readable(self):
+        e = (var("a") + 1) < var("b")
+        assert repr(e) == "((a + 1) < b)"
+        assert repr(~var("q")) == "(not q)"

@@ -1,0 +1,48 @@
+"""Unit tests for the operation combinators."""
+
+import pytest
+
+from repro.core.state import Space
+from repro.lang.cmd import assign, seq, when
+from repro.lang.expr import var
+from repro.lang.ops import (
+    StructuredOperation,
+    assign_op,
+    guarded_assign_op,
+    op,
+)
+
+
+@pytest.fixture
+def space():
+    return Space({"a": (0, 1), "b": (0, 1), "g": (False, True)})
+
+
+class TestConstructors:
+    def test_op_wraps_command(self, space):
+        operation = op("both", seq(assign("a", 1), assign("b", var("a"))))
+        out = operation(space.state(a=0, b=0, g=False))
+        assert out["a"] == 1 and out["b"] == 1
+        assert isinstance(operation, StructuredOperation)
+
+    def test_assign_op(self, space):
+        operation = assign_op("copy", "b", var("a"))
+        assert operation(space.state(a=1, b=0, g=False))["b"] == 1
+        assert operation.writes() == frozenset({"b"})
+        assert operation.reads() == frozenset({"a"})
+
+    def test_guarded_assign_op(self, space):
+        operation = guarded_assign_op("maybe", var("g"), "b", var("a"))
+        blocked = operation(space.state(a=1, b=0, g=False))
+        assert blocked["b"] == 0
+        fired = operation(space.state(a=1, b=0, g=True))
+        assert fired["b"] == 1
+        assert operation.reads() == frozenset({"g", "a"})
+
+    def test_repr_shows_body(self):
+        operation = guarded_assign_op("maybe", var("g"), "b", var("a"))
+        assert "if g then b <- a" in repr(operation)
+
+    def test_description_defaults_to_body(self):
+        operation = assign_op("copy", "b", var("a"))
+        assert operation.description == "b <- a"

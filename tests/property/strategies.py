@@ -1,0 +1,108 @@
+"""Hypothesis strategies for small computational systems.
+
+Operations are drawn as explicit transition tables (total functions on the
+enumerated state set), so closure over the space holds by construction and
+hypothesis can shrink toward minimal counterexamples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.constraints import Constraint
+from repro.core.state import Space
+from repro.core.system import History, Operation, System
+
+
+@st.composite
+def spaces(draw, max_objects: int = 3, max_domain: int = 3) -> Space:
+    n_objects = draw(st.integers(1, max_objects))
+    sizes = draw(
+        st.lists(
+            st.integers(1, max_domain),
+            min_size=n_objects,
+            max_size=n_objects,
+        )
+    )
+    return Space(
+        {f"x{i}": tuple(range(size)) for i, size in enumerate(sizes)}
+    )
+
+
+@st.composite
+def systems(draw, max_objects: int = 3, max_domain: int = 2, max_ops: int = 2) -> System:
+    space = draw(spaces(max_objects, max_domain))
+    states = list(space.states())
+    n_ops = draw(st.integers(1, max_ops))
+    operations = []
+    for k in range(n_ops):
+        table = {
+            state: states[draw(st.integers(0, len(states) - 1))]
+            for state in states
+        }
+        operations.append(
+            Operation(f"d{k}", lambda s, table=table: table[s])
+        )
+    return System(space, operations, check_closed=False)
+
+
+@st.composite
+def constraints(draw, space: Space) -> Constraint:
+    states = list(space.states())
+    kept = draw(
+        st.lists(
+            st.sampled_from(states),
+            min_size=1,
+            max_size=len(states),
+            unique=True,
+        )
+    )
+    return Constraint.from_states(space, kept, name="gen")
+
+
+@st.composite
+def autonomous_constraints(draw, space: Space) -> Constraint:
+    allowed = {}
+    for name in space.names:
+        domain = list(space.domain(name))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(domain),
+                min_size=1,
+                max_size=len(domain),
+                unique=True,
+            )
+        )
+        allowed[name] = frozenset(chosen)
+    return Constraint(
+        space,
+        lambda s, allowed=allowed: all(s[n] in allowed[n] for n in allowed),
+        name="gen-autonomous",
+    )
+
+
+@st.composite
+def histories(draw, system: System, max_length: int = 3) -> History:
+    length = draw(st.integers(0, max_length))
+    if length == 0:
+        return History.empty()
+    ops = draw(
+        st.lists(
+            st.sampled_from(list(system.operations)),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return History(ops)
+
+
+@st.composite
+def system_with_context(draw, autonomous: bool = False):
+    """(system, constraint, history) triples — the common test input."""
+    system = draw(systems())
+    if autonomous:
+        phi = draw(autonomous_constraints(system.space))
+    else:
+        phi = draw(constraints(system.space))
+    history = draw(histories(system))
+    return system, phi, history

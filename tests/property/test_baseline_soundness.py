@@ -1,0 +1,78 @@
+"""Property tests: the syntactic baselines are sound over-approximations
+of strong dependency (they may cry wolf, never miss a flow).
+
+Structured random systems come from the seeded generator (taint needs
+command bodies, which the table-based hypothesis systems lack).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.random_systems import random_history, random_system
+from repro.baselines.denning import TransitiveFlowAnalysis
+from repro.baselines.taint import taint_reaches
+from repro.core.dependency import transmits
+from repro.core.reachability import depends_ever
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _make(seed: int):
+    rng = random.Random(seed)
+    system = random_system(rng, n_objects=3, domain_size=2, n_operations=2)
+    history = random_history(rng, system, max_length=3)
+    return system, history
+
+
+class TestTaintSoundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_taint_covers_per_history_dependency(self, seed):
+        """alpha |>^H beta  implies  taint(alpha) reaches beta over H."""
+        system, history = _make(seed)
+        names = system.space.names
+        for alpha in names:
+            for beta in names:
+                if transmits(system, {alpha}, beta, history):
+                    assert taint_reaches(history, {alpha}, beta), (
+                        alpha,
+                        beta,
+                        [op.name for op in history],
+                    )
+
+
+class TestTransitiveBaselineSoundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_baseline_covers_exact_dependency(self, seed):
+        """alpha |> beta (over any history) implies baseline reachability."""
+        system, _history = _make(seed)
+        analysis = TransitiveFlowAnalysis(system)
+        names = system.space.names
+        for alpha in names:
+            for beta in names:
+                if depends_ever(system, {alpha}, beta):
+                    assert analysis.flows_ever(alpha, beta), (alpha, beta)
+
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_per_history_composition_covers_dependency(self, seed):
+        """The relational-composition form is sound per history too."""
+        system, history = _make(seed)
+        analysis = TransitiveFlowAnalysis(system)
+        relation = analysis.flow_over_history(history)
+        names = system.space.names
+        for alpha in names:
+            for beta in names:
+                if transmits(system, {alpha}, beta, history):
+                    assert (alpha, beta) in relation, (
+                        alpha,
+                        beta,
+                        [op.name for op in history],
+                    )

@@ -1,0 +1,122 @@
+"""Property tests for separation of variety, inductive covers, and the
+Worth measure."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.random_systems import (
+    random_history,
+    random_invariant_constraint,
+    random_system,
+)
+from repro.core import theorems as T
+from repro.core.constraints import Constraint
+from repro.core.covers import InductiveCover, partition_by_value
+from repro.core.reachability import depends_ever
+from repro.core.worth import WorthMeasure
+
+from tests.property.strategies import constraints, histories, systems
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestCoverProperties:
+    @RELAXED
+    @given(
+        data=systems().flatmap(
+            lambda s: histories(s).map(lambda h: (s, h))
+        )
+    )
+    def test_thm_4_5_partition_covers(self, data):
+        """For the canonical partition-by-value cover of a non-source
+        object, any dependency survives into some member (Thm 4-4/4-5)."""
+        system, history = data
+        names = list(system.space.names)
+        if len(names) < 2:
+            return
+        source, split = names[0], names[-1]
+        cover = partition_by_value(system.space, split)
+        check = T.thm_4_5_cover(
+            system,
+            None,
+            tuple(cover.members),
+            frozenset({source}),
+            names[min(1, len(names) - 1)],
+            history,
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_inductive_cover_proof_is_sound(self, seed):
+        """Whenever Theorem 6-7's prover declares a proof valid, the exact
+        checker agrees there is no dependency."""
+        rng = random.Random(seed)
+        system = random_system(rng, n_objects=3, domain_size=2)
+        phi = random_invariant_constraint(rng, system)
+        # Invariant phi: {phi} itself is an inductive cover.
+        cover = InductiveCover([phi])
+        names = list(system.space.names)
+        source, target = names[0], names[-1]
+        if source == target:
+            return
+        proof = cover.prove_no_dependency(system, {source}, target, phi)
+        if proof.valid:
+            assert not depends_ever(system, {source}, target, phi)
+
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_image_orbit_members_contain_images(self, seed):
+        """Def 6-2 exactness: the inductive-cover checker accepts the
+        orbit of [H]phi sets as a cover of itself."""
+        from repro.analysis.explorer import image_set_orbit
+
+        rng = random.Random(seed)
+        system = random_system(rng, n_objects=2, domain_size=2)
+        phi = Constraint.from_states(
+            system.space,
+            [next(iter(system.space.states()))],
+            name="point",
+        )
+        orbit = image_set_orbit(system, phi)
+        members = [
+            Constraint.from_states(system.space, image, name=f"img{i}")
+            for i, image in enumerate(orbit)
+        ]
+        cover = InductiveCover(members)
+        assert cover.check(system, phi).valid
+
+
+class TestWorthProperties:
+    @RELAXED
+    @given(
+        data=systems(max_objects=2, max_domain=2).flatmap(
+            lambda s: st.tuples(
+                constraints(s.space), constraints(s.space)
+            ).map(lambda pair: (s, *pair))
+        )
+    )
+    def test_worth_monotone_in_constraint(self, data):
+        """Def 3-2 via Theorem 2-3: phi1 <= phi2 implies
+        Worth(phi1) <= Worth(phi2)."""
+        system, phi1, phi2 = data
+        stronger = (phi1 & phi2).renamed("phi1&phi2")
+        measure = WorthMeasure(system)
+        assert measure.worth(stronger) <= measure.worth(phi2)
+
+    @RELAXED
+    @given(data=systems(max_objects=2, max_domain=2).flatmap(
+        lambda s: constraints(s.space).map(lambda c: (s, c))
+    ))
+    def test_worth_paths_are_exact_dependencies(self, data):
+        system, phi = data
+        measure = WorthMeasure(system)
+        worth = measure.worth(phi)
+        for source, target in worth.paths:
+            assert depends_ever(system, source, target, phi)

@@ -1,0 +1,189 @@
+"""Property-based tests: the paper's theorems as hypothesis invariants.
+
+Each property mirrors one theorem; hypothesis hunts for a finite system
+falsifying it.  A failure here means a library bug (the theorems are
+proved in the paper's appendix).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import theorems as T
+from repro.core.constraints import Constraint
+from repro.core.dependency import depends_within, transmits
+from repro.core.reachability import depends_ever
+from repro.core.system import History
+
+from tests.property.strategies import (
+    autonomous_constraints,
+    constraints,
+    histories,
+    system_with_context,
+    systems,
+)
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestCoreTheorems:
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_2_2_source_monotonicity(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        a1 = frozenset(names[:1])
+        a2 = frozenset(names[:2]) if len(names) > 1 else a1
+        check = T.thm_2_2_source_monotonicity(
+            system, a1, a2, names[-1], history, phi
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_2_3_constraint_monotonicity(self, ctx):
+        system, phi2, history = ctx
+        # phi1 := phi2 restricted further (a guaranteed implication).
+        some_state = next(iter(phi2.satisfying))
+        phi1 = Constraint.from_states(system.space, [some_state], name="phi1")
+        names = list(system.space.names)
+        check = T.thm_2_3_constraint_monotonicity(
+            system, phi1, phi2, frozenset(names[:1]), names[-1], history
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_2_4_no_variety(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        check = T.thm_2_4_no_variety_no_transmission(
+            system, phi, frozenset(names[:1]), history
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_2_5_empty_history(self, ctx):
+        system, phi, _history = ctx
+        names = list(system.space.names)
+        check = T.thm_2_5_empty_history_reflexive(
+            system, phi, frozenset(names[:1])
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context(autonomous=True))
+    def test_thm_2_6_autonomous_decomposition(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        check = T.thm_2_6_autonomous_decomposition(
+            system, phi, frozenset(names), names[-1], history
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_5_3_set_target_projection(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        check = T.thm_5_3_set_target_projection(
+            system, phi, frozenset(names[:1]), frozenset(names), history
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_6_1_image_soundness(self, ctx):
+        system, phi, history = ctx
+        check = T.thm_6_1_image_soundness(system, phi, history)
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_6_2_invariant_strictness(self, ctx):
+        system, phi, history = ctx
+        check = T.thm_6_2_invariant_strictness(system, phi, history)
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_thm_6_3_noninvariant_decomposition(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        mid = len(history) // 2
+        check = T.thm_6_3_noninvariant_decomposition(
+            system,
+            phi,
+            frozenset(names[:1]),
+            names[-1],
+            history[:mid],
+            history[mid:],
+        )
+        assert check.ok, check.detail
+
+
+class TestAutonomyCharacterizations:
+    @RELAXED
+    @given(data=systems().flatmap(
+        lambda s: constraints(s.space).map(lambda c: (s, c))
+    ))
+    def test_thm_5_1_agreement(self, data):
+        _system, phi = data
+        names = list(phi.space.names)
+        check = T.thm_5_1_autonomy_characterizations(
+            phi, frozenset(names[: max(1, len(names) // 2)])
+        )
+        assert check.ok, check.detail
+
+    @RELAXED
+    @given(data=systems().flatmap(
+        lambda s: autonomous_constraints(s.space).map(lambda c: (s, c))
+    ))
+    def test_autonomous_flavour_is_autonomous(self, data):
+        _system, phi = data
+        assert phi.is_autonomous()
+        # Def 5-2 consequence: autonomous implies A-autonomous for every A.
+        for name in phi.space.names:
+            assert phi.is_autonomous_relative_to({name})
+
+
+class TestCheckerAgreement:
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_exact_vs_bounded_agreement(self, ctx):
+        """depends_ever (pair-graph) equals bounded search at a depth that
+        covers the pair graph's diameter for these tiny systems."""
+        system, phi, _history = ctx
+        names = list(system.space.names)
+        alpha, beta = names[0], names[-1]
+        exact = bool(depends_ever(system, {alpha}, beta, phi))
+        bound = system.space.size  # generous for 1-8 state systems
+        bounded = bool(depends_within(system, {alpha}, beta, bound, phi))
+        assert exact == bounded
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_witnesses_are_genuine(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        result = transmits(system, frozenset(names[:1]), names[-1], history, phi)
+        if result:
+            w = result.witness
+            assert phi(w.sigma1) and phi(w.sigma2)
+            assert w.sigma1.equal_except_at(w.sigma2, w.sources)
+            a1, a2 = w.after
+            assert a1[names[-1]] != a2[names[-1]]
+
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_empty_history_transmits_only_reflexively(self, ctx):
+        system, phi, _history = ctx
+        names = list(system.space.names)
+        for target in names[1:]:
+            assert not transmits(
+                system, {names[0]}, target, History.empty(), phi
+            )

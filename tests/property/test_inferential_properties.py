@@ -1,0 +1,86 @@
+"""Property tests relating Inferential Dependency to Strong Dependency
+(the section 7.2 claims).
+
+1. The *contingent* variant coincides with strong dependency on every
+   system and constraint (our formalization makes this a theorem; the
+   test keeps the two implementations honest).
+2. For A-autonomous constraints, a *non-contingent* inference implies
+   strong dependency — the direction that makes the paper's "same
+   results for relatively-autonomous constraints" safe.  (The converse
+   fails: contingent-only transmission, e.g. the mod-sum system.)
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.dependency import transmits
+from repro.core.inferential import (
+    contingently_depends,
+    inferentially_depends,
+)
+
+from tests.property.strategies import (
+    autonomous_constraints,
+    system_with_context,
+)
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestContingentEqualsStrong:
+    @RELAXED
+    @given(ctx=system_with_context())
+    def test_equivalence_everywhere(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        for source in names[:2]:
+            for target in (names[0], names[-1]):
+                strong = bool(
+                    transmits(system, {source}, target, history, phi)
+                )
+                contingent = (
+                    contingently_depends(
+                        system, {source}, target, history, phi
+                    )
+                    is not None
+                )
+                assert strong == contingent, (source, target)
+
+
+class TestNonContingentImpliesStrongWhenAutonomous:
+    @RELAXED
+    @given(ctx=system_with_context(autonomous=True))
+    def test_implication(self, ctx):
+        system, phi, history = ctx
+        names = list(system.space.names)
+        for source in names[:2]:
+            for target in (names[0], names[-1]):
+                inference = inferentially_depends(
+                    system, {source}, target, history, phi
+                )
+                if inference is not None:
+                    assert transmits(
+                        system, {source}, target, history, phi
+                    ), (source, target)
+
+    @RELAXED
+    @given(ctx=system_with_context(autonomous=True))
+    def test_inference_posteriors_are_consistent(self, ctx):
+        """Whatever the verdict, every posterior is a non-empty subset of
+        the prior and unions back to it."""
+        from repro.core.inferential import knowledge_sets
+
+        system, phi, history = ctx
+        if not phi.is_satisfiable:
+            return
+        names = list(system.space.names)
+        table = knowledge_sets(system, {names[0]}, names[-1], history, phi)
+        prior = frozenset().union(*table.values()) if table else frozenset()
+        for posterior in table.values():
+            assert posterior
+            assert posterior <= prior
+        if table:
+            assert frozenset().union(*table.values()) == prior

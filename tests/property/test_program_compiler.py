@@ -1,0 +1,119 @@
+"""Property tests: the flowchart compiler agrees with direct semantics.
+
+Random loop-free programs (assignments, nested conditionals, sequences
+over small integer variables) are compiled to pc-guarded flowcharts and
+run to halt; the final variable values must match big-step execution for
+every initial state.  A second property checks the syntactic reads/writes
+metadata stays consistent through compilation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import Space
+from repro.lang.expr import const, var
+from repro.systems.program.ast import (
+    Stmt,
+    p_assign,
+    p_if,
+    p_seq,
+    p_skip,
+)
+from repro.systems.program.flowchart import PC, compile_program
+from repro.systems.program.semantics import execute
+
+VARIABLES = ("u", "v", "w")
+DOMAIN = tuple(range(3))
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def exprs():
+    leaf = st.one_of(
+        st.sampled_from(VARIABLES).map(var),
+        st.sampled_from(DOMAIN).map(const),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(
+                lambda pair: (pair[0] + pair[1]) % len(DOMAIN)
+            ),
+            st.tuples(children, children).map(
+                lambda pair: (pair[0] * pair[1]) % len(DOMAIN)
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=4)
+
+
+def guards():
+    return st.one_of(
+        st.tuples(exprs(), exprs()).map(lambda pair: pair[0] < pair[1]),
+        st.tuples(exprs(), st.sampled_from(DOMAIN)).map(
+            lambda pair: pair[0] == const(pair[1])
+        ),
+    )
+
+
+def statements(max_depth: int = 3):
+    assign = st.tuples(st.sampled_from(VARIABLES), exprs()).map(
+        lambda pair: p_assign(*pair)
+    )
+    base = st.one_of(assign, st.just(p_skip()))
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda parts: p_seq(*parts)
+            ),
+            st.tuples(guards(), children).map(
+                lambda pair: p_if(pair[0], pair[1])
+            ),
+            st.tuples(guards(), children, children).map(
+                lambda triple: p_if(*triple)
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+SPACE = Space({name: DOMAIN for name in VARIABLES})
+
+
+class TestCompilerAgreement:
+    @RELAXED
+    @given(stmt=statements())
+    def test_flowchart_matches_direct_semantics(self, stmt: Stmt):
+        fc = compile_program(stmt)
+        system = fc.to_system({name: DOMAIN for name in VARIABLES})
+        for state in SPACE.states():
+            direct = execute(stmt, state)
+            started = system.space.state(pc=fc.entry, **dict(state))
+            halted = fc.run_to_halt(started)
+            for name in VARIABLES:
+                assert halted[name] == direct[name], (stmt, state)
+
+    @RELAXED
+    @given(stmt=statements())
+    def test_flowchart_variables_subset_of_ast(self, stmt: Stmt):
+        fc = compile_program(stmt)
+        assert fc.variables() <= (stmt.reads() | stmt.writes())
+
+    @RELAXED
+    @given(stmt=statements())
+    def test_halt_pc_reached_and_stable(self, stmt: Stmt):
+        fc = compile_program(stmt)
+        system = fc.to_system({name: DOMAIN for name in VARIABLES})
+        state = system.space.state(
+            pc=fc.entry, **{name: 0 for name in VARIABLES}
+        )
+        halted = fc.run_to_halt(state)
+        assert halted[PC] == fc.halt
+        # Every operation is a no-op at halt.
+        for op in system.operations:
+            assert op(halted) == halted

@@ -1,0 +1,103 @@
+"""Property tests: the inductive provers never certify a false absence.
+
+A `Proof` with ``valid=True`` is a *certificate*; these tests fuzz the
+provers against the exact pair-graph decision to confirm certificates are
+always truthful (the converse — completeness — is not expected: induction
+is deliberately conservative).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.random_systems import (
+    random_constraint,
+    random_invariant_constraint,
+    random_system,
+)
+from repro.core.covers import IndependentCover, partition_by_value
+from repro.core.errors import ProofError
+from repro.core.induction import (
+    prove_no_dependency,
+    prove_no_dependency_nonautonomous,
+    prove_via_relation,
+)
+from repro.core.reachability import depends_ever
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _make(seed: int):
+    rng = random.Random(seed)
+    system = random_system(rng, n_objects=3, domain_size=2, n_operations=2)
+    names = list(system.space.names)
+    return rng, system, names
+
+
+class TestCorollary42Soundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_proof_implies_no_flow(self, seed):
+        rng, system, names = _make(seed)
+        phi = random_constraint(rng, system.space, "autonomous")
+        alpha, beta = names[0], names[-1]
+        if alpha == beta:
+            return
+        proof = prove_no_dependency(system, phi, alpha, beta)
+        if proof.valid:
+            assert not depends_ever(system, {alpha}, beta, phi)
+
+
+class TestCorollary56Soundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_proof_implies_no_flow(self, seed):
+        rng, system, names = _make(seed)
+        phi = random_invariant_constraint(rng, system)
+        alpha, beta = names[0], names[-1]
+        if alpha == beta:
+            return
+        proof = prove_no_dependency_nonautonomous(
+            system, phi, {alpha}, beta
+        )
+        if proof.valid:
+            assert not depends_ever(system, {alpha}, beta, phi)
+
+
+class TestCorollary43Soundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_relation_proof_bounds_all_flows(self, seed):
+        rng, system, names = _make(seed)
+        phi = random_constraint(rng, system.space, "autonomous")
+        # A random preorder from a random rank function.
+        ranks = {name: rng.randint(0, 2) for name in names}
+        q = lambda x, y: ranks[x] <= ranks[y]
+        proof = prove_via_relation(system, phi, q)
+        if proof.valid:
+            for x in names:
+                for y in names:
+                    if not q(x, y):
+                        assert not depends_ever(system, {x}, y, phi)
+
+
+class TestCoverProverSoundness:
+    @RELAXED
+    @given(seed=st.integers(0, 10_000))
+    def test_valid_cover_proof_implies_no_flow(self, seed):
+        _rng, system, names = _make(seed)
+        alpha, beta = names[0], names[-1]
+        if alpha == beta or len(names) < 2:
+            return
+        split = names[1]
+        if split == alpha:
+            return
+        cover = partition_by_value(system.space, split)
+        proof = cover.prove_no_dependency(system, {alpha}, beta)
+        if proof.valid:
+            assert not depends_ever(system, {alpha}, beta)

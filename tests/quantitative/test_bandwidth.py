@@ -1,0 +1,105 @@
+"""Unit tests for channel capacity (section 1.8's bandwidth idea)."""
+
+import math
+
+import pytest
+
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, when
+from repro.lang.expr import var
+from repro.quantitative.bandwidth import capacity, channel_matrix
+from repro.quantitative.distributions import StateDistribution
+
+
+class TestChannelMatrix:
+    def test_identity_channel(self):
+        b = SystemBuilder().integers("a", "b", bits=2)
+        b.op_assign("copy", "b", var("a"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        inputs, outputs, matrix = channel_matrix(
+            dist, {"a"}, "b", History.of(system.operation("copy"))
+        )
+        assert len(inputs) == 4
+        for i, row in enumerate(matrix):
+            assert sum(row) == pytest.approx(1.0)
+            assert max(row) == pytest.approx(1.0)  # deterministic
+
+
+class TestCapacity:
+    def test_noiseless_copy_full_capacity(self):
+        b = SystemBuilder().integers("a", "b", bits=2)
+        b.op_assign("copy", "b", var("a"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        c = capacity(dist, {"a"}, "b", History.of(system.operation("copy")))
+        assert c == pytest.approx(2.0, abs=1e-6)
+
+    def test_dead_channel_zero_capacity(self):
+        b = SystemBuilder().integers("a", "b", bits=1)
+        b.op_assign("zero", "b", 0)
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        c = capacity(dist, {"a"}, "b", History.of(system.operation("zero")))
+        assert c == pytest.approx(0.0, abs=1e-9)
+
+    def test_z_channel_closed_form(self):
+        """'if m then b <- a' with m fair and b initially 0 is a Z-channel
+        with crossover 1/2; capacity = log2(1 + (1-q) q^{q/(1-q)}) with
+        q = 1/2, i.e. log2(1.25)."""
+        b = SystemBuilder().booleans("m").integers("a", "b", bits=1)
+        b.op_cmd("maybe", when(var("m"), assign("b", var("a"))))
+        system = b.build()
+        from repro.core.constraints import Constraint
+
+        start = Constraint(system.space, lambda s: s["b"] == 0, name="b=0")
+        dist = StateDistribution.uniform(start)
+        c = capacity(dist, {"a"}, "b", History.of(system.operation("maybe")))
+        q = 0.5
+        closed_form = math.log2(1 + (1 - q) * q ** (q / (1 - q)))
+        assert c == pytest.approx(closed_form, abs=1e-5)
+
+    def test_noise_reduces_capacity(self):
+        """Section 1.8: injecting noise lowers the bandwidth.  The noise
+        source is an extra uniform object XORed into the observation."""
+        xor = lambda x, y: x ^ y
+        from repro.lang.expr import apply
+
+        def build(noisy: bool):
+            b = SystemBuilder().integers("a", "b", "noise", bits=1)
+            if noisy:
+                b.op_assign(
+                    "send", "b", apply(xor, var("a"), var("noise"), symbol="xor")
+                )
+            else:
+                b.op_assign("send", "b", var("a"))
+            return b.build()
+
+        clean = build(False)
+        noisy = build(True)
+        dist_clean = StateDistribution.uniform_over_space(clean.space)
+        dist_noisy = StateDistribution.uniform_over_space(noisy.space)
+        c_clean = capacity(
+            dist_clean, {"a"}, "b", History.of(clean.operation("send"))
+        )
+        c_noisy = capacity(
+            dist_noisy, {"a"}, "b", History.of(noisy.operation("send"))
+        )
+        assert c_clean == pytest.approx(1.0, abs=1e-6)
+        # A one-time pad: capacity collapses to zero.
+        assert c_noisy == pytest.approx(0.0, abs=1e-6)
+
+    def test_partial_noise_partial_capacity(self):
+        """Noise that only sometimes fires (a BSC with p=1/4) leaves the
+        closed-form capacity 1 - H2(1/4)."""
+        from repro.lang.expr import apply
+
+        xor_if = lambda a, n: a ^ (1 if n == 0 else 0)
+        b = SystemBuilder().integers("a", "b", bits=1).integers("n", bits=2)
+        b.op_assign("send", "b", apply(xor_if, var("a"), var("n"), symbol="xif"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        c = capacity(dist, {"a"}, "b", History.of(system.operation("send")))
+        h2 = lambda p: -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+        assert c == pytest.approx(1 - h2(0.25), abs=1e-5)

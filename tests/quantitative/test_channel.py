@@ -1,0 +1,127 @@
+"""Unit tests for the section 7.4 channel measures, including the paper's
+mod-sum example (scaled from 128 to 8 values = 3 bits)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.quantitative import (
+    StateDistribution,
+    bits_transmitted,
+    bits_transmitted_averaged,
+    capacity_table,
+    equivocation,
+    interference,
+    source_entropy,
+)
+
+
+@pytest.fixture(scope="module")
+def modsum():
+    """beta <- (a1 + a2) mod 8."""
+    b = SystemBuilder().integers("a1", "a2", "beta", bits=3)
+    b.op_assign("d", "beta", (var("a1") + var("a2")) % 8)
+    system = b.build()
+    return system, History.of(system.operation("d"))
+
+
+@pytest.fixture(scope="module")
+def uniform(modsum):
+    system, _ = modsum
+    return StateDistribution.uniform_over_space(system.space)
+
+
+class TestModSumExample:
+    def test_pair_transmits_full_width(self, modsum, uniform):
+        _, h = modsum
+        assert bits_transmitted(uniform, {"a1", "a2"}, "beta", h) == pytest.approx(3.0)
+
+    def test_singleton_equivocation_measure_is_zero(self, modsum, uniform):
+        """An observer of beta learns nothing about a1 alone."""
+        _, h = modsum
+        assert bits_transmitted(uniform, {"a1"}, "beta", h) == pytest.approx(0.0)
+
+    def test_singleton_equivocation_is_full(self, modsum, uniform):
+        """'the equivocation of beta with respect to alpha1 is 7 bits'
+        (3 here): initial entropy minus transmission."""
+        _, h = modsum
+        assert equivocation(uniform, {"a1"}, "beta", h) == pytest.approx(3.0)
+        assert source_entropy(uniform, {"a1"}) == pytest.approx(3.0)
+
+    def test_singleton_averaged_measure_is_full(self, modsum, uniform):
+        """Holding a2 constant, all of a1's variety reaches beta."""
+        _, h = modsum
+        assert bits_transmitted_averaged(
+            uniform, {"a1"}, "beta", h
+        ) == pytest.approx(3.0)
+
+    def test_interference_is_negative_contingent(self, modsum, uniform):
+        """b(a1) + b(a2) - b(a1 u a2) = 0 + 0 - 3 under the equivocation
+        measure: purely contingent transmission."""
+        _, h = modsum
+        assert interference(
+            uniform, {"a1"}, {"a2"}, "beta", h
+        ) == pytest.approx(-3.0)
+
+
+class TestSimpleChannels:
+    def test_copy_transmits_all_bits(self):
+        b = SystemBuilder().integers("alpha", "beta", bits=2)
+        b.op_assign("d", "beta", var("alpha"))
+        system = b.build()
+        h = History.of(system.operation("d"))
+        dist = StateDistribution.uniform_over_space(system.space)
+        assert bits_transmitted(dist, {"alpha"}, "beta", h) == pytest.approx(2.0)
+
+    def test_threshold_transmits_one_bit(self):
+        b = SystemBuilder().ranged("alpha", lo=0, hi=15).integers("beta", bits=1)
+        b.op_if("d", var("alpha") < 8, "beta", 0, else_expr=1)
+        system = b.build()
+        h = History.of(system.operation("d"))
+        dist = StateDistribution.uniform_over_space(system.space)
+        assert bits_transmitted(dist, {"alpha"}, "beta", h) == pytest.approx(1.0)
+
+    def test_constraint_reduces_bits(self):
+        """Section 2.2's constraint effect, quantitatively: alpha < 8
+        makes the threshold channel silent."""
+        b = SystemBuilder().ranged("alpha", lo=0, hi=15).integers("beta", bits=1)
+        b.op_if("d", var("alpha") < 8, "beta", 0, else_expr=1)
+        system = b.build()
+        h = History.of(system.operation("d"))
+        phi = Constraint(system.space, lambda s: s["alpha"] < 8)
+        dist = StateDistribution.uniform(phi)
+        assert bits_transmitted(dist, {"alpha"}, "beta", h) == pytest.approx(0.0)
+
+    def test_averaged_matches_strong_dependency_qualitatively(self):
+        """Averaged bits > 0 iff strong dependency holds (the qualitative
+        shadow), on the guarded system."""
+        from repro.core.dependency import transmits
+
+        b = SystemBuilder().booleans("m").integers("alpha", "beta", bits=1)
+        b.op_if("d", var("m"), "beta", var("alpha"))
+        system = b.build()
+        h = History.of(system.operation("d"))
+        for phi_fn, name in [
+            (lambda s: True, "tt"),
+            (lambda s: not s["m"], "~m"),
+        ]:
+            phi = Constraint(system.space, phi_fn, name=name)
+            dist = StateDistribution.uniform(phi)
+            bits = bits_transmitted_averaged(dist, {"alpha"}, "beta", h)
+            dep = bool(transmits(system, {"alpha"}, "beta", h, phi))
+            assert (bits > 1e-9) == dep, name
+
+
+class TestCapacityTable:
+    def test_table_shape_and_values(self):
+        b = SystemBuilder().booleans("a", "bb")
+        b.op_assign("d", "bb", var("a"))
+        system = b.build()
+        h = History.of(system.operation("d"))
+        dist = StateDistribution.uniform_over_space(system.space)
+        table = capacity_table(dist, h)
+        assert table[("a", "bb")] == pytest.approx(1.0)
+        assert table[("bb", "bb")] == pytest.approx(0.0)  # overwritten
+        assert table[("a", "a")] == pytest.approx(1.0)  # retained

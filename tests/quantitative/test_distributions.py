@@ -1,0 +1,81 @@
+"""Unit tests for state distributions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.errors import DistributionError
+from repro.core.state import Space
+from repro.core.system import History, Operation
+from repro.quantitative.distributions import StateDistribution
+
+
+@pytest.fixture
+def space():
+    return Space({"a": (0, 1), "b": (0, 1)})
+
+
+class TestConstruction:
+    def test_must_sum_to_one(self, space):
+        s = space.state(a=0, b=0)
+        with pytest.raises(DistributionError):
+            StateDistribution(space, {s: Fraction(1, 2)})
+
+    def test_negative_rejected(self, space):
+        s0, s1 = space.state(a=0, b=0), space.state(a=1, b=0)
+        with pytest.raises(DistributionError):
+            StateDistribution(
+                space, {s0: Fraction(3, 2), s1: Fraction(-1, 2)}
+            )
+
+    def test_foreign_state_rejected(self, space):
+        from repro.core.state import State
+
+        with pytest.raises(DistributionError):
+            StateDistribution(space, {State({"z": 1}): Fraction(1)})
+
+    def test_uniform_over_constraint(self, space):
+        phi = Constraint(space, lambda s: s["a"] == 0)
+        dist = StateDistribution.uniform(phi)
+        assert len(dist.support) == 2
+        assert all(dist.probability(s) == Fraction(1, 2) for s in dist.support)
+
+    def test_uniform_over_empty_constraint_rejected(self, space):
+        from repro.core.errors import EmptyConstraintError
+
+        with pytest.raises(EmptyConstraintError):
+            StateDistribution.uniform(Constraint.false(space))
+
+
+class TestOperations:
+    def test_push_forward_merges_mass(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        zero_b = Operation("zb", lambda s: s.replace(b=0))
+        pushed = dist.push_forward(History.of(zero_b))
+        assert len(pushed.support) == 2
+        for state in pushed.support:
+            assert state["b"] == 0
+            assert pushed.probability(state) == Fraction(1, 2)
+
+    def test_marginal(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        marginal = dist.marginal(lambda s: s["a"])
+        assert marginal == {0: Fraction(1, 2), 1: Fraction(1, 2)}
+
+    def test_joint(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        joint = dist.joint(lambda s: s["a"], lambda s: s["b"])
+        assert len(joint) == 4
+        assert sum(joint.values()) == 1
+
+    def test_condition(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        cond = dist.condition(lambda s: s["a"] == 1)
+        assert all(s["a"] == 1 for s in cond.support)
+        assert sum(p for _, p in cond.items()) == 1
+
+    def test_condition_zero_mass_rejected(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        with pytest.raises(DistributionError):
+            dist.condition(lambda s: False)

@@ -1,0 +1,63 @@
+"""Unit tests for entropy utilities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import DistributionError
+from repro.quantitative.entropy import (
+    conditional_entropy,
+    entropy,
+    joint_entropy,
+    marginalize,
+    mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_bits(self):
+        table = {i: Fraction(1, 8) for i in range(8)}
+        assert entropy(table) == pytest.approx(3.0)
+
+    def test_deterministic_zero(self):
+        assert entropy({0: Fraction(1)}) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            entropy({0: Fraction(1, 2)})
+
+
+class TestJointQuantities:
+    @pytest.fixture
+    def correlated(self):
+        # Y = X for uniform X over {0,1}.
+        return {
+            (0, 0): Fraction(1, 2),
+            (1, 1): Fraction(1, 2),
+        }
+
+    @pytest.fixture
+    def independent(self):
+        return {
+            (x, y): Fraction(1, 4) for x in (0, 1) for y in (0, 1)
+        }
+
+    def test_marginalize(self, independent):
+        assert marginalize(independent, 0) == {
+            0: Fraction(1, 2),
+            1: Fraction(1, 2),
+        }
+
+    def test_joint_entropy(self, correlated, independent):
+        assert joint_entropy(correlated) == pytest.approx(1.0)
+        assert joint_entropy(independent) == pytest.approx(2.0)
+
+    def test_conditional_entropy(self, correlated, independent):
+        # Perfectly correlated: knowing Y pins X.
+        assert conditional_entropy(correlated) == pytest.approx(0.0)
+        # Independent: Y says nothing.
+        assert conditional_entropy(independent) == pytest.approx(1.0)
+
+    def test_mutual_information(self, correlated, independent):
+        assert mutual_information(correlated) == pytest.approx(1.0)
+        assert mutual_information(independent) == pytest.approx(0.0)

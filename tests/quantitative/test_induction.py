@@ -1,0 +1,129 @@
+"""Unit tests for quantitative induction (section 7.4's open question)."""
+
+import pytest
+
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.cmd import assign, seq
+from repro.lang.expr import apply, var
+from repro.quantitative.distributions import StateDistribution
+from repro.quantitative.induction import (
+    bits_transmitted_joint,
+    joint_induction_holds,
+    summed_induction_gap,
+    summed_set_bits,
+)
+
+
+def xor(a, b):
+    return a ^ b
+
+
+@pytest.fixture(scope="module")
+def xor_split():
+    """H one-time-pads 'a' across m1/m2 (and destroys a and the pad);
+    H' recombines into beta."""
+    b = SystemBuilder().integers("a", "r", "m1", "m2", "beta", bits=1)
+    b.op_cmd(
+        "split",
+        seq(
+            assign("m1", var("r")),
+            assign("m2", apply(xor, var("a"), var("r"), symbol="xor")),
+            assign("a", 0),
+            assign("r", 0),
+        ),
+    )
+    b.op_cmd(
+        "join", assign("beta", apply(xor, var("m1"), var("m2"), symbol="xor"))
+    )
+    system = b.build()
+    return (
+        system,
+        History.of(system.operation("split")),
+        History.of(system.operation("join")),
+        StateDistribution.uniform_over_space(system.space),
+    )
+
+
+class TestJointMeasure:
+    def test_joint_equals_single_for_singleton(self, xor_split):
+        system, prefix, suffix, dist = xor_split
+        from repro.quantitative.channel import bits_transmitted
+
+        h = prefix + suffix
+        assert bits_transmitted_joint(
+            dist, {"a"}, ["beta"], h
+        ) == pytest.approx(bits_transmitted(dist, {"a"}, "beta", h))
+
+    def test_joint_sees_xor_pair(self, xor_split):
+        """Each share alone carries nothing; the pair carries everything."""
+        system, prefix, _suffix, dist = xor_split
+        assert bits_transmitted_joint(
+            dist, {"a"}, ["m1"], prefix
+        ) == pytest.approx(0.0)
+        assert bits_transmitted_joint(
+            dist, {"a"}, ["m2"], prefix
+        ) == pytest.approx(0.0)
+        assert bits_transmitted_joint(
+            dist, {"a"}, ["m1", "m2"], prefix
+        ) == pytest.approx(1.0)
+
+    def test_summed_measure_misses_it(self, xor_split):
+        system, prefix, _suffix, dist = xor_split
+        assert summed_set_bits(
+            dist, {"a"}, {"m1", "m2"}, prefix
+        ) == pytest.approx(0.0)
+
+
+class TestInductionProperty:
+    def test_summed_form_fails_on_xor_split(self, xor_split):
+        """The paper's summed definition cannot support the induction
+        property: the composite channel carries 1 bit but no M achieves
+        a summed first leg above 0."""
+        system, prefix, suffix, dist = xor_split
+        k, best_first, _best_m = summed_induction_gap(
+            dist, {"a"}, "beta", prefix, suffix
+        )
+        assert k == pytest.approx(1.0)
+        assert best_first == pytest.approx(0.0)
+
+    def test_joint_form_holds_on_xor_split(self, xor_split):
+        system, prefix, suffix, dist = xor_split
+        holds, k, first, second = joint_induction_holds(
+            dist, {"a"}, "beta", prefix, suffix
+        )
+        assert holds
+        assert first >= k and second >= k
+
+    def test_joint_form_holds_on_plain_relay(self):
+        b = SystemBuilder().integers("a", "m", "beta", bits=1)
+        b.op_assign("d1", "m", var("a"))
+        b.op_assign("d2", "beta", var("m"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        holds, k, first, second = joint_induction_holds(
+            dist,
+            {"a"},
+            "beta",
+            History.of(system.operation("d1")),
+            History.of(system.operation("d2")),
+        )
+        assert holds and k == pytest.approx(1.0)
+
+    def test_summed_form_fine_without_mixing(self):
+        """On the plain relay the summed form also holds — mixing is what
+        breaks it."""
+        b = SystemBuilder().integers("a", "m", "beta", bits=1)
+        b.op_assign("d1", "m", var("a"))
+        b.op_assign("d2", "beta", var("m"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        k, best_first, best_m = summed_induction_gap(
+            dist,
+            {"a"},
+            "beta",
+            History.of(system.operation("d1")),
+            History.of(system.operation("d2")),
+        )
+        assert best_first >= k - 1e-9
+        assert "m" in best_m or "a" in best_m

@@ -1,0 +1,181 @@
+"""Unit tests for the access-matrix substrate (section 1.3)."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.reachability import depends_ever
+from repro.systems.access_matrix import (
+    ALL_RIGHTS,
+    READ,
+    SUBJECT,
+    WRITE,
+    AccessMatrixSystem,
+    entry_name,
+    rights_domain,
+)
+
+
+@pytest.fixture
+def ams():
+    return AccessMatrixSystem(
+        subjects=["x"],
+        files={"alpha": (0, 1), "beta": (0, 1)},
+        entries=[("x", "x"), ("x", "alpha"), ("x", "beta")],
+        copy_operations=[("x", "beta", "alpha")],
+    )
+
+
+class TestConstruction:
+    def test_rights_domain_is_powerset(self):
+        domain = rights_domain()
+        assert len(domain) == 8
+        assert frozenset() in domain
+        assert ALL_RIGHTS in set(domain)
+
+    def test_space_contains_matrix_entries(self, ams):
+        assert entry_name("x", "alpha") in ams.space.names
+        assert "alpha" in ams.space.names
+
+    def test_subject_file_overlap_rejected(self):
+        with pytest.raises(SpaceError):
+            AccessMatrixSystem(subjects=["f"], files={"f": (0,)})
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(SpaceError):
+            AccessMatrixSystem(
+                subjects=["x"], files={"f": (0,)}, entries=[("y", "f")]
+            )
+
+    def test_all_entries_mode(self):
+        ams = AccessMatrixSystem(
+            subjects=["x"], files={"f": (0, 1)}, entries="all"
+        )
+        assert ("x", "x") in ams.dynamic_entries
+        assert ("x", "f") in ams.dynamic_entries
+
+
+class TestCopySemantics:
+    def test_copy_with_all_rights(self, ams):
+        state = ams.space.state(
+            alpha=1,
+            beta=0,
+            **{
+                entry_name("x", "x"): frozenset({SUBJECT}),
+                entry_name("x", "alpha"): frozenset({READ}),
+                entry_name("x", "beta"): frozenset({WRITE}),
+            },
+        )
+        result = ams.system.operation("copy(x,beta,alpha)")(state)
+        assert result["beta"] == 1
+
+    @pytest.mark.parametrize(
+        "missing", ["subject", "read", "write"]
+    )
+    def test_copy_blocked_without_each_right(self, ams, missing):
+        rights = {
+            entry_name("x", "x"): frozenset({SUBJECT}),
+            entry_name("x", "alpha"): frozenset({READ}),
+            entry_name("x", "beta"): frozenset({WRITE}),
+        }
+        if missing == "subject":
+            rights[entry_name("x", "x")] = frozenset()
+        elif missing == "read":
+            rights[entry_name("x", "alpha")] = frozenset()
+        else:
+            rights[entry_name("x", "beta")] = frozenset()
+        state = ams.space.state(alpha=1, beta=0, **rights)
+        result = ams.system.operation("copy(x,beta,alpha)")(state)
+        assert result["beta"] == 0  # unchanged
+
+    def test_fixed_rights_entries(self):
+        ams = AccessMatrixSystem(
+            subjects=["x"],
+            files={"alpha": (0, 1), "beta": (0, 1)},
+            entries=[("x", "alpha")],
+            copy_operations=[("x", "beta", "alpha")],
+            fixed_rights={
+                ("x", "x"): frozenset({SUBJECT}),
+                ("x", "beta"): frozenset({WRITE}),
+            },
+        )
+        state = ams.space.state(
+            alpha=1, beta=0, **{entry_name("x", "alpha"): frozenset({READ})}
+        )
+        assert ams.system.operation("copy(x,beta,alpha)")(state)["beta"] == 1
+
+
+class TestInformationFlow:
+    def test_unconstrained_matrix_transmits(self, ams):
+        assert depends_ever(ams.system, {"alpha"}, "beta")
+
+    def test_paper_maximal_solution_shape(self, ams):
+        """Section 3.5: phi_max == s not in <x,x> or r not in <x,alpha>
+        or w not in <x,beta> blocks alpha -> beta."""
+        phi = ams.deny_constraint([("x", "alpha", "beta")], name="phi_max")
+        assert not depends_ever(ams.system, {"alpha"}, "beta", phi)
+        # And it is alpha-independent (Def 3-1), as the paper requires.
+        assert phi.is_independent_of({"alpha"})
+
+    def test_single_missing_right_solution(self, ams):
+        """Section 3.6's phi1: r not in <x, alpha> alone suffices."""
+        phi1 = ams.missing_right_constraint(READ, "x", "alpha")
+        assert not depends_ever(ams.system, {"alpha"}, "beta", phi1)
+
+    def test_matrix_entries_are_channels_too(self, ams):
+        """The guard reads the matrix entries, so they transmit to beta —
+        the protection state itself carries information."""
+        assert depends_ever(ams.system, {entry_name("x", "alpha")}, "beta")
+
+
+class TestGrant:
+    def test_grant_escalates_and_leaks(self):
+        """A grant operation makes a denial non-invariant: x can regain
+        the read right and then copy (Rotenberg-style subtlety)."""
+        base = AccessMatrixSystem(
+            subjects=["x"],
+            files={"alpha": (0, 1), "beta": (0, 1)},
+            entries=[("x", "x"), ("x", "alpha"), ("x", "beta")],
+            copy_operations=[("x", "beta", "alpha")],
+        )
+        grant = base.grant_operation("x", READ, "x", "alpha")
+        ams = AccessMatrixSystem(
+            subjects=["x"],
+            files={"alpha": (0, 1), "beta": (0, 1)},
+            entries=[("x", "x"), ("x", "alpha"), ("x", "beta")],
+            copy_operations=[("x", "beta", "alpha")],
+            extra_operations=[grant],
+        )
+        phi1 = ams.missing_right_constraint(READ, "x", "alpha")
+        # With grant available but requiring the right already... granting
+        # to self when already holding it changes nothing:
+        assert not depends_ever(ams.system, {"alpha"}, "beta", phi1)
+
+    def test_grant_from_another_subject_reopens_channel(self):
+        base_kwargs = dict(
+            subjects=["x", "y"],
+            files={"alpha": (0, 1), "beta": (0, 1)},
+            entries=[
+                ("x", "x"),
+                ("x", "alpha"),
+                ("x", "beta"),
+                ("y", "alpha"),
+            ],
+            copy_operations=[("x", "beta", "alpha")],
+        )
+        helper = AccessMatrixSystem(**base_kwargs)
+        grant = helper.grant_operation("y", READ, "x", "alpha")
+        ams = AccessMatrixSystem(**base_kwargs, extra_operations=[grant])
+        # Denying x's read right is NOT enough when y can re-grant it.
+        phi1 = ams.missing_right_constraint(READ, "x", "alpha")
+        assert depends_ever(ams.system, {"alpha"}, "beta", phi1)
+        # Denying both closes the channel again.
+        phi2 = phi1 & ams.missing_right_constraint(READ, "y", "alpha")
+        assert not depends_ever(ams.system, {"alpha"}, "beta", phi2)
+
+    def test_grant_requires_dynamic_entry(self):
+        ams = AccessMatrixSystem(
+            subjects=["x"], files={"f": (0,)}, entries=[("x", "f")]
+        )
+        with pytest.raises(SpaceError):
+            ams.grant_operation("x", READ, "x", "x")

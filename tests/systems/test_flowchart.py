@@ -1,0 +1,138 @@
+"""Unit tests for flowchart compilation and the pc-guarded system."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.lang.expr import if_expr, var
+from repro.systems.program.ast import p_assign, p_if, p_seq, p_while
+from repro.systems.program.flowchart import (
+    PC,
+    AssignNode,
+    Flowchart,
+    JumpNode,
+    TestNode,
+    compile_program,
+)
+from repro.systems.program.parser import parse
+from repro.systems.program.semantics import execute
+
+
+class TestFlowchartValidation:
+    def test_duplicate_pc_rejected(self):
+        with pytest.raises(ProgramError):
+            Flowchart(
+                [AssignNode(1, "x", var("x"), 2), JumpNode(1, 2)], halt=2
+            )
+
+    def test_dangling_successor_rejected(self):
+        with pytest.raises(ProgramError):
+            Flowchart([AssignNode(1, "x", var("x"), 99)], halt=2)
+
+    def test_halt_collision_rejected(self):
+        with pytest.raises(ProgramError):
+            Flowchart([AssignNode(1, "x", var("x"), 1)], halt=1)
+
+    def test_pc_reserved(self):
+        fc = Flowchart([AssignNode(1, "x", var("x"), 2)], halt=2)
+        with pytest.raises(ProgramError):
+            fc.space({"x": (0, 1), PC: (1, 2)})
+
+    def test_missing_domain_rejected(self):
+        fc = Flowchart([AssignNode(1, "x", var("y"), 2)], halt=2)
+        with pytest.raises(ProgramError):
+            fc.space({"x": (0, 1)})
+
+
+class TestCompilation:
+    def test_straightline(self):
+        fc = compile_program(parse("a := 1; b := a"))
+        assert len(fc.nodes) == 2
+        assert fc.entry == 1 and fc.halt == 3
+        assert all(isinstance(n, AssignNode) for n in fc.nodes.values())
+
+    def test_if_else_shape(self):
+        fc = compile_program(parse("if g then a := 1 else a := 0"))
+        kinds = [type(fc.nodes[pc]).__name__ for pc in sorted(fc.nodes)]
+        assert kinds == ["TestNode", "AssignNode", "JumpNode", "AssignNode"]
+
+    def test_while_shape(self):
+        fc = compile_program(parse("while n > 0 do n := n - 1"))
+        test = fc.nodes[1]
+        assert isinstance(test, TestNode)
+        jump = fc.nodes[3]
+        assert isinstance(jump, JumpNode) and jump.next == 1
+        assert test.false_next == fc.halt
+
+    def test_skip_program(self):
+        fc = compile_program(p_seq())
+        assert len(fc.nodes) == 1
+
+    def test_variables(self):
+        fc = compile_program(parse("if g then a := b"))
+        assert fc.variables() == frozenset({"g", "a", "b"})
+
+
+class TestAgreementWithDirectSemantics:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "b := a",
+            "a := 1; b := a + 1",
+            "if g then b := 1 else b := 0",
+            "if g then b := a",
+            "s := 0; while n > 0 do { s := s + n; n := n - 1 }",
+            "if a > 1 then { b := 1; g := true } else b := 0",
+        ],
+    )
+    def test_run_to_halt_matches_execute(self, source):
+        stmt = parse(source)
+        fc = compile_program(stmt)
+        domains = {
+            "a": range(3),
+            "b": range(8),
+            "g": (False, True),
+            "n": range(3),
+            "s": range(8),
+        }
+        needed = {k: v for k, v in domains.items() if k in stmt.reads() | stmt.writes()}
+        space = fc.space(needed)
+        for state in space.states():
+            if state[PC] != fc.entry:
+                continue
+            direct_space_state = state  # includes pc; execute ignores it
+            halted = fc.run_to_halt(state)
+            direct = execute(stmt, direct_space_state)
+            for name in needed:
+                assert halted[name] == direct[name], (source, state)
+
+    def test_operations_are_pc_guarded(self):
+        fc = compile_program(parse("b := a"))
+        system = fc.to_system({"a": (0, 1), "b": (0, 1)})
+        op = system.operation("delta1")
+        wrong_pc = system.space.state(a=1, b=0, pc=fc.halt)
+        assert op(wrong_pc) == wrong_pc  # guard blocks
+        right_pc = system.space.state(a=1, b=0, pc=1)
+        out = op(right_pc)
+        assert out["b"] == 1 and out[PC] == fc.halt
+
+    def test_entry_constraint(self):
+        fc = compile_program(parse("b := a"))
+        system = fc.to_system({"a": (0, 1), "b": (0, 1)})
+        phi = fc.entry_constraint(system.space)
+        assert all(s[PC] == fc.entry for s in phi.satisfying)
+
+
+class TestPaperStyleNodes:
+    def test_conditional_assign_node(self):
+        """The paper's delta1: (if q > 10 then t <- tt else t <- ff);
+        pc <- 2 — a single AssignNode with a conditional expression."""
+        fc = Flowchart(
+            [AssignNode(1, "t", if_expr(var("q") > 10, True, False), 2)],
+            halt=2,
+        )
+        system = fc.to_system({"q": (9, 11), "t": (False, True)})
+        op = system.operation("delta1")
+        hi = system.space.state(q=11, t=False, pc=1)
+        lo = system.space.state(q=9, t=True, pc=1)
+        assert op(hi)["t"] is True
+        assert op(lo)["t"] is False

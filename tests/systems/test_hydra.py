@@ -1,0 +1,133 @@
+"""Unit tests for the verified-writers (Hydra-flavoured) substrate."""
+
+import pytest
+
+from repro.core.constraints import Constraint
+from repro.core.errors import SpaceError
+from repro.core.reachability import depends_ever
+from repro.systems.hydra import VerifiedWritersSystem, cap_name
+
+
+@pytest.fixture(scope="module")
+def vw():
+    """One verified editor, one unverified worker, one sensitive config
+    object and a scratch pad."""
+    return VerifiedWritersSystem(
+        procedures={"editor": True, "worker": False},
+        objects={"config": (0, 1), "pad": (0, 1)},
+        sensitive={"config"},
+        writes=[
+            ("editor", "config", "pad"),
+            ("worker", "config", "pad"),
+            ("worker", "pad", "config"),
+        ],
+        transfers=[("worker", "editor", "config")],
+    )
+
+
+class TestConstruction:
+    def test_capability_objects_exist(self, vw):
+        assert cap_name("worker", "config") in vw.space.names
+        assert cap_name("editor", "config") in vw.space.names
+
+    def test_transfer_to_unverified_refused(self):
+        with pytest.raises(SpaceError):
+            VerifiedWritersSystem(
+                procedures={"a": True, "b": False},
+                objects={"o": (0, 1)},
+                sensitive={"o"},
+                transfers=[("a", "b", "o")],
+            )
+
+    def test_unknown_sensitive_rejected(self):
+        with pytest.raises(SpaceError):
+            VerifiedWritersSystem(
+                procedures={"a": True},
+                objects={"o": (0, 1)},
+                sensitive={"zzz"},
+            )
+
+    def test_unknown_procedure_rejected(self):
+        with pytest.raises(SpaceError):
+            VerifiedWritersSystem(
+                procedures={"a": True},
+                objects={"o": (0, 1)},
+                sensitive={"o"},
+                writes=[("ghost", "o", "o")],
+            )
+
+
+class TestConstraint:
+    def test_autonomous_as_the_paper_remarks(self, vw):
+        phi = vw.integrity_constraint()
+        assert phi.is_autonomous()
+
+    def test_invariant_thanks_to_the_static_mechanism(self, vw):
+        """Transfers only target verified procedures, so the constraint
+        survives every operation."""
+        phi = vw.integrity_constraint()
+        assert phi.is_invariant(vw.system)
+
+    def test_invariance_breaks_without_the_mechanism(self):
+        """If the mechanism minted a transfer to an unverified procedure,
+        the constraint would not be invariant — checked by building the
+        rogue operation by hand."""
+        from repro.core.state import State
+        from repro.core.system import Operation, System
+
+        base = VerifiedWritersSystem(
+            procedures={"editor": True, "worker": False},
+            objects={"config": (0, 1), "pad": (0, 1)},
+            sensitive={"config"},
+            writes=[
+                ("editor", "config", "pad"),
+                ("worker", "config", "pad"),
+            ],
+        )
+        give, recv = cap_name("editor", "config"), cap_name("worker", "config")
+
+        def rogue(state: State) -> State:
+            if state[give]:
+                return state.replace(**{recv: True})
+            return state
+
+        rogue_system = System(
+            base.space,
+            list(base.system.operations) + [Operation("rogue", rogue)],
+        )
+        phi = base.integrity_constraint()
+        assert not phi.is_invariant(rogue_system)
+
+
+class TestIntegrity:
+    def test_enforcement_holds_under_constraint(self, vw):
+        problem = vw.integrity_problem()
+        assert problem.enforces(vw.integrity_constraint())
+
+    def test_enforcement_fails_unconstrained(self, vw):
+        problem = vw.integrity_problem()
+        counterexample = problem.enforcement_counterexample(
+            Constraint.true(vw.space)
+        )
+        assert counterexample is not None
+        state, op = counterexample
+        assert op.name.startswith("write(worker,config")
+
+    def test_information_side_pad_to_config_only_via_editor(self, vw):
+        """Given the constraint, pad's variety reaches config only through
+        the verified editor's write."""
+        phi = vw.integrity_constraint()
+        assert depends_ever(vw.system, {"pad"}, "config", phi)
+        # Removing the editor's write closes the channel entirely.
+        from repro.core.system import System
+
+        without_editor = System(
+            vw.space,
+            [
+                op
+                for op in vw.system.operations
+                if not op.name.startswith("write(editor")
+            ],
+            check_closed=False,
+        )
+        assert not depends_ever(without_editor, {"pad"}, "config", phi)

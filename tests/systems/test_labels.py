@@ -1,0 +1,99 @@
+"""Unit tests for the label mechanisms (section 7.3)."""
+
+import pytest
+
+from repro.core.errors import SpaceError
+from repro.core.induction import prove_via_relation
+from repro.core.reachability import depends_ever
+from repro.systems.labels import (
+    HighWaterMarkSystem,
+    StaticLabelSystem,
+    label_name,
+)
+from repro.systems.security import TotalOrderLattice
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return TotalOrderLattice([0, 1])
+
+
+class TestStaticLabels:
+    def test_only_upward_copies_generated(self, lattice):
+        s = StaticLabelSystem({"lo": 0, "mid": 0, "hi": 1}, lattice)
+        names = set(s.system.operation_names)
+        assert "copy(hi,lo)" in names
+        assert "copy(lo,hi)" not in names
+        # Equal levels copy both ways.
+        assert "copy(lo,mid)" in names and "copy(mid,lo)" in names
+
+    def test_star_property_proved_secure(self, lattice):
+        """Denning 75's result: fixed classifications + upward writes
+        prevent downward transmission (Corollary 4-3)."""
+        s = StaticLabelSystem({"lo": 0, "hi": 1}, lattice)
+        proof = prove_via_relation(s.system, None, s.relation(), "Cls<=")
+        assert proof.valid
+
+    def test_no_downward_flow_exactly(self, lattice):
+        s = StaticLabelSystem({"lo": 0, "hi": 1}, lattice)
+        assert not depends_ever(s.system, {"hi"}, "lo")
+        assert depends_ever(s.system, {"lo"}, "hi")
+
+
+class TestHighWaterMark:
+    def test_style_validated(self, lattice):
+        with pytest.raises(SpaceError):
+            HighWaterMarkSystem(["a", "b"], lattice, style="nope")
+
+    def test_duplicate_names_rejected(self, lattice):
+        with pytest.raises(SpaceError):
+            HighWaterMarkSystem(["a", "a"], lattice)
+
+    def test_conditional_read_semantics(self, lattice):
+        hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style="observe")
+        op = hwm.system.operation("condread(lo,hi)")
+        sp = hwm.space
+        fired = op(
+            sp.state(lo=0, hi=1, **{label_name("lo"): 0, label_name("hi"): 1})
+        )
+        assert fired["lo"] == 1 and fired[label_name("lo")] == 1
+        blocked = op(
+            sp.state(lo=0, hi=0, **{label_name("lo"): 0, label_name("hi"): 1})
+        )
+        assert blocked["lo"] == 0 and blocked[label_name("lo")] == 0
+
+    def test_safe_style_raises_on_attempt(self, lattice):
+        hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style="safe")
+        op = hwm.system.operation("condread(lo,hi)")
+        blocked = op(
+            hwm.space.state(
+                lo=0, hi=0, **{label_name("lo"): 0, label_name("hi"): 1}
+            )
+        )
+        # Data did not move, but the label rose anyway.
+        assert blocked["lo"] == 0 and blocked[label_name("lo")] == 1
+
+    def test_observe_style_has_covert_label_channel(self, lattice):
+        """Denning 76's Adept-50 leak: the secret's *data* reaches the
+        low label."""
+        hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style="observe")
+        phi = hwm.constrained_start({"lo": 0, "hi": 1})
+        assert depends_ever(hwm.system, {"hi"}, label_name("lo"), phi)
+
+    def test_safe_style_closes_the_label_channel(self, lattice):
+        hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style="safe")
+        phi = hwm.constrained_start({"lo": 0, "hi": 1})
+        assert not depends_ever(hwm.system, {"hi"}, label_name("lo"), phi)
+
+    def test_high_water_invariant_holds_in_both_styles(self, lattice):
+        for style in ("observe", "safe"):
+            hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style=style)
+            violation = hwm.high_water_invariant({"lo": 0, "hi": 1})
+            assert violation is None, style
+
+    def test_data_flow_is_tracked_not_blocked(self, lattice):
+        """HWM allows the flow but marks it: hi data reaches lo, and
+        whenever it does the label has risen (the invariant above)."""
+        hwm = HighWaterMarkSystem(["lo", "hi"], lattice, style="safe")
+        phi = hwm.constrained_start({"lo": 0, "hi": 1})
+        assert depends_ever(hwm.system, {"hi"}, "lo", phi)

@@ -1,0 +1,53 @@
+"""Unit tests for the section 6.4 oscillator family."""
+
+import pytest
+
+from repro.core.errors import SpaceError
+from repro.core.reachability import depends_ever
+from repro.systems.oscillator import build_oscillator
+
+
+class TestBuild:
+    def test_default_parts(self):
+        parts = build_oscillator()
+        assert parts.system.operation_names == ("delta",)
+        assert parts.phi.count() > 0
+
+    def test_invalid_k(self):
+        with pytest.raises(SpaceError):
+            build_oscillator(k=0)
+
+    def test_oscillation(self):
+        parts = build_oscillator(k=1)
+        delta = parts.system.operation("delta")
+        state = next(iter(parts.phi.states()))
+        assert state["alpha"] == 1
+        after_one = delta(state)
+        assert after_one["alpha"] == -1 and after_one["beta"] == 1
+        after_two = delta(after_one)
+        assert after_two["alpha"] == 1 and after_two["beta"] == -1
+
+
+class TestPaperFacts:
+    def test_phi_not_invariant(self):
+        parts = build_oscillator()
+        assert not parts.phi.is_invariant(parts.system)
+
+    def test_envelope_invariant_but_leaky(self):
+        parts = build_oscillator()
+        assert parts.envelope.is_invariant(parts.system)
+        assert depends_ever(
+            parts.system, {"alpha"}, "beta", parts.envelope
+        )
+
+    def test_cover_is_inductive_and_proves(self):
+        parts = build_oscillator()
+        assert parts.cover.check(parts.system, parts.phi).valid
+        proof = parts.cover.prove_no_dependency(
+            parts.system, {"alpha"}, "beta", parts.phi
+        )
+        assert proof.valid
+
+    def test_exact_agreement(self):
+        parts = build_oscillator()
+        assert not depends_ever(parts.system, {"alpha"}, "beta", parts.phi)

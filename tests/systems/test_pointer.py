@@ -1,0 +1,106 @@
+"""Unit tests for the section 4.3 pointer-chain system."""
+
+import pytest
+
+from repro.core.errors import SpaceError
+from repro.core.induction import prove_via_relation
+from repro.core.reachability import depends_ever
+from repro.systems.pointer import PointerSystem, data_name, ptr_name
+
+
+@pytest.fixture(scope="module")
+def ps():
+    # alpha in the chain set; beta outside; w a third party.
+    return PointerSystem(["alpha", "beta", "w"], data_domain=(0, 1))
+
+
+class TestConstruction:
+    def test_requires_two_objects(self):
+        with pytest.raises(SpaceError):
+            PointerSystem(["only"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpaceError):
+            PointerSystem(["a", "a"])
+
+    def test_operation_families(self, ps):
+        names = set(ps.system.operation_names)
+        assert "copy_data(beta,alpha)" in names
+        assert "copy_ptr(beta,alpha)" in names
+        # 3 objects -> 6 ordered pairs -> 12 operations.
+        assert len(names) == 12
+
+
+class TestSemantics:
+    def test_copy_data_requires_pointer(self, ps):
+        sp = ps.system.space
+        st = sp.state(**{
+            data_name("alpha"): 1, data_name("beta"): 0, data_name("w"): 0,
+            ptr_name("alpha"): "alpha", ptr_name("beta"): "alpha",
+            ptr_name("w"): "w",
+        })
+        out = ps.system.operation("copy_data(beta,alpha)")(st)
+        assert out[data_name("beta")] == 1
+        # Without the pointer, no effect.
+        st2 = st.replace(**{ptr_name("beta"): "w"})
+        out2 = ps.system.operation("copy_data(beta,alpha)")(st2)
+        assert out2[data_name("beta")] == 0
+
+    def test_copy_ptr_advances_chain(self, ps):
+        """The paper's before/after diagram: y -> x -> w becomes y -> w."""
+        sp = ps.system.space
+        st = sp.state(**{
+            data_name("alpha"): 0, data_name("beta"): 0, data_name("w"): 0,
+            ptr_name("beta"): "alpha", ptr_name("alpha"): "w",
+            ptr_name("w"): "w",
+        })
+        out = ps.system.operation("copy_ptr(beta,alpha)")(st)
+        assert out[ptr_name("beta")] == "w"
+
+    def test_points_follows_chains(self, ps):
+        sp = ps.system.space
+        st = sp.state(**{
+            data_name("alpha"): 0, data_name("beta"): 0, data_name("w"): 0,
+            ptr_name("beta"): "w", ptr_name("w"): "alpha",
+            ptr_name("alpha"): "alpha",
+        })
+        assert ps.points(st, "beta", "alpha")  # beta -> w -> alpha
+        assert ps.points(st, "beta", "beta")   # length 0
+        assert not ps.points(st, "alpha", "beta")
+
+
+class TestChainConstraint:
+    def test_constraint_is_autonomous_and_invariant(self, ps):
+        phi = ps.chain_constraint({"alpha"})
+        assert phi.is_autonomous()
+        assert phi.is_invariant(ps.system)
+
+    def test_constraint_blocks_chains_into_the_set(self, ps):
+        phi = ps.chain_constraint({"alpha"})
+        assert ps.no_chain_witness(phi, "beta", "alpha") is None
+        assert ps.no_chain_witness(phi, "w", "alpha") is None
+
+    def test_unknown_chain_object_rejected(self, ps):
+        with pytest.raises(SpaceError):
+            ps.chain_constraint({"nope"})
+
+    def test_paper_proof_via_corollary_4_3(self, ps):
+        """Section 4.3 end to end: with phi chain-closed and
+        q(x,y) = Chain(x) -> Chain(y), every per-operation dependency
+        respects q; hence no data flows from alpha to beta."""
+        phi = ps.chain_constraint({"alpha"})
+        q = ps.chain_relation({"alpha"})
+        proof = prove_via_relation(ps.system, phi, q, q_name="chain<=")
+        assert proof.valid
+
+    def test_exact_check_confirms_confinement(self, ps):
+        phi = ps.chain_constraint({"alpha"})
+        assert not depends_ever(
+            ps.system, {data_name("alpha")}, data_name("beta"), phi
+        )
+
+    def test_positive_control_without_constraint(self, ps):
+        """Unconstrained, beta can point at alpha and copy its data."""
+        assert depends_ever(
+            ps.system, {data_name("alpha")}, data_name("beta")
+        )

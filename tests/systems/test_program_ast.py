@@ -1,0 +1,136 @@
+"""Unit tests for the mini-language AST, parser, and direct semantics."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.state import Space
+from repro.lang.expr import var
+from repro.systems.program.ast import (
+    AssignStmt,
+    IfStmt,
+    SeqStmt,
+    SkipStmt,
+    WhileStmt,
+    p_assign,
+    p_if,
+    p_seq,
+    p_skip,
+    p_while,
+)
+from repro.systems.program.parser import parse, parse_expr
+from repro.systems.program.semantics import (
+    NonTermination,
+    execute,
+    semantic_noninterference,
+)
+
+
+class TestConstructors:
+    def test_seq_flattens(self):
+        s = p_seq(p_assign("a", 1), p_seq(p_assign("b", 2), p_assign("c", 3)))
+        assert isinstance(s, SeqStmt)
+        assert len(s.parts) == 3
+
+    def test_seq_drops_skips(self):
+        s = p_seq(p_skip(), p_assign("a", 1), p_skip())
+        assert isinstance(s, AssignStmt)
+
+    def test_empty_seq_is_skip(self):
+        assert isinstance(p_seq(), SkipStmt)
+
+    def test_reads_writes(self):
+        s = p_if(var("g"), p_assign("b", var("a")), p_assign("b", 0))
+        assert s.reads() == frozenset({"g", "a"})
+        assert s.writes() == frozenset({"b"})
+        w = p_while(var("n") > 0, p_assign("n", var("n") - 1))
+        assert w.reads() == frozenset({"n"})
+        assert w.writes() == frozenset({"n"})
+
+
+class TestParser:
+    def test_assignment_and_sequence(self):
+        stmt = parse("a := 1; b := a + 2")
+        assert isinstance(stmt, SeqStmt)
+        assert isinstance(stmt.parts[0], AssignStmt)
+
+    def test_if_then_else(self):
+        stmt = parse("if a > 1 then b := 1 else b := 0")
+        assert isinstance(stmt, IfStmt)
+        assert isinstance(stmt.else_stmt, AssignStmt)
+
+    def test_if_without_else(self):
+        stmt = parse("if a > 1 then b := 1")
+        assert isinstance(stmt, IfStmt)
+        assert isinstance(stmt.else_stmt, SkipStmt)
+
+    def test_while_and_braces(self):
+        stmt = parse("while n > 0 do { s := s + n; n := n - 1 }")
+        assert isinstance(stmt, WhileStmt)
+        assert isinstance(stmt.body, SeqStmt)
+
+    def test_booleans_and_connectives(self):
+        stmt = parse("t := true and not false or q > 1")
+        assert isinstance(stmt, AssignStmt)
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse("a := 1;"), AssignStmt)
+
+    def test_parse_expr(self):
+        e = parse_expr("(a + 2) * 3 % 4")
+        assert e.reads() == frozenset({"a"})
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["a :=", "if then b := 1", "while do skip", "a := 1 extra", "@", "a := (1"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_keywords_not_identifiers(self):
+        with pytest.raises(ParseError):
+            parse("if := 3")
+
+
+class TestSemantics:
+    @pytest.fixture
+    def space(self):
+        return Space({"n": range(5), "s": range(16), "flag": (False, True)})
+
+    def test_straightline(self, space):
+        stmt = parse("s := n + 1; flag := s > 2")
+        out = execute(stmt, space.state(n=3, s=0, flag=False))
+        assert out["s"] == 4 and out["flag"] is True
+
+    def test_while_loop_sum(self, space):
+        stmt = parse("s := 0; while n > 0 do { s := s + n; n := n - 1 }")
+        out = execute(stmt, space.state(n=4, s=0, flag=False))
+        assert out["s"] == 10 and out["n"] == 0
+
+    def test_nontermination_detected(self, space):
+        stmt = parse("while flag do skip")
+        with pytest.raises(NonTermination):
+            execute(stmt, space.state(n=0, s=0, flag=True), fuel=50)
+
+    def test_semantic_noninterference_negative(self, space):
+        """Both branches write the same constant: no semantic flow."""
+        stmt = parse("if flag then s := 0 else s := 0")
+        assert (
+            semantic_noninterference(stmt, space, "flag", "s") is None
+        )
+
+    def test_semantic_noninterference_positive(self, space):
+        stmt = parse("if flag then s := 0 else s := 1")
+        witness = semantic_noninterference(stmt, space, "flag", "s")
+        assert witness is not None
+        s1, s2 = witness
+        assert s1.equal_except_at(s2, {"flag"})
+
+    def test_entry_constraint_respected(self, space):
+        stmt = parse("if n > 2 then s := 1 else s := 0")
+        assert (
+            semantic_noninterference(
+                stmt, space, "n", "s", entry=lambda s: s["n"] <= 2
+            )
+            is None
+        )

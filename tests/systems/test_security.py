@@ -1,0 +1,100 @@
+"""Unit tests for classification lattices."""
+
+import pytest
+
+from repro.core.errors import ConstraintError
+from repro.systems.security import (
+    PowersetLattice,
+    ProductLattice,
+    TotalOrderLattice,
+    classification_relation,
+)
+
+
+class TestTotalOrder:
+    @pytest.fixture
+    def lat(self):
+        return TotalOrderLattice(["U", "C", "S", "TS"])
+
+    def test_order(self, lat):
+        assert lat.leq("U", "TS")
+        assert lat.leq("C", "C")
+        assert not lat.leq("S", "C")
+
+    def test_join_meet(self, lat):
+        assert lat.join("C", "S") == "S"
+        assert lat.meet("C", "S") == "C"
+
+    def test_valid_order(self, lat):
+        assert lat.is_valid_order()
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConstraintError):
+            TotalOrderLattice(["U", "U"])
+
+
+class TestPowerset:
+    @pytest.fixture
+    def lat(self):
+        return PowersetLattice(["crypto", "nuclear"])
+
+    def test_carrier(self, lat):
+        assert len(lat.elements) == 4
+
+    def test_inclusion_order(self, lat):
+        assert lat.leq(frozenset(), frozenset({"crypto"}))
+        assert not lat.leq(frozenset({"crypto"}), frozenset({"nuclear"}))
+
+    def test_join_meet(self, lat):
+        a, b = frozenset({"crypto"}), frozenset({"nuclear"})
+        assert lat.join(a, b) == frozenset({"crypto", "nuclear"})
+        assert lat.meet(a, b) == frozenset()
+
+    def test_valid_order(self, lat):
+        assert lat.is_valid_order()
+
+
+class TestProduct:
+    @pytest.fixture
+    def lat(self):
+        return ProductLattice(
+            TotalOrderLattice([0, 1]), PowersetLattice(["c"])
+        )
+
+    def test_componentwise_order(self, lat):
+        lo = (0, frozenset())
+        hi = (1, frozenset({"c"}))
+        mid_a = (1, frozenset())
+        mid_b = (0, frozenset({"c"}))
+        assert lat.leq(lo, hi)
+        assert not lat.leq(mid_a, mid_b)
+        assert not lat.leq(mid_b, mid_a)
+
+    def test_join_of_incomparables(self, lat):
+        mid_a = (1, frozenset())
+        mid_b = (0, frozenset({"c"}))
+        assert lat.join(mid_a, mid_b) == (1, frozenset({"c"}))
+        assert lat.meet(mid_a, mid_b) == (0, frozenset())
+
+    def test_valid_order(self, lat):
+        assert lat.is_valid_order()
+
+
+class TestClassificationRelation:
+    def test_q_is_reflexive_transitive(self):
+        lat = TotalOrderLattice([0, 1, 2])
+        cls = {"a": 0, "b": 1, "c": 2}
+        q = classification_relation(cls, lat)
+        names = list(cls)
+        assert all(q(x, x) for x in names)
+        for x in names:
+            for y in names:
+                for z in names:
+                    if q(x, y) and q(y, z):
+                        assert q(x, z)
+
+    def test_q_blocks_downward(self):
+        lat = TotalOrderLattice([0, 1])
+        q = classification_relation({"lo": 0, "hi": 1}, lat)
+        assert q("lo", "hi")
+        assert not q("hi", "lo")

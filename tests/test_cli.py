@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_domain
+
+
+@pytest.fixture
+def leaky_program(tmp_path):
+    path = tmp_path / "leaky.prog"
+    path.write_text("if secret > 0 then public := 1 else public := 0")
+    return str(path)
+
+
+@pytest.fixture
+def guarded_program(tmp_path):
+    path = tmp_path / "guarded.prog"
+    path.write_text(
+        "gate := secret > limit; if gate then public := 1 else public := 0"
+    )
+    return str(path)
+
+
+class TestParseDomain:
+    def test_range(self):
+        assert parse_domain("x=0..3") == ("x", (0, 1, 2, 3))
+
+    def test_values(self):
+        assert parse_domain("x=1,5") == ("x", (1, 5))
+
+    def test_bool(self):
+        assert parse_domain("flag=bool") == ("flag", (False, True))
+
+    @pytest.mark.parametrize(
+        "bad", ["x", "=0..1", "x=", "x=a..b", "x=3..1", "x=a,b"]
+    )
+    def test_rejects_malformed(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_domain(bad)
+
+
+class TestProgramCommand:
+    def test_flow_detected_exit_code_1(self, leaky_program, capsys):
+        code = main(
+            [
+                "program",
+                leaky_program,
+                "--var",
+                "secret=0..1",
+                "--var",
+                "public=0..1",
+                "--source",
+                "secret",
+                "--target",
+                "public",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FLOW" in out and "history" in out
+
+    def test_entry_assertion_blocks(self, guarded_program, capsys):
+        code = main(
+            [
+                "program",
+                guarded_program,
+                "--var",
+                "secret=0..2",
+                "--var",
+                "limit=0..2",
+                "--var",
+                "gate=bool",
+                "--var",
+                "public=0..1",
+                "--source",
+                "secret",
+                "--target",
+                "public",
+                "--entry",
+                "secret <= limit",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NO FLOW" in out
+
+    def test_missing_file(self, capsys):
+        code = main(
+            [
+                "program",
+                "/nonexistent.prog",
+                "--var",
+                "x=0..1",
+                "--source",
+                "x",
+                "--target",
+                "x",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prog"
+        bad.write_text("x := := 1")
+        code = main(
+            [
+                "program",
+                str(bad),
+                "--var",
+                "x=0..1",
+                "--source",
+                "x",
+                "--target",
+                "x",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFlowsCommand:
+    def test_dot_output(self, leaky_program, capsys):
+        code = main(
+            [
+                "flows",
+                leaky_program,
+                "--var",
+                "secret=0..1",
+                "--var",
+                "public=0..1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph flows")
+        assert '"secret" -> "public"' in out
+
+    def test_entry_assertion_prunes_graph(self, guarded_program, capsys):
+        code = main(
+            [
+                "flows",
+                guarded_program,
+                "--var",
+                "secret=0..2",
+                "--var",
+                "limit=0..2",
+                "--var",
+                "gate=bool",
+                "--var",
+                "public=0..1",
+                "--entry",
+                "secret <= limit",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"secret" -> "public"' not in out
+
+
+class TestTaintCommand:
+    def test_taint_closure_listing(self, leaky_program, capsys):
+        code = main(
+            [
+                "taint",
+                leaky_program,
+                "--var",
+                "secret=0..1",
+                "--var",
+                "public=0..1",
+                "--source",
+                "secret",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "public" in out and "secret" in out

@@ -1,0 +1,26 @@
+"""Run every docstring example in the library as a test.
+
+Keeps the API documentation honest: a changed return value or renamed
+parameter breaks the corresponding doctest here.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_module_names()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

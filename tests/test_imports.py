@@ -1,0 +1,36 @@
+"""Import hygiene: every subpackage imports standalone.
+
+Circular imports hide behind test-session import order; these tests
+import each public module in a *fresh interpreter* so a cycle fails
+loudly (regression guard for the baselines <-> analysis cycle fixed by
+deferring `reachable_constraint` in `baselines.millen`).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.lang",
+    "repro.systems",
+    "repro.systems.program",
+    "repro.baselines",
+    "repro.baselines.millen",
+    "repro.quantitative",
+    "repro.analysis",
+    "repro.analysis.compare",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_standalone_import(module):
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
