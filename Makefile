@@ -1,22 +1,26 @@
-.PHONY: install test bench examples docs-check all
+# Align with the tier-1 command in ROADMAP.md: run against src/ directly
+# so a fresh clone works without a develop install.
+PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: install test bench docs-check examples all
 
 install:
 	python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 examples:
-	python examples/quickstart.py
-	python examples/program_certifier.py
-	python examples/covert_channel_audit.py
-	python examples/verified_writers.py
-	python examples/confinement_service.py
+	$(PYTHONPATH_SRC) python examples/quickstart.py
+	$(PYTHONPATH_SRC) python examples/program_certifier.py
+	$(PYTHONPATH_SRC) python examples/covert_channel_audit.py
+	$(PYTHONPATH_SRC) python examples/verified_writers.py
+	$(PYTHONPATH_SRC) python examples/confinement_service.py
 
 docs-check:
-	pytest --doctest-modules src/repro -q
+	$(PYTHONPATH_SRC) python -m pytest --doctest-modules src/repro -q
 
 all: test bench

@@ -14,11 +14,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import Table
 from repro.core.constraints import Constraint
+from repro.core.engine import shared_engine
 from repro.core.induction import (
     prove_no_dependency,
     prove_no_dependency_nonautonomous,
 )
-from repro.core.reachability import depends_ever
 from repro.core.system import System
 
 
@@ -123,12 +123,14 @@ def audit_system(
         _minimal_clumps(phi) if (find_clumps and not autonomous) else ()
     )
 
+    # One shared pair-graph closure per source row answers every target.
+    flow_results = shared_engine(system).closure(constraint)
     findings: list[PathFinding] = []
     for source in system.space.names:
         for target in system.space.names:
             if source == target:
                 continue
-            result = depends_ever(system, {source}, target, phi)
+            result = flow_results[(frozenset([source]), target)]
             certificate = ""
             history: tuple[str, ...] = ()
             if result:

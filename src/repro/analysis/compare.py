@@ -33,8 +33,8 @@ from repro.baselines.millen import MillenAnalysis
 from repro.baselines.static_flow import StaticFlowAnalysis
 from repro.baselines.taint import taint_closure
 from repro.core.constraints import Constraint
+from repro.core.engine import shared_engine
 from repro.core.errors import OperationError
-from repro.core.reachability import depends_ever
 from repro.core.system import System
 
 
@@ -91,7 +91,9 @@ def compare_analyzers(
     constraint and report not-applicable without one.
     """
     phi = constraint if constraint is not None else Constraint.true(system.space)
-    truth = bool(depends_ever(system, {source}, target, phi))
+    # The shared engine memoizes the ({source}, constraint) pair closure, so
+    # sweeping the shootout over every target of one source costs one BFS.
+    truth = bool(shared_engine(system).depends_ever({source}, target, constraint))
     verdicts: list[AnalyzerVerdict] = [
         AnalyzerVerdict("exact", truth, "ground truth"),
     ]

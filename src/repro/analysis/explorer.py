@@ -8,9 +8,11 @@ solver, the graphs, and the benches.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable
 
 from repro.core.constraints import Constraint
+from repro.core.engine import shared_engine
 from repro.core.reachability import (  # noqa: F401  (re-exported API)
     dependency_closure,
     depends_ever,
@@ -25,9 +27,9 @@ def reachable_states(
 ) -> frozenset[State]:
     """All states reachable from ``initial`` under any history (BFS)."""
     seen: set[State] = set(initial)
-    frontier = list(seen)
+    frontier: deque[State] = deque(seen)
     while frontier:
-        state = frontier.pop()
+        state = frontier.popleft()
         for op in system.operations:
             successor = op(state)
             if successor not in seen:
@@ -50,14 +52,18 @@ def reachable_constraint(
 
 
 def dependency_matrix(
-    system: System, constraint: Constraint | None = None
+    system: System,
+    constraint: Constraint | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, dict[str, bool]]:
-    """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact)."""
-    names = system.space.names
-    return {
-        x: {y: bool(depends_ever(system, {x}, y, constraint)) for y in names}
-        for x in names
-    }
+    """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact).
+
+    One pair-graph BFS per *row* via the shared
+    :class:`~repro.core.engine.DependencyEngine` (the reachable pair set
+    is target-independent); pass ``max_workers`` to fan the independent
+    row closures out across a thread pool.
+    """
+    return shared_engine(system).matrix(constraint, max_workers=max_workers)
 
 
 def image_set_orbit(
@@ -71,9 +77,9 @@ def image_set_orbit(
     initial = frozenset(phi.satisfying)
     seen: list[frozenset[State]] = [initial]
     seen_set = {initial}
-    frontier = [initial]
+    frontier: deque[frozenset[State]] = deque([initial])
     while frontier:
-        image = frontier.pop()
+        image = frontier.popleft()
         for op in system.operations:
             successor = frozenset(op(s) for s in image)
             if successor not in seen_set:

@@ -13,8 +13,7 @@ from collections.abc import Iterable
 import networkx as nx
 
 from repro.core.constraints import Constraint
-from repro.core.dependency import transmits
-from repro.core.reachability import depends_ever
+from repro.core.engine import shared_engine
 from repro.core.system import System
 
 
@@ -23,12 +22,17 @@ def exact_flow_graph(
 ) -> nx.DiGraph:
     """Edges ``x -> y`` iff ``x |>_phi y`` holds over *some* history
     (pair-graph exact).  Edge attribute ``history`` records a shortest
-    witness as operation names."""
+    witness as operation names.
+
+    All n^2 cells come from n shared pair-graph closures (one per source
+    object) via the :class:`~repro.core.engine.DependencyEngine`.
+    """
     graph = nx.DiGraph()
     graph.add_nodes_from(system.space.names)
+    results = shared_engine(system).closure(constraint)
     for x in system.space.names:
         for y in system.space.names:
-            result = depends_ever(system, {x}, y, constraint)
+            result = results[(frozenset([x]), y)]
             if result:
                 graph.add_edge(
                     x, y, history=[op.name for op in result.witness.history]
@@ -43,11 +47,10 @@ def per_operation_graph(
     per-operation flow relation, labelled by operation name."""
     graph = nx.MultiDiGraph()
     graph.add_nodes_from(system.space.names)
+    flows = shared_engine(system).operation_flows(constraint)
     for op in system.operations:
-        for x in system.space.names:
-            for y in system.space.names:
-                if transmits(system, {x}, y, op, constraint):
-                    graph.add_edge(x, y, operation=op.name)
+        for x, y in sorted(flows[op.name]):
+            graph.add_edge(x, y, operation=op.name)
     return graph
 
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.constraints import Constraint
-from repro.core.dependency import transmits
+from repro.core.engine import shared_engine
 from repro.core.errors import ConstraintError
 from repro.core.system import System
 
@@ -75,13 +75,12 @@ class MillenAnalysis:
             )
         self._graph = nx.DiGraph()
         self._graph.add_nodes_from(system.space.names)
+        # The engine computes every (operation, x, y) single-step flow from
+        # the tabulated transitions in one pass per source object.
+        flows = shared_engine(system).operation_flows(self.effective_constraint)
         for op in system.operations:
-            for x in system.space.names:
-                for y in system.space.names:
-                    if transmits(
-                        system, {x}, y, op, self.effective_constraint
-                    ):
-                        self._graph.add_edge(x, y, operation=op.name)
+            for x, y in sorted(flows[op.name]):
+                self._graph.add_edge(x, y, operation=op.name)
 
     def per_operation_flows(self) -> frozenset[tuple[str, str]]:
         return frozenset(self._graph.edges())
@@ -112,12 +111,11 @@ def soundness_violations(
     """Certified-absent pairs that in fact transmit (exact pair-graph
     check under the *initial* constraint) — nonempty exactly when the
     mode/constraint combination is unsound."""
-    from repro.core.reachability import depends_ever
-
+    engine = shared_engine(analysis.system)
     violations = []
     for source, target in sorted(analysis.certified_absent()):
-        if depends_ever(
-            analysis.system, {source}, target, analysis.initial_constraint
+        if engine.depends_ever(
+            {source}, target, analysis.initial_constraint
         ):
             violations.append((source, target))
     return violations

@@ -1,0 +1,405 @@
+"""Shared pair-graph dependency engine: one BFS per ``(A, phi)``.
+
+The exact existential-history decision (Def 2-7/2-11) runs a BFS over the
+*pair graph* — nodes are ordered state pairs, edges apply one operation to
+both components (see :mod:`repro.core.reachability` for the construction).
+The crucial observation is that the **explored node set depends only on
+the source set A and the constraint phi**: the target ``beta`` enters the
+algorithm solely through the stopping test ``s1.beta != s2.beta``.  Every
+batched analysis in the library (dependency matrices, Worth, audits, flow
+graphs, the problem checkers) asks about *many* targets for the *same*
+``(A, phi)``, so running an independent BFS per target redoes identical
+traversals n times over.
+
+:class:`DependencyEngine` fixes that:
+
+1. **Tabulated transitions.**  Each :class:`~repro.core.system.Operation`
+   is expanded once into an explicit ``State -> State`` dict (the
+   :func:`~repro.core.system.transition_table` helper), so every BFS step
+   is a dict lookup instead of re-executing semantic lambdas.
+2. **One closure per (A, phi), memoized.**  The full reachable pair set is
+   computed once — with parent pointers and in BFS (shortest-path) order —
+   and cached on the engine.  :meth:`depends_ever` then answers *every*
+   target ``beta`` (and every set target ``B``, Def 5-5/5-7) from that
+   single closure, including shortest-witness reconstruction.
+3. **Batched APIs.**  :meth:`matrix` and :meth:`closure` answer whole
+   source-family × target-grid queries, optionally fanning the independent
+   per-source closures out across a :mod:`concurrent.futures` thread pool.
+
+Caching semantics: an engine is bound to one immutable
+:class:`~repro.core.system.System`; operations, spaces and constraints are
+immutable by construction, so cache entries never invalidate.  Closures
+are keyed by ``(frozenset(A), constraint-object)`` — two *distinct*
+:class:`~repro.core.constraints.Constraint` instances with the same
+predicate occupy separate entries (``None`` always shares one entry).
+:func:`shared_engine` hands out one engine per system (weakly referenced),
+which is how the thin wrappers in :mod:`repro.core.reachability` share
+work across the whole library.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections.abc import Iterable, Mapping
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.constraints import Constraint
+from repro.core.dependency import DependencyResult, Witness
+from repro.core.errors import ConstraintError
+from repro.core.state import State
+from repro.core.system import History, System, transition_table
+
+Pair = tuple[State, State]
+
+
+class PairClosure:
+    """The reachable pair set for one ``(A, phi)`` — target-independent.
+
+    ``pairs`` lists every reachable pair in BFS order (so the first pair
+    satisfying any stopping test yields a shortest witness); ``parents``
+    maps each pair to ``(predecessor pair, operation name)``, or ``None``
+    for the Def 2-8 initial pairs.
+    """
+
+    __slots__ = ("sources", "constraint_name", "pairs", "parents", "_first_diff")
+
+    def __init__(
+        self,
+        sources: frozenset[str],
+        constraint_name: str,
+        pairs: tuple[Pair, ...],
+        parents: Mapping[Pair, tuple[Pair, str] | None],
+    ) -> None:
+        self.sources = sources
+        self.constraint_name = constraint_name
+        self.pairs = pairs
+        self.parents = parents
+        self._first_diff: dict[str, Pair] | None = None
+
+    def first_differing(self) -> Mapping[str, Pair]:
+        """For each object name, the earliest reachable pair differing
+        there (one sweep over the BFS order, cached).
+
+        A name absent from the mapping is one no reachable pair
+        distinguishes — i.e. ``not (A |>_phi name)``.
+        """
+        if self._first_diff is None:
+            first: dict[str, Pair] = {}
+            for pair in self.pairs:
+                s1, s2 = pair
+                for name in s1.differs_at(s2):
+                    if name not in first:
+                        first[name] = pair
+            self._first_diff = first
+        return self._first_diff
+
+    def witness_path(self, pair: Pair) -> tuple[tuple[str, ...], Pair]:
+        """The operation names leading from an initial pair to ``pair``,
+        plus that initial pair (the witness ``sigma1, sigma2``)."""
+        ops: list[str] = []
+        cursor = pair
+        while True:
+            parent = self.parents[cursor]
+            if parent is None:
+                break
+            cursor, op_name = parent
+            ops.append(op_name)
+        ops.reverse()
+        return tuple(ops), cursor
+
+
+class DependencyEngine:
+    """Answers exact existential-history dependency queries from shared,
+    memoized pair-graph closures.
+
+    >>> from repro.lang.builders import SystemBuilder
+    >>> from repro.lang.expr import var
+    >>> b = SystemBuilder().booleans("a", "m", "b")
+    >>> _ = b.op_assign("d1", "m", var("a")).op_assign("d2", "b", var("m"))
+    >>> engine = DependencyEngine(b.build())
+    >>> result = engine.depends_ever({"a"}, "b")
+    >>> bool(result), len(result.witness.history)
+    (True, 2)
+    >>> bool(engine.depends_ever({"b"}, "a"))  # same closure, free answer
+    False
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self._tables: tuple[tuple[str, Mapping[State, State]], ...] | None = None
+        self._closures: dict[tuple[frozenset[str], Constraint | None], PairClosure] = {}
+        self._step_flows: dict[
+            Constraint | None, dict[str, frozenset[tuple[str, str]]]
+        ] = {}
+        self._lock = threading.Lock()
+
+    # -- transition tabulation ------------------------------------------------
+
+    def transition_tables(self) -> tuple[tuple[str, Mapping[State, State]], ...]:
+        """Every operation expanded into an explicit dict, once (lazy).
+
+        Order matches ``system.operations`` so BFS expansion order — and
+        therefore witness choice — is identical to the per-query BFS.
+        """
+        if self._tables is None:
+            tables = tuple(
+                (op.name, transition_table(self.system, op))
+                for op in self.system.operations
+            )
+            with self._lock:
+                if self._tables is None:
+                    self._tables = tables
+        return self._tables
+
+    # -- closures -------------------------------------------------------------
+
+    def _resolve(self, constraint: Constraint | None) -> Constraint:
+        if constraint is None:
+            return Constraint.true(self.system.space)
+        if constraint.space != self.system.space:
+            raise ConstraintError(
+                "constraint and system are over different spaces "
+                f"({constraint.space!r} vs {self.system.space!r})"
+            )
+        return constraint
+
+    def pair_closure(
+        self,
+        sources: Iterable[str],
+        constraint: Constraint | None = None,
+    ) -> PairClosure:
+        """The full reachable pair set for ``(A, phi)``, memoized."""
+        source_set = self.system.space.check_names(sources)
+        phi = self._resolve(constraint)
+        key = (source_set, constraint)
+        with self._lock:
+            cached = self._closures.get(key)
+        if cached is not None:
+            return cached
+        closure = self._compute_closure(source_set, phi)
+        with self._lock:
+            return self._closures.setdefault(key, closure)
+
+    def _compute_closure(
+        self, sources: frozenset[str], phi: Constraint
+    ) -> PairClosure:
+        from collections import deque
+
+        tables = self.transition_tables()
+        parents: dict[Pair, tuple[Pair, str] | None] = {}
+        queue: deque[Pair] = deque()
+        # Def 2-8 initial pairs: phi-states equal except at the source set,
+        # generated unordered-deduplicated in enumeration order (identical
+        # to the per-query BFS so shortest witnesses match).
+        buckets: dict[tuple, list[State]] = {}
+        for state in phi.states():
+            buckets.setdefault(state.restrict_away(sources), []).append(state)
+        for bucket in buckets.values():
+            for i, s1 in enumerate(bucket):
+                for s2 in bucket[i + 1 :]:
+                    pair = (s1, s2)
+                    if pair not in parents:
+                        parents[pair] = None
+                        queue.append(pair)
+        order: list[Pair] = []
+        while queue:
+            pair = queue.popleft()
+            order.append(pair)
+            s1, s2 = pair
+            for op_name, table in tables:
+                successor = (table[s1], table[s2])
+                if successor not in parents:
+                    parents[successor] = (pair, op_name)
+                    queue.append(successor)
+        return PairClosure(sources, phi.name, tuple(order), parents)
+
+    # -- single queries -------------------------------------------------------
+
+    def _witness(
+        self, closure: PairClosure, pair: Pair, targets: frozenset[str]
+    ) -> Witness:
+        op_names, initial = closure.witness_path(pair)
+        history = History(self.system.operation(name) for name in op_names)
+        return Witness(
+            sources=closure.sources,
+            targets=targets,
+            history=history,
+            sigma1=initial[0],
+            sigma2=initial[1],
+        )
+
+    def depends_ever(
+        self,
+        sources: Iterable[str],
+        target: str,
+        constraint: Constraint | None = None,
+    ) -> DependencyResult:
+        """Exact ``A |>_phi beta`` (Def 2-7/2-11) from the shared closure,
+        with a shortest witness when positive."""
+        self.system.space.check_names([target])
+        closure = self.pair_closure(sources, constraint)
+        targets = frozenset([target])
+        pair = closure.first_differing().get(target)
+        if pair is None:
+            return DependencyResult(
+                False, closure.sources, targets, closure.constraint_name
+            )
+        return DependencyResult(
+            True,
+            closure.sources,
+            targets,
+            closure.constraint_name,
+            self._witness(closure, pair, targets),
+        )
+
+    def depends_ever_set(
+        self,
+        sources: Iterable[str],
+        targets: Iterable[str],
+        constraint: Constraint | None = None,
+    ) -> DependencyResult:
+        """Exact ``A |>_phi B`` (Def 5-7): the earliest reachable pair
+        differing at *every* object of B, from the same shared closure."""
+        target_set = self.system.space.check_names(targets)
+        if not target_set:
+            raise ConstraintError("target set B must be non-empty")
+        closure = self.pair_closure(sources, constraint)
+        first = closure.first_differing()
+        # If some member of B is never distinguished, no pair differs at
+        # all of B; skip the scan entirely.
+        if all(t in first for t in target_set):
+            target_list = sorted(target_set)
+            for pair in closure.pairs:
+                s1, s2 = pair
+                if all(s1[t] != s2[t] for t in target_list):
+                    return DependencyResult(
+                        True,
+                        closure.sources,
+                        target_set,
+                        closure.constraint_name,
+                        self._witness(closure, pair, target_set),
+                    )
+        return DependencyResult(
+            False, closure.sources, target_set, closure.constraint_name
+        )
+
+    # -- batched queries ------------------------------------------------------
+
+    def _source_family(
+        self, sources: Iterable[frozenset[str]] | None
+    ) -> list[frozenset[str]]:
+        if sources is None:
+            return [frozenset([n]) for n in self.system.space.names]
+        return [frozenset(a) for a in sources]
+
+    def _warm(
+        self,
+        family: list[frozenset[str]],
+        constraint: Constraint | None,
+        max_workers: int | None,
+    ) -> None:
+        """Compute the independent per-source closures, optionally fanned
+        out across threads (each closure is an isolated BFS; the memo dict
+        is the only shared state and is lock-protected)."""
+        pending = [a for a in family if (a, constraint) not in self._closures]
+        if max_workers is not None and len(pending) > 1:
+            self.transition_tables()  # tabulate once, not per thread
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                list(pool.map(lambda a: self.pair_closure(a, constraint), pending))
+        else:
+            for a in pending:
+                self.pair_closure(a, constraint)
+
+    def closure(
+        self,
+        constraint: Constraint | None = None,
+        sources: Iterable[frozenset[str]] | None = None,
+        max_workers: int | None = None,
+    ) -> dict[tuple[frozenset[str], str], DependencyResult]:
+        """All exact dependencies for a family of source sets (default:
+        singletons) against every target — the Worth raw data (section
+        3.6) — from one closure per source set."""
+        family = self._source_family(sources)
+        self._warm(family, constraint, max_workers)
+        out: dict[tuple[frozenset[str], str], DependencyResult] = {}
+        for source in family:
+            for target in self.system.space.names:
+                out[(source, target)] = self.depends_ever(source, target, constraint)
+        return out
+
+    def matrix(
+        self,
+        constraint: Constraint | None = None,
+        max_workers: int | None = None,
+    ) -> dict[str, dict[str, bool]]:
+        """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact),
+        one BFS per row."""
+        names = self.system.space.names
+        self._warm([frozenset([n]) for n in names], constraint, max_workers)
+        return {
+            x: {
+                y: bool(self.depends_ever(frozenset([x]), y, constraint))
+                for y in names
+            }
+            for x in names
+        }
+
+    # -- single-step flows ----------------------------------------------------
+
+    def operation_flows(
+        self, constraint: Constraint | None = None
+    ) -> Mapping[str, frozenset[tuple[str, str]]]:
+        """Per-operation single-step flows: for each operation ``delta``,
+        the pairs ``(x, y)`` with ``{x} |>_phi^delta y`` (Def 2-10 with the
+        one-step history).
+
+        Computed from the tabulated transitions in one pass per source
+        object — all targets of all operations fall out of each state
+        pair's ``differs_at`` — and memoized per constraint.  This is what
+        the Millen baseline and the per-operation flow graph consume.
+        """
+        phi = self._resolve(constraint)
+        with self._lock:
+            cached = self._step_flows.get(constraint)
+        if cached is not None:
+            return cached
+        tables = self.transition_tables()
+        sat_states = list(phi.states())
+        flows: dict[str, set[tuple[str, str]]] = {name: set() for name, _ in tables}
+        for x in self.system.space.names:
+            buckets: dict[tuple, list[State]] = {}
+            only_x = frozenset([x])
+            for state in sat_states:
+                buckets.setdefault(state.restrict_away(only_x), []).append(state)
+            for bucket in buckets.values():
+                for i, s1 in enumerate(bucket):
+                    for s2 in bucket[i + 1 :]:
+                        for op_name, table in tables:
+                            for y in table[s1].differs_at(table[s2]):
+                                flows[op_name].add((x, y))
+        result = {name: frozenset(pairs) for name, pairs in flows.items()}
+        with self._lock:
+            return self._step_flows.setdefault(constraint, result)
+
+
+_ENGINES: "weakref.WeakKeyDictionary[System, DependencyEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+_ENGINES_LOCK = threading.Lock()
+
+
+def shared_engine(system: System) -> DependencyEngine:
+    """The process-wide engine for ``system`` (one per live instance).
+
+    Engines hold tabulated transitions and memoized closures; sharing one
+    per system means e.g. an audit followed by a Worth computation pays
+    for each ``(A, phi)`` BFS once.  The table is weakly keyed, so engines
+    are reclaimed with their systems.
+    """
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(system)
+        if engine is None:
+            engine = DependencyEngine(system)
+            _ENGINES[system] = engine
+        return engine

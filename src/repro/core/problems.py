@@ -25,8 +25,8 @@ from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.constraints import Constraint
+from repro.core.engine import shared_engine
 from repro.core.errors import ConstraintError
-from repro.core.reachability import depends_ever
 from repro.core.state import State
 from repro.core.system import Operation, System
 
@@ -145,7 +145,9 @@ class NoTransmissionProblem(InformationProblem):
             reasons.append(
                 f"{phi.name} is not {sorted(self.sources)}-independent"
             )
-        result = depends_ever(self.system, self.sources, self.target, phi)
+        result = shared_engine(self.system).depends_ever(
+            self.sources, self.target, phi
+        )
         if result:
             reasons.append(
                 f"dependency persists: {result.witness.history!r} transmits"
@@ -190,8 +192,10 @@ class ConfinementProblem(InformationProblem):
 
     def verdict(self, phi: Constraint) -> ProblemVerdict:
         reasons: list[str] = []
+        engine = shared_engine(self.system)
         for alpha, beta in self.forbidden_paths():
-            result = depends_ever(self.system, {alpha}, beta, phi)
+            # One closure per confined alpha answers every spy beta.
+            result = engine.depends_ever({alpha}, beta, phi)
             if result:
                 reasons.append(
                     f"confined {alpha} still transmits to spy {beta} "
@@ -242,11 +246,10 @@ class TrustedDeclassificationProblem(InformationProblem):
 
     def verdict(self, phi: Constraint) -> ProblemVerdict:
         reasons: list[str] = []
+        engine = shared_engine(self.untrusted_system)
         for alpha in sorted(self.confined):
             for beta in sorted(self.spies):
-                result = depends_ever(
-                    self.untrusted_system, {alpha}, beta, phi
-                )
+                result = engine.depends_ever({alpha}, beta, phi)
                 if result:
                     reasons.append(
                         f"{alpha} reaches {beta} WITHOUT any trusted "
@@ -261,11 +264,12 @@ class TrustedDeclassificationProblem(InformationProblem):
         resolved = (
             phi if phi is not None else Constraint.true(self.system.space)
         )
+        engine = shared_engine(self.untrusted_system)
         return [
             (alpha, beta)
             for alpha in sorted(self.confined)
             for beta in sorted(self.spies)
-            if depends_ever(self.untrusted_system, {alpha}, beta, resolved)
+            if engine.depends_ever({alpha}, beta, resolved)
         ]
 
 
@@ -297,11 +301,12 @@ class SecurityProblem(InformationProblem):
 
     def verdict(self, phi: Constraint) -> ProblemVerdict:
         reasons: list[str] = []
+        engine = shared_engine(self.system)
         for alpha in self.system.space.names:
             for beta in self.system.space.names:
                 if self.leq(self.classification[alpha], self.classification[beta]):
                     continue
-                result = depends_ever(self.system, {alpha}, beta, phi)
+                result = engine.depends_ever({alpha}, beta, phi)
                 if result:
                     reasons.append(
                         f"{alpha} (cls {self.classification[alpha]!r}) "

@@ -17,6 +17,14 @@ The node set is finite (at most ``|Sigma|^2``), so breadth-first search
 decides the property exactly and yields a shortest witness.  This is the
 library's replacement for the paper's per-proof reasoning about "all
 histories", and the backbone of the Worth measure and the problem solvers.
+
+The public functions here are thin wrappers over the shared
+:class:`repro.core.engine.DependencyEngine`, which computes the reachable
+pair set **once per (A, phi)** — it is target-independent — and answers
+every target from that closure.  The original per-query BFS is kept as
+``_seed_depends_ever``/``_seed_depends_ever_set``: it is the executable
+specification the engine-agreement property tests and the A3 benchmark
+compare against.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from collections.abc import Iterable
 
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness
+from repro.core.engine import shared_engine
 from repro.core.errors import ConstraintError
 from repro.core.state import State
 from repro.core.system import History, System
@@ -60,7 +69,8 @@ def depends_ever(
     histories of any length — by pair-graph BFS.
 
     A positive result carries a shortest witness history and the state
-    pair.
+    pair.  Delegates to the shared :class:`~repro.core.engine.DependencyEngine`,
+    so repeated queries against the same ``(A, phi)`` reuse one closure.
 
     >>> from repro.lang.builders import SystemBuilder
     >>> from repro.lang.expr import var
@@ -71,6 +81,48 @@ def depends_ever(
     >>> bool(result), len(result.witness.history)
     (True, 2)
     """
+    return shared_engine(system).depends_ever(sources, target, constraint)
+
+
+def depends_ever_set(
+    system: System,
+    sources: Iterable[str],
+    targets: Iterable[str],
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """Exact ``A |>_phi B`` for a set target (Def 5-7): some reachable pair
+    differs at *every* object of B.  Answered from the same shared
+    per-``(A, phi)`` closure as :func:`depends_ever`."""
+    return shared_engine(system).depends_ever_set(sources, targets, constraint)
+
+
+def dependency_closure(
+    system: System,
+    constraint: Constraint | None = None,
+    sources: Iterable[frozenset[str]] | None = None,
+) -> dict[tuple[frozenset[str], str], DependencyResult]:
+    """All exact existential-history dependencies for a family of source
+    sets (default: singletons) against every target — i.e. the paper's
+    ``Worth`` raw data (section 3.6) computed exactly, one BFS per source
+    set rather than one per (source, target) cell."""
+    return shared_engine(system).closure(constraint, sources)
+
+
+# -- seed reference implementations ------------------------------------------
+#
+# The pre-engine per-query BFS, kept verbatim as the executable
+# specification: tests/property/test_engine_agreement.py asserts the engine
+# matches it query-for-query, and benchmarks/test_a3_engine.py measures the
+# speedup against it.
+
+
+def _seed_depends_ever(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """Reference: one full BFS per (A, phi, beta) query."""
     source_set = system.space.check_names(sources)
     system.space.check_names([target])
     phi = constraint if constraint is not None else Constraint.true(system.space)
@@ -120,14 +172,13 @@ def depends_ever(
     return DependencyResult(False, source_set, frozenset([target]), phi.name)
 
 
-def depends_ever_set(
+def _seed_depends_ever_set(
     system: System,
     sources: Iterable[str],
     targets: Iterable[str],
     constraint: Constraint | None = None,
 ) -> DependencyResult:
-    """Exact ``A |>_phi B`` for a set target (Def 5-7): some reachable pair
-    differs at *every* object of B."""
+    """Reference: one full BFS per (A, phi, B) set-target query."""
     source_set = system.space.check_names(sources)
     target_set = system.space.check_names(targets)
     if not target_set:
@@ -168,14 +219,12 @@ def depends_ever_set(
     return DependencyResult(False, source_set, target_set, phi.name)
 
 
-def dependency_closure(
+def _seed_dependency_closure(
     system: System,
     constraint: Constraint | None = None,
     sources: Iterable[frozenset[str]] | None = None,
 ) -> dict[tuple[frozenset[str], str], DependencyResult]:
-    """All exact existential-history dependencies for a family of source
-    sets (default: singletons) against every target — i.e. the paper's
-    ``Worth`` raw data (section 3.6) computed exactly."""
+    """Reference: the pre-engine closure — an independent BFS per cell."""
     if sources is None:
         source_family: list[frozenset[str]] = [
             frozenset([n]) for n in system.space.names
@@ -185,5 +234,7 @@ def dependency_closure(
     out: dict[tuple[frozenset[str], str], DependencyResult] = {}
     for source in source_family:
         for target in system.space.names:
-            out[(source, target)] = depends_ever(system, source, target, constraint)
+            out[(source, target)] = _seed_depends_ever(
+                system, source, target, constraint
+            )
     return out

@@ -199,7 +199,7 @@ class Space:
     deterministic).  ``Space`` instances are immutable and hashable.
     """
 
-    __slots__ = ("_domains", "_names", "_hash")
+    __slots__ = ("_domains", "_domain_sets", "_names", "_hash")
 
     def __init__(self, domains: Mapping[str, Iterable[Value]]):
         if not domains:
@@ -215,6 +215,14 @@ class Space:
                 raise SpaceError(f"object {name!r} has duplicate domain values")
             normalized[name] = values
         object.__setattr__(self, "_domains", normalized)
+        # Frozen per-object value sets: membership checks (__contains__,
+        # state()) must not rebuild a set per lookup — System._check_closed
+        # alone performs |Sigma| * |Delta| of them.
+        object.__setattr__(
+            self,
+            "_domain_sets",
+            {name: frozenset(values) for name, values in normalized.items()},
+        )
         object.__setattr__(self, "_names", tuple(normalized))
         object.__setattr__(
             self, "_hash", hash(tuple((n, v) for n, v in normalized.items()))
@@ -240,7 +248,9 @@ class Space:
             return False
         if state.names != self._names:
             return False
-        return all(state[name] in set(self._domains[name]) for name in self._names)
+        return all(
+            state[name] in self._domain_sets[name] for name in self._names
+        )
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -293,7 +303,7 @@ class Space:
         if extra:
             raise UnknownObjectError(sorted(extra)[0], self._names)
         for name, value in values.items():
-            if value not in set(self._domains[name]):
+            if value not in self._domain_sets[name]:
                 raise DomainError(name, value)
         return State(values)
 

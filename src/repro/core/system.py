@@ -164,7 +164,9 @@ class System:
     ['swap']
     """
 
-    __slots__ = ("space", "_operations")
+    # __weakref__ lets repro.core.engine.shared_engine key its process-wide
+    # engine table weakly by system, so engines die with their systems.
+    __slots__ = ("space", "_operations", "__weakref__")
 
     def __init__(
         self,

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.constraints import Constraint
-from repro.core.reachability import depends_ever
+from repro.core.engine import shared_engine
 from repro.core.system import System
 
 
@@ -97,14 +97,11 @@ class WorthMeasure:
             self.sources = tuple(frozenset(a) for a in sources)
 
     def worth(self, constraint: Constraint | None) -> Worth:
-        """Compute ``Worth(phi)`` exactly (all histories, pair-graph BFS)."""
+        """Compute ``Worth(phi)`` exactly (all histories, pair-graph BFS):
+        one shared closure per source set answers every target."""
         name = constraint.name if constraint is not None else "tt"
-        paths = frozenset(
-            (source, target)
-            for source in self.sources
-            for target in self.system.space.names
-            if depends_ever(self.system, source, target, constraint)
-        )
+        results = shared_engine(self.system).closure(constraint, self.sources)
+        paths = frozenset(path for path, result in results.items() if result)
         return Worth(constraint_name=name, paths=paths)
 
     def compare(

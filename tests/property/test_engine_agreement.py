@@ -1,0 +1,125 @@
+"""Engine/seed agreement: the shared closure must change nothing but speed.
+
+The :class:`~repro.core.engine.DependencyEngine` answers every target from
+one pair-graph closure per ``(A, phi)``; the seed path
+(``reachability._seed_depends_ever`` / ``_seed_depends_ever_set``) runs an
+independent BFS per query and is kept as the executable specification.
+Over seeded random systems (:mod:`repro.analysis.random_systems`) these
+tests assert:
+
+- identical ``holds`` verdicts for every (source, target) query, for
+  single and set targets, across constraint flavours;
+- every positive engine witness *replays*: the state pair satisfies phi,
+  is equal except at A, and running the witness history produces a genuine
+  difference at the target(s);
+- witness histories are shortest (same length as the seed BFS's);
+- the engine's tabulated single-step flows match per-operation
+  ``transmits`` exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.random_systems import random_constraint, random_system
+from repro.core.constraints import Constraint
+from repro.core.dependency import DependencyResult, transmits
+from repro.core.engine import DependencyEngine
+from repro.core.reachability import _seed_depends_ever, _seed_depends_ever_set
+from repro.core.system import System
+
+FLAVOURS = [None, "subset", "autonomous", "coupled"]
+
+
+def _random_case(seed: int) -> tuple[System, Constraint | None, random.Random]:
+    rng = random.Random(seed)
+    system = random_system(
+        rng,
+        n_objects=rng.choice([2, 3]),
+        domain_size=2,
+        n_operations=rng.choice([1, 2]),
+    )
+    flavour = FLAVOURS[seed % len(FLAVOURS)]
+    phi = (
+        random_constraint(rng, system.space, flavour)
+        if flavour is not None
+        else None
+    )
+    return system, phi, rng
+
+
+def _assert_witness_replays(
+    result: DependencyResult, phi: Constraint | None
+) -> None:
+    witness = result.witness
+    s1, s2 = witness.sigma1, witness.sigma2
+    if phi is not None:
+        assert phi(s1) and phi(s2), "witness states must satisfy phi"
+    assert s1.equal_except_at(s2, witness.sources), (
+        "witness states must be equal except at the source set"
+    )
+    after1 = witness.history(s1)
+    after2 = witness.history(s2)
+    for target in witness.targets:
+        assert after1[target] != after2[target], (
+            f"witness history does not produce a difference at {target!r}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_engine_matches_seed_depends_ever(seed):
+    system, phi, _ = _random_case(seed)
+    engine = DependencyEngine(system)
+    for source in system.space.names:
+        for target in system.space.names:
+            seed_result = _seed_depends_ever(system, {source}, target, phi)
+            engine_result = engine.depends_ever({source}, target, phi)
+            assert bool(engine_result) == bool(seed_result), (
+                f"verdict mismatch for {source} |> {target} "
+                f"under {phi.name if phi else 'tt'}"
+            )
+            if engine_result:
+                _assert_witness_replays(engine_result, phi)
+                assert len(engine_result.witness.history) == len(
+                    seed_result.witness.history
+                ), "engine witness must be shortest, like the seed BFS's"
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_engine_matches_seed_depends_ever_set(seed):
+    system, phi, rng = _random_case(seed)
+    engine = DependencyEngine(system)
+    names = list(system.space.names)
+    for _ in range(6):
+        sources = frozenset(rng.sample(names, rng.randint(1, len(names))))
+        targets = frozenset(rng.sample(names, rng.randint(1, len(names))))
+        seed_result = _seed_depends_ever_set(system, sources, targets, phi)
+        engine_result = engine.depends_ever_set(sources, targets, phi)
+        assert bool(engine_result) == bool(seed_result), (
+            f"set-target verdict mismatch for {sorted(sources)} |> "
+            f"{sorted(targets)} under {phi.name if phi else 'tt'}"
+        )
+        if engine_result:
+            _assert_witness_replays(engine_result, phi)
+            assert len(engine_result.witness.history) == len(
+                seed_result.witness.history
+            )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_engine_single_step_flows_match_transmits(seed):
+    system, phi, _ = _random_case(seed)
+    engine = DependencyEngine(system)
+    flows = engine.operation_flows(phi)
+    for op in system.operations:
+        expected = frozenset(
+            (x, y)
+            for x in system.space.names
+            for y in system.space.names
+            if transmits(system, {x}, y, op, phi)
+        )
+        assert flows[op.name] == expected, (
+            f"single-step flows for {op.name!r} diverge from transmits"
+        )
