@@ -2,7 +2,7 @@
 # so a fresh clone works without a develop install.
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench docs-check examples all
+.PHONY: install test bench bench-quick docs-check examples all
 
 install:
 	python setup.py develop
@@ -12,6 +12,14 @@ test:
 
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
+
+# Smoke-run the A3 perf benches on tiny sizes: exercises the three
+# measured paths (seed / object engine / compiled kernel) and their
+# agreement asserts without recording numbers or enforcing speedup bars.
+# This is what the CI bench-smoke job runs.
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHONPATH_SRC) python -m pytest \
+		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py -q
 
 examples:
 	$(PYTHONPATH_SRC) python examples/quickstart.py

@@ -15,6 +15,7 @@ trajectory).
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -32,9 +33,15 @@ from repro.lang.expr import var
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
+# REPRO_BENCH_QUICK=1 (the CI bench-smoke job / `make bench-quick`)
+# shrinks the sizes and skips recording and the speedup bar — agreement
+# asserts still run.
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
 # The largest size is the one the acceptance threshold is asserted at;
 # smaller sizes are recorded for the scaling curve.
-SIZES = [6, 8]
+SIZES = [4, 5] if QUICK else [6, 8]
+ROUNDS = 1 if QUICK else 3
 SPEEDUP_TARGET = 5.0
 
 
@@ -94,7 +101,7 @@ def test_a3_matrix_engine_vs_seed(benchmark, n, show):
         return (DependencyEngine(_chain_system(n)),), {}
 
     engine_result = benchmark.pedantic(
-        lambda engine: engine.matrix(), setup=setup, rounds=3, iterations=1
+        lambda engine: engine.matrix(), setup=setup, rounds=ROUNDS, iterations=1
     )
     engine_seconds = benchmark.stats.stats.mean
 
@@ -107,7 +114,8 @@ def test_a3_matrix_engine_vs_seed(benchmark, n, show):
         "engine_seconds": round(engine_seconds, 6),
         "speedup": round(speedup, 2),
     }
-    _record("dependency_matrix", row)
+    if not QUICK:
+        _record("dependency_matrix", row)
 
     table = Table(
         ["objects", "states", "seed (s)", "engine (s)", "speedup"],
@@ -117,7 +125,7 @@ def test_a3_matrix_engine_vs_seed(benchmark, n, show):
               f"{engine_seconds:.4f}", f"{speedup:.1f}x")
     show(table)
 
-    if n == max(SIZES):
+    if not QUICK and n == max(SIZES):
         assert speedup >= SPEEDUP_TARGET, (
             f"engine only {speedup:.1f}x faster than seed at n={n} "
             f"(target {SPEEDUP_TARGET}x)"
@@ -138,7 +146,7 @@ def test_a3_closure_engine_vs_seed(benchmark, n, show):
         return (DependencyEngine(_chain_system(n)),), {}
 
     engine_result = benchmark.pedantic(
-        lambda engine: engine.closure(), setup=setup, rounds=3, iterations=1
+        lambda engine: engine.closure(), setup=setup, rounds=ROUNDS, iterations=1
     )
     engine_seconds = benchmark.stats.stats.mean
 
@@ -162,7 +170,8 @@ def test_a3_closure_engine_vs_seed(benchmark, n, show):
         "engine_seconds": round(engine_seconds, 6),
         "speedup": round(speedup, 2),
     }
-    _record("dependency_closure", row)
+    if not QUICK:
+        _record("dependency_closure", row)
 
     table = Table(
         ["objects", "states", "seed (s)", "engine (s)", "speedup"],
@@ -172,7 +181,7 @@ def test_a3_closure_engine_vs_seed(benchmark, n, show):
               f"{engine_seconds:.4f}", f"{speedup:.1f}x")
     show(table)
 
-    if n == max(SIZES):
+    if not QUICK and n == max(SIZES):
         assert speedup >= SPEEDUP_TARGET, (
             f"engine only {speedup:.1f}x faster than seed at n={n} "
             f"(target {SPEEDUP_TARGET}x)"

@@ -1,0 +1,405 @@
+"""Compiled integer kernel for the pair-graph decision procedure.
+
+The exact decision ``A |>_phi beta`` (Def 2-7/2-11) is a BFS over the
+pair graph, and PR 1's :class:`~repro.core.engine.DependencyEngine`
+already shares one closure per ``(A, phi)``.  Its hot loop, however,
+still manipulates :class:`~repro.core.state.State` objects: every edge
+hashes a ``(State, State)`` tuple and every stopping test compares
+Python values field by field.  This module compiles the whole decision
+down to integers:
+
+1. **Dense state ids.**  The space is enumerated once, in its canonical
+   ``Space.states()`` order, and each state becomes its index ``i`` in
+   that enumeration.  Because enumeration is the mixed-radix product of
+   the per-object domains, the id decomposes arithmetically::
+
+       i == sum(code_k(i) * stride_k)   with   code_k(i) = (i // stride_k) % size_k
+
+   where ``stride_k`` is the product of the domain sizes of the objects
+   after object ``k`` in lexicographic order.  No dict, no hashing.
+
+2. **Flat successor arrays.**  Each operation ``delta`` is executed once
+   per state at compile time into ``array('L')`` with
+   ``successors[d][i] = id(delta(state_i))`` — a BFS edge is one O(1)
+   indexed load instead of a ``State``-keyed dict lookup.
+
+3. **Per-object value columns.**  ``columns[k][i]`` is the domain index
+   of object ``k`` in state ``i``; "do two states differ at beta" is an
+   integer comparison of two column entries.
+
+4. **Canonical unordered pairs.**  A pair node is the single int
+   ``i * n + j`` with ``i <= j``.  Applying one operation to both
+   components commutes with swapping the components, and both the
+   Def 2-8 initial set and the stopping test ``s1.beta != s2.beta`` are
+   symmetric under that swap, so BFS over *unordered* pairs is sound and
+   complete and halves the explored set (the swap-symmetry lemma is
+   proved in docs/FORMALISM.md; shortest-witness lengths are preserved).
+
+The kernel (:class:`CompiledKernel`) is deliberately free of ``State``,
+``Operation`` and lambda references: it is picklable, so
+:meth:`DependencyEngine._warm <repro.core.engine.DependencyEngine._warm>`
+can ship it once per :class:`~concurrent.futures.ProcessPoolExecutor`
+worker and fan independent ``(A, phi)`` closures across cores — the hot
+loop is pure int/array work, so threads would serialize on the GIL but
+processes scale.  :class:`CompiledSystem` binds a kernel to its
+:class:`~repro.core.system.System` so results decode back to
+``State``/``Witness`` objects only at the API boundary.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.constraints import Constraint
+from repro.core.state import State
+from repro.core.system import System
+
+#: Packed-parent sentinel for Def 2-8 initial pairs (no predecessor).
+INITIAL = -1
+
+
+class CompiledKernel:
+    """The pure-integer tables of a finite system.
+
+    Holds no ``State``/``Operation``/lambda references, so instances
+    pickle cheaply — this is the payload shipped once per process-pool
+    worker.  All methods speak state ids and encoded pair ints only.
+    """
+
+    __slots__ = ("n", "names", "sizes", "strides", "columns", "op_names", "successors")
+
+    def __init__(
+        self,
+        n: int,
+        names: tuple[str, ...],
+        sizes: tuple[int, ...],
+        strides: tuple[int, ...],
+        columns: tuple[array, ...],
+        op_names: tuple[str, ...],
+        successors: tuple[array, ...],
+    ) -> None:
+        self.n = n
+        self.names = names
+        self.sizes = sizes
+        self.strides = strides
+        self.columns = columns
+        self.op_names = op_names
+        self.successors = successors
+
+    def __reduce__(self):
+        return (
+            CompiledKernel,
+            (
+                self.n,
+                self.names,
+                self.sizes,
+                self.strides,
+                self.columns,
+                self.op_names,
+                self.successors,
+            ),
+        )
+
+    # -- Def 1-1 partitions ---------------------------------------------------
+
+    def buckets(
+        self,
+        source_indices: Sequence[int],
+        sat_ids: Iterable[int] | None = None,
+    ) -> dict[int, list[int]]:
+        """Partition ``sat_ids`` (default: all states) into classes equal
+        except at the source objects (Def 1-1), keyed by the id with the
+        source coordinates zeroed.  Bucket members are ascending, and
+        buckets appear in first-seen (enumeration) order — identical to
+        the ``State``-level partition, so BFS seeding order matches."""
+        ids: Iterable[int] = range(self.n) if sat_ids is None else sat_ids
+        src = [(self.strides[k], self.sizes[k]) for k in source_indices]
+        groups: dict[int, list[int]] = {}
+        for i in ids:
+            rest = i
+            for stride, size in src:
+                rest -= ((i // stride) % size) * stride
+            group = groups.get(rest)
+            if group is None:
+                groups[rest] = [i]
+            else:
+                group.append(i)
+        return groups
+
+    # -- the BFS kernel -------------------------------------------------------
+
+    def closure(
+        self,
+        source_indices: Sequence[int],
+        sat_ids: Iterable[int] | None = None,
+    ) -> tuple[array, dict[int, int]]:
+        """The reachable canonical-pair set for ``(A, phi)``.
+
+        Returns ``(order, parents)``: ``order`` is an ``array('L')`` of
+        encoded pairs ``i * n + j`` (``i < j``) in BFS layer order, and
+        ``parents[pair]`` packs the predecessor as
+        ``parent_pair * len(ops) + op_index`` (or :data:`INITIAL` for
+        Def 2-8 seeds).  This is the process-parallel unit of work: pure
+        int arithmetic, no object hashing.
+
+        Diagonal pairs (two equal components) are pruned: they differ
+        nowhere, and equal states have equal successors, so no stopping
+        test is ever reachable through one — skipping them is sound and
+        trims every converging edge of the graph.
+        """
+        n = self.n
+        successors = self.successors
+        n_ops = len(successors) or 1
+        parents: dict[int, int] = {}
+        seed: deque[int] = deque()
+        for bucket in self.buckets(source_indices, sat_ids).values():
+            m = len(bucket)
+            for a in range(m - 1):
+                base = bucket[a] * n
+                for b in range(a + 1, m):
+                    pair = base + bucket[b]
+                    if pair not in parents:
+                        parents[pair] = INITIAL
+                        seed.append(pair)
+        # The order list doubles as the BFS queue (a cursor walks it);
+        # every visited pair stays in it, in layer order.
+        order = list(seed)
+        record = order.append
+        setdefault = parents.setdefault
+        cursor = 0
+        while cursor < len(order):
+            pair = order[cursor]
+            cursor += 1
+            i, j = divmod(pair, n)
+            # `packed` runs through pair*n_ops + d as d walks the
+            # operations, so the parent pointer is one add per edge.
+            packed = pair * n_ops
+            for successor in successors:
+                si = successor[i]
+                sj = successor[j]
+                if si != sj:
+                    succ_pair = si * n + sj if si < sj else sj * n + si
+                    # One dict operation for membership + insert: the
+                    # packed value is unique per edge, so identity of the
+                    # returned value means the insert happened.
+                    if setdefault(succ_pair, packed) is packed:
+                        record(succ_pair)
+                packed += 1
+        return array("L", order), parents
+
+
+class CompiledSystem:
+    """A :class:`~repro.core.system.System` compiled to integer tables.
+
+    Enumerates the space once (executing each operation exactly once per
+    state — the same budget as PR 1's transition tabulation), then serves
+    every pair-graph question from :attr:`kernel`.  ``State`` objects are
+    kept only for decoding ids back at the API boundary.
+    """
+
+    __slots__ = ("system", "states", "kernel", "_sat_ids")
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        space = system.space
+        states = tuple(space.states())
+        n = len(states)
+        names = space.names
+        sizes = tuple(len(space.domain(name)) for name in names)
+        strides_rev: list[int] = []
+        acc = 1
+        for size in reversed(sizes):
+            strides_rev.append(acc)
+            acc *= size
+        strides = tuple(reversed(strides_rev))
+        # Enumeration is the mixed-radix product, so columns are pure
+        # arithmetic in the id — no per-state value hashing.
+        columns = tuple(
+            array("L", ((i // stride) % size for i in range(n)))
+            for stride, size in zip(strides, sizes)
+        )
+        index = {state: i for i, state in enumerate(states)}
+        successors = tuple(
+            array("L", (index[op(state)] for state in states))
+            for op in system.operations
+        )
+        self.states = states
+        self.kernel = CompiledKernel(
+            n,
+            names,
+            sizes,
+            strides,
+            columns,
+            tuple(op.name for op in system.operations),
+            successors,
+        )
+        self._sat_ids: dict[Constraint | None, array | None] = {}
+
+    # -- constraints ----------------------------------------------------------
+
+    def sat_ids(self, constraint: Constraint | None) -> array | None:
+        """The satisfying state ids of ``constraint`` in ascending order,
+        or ``None`` for the unconstrained (full-space) fast path.  Cached
+        per constraint *instance*, mirroring the engine's closure keys."""
+        if constraint is None:
+            return None
+        cached = self._sat_ids.get(constraint)
+        if cached is None:
+            sat = constraint.satisfying
+            cached = array(
+                "L", (i for i, state in enumerate(self.states) if state in sat)
+            )
+            self._sat_ids[constraint] = cached
+        return cached
+
+    def source_indices(self, sources: Iterable[str]) -> tuple[int, ...]:
+        """Object names to column indices (ascending)."""
+        position = {name: k for k, name in enumerate(self.kernel.names)}
+        return tuple(sorted(position[name] for name in sources))
+
+    def closure(
+        self,
+        sources: frozenset[str],
+        constraint: Constraint | None = None,
+        constraint_name: str = "tt",
+    ) -> "CompiledClosure":
+        """Compute one canonical-pair closure in this process."""
+        order, parents = self.kernel.closure(
+            self.source_indices(sources), self.sat_ids(constraint)
+        )
+        return CompiledClosure(self, sources, constraint_name, order, parents)
+
+
+class CompiledClosure:
+    """A canonical unordered-pair closure in integer form.
+
+    The compiled analogue of :class:`~repro.core.engine.PairClosure`:
+    ``order`` lists encoded pairs in BFS (shortest-path) order and
+    ``parents`` packs predecessor pointers, so every target — single or
+    set-valued — is answered by integer column comparisons, and decoding
+    to ``State`` objects happens only when a witness is materialized.
+    """
+
+    __slots__ = ("compiled", "sources", "constraint_name", "order", "parents", "_first_diff")
+
+    def __init__(
+        self,
+        compiled: CompiledSystem,
+        sources: frozenset[str],
+        constraint_name: str,
+        order: array,
+        parents: dict[int, int],
+    ) -> None:
+        self.compiled = compiled
+        self.sources = sources
+        self.constraint_name = constraint_name
+        self.order = order
+        self.parents = parents
+        self._first_diff: dict[str, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    # -- queries --------------------------------------------------------------
+
+    def first_differing(self) -> Mapping[str, int]:
+        """For each object name, the earliest reachable pair differing
+        there (one integer sweep over the BFS order, cached).  A name
+        absent from the mapping is one no reachable pair distinguishes."""
+        if self._first_diff is None:
+            kernel = self.compiled.kernel
+            n = kernel.n
+            pending = list(zip(kernel.names, kernel.columns))
+            first: dict[str, int] = {}
+            for pair in self.order:
+                i, j = divmod(pair, n)
+                if i == j:
+                    continue
+                found = False
+                for name, column in pending:
+                    if column[i] != column[j]:
+                        first[name] = pair
+                        found = True
+                if found:
+                    pending = [nc for nc in pending if nc[0] not in first]
+                    if not pending:
+                        break
+            self._first_diff = first
+        return self._first_diff
+
+    def first_differing_at_all(self, targets: Iterable[str]) -> int | None:
+        """The earliest reachable pair differing at *every* object of the
+        target set (Def 5-5/5-7), or ``None``."""
+        kernel = self.compiled.kernel
+        first = self.first_differing()
+        target_list = sorted(targets)
+        if not all(t in first for t in target_list):
+            return None
+        column_of = dict(zip(kernel.names, kernel.columns))
+        cols = [column_of[t] for t in target_list]
+        n = kernel.n
+        for pair in self.order:
+            i, j = divmod(pair, n)
+            for column in cols:
+                if column[i] == column[j]:
+                    break
+            else:
+                return pair
+        return None
+
+    # -- decoding -------------------------------------------------------------
+
+    def witness_path(
+        self, pair: int
+    ) -> tuple[tuple[str, ...], tuple[State, State]]:
+        """The operation names leading from a Def 2-8 initial pair to
+        ``pair``, plus that initial pair decoded to ``State`` objects."""
+        kernel = self.compiled.kernel
+        n_ops = len(kernel.op_names) or 1
+        ops: list[str] = []
+        cursor = pair
+        while True:
+            packed = self.parents[cursor]
+            if packed < 0:
+                break
+            cursor, d = divmod(packed, n_ops)
+            ops.append(kernel.op_names[d])
+        ops.reverse()
+        i, j = divmod(cursor, kernel.n)
+        states = self.compiled.states
+        return tuple(ops), (states[i], states[j])
+
+    def decode_pair(self, pair: int) -> tuple[State, State]:
+        i, j = divmod(pair, self.compiled.kernel.n)
+        states = self.compiled.states
+        return (states[i], states[j])
+
+    def pairs(self) -> Iterator[tuple[State, State]]:
+        """Decode the whole closure in BFS order (API-boundary use only —
+        this materializes the Python objects the kernel avoids)."""
+        for pair in self.order:
+            yield self.decode_pair(pair)
+
+
+# -- process-pool plumbing ----------------------------------------------------
+#
+# The worker side of DependencyEngine._warm's process fan-out: the kernel
+# (and the per-warm sat ids) are shipped once via the pool initializer;
+# each task is then just a tuple of source column indices, and the result
+# is the raw (order, parents) integer closure, decoded in the parent.
+
+_WORKER_KERNEL: CompiledKernel | None = None
+_WORKER_SAT_IDS: array | None = None
+
+
+def _worker_init(kernel: CompiledKernel, sat_ids: array | None) -> None:
+    global _WORKER_KERNEL, _WORKER_SAT_IDS
+    _WORKER_KERNEL = kernel
+    _WORKER_SAT_IDS = sat_ids
+
+
+def _worker_closure(source_indices: tuple[int, ...]) -> tuple[array, dict[int, int]]:
+    assert _WORKER_KERNEL is not None, "worker pool initializer did not run"
+    return _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS)

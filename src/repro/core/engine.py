@@ -1,8 +1,8 @@
 """Shared pair-graph dependency engine: one BFS per ``(A, phi)``.
 
 The exact existential-history decision (Def 2-7/2-11) runs a BFS over the
-*pair graph* — nodes are ordered state pairs, edges apply one operation to
-both components (see :mod:`repro.core.reachability` for the construction).
+*pair graph* — nodes are state pairs, edges apply one operation to both
+components (see :mod:`repro.core.reachability` for the construction).
 The crucial observation is that the **explored node set depends only on
 the source set A and the constraint phi**: the target ``beta`` enters the
 algorithm solely through the stopping test ``s1.beta != s2.beta``.  Every
@@ -13,18 +13,29 @@ traversals n times over.
 
 :class:`DependencyEngine` fixes that:
 
-1. **Tabulated transitions.**  Each :class:`~repro.core.system.Operation`
-   is expanded once into an explicit ``State -> State`` dict (the
-   :func:`~repro.core.system.transition_table` helper), so every BFS step
-   is a dict lookup instead of re-executing semantic lambdas.
+1. **Compiled integer kernel** (default).  The system is compiled once by
+   :class:`~repro.core.compiled.CompiledSystem`: dense state ids, one flat
+   successor array per operation, per-object value columns.  The BFS then
+   runs over *canonical unordered* pairs encoded as single ints — sound by
+   the swap-symmetry lemma (docs/FORMALISM.md), and roughly half the
+   nodes of the ordered pair graph with O(1) integer work per edge.
+   ``compiled=False`` keeps the PR-1 object path (tabulated ``State``
+   dicts, ordered pairs) as the in-tree reference the property tests and
+   benchmarks compare against.
 2. **One closure per (A, phi), memoized.**  The full reachable pair set is
    computed once — with parent pointers and in BFS (shortest-path) order —
    and cached on the engine.  :meth:`depends_ever` then answers *every*
    target ``beta`` (and every set target ``B``, Def 5-5/5-7) from that
-   single closure, including shortest-witness reconstruction.
-3. **Batched APIs.**  :meth:`matrix` and :meth:`closure` answer whole
-   source-family × target-grid queries, optionally fanning the independent
-   per-source closures out across a :mod:`concurrent.futures` thread pool.
+   single closure, including shortest-witness reconstruction.  Witnesses
+   decode back to :class:`~repro.core.state.State` objects only at this
+   API boundary.
+3. **Batched APIs with process fan-out.**  :meth:`matrix` and
+   :meth:`closure` answer whole source-family × target-grid queries.  With
+   ``max_workers`` they fan the independent per-source closures out across
+   a :class:`~concurrent.futures.ProcessPoolExecutor` — the compiled hot
+   loop is pure int/array work, which threads would serialize on the GIL —
+   shipping the picklable kernel once per worker (``executor="thread"``
+   restores the PR-1 thread pool; non-compiled engines always use it).
 
 Caching semantics: an engine is bound to one immutable
 :class:`~repro.core.system.System`; operations, spaces and constraints are
@@ -42,8 +53,14 @@ from __future__ import annotations
 import threading
 import weakref
 from collections.abc import Iterable, Mapping
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.core.compiled import (
+    CompiledClosure,
+    CompiledSystem,
+    _worker_closure,
+    _worker_init,
+)
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness
 from repro.core.errors import ConstraintError
@@ -60,6 +77,11 @@ class PairClosure:
     satisfying any stopping test yields a shortest witness); ``parents``
     maps each pair to ``(predecessor pair, operation name)``, or ``None``
     for the Def 2-8 initial pairs.
+
+    On a compiled engine the pairs are *canonical* (unordered, decoded
+    with the lower state id first); on the PR-1 object path they are the
+    ordered pairs the original BFS explored.  Shortest-path structure is
+    identical either way (swap-symmetry lemma, docs/FORMALISM.md).
     """
 
     __slots__ = ("sources", "constraint_name", "pairs", "parents", "_first_diff")
@@ -94,6 +116,21 @@ class PairClosure:
             self._first_diff = first
         return self._first_diff
 
+    def first_differing_at_all(self, targets: Iterable[str]) -> Pair | None:
+        """The earliest reachable pair differing at *every* object of the
+        target set (Def 5-5/5-7), or ``None``."""
+        first = self.first_differing()
+        target_list = sorted(targets)
+        # If some member of B is never distinguished, no pair differs at
+        # all of B; skip the scan entirely.
+        if not all(t in first for t in target_list):
+            return None
+        for pair in self.pairs:
+            s1, s2 = pair
+            if all(s1[t] != s2[t] for t in target_list):
+                return pair
+        return None
+
     def witness_path(self, pair: Pair) -> tuple[tuple[str, ...], Pair]:
         """The operation names leading from an initial pair to ``pair``,
         plus that initial pair (the witness ``sigma1, sigma2``)."""
@@ -125,28 +162,67 @@ class DependencyEngine:
     False
     """
 
-    def __init__(self, system: System) -> None:
+    def __init__(self, system: System, compiled: bool = True) -> None:
         self.system = system
+        self._use_compiled = compiled
+        self._compiled: CompiledSystem | None = None
         self._tables: tuple[tuple[str, Mapping[State, State]], ...] | None = None
-        self._closures: dict[tuple[frozenset[str], Constraint | None], PairClosure] = {}
+        self._closures: dict[
+            tuple[frozenset[str], Constraint | None], PairClosure | CompiledClosure
+        ] = {}
+        self._decoded: dict[
+            tuple[frozenset[str], Constraint | None], PairClosure
+        ] = {}
         self._step_flows: dict[
             Constraint | None, dict[str, frozenset[tuple[str, str]]]
         ] = {}
         self._lock = threading.Lock()
 
-    # -- transition tabulation ------------------------------------------------
+    # -- compilation / transition tabulation ----------------------------------
+
+    def compiled_system(self) -> CompiledSystem:
+        """The integer-kernel compilation of the system, built once (lazy).
+
+        Compilation executes each operation exactly once per state — the
+        same budget PR 1's tabulation paid — and everything afterwards is
+        indexed array reads.
+        """
+        if self._compiled is None:
+            compiled = CompiledSystem(self.system)
+            with self._lock:
+                if self._compiled is None:
+                    self._compiled = compiled
+        return self._compiled
 
     def transition_tables(self) -> tuple[tuple[str, Mapping[State, State]], ...]:
         """Every operation expanded into an explicit dict, once (lazy).
 
         Order matches ``system.operations`` so BFS expansion order — and
-        therefore witness choice — is identical to the per-query BFS.
+        therefore witness choice — is identical to the per-query BFS.  On
+        a compiled engine the dicts are decoded from the successor arrays,
+        so operations still execute exactly once per state overall.
         """
         if self._tables is None:
-            tables = tuple(
-                (op.name, transition_table(self.system, op))
-                for op in self.system.operations
-            )
+            if self._use_compiled:
+                compiled = self.compiled_system()
+                states = compiled.states
+                tables = tuple(
+                    (
+                        name,
+                        {
+                            states[i]: states[successor[i]]
+                            for i in range(compiled.kernel.n)
+                        },
+                    )
+                    for name, successor in zip(
+                        compiled.kernel.op_names, compiled.kernel.successors
+                    )
+                )
+            else:
+                tables = tuple(
+                    (op.name, transition_table(self.system, op))
+                    for op in self.system.operations
+                )
             with self._lock:
                 if self._tables is None:
                     self._tables = tables
@@ -164,12 +240,16 @@ class DependencyEngine:
             )
         return constraint
 
-    def pair_closure(
+    def _closure(
         self,
         sources: Iterable[str],
         constraint: Constraint | None = None,
-    ) -> PairClosure:
-        """The full reachable pair set for ``(A, phi)``, memoized."""
+    ) -> PairClosure | CompiledClosure:
+        """The memoized closure for ``(A, phi)`` in its native form:
+        :class:`~repro.core.compiled.CompiledClosure` on a compiled
+        engine, :class:`PairClosure` on the PR-1 object path.  Both
+        expose the same query surface (``first_differing``,
+        ``first_differing_at_all``, ``witness_path``)."""
         source_set = self.system.space.check_names(sources)
         phi = self._resolve(constraint)
         key = (source_set, constraint)
@@ -177,13 +257,61 @@ class DependencyEngine:
             cached = self._closures.get(key)
         if cached is not None:
             return cached
-        closure = self._compute_closure(source_set, phi)
+        if self._use_compiled:
+            closure: PairClosure | CompiledClosure = self.compiled_system().closure(
+                source_set, constraint, phi.name
+            )
+        else:
+            closure = self._compute_closure(source_set, phi)
         with self._lock:
             return self._closures.setdefault(key, closure)
+
+    def pair_closure(
+        self,
+        sources: Iterable[str],
+        constraint: Constraint | None = None,
+    ) -> PairClosure:
+        """The full reachable pair set for ``(A, phi)`` as ``State``
+        pairs, memoized.  On a compiled engine this *decodes* the integer
+        closure (canonical pairs) at the API boundary; exact dependency
+        queries never pay this cost — use :meth:`depends_ever` and
+        friends for those."""
+        closure = self._closure(sources, constraint)
+        if isinstance(closure, PairClosure):
+            return closure
+        key = (closure.sources, constraint)
+        with self._lock:
+            decoded = self._decoded.get(key)
+        if decoded is not None:
+            return decoded
+        kernel = closure.compiled.kernel
+        states = closure.compiled.states
+        n = kernel.n
+        n_ops = len(kernel.op_names) or 1
+        pairs: list[Pair] = []
+        parents: dict[Pair, tuple[Pair, str] | None] = {}
+        for code in closure.order:
+            i, j = divmod(code, n)
+            pair = (states[i], states[j])
+            pairs.append(pair)
+            packed = closure.parents[code]
+            if packed < 0:
+                parents[pair] = None
+            else:
+                parent_code, d = divmod(packed, n_ops)
+                pi, pj = divmod(parent_code, n)
+                parents[pair] = ((states[pi], states[pj]), kernel.op_names[d])
+        decoded = PairClosure(
+            closure.sources, closure.constraint_name, tuple(pairs), parents
+        )
+        with self._lock:
+            return self._decoded.setdefault(key, decoded)
 
     def _compute_closure(
         self, sources: frozenset[str], phi: Constraint
     ) -> PairClosure:
+        """The PR-1 object-path BFS over ordered ``State`` pairs — kept as
+        the reference implementation for ``compiled=False`` engines."""
         from collections import deque
 
         tables = self.transition_tables()
@@ -217,7 +345,10 @@ class DependencyEngine:
     # -- single queries -------------------------------------------------------
 
     def _witness(
-        self, closure: PairClosure, pair: Pair, targets: frozenset[str]
+        self,
+        closure: PairClosure | CompiledClosure,
+        pair,
+        targets: frozenset[str],
     ) -> Witness:
         op_names, initial = closure.witness_path(pair)
         history = History(self.system.operation(name) for name in op_names)
@@ -238,7 +369,7 @@ class DependencyEngine:
         """Exact ``A |>_phi beta`` (Def 2-7/2-11) from the shared closure,
         with a shortest witness when positive."""
         self.system.space.check_names([target])
-        closure = self.pair_closure(sources, constraint)
+        closure = self._closure(sources, constraint)
         targets = frozenset([target])
         pair = closure.first_differing().get(target)
         if pair is None:
@@ -264,24 +395,18 @@ class DependencyEngine:
         target_set = self.system.space.check_names(targets)
         if not target_set:
             raise ConstraintError("target set B must be non-empty")
-        closure = self.pair_closure(sources, constraint)
-        first = closure.first_differing()
-        # If some member of B is never distinguished, no pair differs at
-        # all of B; skip the scan entirely.
-        if all(t in first for t in target_set):
-            target_list = sorted(target_set)
-            for pair in closure.pairs:
-                s1, s2 = pair
-                if all(s1[t] != s2[t] for t in target_list):
-                    return DependencyResult(
-                        True,
-                        closure.sources,
-                        target_set,
-                        closure.constraint_name,
-                        self._witness(closure, pair, target_set),
-                    )
+        closure = self._closure(sources, constraint)
+        pair = closure.first_differing_at_all(target_set)
+        if pair is None:
+            return DependencyResult(
+                False, closure.sources, target_set, closure.constraint_name
+            )
         return DependencyResult(
-            False, closure.sources, target_set, closure.constraint_name
+            True,
+            closure.sources,
+            target_set,
+            closure.constraint_name,
+            self._witness(closure, pair, target_set),
         )
 
     # -- batched queries ------------------------------------------------------
@@ -298,30 +423,93 @@ class DependencyEngine:
         family: list[frozenset[str]],
         constraint: Constraint | None,
         max_workers: int | None,
+        executor: str = "process",
     ) -> None:
         """Compute the independent per-source closures, optionally fanned
-        out across threads (each closure is an isolated BFS; the memo dict
-        is the only shared state and is lock-protected)."""
-        pending = [a for a in family if (a, constraint) not in self._closures]
+        out across a process pool (each closure is an isolated BFS; the
+        memo dict is the only shared state and is lock-protected).
+
+        The compiled hot loop is pure int/array Python, so threads
+        serialize on the GIL; ``executor="process"`` (the default) ships
+        the picklable :class:`~repro.core.compiled.CompiledKernel` once
+        per worker instead and scales with cores.  ``executor="thread"``
+        keeps the PR-1 thread pool, which is also the fallback whenever
+        the engine is not compiled or the platform cannot spawn processes.
+        """
+        # Dedupe preserving order (a source family with repeats must not
+        # run the same BFS twice) and read the memo under the lock — a
+        # concurrent warm may be filling it.
+        unique = list(dict.fromkeys(family))
+        with self._lock:
+            pending = [a for a in unique if (a, constraint) not in self._closures]
+        if not pending:
+            return
         if max_workers is not None and len(pending) > 1:
-            self.transition_tables()  # tabulate once, not per thread
+            if self._use_compiled and executor == "process":
+                try:
+                    self._warm_processes(pending, constraint, max_workers)
+                    return
+                except OSError:
+                    # No usable process pool on this platform (sandboxed
+                    # semaphores, fork restrictions, ...): fall through.
+                    pass
+            # Warm the shared tables once, not per thread.
+            if self._use_compiled:
+                self.compiled_system()
+            else:
+                self.transition_tables()
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                list(pool.map(lambda a: self.pair_closure(a, constraint), pending))
+                list(pool.map(lambda a: self._closure(a, constraint), pending))
         else:
             for a in pending:
-                self.pair_closure(a, constraint)
+                self._closure(a, constraint)
+
+    def _warm_processes(
+        self,
+        pending: list[frozenset[str]],
+        constraint: Constraint | None,
+        max_workers: int,
+    ) -> None:
+        """Fan the pending ``(A, phi)`` closures across a process pool.
+
+        Workers receive the integer kernel (and phi's satisfying ids)
+        once via the pool initializer; each task is a tuple of source
+        column indices and returns the raw ``(order, parents)`` integer
+        closure, which the parent wraps and memoizes.  Constraints and
+        operations are lambdas and never cross the process boundary.
+        """
+        phi = self._resolve(constraint)
+        compiled = self.compiled_system()
+        for sources in pending:
+            self.system.space.check_names(sources)
+        tasks = [compiled.source_indices(a) for a in pending]
+        sat_ids = compiled.sat_ids(constraint)
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(compiled.kernel, sat_ids),
+        ) as pool:
+            results = list(pool.map(_worker_closure, tasks))
+        for sources, (order, parents) in zip(pending, results):
+            source_set = frozenset(sources)
+            closure = CompiledClosure(
+                compiled, source_set, phi.name, order, parents
+            )
+            with self._lock:
+                self._closures.setdefault((source_set, constraint), closure)
 
     def closure(
         self,
         constraint: Constraint | None = None,
         sources: Iterable[frozenset[str]] | None = None,
         max_workers: int | None = None,
+        executor: str = "process",
     ) -> dict[tuple[frozenset[str], str], DependencyResult]:
         """All exact dependencies for a family of source sets (default:
         singletons) against every target — the Worth raw data (section
         3.6) — from one closure per source set."""
         family = self._source_family(sources)
-        self._warm(family, constraint, max_workers)
+        self._warm(family, constraint, max_workers, executor)
         out: dict[tuple[frozenset[str], str], DependencyResult] = {}
         for source in family:
             for target in self.system.space.names:
@@ -332,11 +520,14 @@ class DependencyEngine:
         self,
         constraint: Constraint | None = None,
         max_workers: int | None = None,
+        executor: str = "process",
     ) -> dict[str, dict[str, bool]]:
         """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact),
         one BFS per row."""
         names = self.system.space.names
-        self._warm([frozenset([n]) for n in names], constraint, max_workers)
+        self._warm(
+            [frozenset([n]) for n in names], constraint, max_workers, executor
+        )
         return {
             x: {
                 y: bool(self.depends_ever(frozenset([x]), y, constraint))
@@ -354,16 +545,57 @@ class DependencyEngine:
         the pairs ``(x, y)`` with ``{x} |>_phi^delta y`` (Def 2-10 with the
         one-step history).
 
-        Computed from the tabulated transitions in one pass per source
-        object — all targets of all operations fall out of each state
-        pair's ``differs_at`` — and memoized per constraint.  This is what
-        the Millen baseline and the per-operation flow graph consume.
+        Computed in one pass per source object — all targets of all
+        operations fall out of each state pair — and memoized per
+        constraint.  On a compiled engine the pass is integer column
+        comparison over the successor arrays.  This is what the Millen
+        baseline and the per-operation flow graph consume.
         """
         phi = self._resolve(constraint)
         with self._lock:
             cached = self._step_flows.get(constraint)
         if cached is not None:
             return cached
+        if self._use_compiled:
+            result = self._compiled_operation_flows(constraint)
+        else:
+            result = self._object_operation_flows(phi)
+        with self._lock:
+            return self._step_flows.setdefault(constraint, result)
+
+    def _compiled_operation_flows(
+        self, constraint: Constraint | None
+    ) -> dict[str, frozenset[tuple[str, str]]]:
+        compiled = self.compiled_system()
+        kernel = compiled.kernel
+        sat_ids = compiled.sat_ids(constraint)
+        names = kernel.names
+        columns = kernel.columns
+        successors = kernel.successors
+        op_names = kernel.op_names
+        flows: dict[str, set[tuple[str, str]]] = {name: set() for name in op_names}
+        for k, x in enumerate(names):
+            for bucket in kernel.buckets((k,), sat_ids).values():
+                m = len(bucket)
+                for a in range(m - 1):
+                    i = bucket[a]
+                    for b in range(a + 1, m):
+                        j = bucket[b]
+                        for op_name, successor in zip(op_names, successors):
+                            si = successor[i]
+                            sj = successor[j]
+                            if si == sj:
+                                continue
+                            add = flows[op_name].add
+                            for y, column in zip(names, columns):
+                                if column[si] != column[sj]:
+                                    add((x, y))
+        return {name: frozenset(pairs) for name, pairs in flows.items()}
+
+    def _object_operation_flows(
+        self, phi: Constraint
+    ) -> dict[str, frozenset[tuple[str, str]]]:
+        """The PR-1 object path, kept for ``compiled=False`` engines."""
         tables = self.transition_tables()
         sat_states = list(phi.states())
         flows: dict[str, set[tuple[str, str]]] = {name: set() for name, _ in tables}
@@ -378,9 +610,7 @@ class DependencyEngine:
                         for op_name, table in tables:
                             for y in table[s1].differs_at(table[s2]):
                                 flows[op_name].add((x, y))
-        result = {name: frozenset(pairs) for name, pairs in flows.items()}
-        with self._lock:
-            return self._step_flows.setdefault(constraint, result)
+        return {name: frozenset(pairs) for name, pairs in flows.items()}
 
 
 _ENGINES: "weakref.WeakKeyDictionary[System, DependencyEngine]" = (
@@ -392,9 +622,9 @@ _ENGINES_LOCK = threading.Lock()
 def shared_engine(system: System) -> DependencyEngine:
     """The process-wide engine for ``system`` (one per live instance).
 
-    Engines hold tabulated transitions and memoized closures; sharing one
-    per system means e.g. an audit followed by a Worth computation pays
-    for each ``(A, phi)`` BFS once.  The table is weakly keyed, so engines
+    Engines hold compiled tables and memoized closures; sharing one per
+    system means e.g. an audit followed by a Worth computation pays for
+    each ``(A, phi)`` BFS once.  The table is weakly keyed, so engines
     are reclaimed with their systems.
     """
     with _ENGINES_LOCK:

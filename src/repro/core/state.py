@@ -199,7 +199,7 @@ class Space:
     deterministic).  ``Space`` instances are immutable and hashable.
     """
 
-    __slots__ = ("_domains", "_domain_sets", "_names", "_hash")
+    __slots__ = ("_domains", "_domain_sets", "_names", "_size", "_hash")
 
     def __init__(self, domains: Mapping[str, Iterable[Value]]):
         if not domains:
@@ -224,6 +224,12 @@ class Space:
             {name: frozenset(values) for name, values in normalized.items()},
         )
         object.__setattr__(self, "_names", tuple(normalized))
+        # The domain product is read in guard/reporting loops; compute it
+        # once here instead of on every `size` access.
+        size = 1
+        for values in normalized.values():
+            size *= len(values)
+        object.__setattr__(self, "_size", size)
         object.__setattr__(
             self, "_hash", hash(tuple((n, v) for n, v in normalized.items()))
         )
@@ -259,11 +265,9 @@ class Space:
 
     @property
     def size(self) -> int:
-        """Number of states in the space (product of domain sizes)."""
-        product = 1
-        for domain in self._domains.values():
-            product *= len(domain)
-        return product
+        """Number of states in the space (product of domain sizes,
+        computed once at construction)."""
+        return self._size
 
     def domain(self, name: str) -> tuple[Value, ...]:
         """The domain (the paper's *variety*) of a single object."""

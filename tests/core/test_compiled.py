@@ -1,0 +1,190 @@
+"""Unit tests for the compiled integer kernel (repro.core.compiled).
+
+These pin the *encoding*: dense ids agree with the canonical
+``Space.states()`` enumeration, columns are the mixed-radix digits of the
+id, successor arrays are the operations, and closures live entirely on
+canonically oriented off-diagonal pairs.  Semantic agreement with the
+object engine and the seed reference is covered separately by
+``tests/property/test_compiled_agreement.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.compiled import INITIAL, CompiledSystem
+from repro.core.constraints import Constraint
+from repro.core.engine import DependencyEngine
+from repro.core.state import Space
+from repro.core.system import Operation, System
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+@pytest.fixture
+def mixed() -> System:
+    """Mixed-radix space (domains of size 3, 2, 2) with two operations."""
+    space = Space({"a": (0, 1, 2), "b": (False, True), "c": ("x", "y")})
+    ops = [
+        Operation("bump", lambda s: s.replace(a=(s["a"] + 1) % 3)),
+        Operation(
+            "couple", lambda s: s.replace(b=s["a"] > 0, c="y" if s["b"] else "x")
+        ),
+    ]
+    return System(space, ops)
+
+
+@pytest.fixture
+def relay() -> System:
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+class TestEncoding:
+    def test_states_follow_space_enumeration(self, mixed):
+        compiled = CompiledSystem(mixed)
+        assert compiled.states == tuple(mixed.space.states())
+        assert compiled.kernel.n == mixed.space.size
+
+    def test_columns_are_domain_indices(self, mixed):
+        compiled = CompiledSystem(mixed)
+        kernel = compiled.kernel
+        for k, name in enumerate(kernel.names):
+            domain = mixed.space.domain(name)
+            for i, state in enumerate(compiled.states):
+                assert domain[kernel.columns[k][i]] == state[name]
+
+    def test_strides_reconstruct_the_id(self, mixed):
+        kernel = CompiledSystem(mixed).kernel
+        for i in range(kernel.n):
+            digits = sum(
+                ((i // stride) % size) * stride
+                for stride, size in zip(kernel.strides, kernel.sizes)
+            )
+            assert digits == i
+
+    def test_successor_arrays_are_the_operations(self, mixed):
+        compiled = CompiledSystem(mixed)
+        kernel = compiled.kernel
+        assert kernel.op_names == tuple(op.name for op in mixed.operations)
+        for op, successor in zip(mixed.operations, kernel.successors):
+            for i, state in enumerate(compiled.states):
+                assert compiled.states[successor[i]] == op(state)
+
+    def test_source_indices_are_sorted_column_positions(self, mixed):
+        compiled = CompiledSystem(mixed)
+        assert compiled.source_indices({"c", "a"}) == (0, 2)
+
+
+class TestConstraints:
+    def test_sat_ids_match_satisfying_set(self, mixed):
+        compiled = CompiledSystem(mixed)
+        phi = Constraint(mixed.space, lambda s: s["a"] != 1, name="a!=1")
+        sat = compiled.sat_ids(phi)
+        expected = [
+            i for i, state in enumerate(compiled.states) if state in phi.satisfying
+        ]
+        assert list(sat) == expected
+        assert compiled.sat_ids(phi) is sat  # cached per instance
+
+    def test_unconstrained_is_none_fast_path(self, mixed):
+        assert CompiledSystem(mixed).sat_ids(None) is None
+
+
+class TestClosure:
+    def test_pairs_are_canonical_and_off_diagonal(self, mixed):
+        compiled = CompiledSystem(mixed)
+        closure = compiled.closure(frozenset({"a"}))
+        n = compiled.kernel.n
+        assert len(closure) > 0
+        for pair in closure.order:
+            i, j = divmod(pair, n)
+            assert i < j
+
+    def test_seeds_are_def_2_8_pairs(self, mixed):
+        compiled = CompiledSystem(mixed)
+        phi = Constraint(mixed.space, lambda s: s["b"], name="b")
+        closure = compiled.closure(frozenset({"a"}), phi, "b")
+        for pair, packed in closure.parents.items():
+            if packed is INITIAL or packed == INITIAL:
+                s1, s2 = closure.decode_pair(pair)
+                assert phi(s1) and phi(s2)
+                assert s1.equal_except_at(s2, {"a"})
+                assert s1 != s2
+
+    def test_witness_path_replays_to_the_pair(self, mixed):
+        compiled = CompiledSystem(mixed)
+        closure = compiled.closure(frozenset({"a"}))
+        first = closure.first_differing()
+        for name, pair in first.items():
+            ops, (s1, s2) = closure.witness_path(pair)
+            history = mixed.history(*ops)
+            after1, after2 = history(s1), history(s2)
+            assert (after1, after2) == closure.decode_pair(pair)
+            assert after1[name] != after2[name]
+
+    def test_first_differing_at_all_needs_simultaneous_difference(self, relay):
+        compiled = CompiledSystem(relay)
+        closure = compiled.closure(frozenset({"a"}))
+        pair = closure.first_differing_at_all({"m", "b"})
+        assert pair is not None
+        s1, s2 = closure.decode_pair(pair)
+        assert s1["m"] != s2["m"] and s1["b"] != s2["b"]
+        # From source {b} nothing ever reaches back to "a": no such pair.
+        assert compiled.closure(frozenset({"b"})).first_differing_at_all(
+            {"a"}
+        ) is None
+
+    def test_decoded_pairs_match_engine_pair_closure(self, relay):
+        compiled = CompiledSystem(relay)
+        closure = compiled.closure(frozenset({"a"}))
+        engine = DependencyEngine(relay)
+        decoded = engine.pair_closure({"a"})
+        assert list(closure.pairs()) == list(decoded.pairs)
+
+
+class TestPickling:
+    def test_kernel_roundtrips_through_pickle(self, mixed):
+        kernel = CompiledSystem(mixed).kernel
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.n == kernel.n
+        assert clone.names == kernel.names
+        assert clone.sizes == kernel.sizes
+        assert clone.strides == kernel.strides
+        assert clone.op_names == kernel.op_names
+        assert [list(c) for c in clone.columns] == [list(c) for c in kernel.columns]
+        assert [list(s) for s in clone.successors] == [
+            list(s) for s in kernel.successors
+        ]
+
+    def test_cloned_kernel_computes_identical_closures(self, mixed):
+        compiled = CompiledSystem(mixed)
+        kernel = compiled.kernel
+        clone = pickle.loads(pickle.dumps(kernel))
+        sources = compiled.source_indices({"b"})
+        order, parents = kernel.closure(sources)
+        clone_order, clone_parents = clone.closure(sources)
+        assert list(order) == list(clone_order)
+        assert parents == clone_parents
+
+
+class TestBuckets:
+    def test_buckets_partition_all_states(self, mixed):
+        kernel = CompiledSystem(mixed).kernel
+        groups = kernel.buckets((0,))
+        seen = sorted(i for bucket in groups.values() for i in bucket)
+        assert seen == list(range(kernel.n))
+
+    def test_buckets_agree_with_equal_except_at(self, mixed):
+        compiled = CompiledSystem(mixed)
+        kernel = compiled.kernel
+        for bucket in kernel.buckets(compiled.source_indices({"a"})).values():
+            for a in bucket:
+                for b in bucket:
+                    assert compiled.states[a].equal_except_at(
+                        compiled.states[b], {"a"}
+                    )
