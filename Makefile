@@ -19,7 +19,8 @@ bench:
 # This is what the CI bench-smoke job runs.
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHONPATH_SRC) python -m pytest \
-		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py -q
+		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py \
+		benchmarks/test_a3_induction.py -q
 
 examples:
 	$(PYTHONPATH_SRC) python examples/quickstart.py

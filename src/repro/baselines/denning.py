@@ -29,7 +29,7 @@ from collections.abc import Iterable
 import networkx as nx
 
 from repro.core.constraints import Constraint
-from repro.core.dependency import transmits
+from repro.core.engine import shared_engine
 from repro.core.system import History, System
 
 
@@ -51,15 +51,13 @@ class TransitiveFlowAnalysis:
     ) -> None:
         self.system = system
         self.constraint = constraint
-        self._per_op: dict[str, frozenset[tuple[str, str]]] = {}
-        for op in system.operations:
-            pairs = frozenset(
-                (x, y)
-                for x in system.space.names
-                for y in system.space.names
-                if transmits(system, {x}, y, op, constraint)
-            )
-            self._per_op[op.name] = pairs
+        # The engine's single-step flow matrix *is* the baseline's
+        # per-operation relation (one bucket pass per source object,
+        # shared with every other consumer of the same system).
+        step = shared_engine(system).operation_flows(constraint)
+        self._per_op: dict[str, frozenset[tuple[str, str]]] = {
+            op.name: step[op.name] for op in system.operations
+        }
 
     def operation_flows(self, op_name: str) -> frozenset[tuple[str, str]]:
         """``x -(delta)-> y`` pairs for one operation (derived from

@@ -199,7 +199,7 @@ class CompiledSystem:
     kept only for decoding ids back at the API boundary.
     """
 
-    __slots__ = ("system", "states", "kernel", "_sat_ids")
+    __slots__ = ("system", "states", "kernel", "_sat_ids", "_composed")
 
     def __init__(self, system: System) -> None:
         self.system = system
@@ -236,23 +236,75 @@ class CompiledSystem:
             successors,
         )
         self._sat_ids: dict[Constraint | None, array | None] = {}
+        self._composed: dict[tuple[int, ...], array] = {}
 
     # -- constraints ----------------------------------------------------------
 
     def sat_ids(self, constraint: Constraint | None) -> array | None:
         """The satisfying state ids of ``constraint`` in ascending order,
-        or ``None`` for the unconstrained (full-space) fast path.  Cached
-        per constraint *instance*, mirroring the engine's closure keys."""
+        or ``None`` for the unconstrained (full-space) fast path.  A
+        constraint satisfied by the whole space also maps to ``None`` —
+        its id list would be ``range(n)`` verbatim.  Cached per
+        constraint *instance*, mirroring the engine's closure keys."""
         if constraint is None:
             return None
-        cached = self._sat_ids.get(constraint)
-        if cached is None:
-            sat = constraint.satisfying
+        try:
+            return self._sat_ids[constraint]
+        except KeyError:
+            pass
+        sat = constraint.satisfying
+        cached: array | None
+        if len(sat) == self.kernel.n:
+            cached = None
+        else:
             cached = array(
                 "L", (i for i, state in enumerate(self.states) if state in sat)
             )
-            self._sat_ids[constraint] = cached
+        self._sat_ids[constraint] = cached
         return cached
+
+    # -- fixed histories ------------------------------------------------------
+
+    def history_array(self, op_indices: Sequence[int]) -> array:
+        """The composed successor array of a fixed history.
+
+        For ``H = delta_1 ... delta_k`` (given as operation *indices* into
+        :attr:`CompiledKernel.successors`), returns ``comp`` with
+        ``comp[i] = id(H(state_i))`` — one flat ``array('L')`` built by
+        index-gather composition, so evaluating ``H`` over any subset of
+        the space is pure integer loads with zero lambda execution.  The
+        empty history is the identity permutation.
+
+        Memoized per op-index tuple *including every prefix built along
+        the way*: ``H`` and ``H' = H ; delta`` share all of ``H``'s work,
+        which is what makes sweeps over ``System.histories(max_length)``
+        linear in the number of histories rather than their total length.
+        """
+        key = tuple(op_indices)
+        cached = self._composed.get(key)
+        if cached is not None:
+            return cached
+        identity = self._composed.get(())
+        if identity is None:
+            identity = array("L", range(self.kernel.n))
+            self._composed[()] = identity
+        # Longest already-composed prefix, then extend one gather at a time.
+        prefix = len(key)
+        base = None
+        while prefix > 0:
+            base = self._composed.get(key[:prefix])
+            if base is not None:
+                break
+            prefix -= 1
+        if base is None:
+            base = identity
+            prefix = 0
+        successors = self.kernel.successors
+        for pos in range(prefix, len(key)):
+            succ = successors[key[pos]]
+            base = array("L", (succ[i] for i in base))
+            self._composed[key[: pos + 1]] = base
+        return base
 
     def source_indices(self, sources: Iterable[str]) -> tuple[int, ...]:
         """Object names to column indices (ascending)."""

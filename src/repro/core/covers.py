@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.constraints import Constraint
-from repro.core.dependency import transmits
+from repro.core.engine import shared_engine
 from repro.core.errors import CoverError
 from repro.core.induction import Obligation, Proof, prove_no_dependency_nonautonomous
 from repro.core.state import State
@@ -247,13 +247,18 @@ class InductiveCover:
             Obligation(cover_proof.conclusion, cover_proof.valid, cover_proof)
         )
 
+        # Per (member, operation) the engine's fixed-history table answers
+        # every target m from one bucket sweep of sat(member), so the
+        # m-loop below costs |cover| * |Delta| sweeps, not that times n.
+        engine = shared_engine(system)
+
         out_failures: list[Obligation] = []
         for member in self.members:
             for m in system.space.names:
                 if m in source_set:
                     continue
                 for op in system.operations:
-                    result = transmits(system, source_set, m, op, member)
+                    result = engine.depends_history(source_set, m, op, member)
                     if result:
                         out_failures.append(
                             Obligation(
@@ -273,7 +278,9 @@ class InductiveCover:
         if everything_else:
             for member in self.members:
                 for op in system.operations:
-                    result = transmits(system, everything_else, beta, op, member)
+                    result = engine.depends_history(
+                        everything_else, beta, op, member
+                    )
                     if result:
                         in_failure = result.witness
                         break

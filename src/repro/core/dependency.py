@@ -26,7 +26,12 @@ and every API returns a result object that explains itself.
 Complexity: the checker partitions the phi-states by their values *outside*
 A (two states are candidates iff they share that restriction, Def 1-1), so
 a history check costs ``O(|sat(phi)| * |H|)`` operation applications rather
-than a quadratic pair scan.
+than a quadratic pair scan.  Since PR 3, :func:`transmits` and
+:func:`transmits_to_set` route through the shared engine's batched
+fixed-history path (composed successor arrays on the compiled kernel; one
+sweep answers all targets of ``(A, H, phi)``, memoized); the direct
+checkers survive as ``_seed_transmits`` / ``_seed_transmits_to_set`` —
+the executable specification and the fallback for foreign operations.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.constraints import Constraint
-from repro.core.errors import ConstraintError
+from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State, Value
 from repro.core.system import History, Operation, System
 
@@ -152,6 +157,15 @@ def transmits(
     Returns a result whose witness, when positive, is the concrete state
     pair conveying A's variety to ``target``.
 
+    Routed through the shared :class:`~repro.core.engine.DependencyEngine`:
+    one sweep of the composed successor array of H over the Def 1-1
+    buckets of sat(phi) answers every target of ``(A, H, phi)`` at once,
+    and is memoized on the engine.  Histories containing operations the
+    system does not own (ad-hoc :meth:`Operation.then` composites) fall
+    back to the direct per-state evaluation — same verdicts, same
+    witnesses, just without the batching (:func:`_seed_transmits` is that
+    reference path).
+
     >>> from repro.core.state import boolean_space
     >>> from repro.core.system import Operation, System
     >>> sp = boolean_space("alpha", "beta")
@@ -159,6 +173,29 @@ def transmits(
     >>> sys_ = System(sp, [copy])
     >>> bool(transmits(sys_, {"alpha"}, "beta", copy))
     True
+    """
+    from repro.core.engine import shared_engine  # lazy: engine imports us
+
+    try:
+        return shared_engine(system).depends_history(
+            sources, target, history, constraint
+        )
+    except ForeignOperationError:
+        return _seed_transmits(system, sources, target, history, constraint)
+
+
+def _seed_transmits(
+    system: System,
+    sources: Iterable[str],
+    target: str,
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """The direct Def 2-10 checker: re-executes H per state, per query.
+
+    Kept as the executable specification the engine's batched
+    fixed-history path is property-tested against, and as the fallback
+    for histories built from foreign operation objects.
     """
     if isinstance(history, Operation):
         history = History.of(history)
@@ -198,7 +235,31 @@ def transmits_to_set(
     Def 5-5 requires the two final states to differ at **every** object of
     B simultaneously, which is strictly stronger than each single-target
     dependency holding (Theorem 5-3 gives only the forward implication).
+
+    Routed through the shared engine like :func:`transmits`; the engine
+    additionally prunes via the single-target table (Theorem 5-3's
+    forward direction) before running the in-bucket pair scan.
     """
+    from repro.core.engine import shared_engine  # lazy: engine imports us
+
+    try:
+        return shared_engine(system).depends_history_set(
+            sources, targets, history, constraint
+        )
+    except ForeignOperationError:
+        return _seed_transmits_to_set(system, sources, targets, history, constraint)
+
+
+def _seed_transmits_to_set(
+    system: System,
+    sources: Iterable[str],
+    targets: Iterable[str],
+    history: History | Operation,
+    constraint: Constraint | None = None,
+) -> DependencyResult:
+    """The direct Def 5-6 checker (reference path; see
+    :func:`_seed_transmits`).  Each bucket member's final state is
+    evaluated once — not once per target — before the pair scan."""
     if isinstance(history, Operation):
         history = History.of(history)
     source_set = system.space.check_names(sources)
@@ -208,8 +269,10 @@ def transmits_to_set(
     phi = _resolve(system, constraint)
     target_list = sorted(target_set)
     for bucket in _groups(system, source_set, phi):
+        finals = [history(state) for state in bucket]
         outcomes = [
-            (state, tuple(history(state)[t] for t in target_list)) for state in bucket
+            (state, tuple(final[t] for t in target_list))
+            for state, final in zip(bucket, finals)
         ]
         for i, (s1, v1) in enumerate(outcomes):
             for s2, v2 in outcomes[i + 1 :]:

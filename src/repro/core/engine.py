@@ -63,11 +63,15 @@ from repro.core.compiled import (
 )
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness
-from repro.core.errors import ConstraintError
+from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State
-from repro.core.system import History, System, transition_table
+from repro.core.system import History, Operation, System, transition_table
 
 Pair = tuple[State, State]
+
+#: Distinguishes "never computed" from a memoized negative (``None``) in
+#: the set-target memo.
+_UNCOMPUTED = object()
 
 
 class PairClosure:
@@ -176,6 +180,24 @@ class DependencyEngine:
         self._step_flows: dict[
             Constraint | None, dict[str, frozenset[tuple[str, str]]]
         ] = {}
+        self._ops: tuple[Operation, ...] = system.operations
+        self._op_position: dict[str, int] = {
+            op.name: k for k, op in enumerate(self._ops)
+        }
+        self._history_maps: dict[tuple[int, ...], Mapping[State, State]] = {}
+        self._history_tables: dict[
+            tuple[frozenset[str], tuple[int, ...], Constraint | None],
+            Mapping[str, tuple[int, int] | Pair],
+        ] = {}
+        self._history_set_memo: dict[
+            tuple[
+                frozenset[str],
+                tuple[int, ...],
+                Constraint | None,
+                frozenset[str],
+            ],
+            tuple[int, int] | Pair | None,
+        ] = {}
         self._lock = threading.Lock()
 
     # -- compilation / transition tabulation ----------------------------------
@@ -238,6 +260,21 @@ class DependencyEngine:
                 "constraint and system are over different spaces "
                 f"({constraint.space!r} vs {self.system.space!r})"
             )
+        return constraint
+
+    def _flow_key(self, constraint: Constraint | None) -> Constraint | None:
+        """The memo key for constraint-resolved caches: ``None`` for any
+        constraint the whole space satisfies, the instance otherwise.
+
+        ``operation_flows(None)`` and ``operation_flows(Constraint.true(...))``
+        (or any other trivially-true instance) denote the same matrix, so
+        they share one entry.  Distinct non-trivial instances keep separate
+        entries — per-instance keying, like ``_closures``.
+        """
+        if constraint is None:
+            return None
+        if len(constraint.satisfying) == self.system.space.size:
+            return None
         return constraint
 
     def _closure(
@@ -409,6 +446,291 @@ class DependencyEngine:
             self._witness(closure, pair, target_set),
         )
 
+    # -- fixed-history queries ------------------------------------------------
+
+    def _history_indices(self, history: History | Operation) -> tuple[int, ...]:
+        """Resolve a history to operation indices into the successor
+        arrays.  Operations are matched by *identity* (via their name), so
+        an ad-hoc composite such as ``op1.then(op2)`` — which is not one
+        of the system's operations even though its pieces are — raises
+        :class:`~repro.core.errors.ForeignOperationError` instead of
+        silently answering for a different operation of the same name."""
+        if isinstance(history, Operation):
+            history = History.of(history)
+        ops = self._ops
+        position = self._op_position
+        indices: list[int] = []
+        for op in history:
+            k = position.get(op.name)
+            if k is None or ops[k] is not op:
+                raise ForeignOperationError(op.name)
+            indices.append(k)
+        return tuple(indices)
+
+    def _history_map(self, indices: tuple[int, ...]) -> Mapping[State, State]:
+        """Composed transition dict for the object path: ``map[s] = H(s)``,
+        memoized per op-index tuple (the ``compiled=False`` analogue of
+        :meth:`CompiledSystem.history_array`)."""
+        cached = self._history_maps.get(indices)
+        if cached is not None:
+            return cached
+        tables = self.transition_tables()
+        composed: Mapping[State, State] = {
+            state: state for state in self.system.space.states()
+        }
+        for k in indices:
+            table = tables[k][1]
+            composed = {s: table[f] for s, f in composed.items()}
+        with self._lock:
+            return self._history_maps.setdefault(indices, composed)
+
+    def _history_table(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        constraint: Constraint | None,
+    ) -> Mapping[str, tuple[int, int] | Pair]:
+        """For one ``(A, H, phi)``: the first witness pair per target.
+
+        One sweep over the Def 1-1 buckets of sat(phi) answers **all**
+        targets at once: within a bucket every state's composed final is
+        compared to the first member's, and the first member whose final
+        differs at a still-unassigned target claims it.  Compare-to-first
+        is complete for single targets — if two bucket members differ at
+        ``t`` after H, at least one of them differs from the bucket's
+        first member at ``t`` — and scanning buckets/members in
+        enumeration order makes the recorded pair *identical* to the
+        seed checker's.  Memoized per ``(A, op-indices, flow-key)``.
+        """
+        key = (source_set, indices, self._flow_key(constraint))
+        with self._lock:
+            cached = self._history_tables.get(key)
+        if cached is not None:
+            return cached
+        if self._use_compiled:
+            table = self._compiled_history_table(source_set, indices, constraint)
+        else:
+            table = self._object_history_table(
+                source_set, indices, self._resolve(constraint)
+            )
+        with self._lock:
+            return self._history_tables.setdefault(key, table)
+
+    def _compiled_history_table(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        constraint: Constraint | None,
+    ) -> dict[str, tuple[int, int]]:
+        compiled = self.compiled_system()
+        kernel = compiled.kernel
+        comp = compiled.history_array(indices)
+        names = kernel.names
+        columns = kernel.columns
+        n_names = len(names)
+        first: dict[str, tuple[int, int]] = {}
+        for bucket in kernel.buckets(
+            compiled.source_indices(source_set), compiled.sat_ids(constraint)
+        ).values():
+            if len(bucket) < 2:
+                continue
+            i0 = bucket[0]
+            f0 = comp[i0]
+            for i in bucket[1:]:
+                fi = comp[i]
+                if fi == f0:
+                    continue
+                for name, column in zip(names, columns):
+                    if name not in first and column[f0] != column[fi]:
+                        first[name] = (i0, i)
+            if len(first) == n_names:
+                break
+        return first
+
+    def _object_history_table(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        phi: Constraint,
+    ) -> dict[str, Pair]:
+        """The ``compiled=False`` reference: same sweep over ``State``
+        buckets in enumeration order."""
+        comp = self._history_map(indices)
+        n_names = len(self.system.space.names)
+        first: dict[str, Pair] = {}
+        buckets: dict[tuple, list[State]] = {}
+        for state in phi.states():
+            buckets.setdefault(state.restrict_away(source_set), []).append(state)
+        for bucket in buckets.values():
+            if len(bucket) < 2:
+                continue
+            s0 = bucket[0]
+            f0 = comp[s0]
+            for s in bucket[1:]:
+                fs = comp[s]
+                if fs == f0:
+                    continue
+                for name in f0.differs_at(fs):
+                    if name not in first:
+                        first[name] = (s0, s)
+            if len(first) == n_names:
+                break
+        return first
+
+    def _decode_history_pair(self, pair: tuple[int, int] | Pair) -> Pair:
+        if isinstance(pair[0], int):
+            states = self.compiled_system().states
+            return (states[pair[0]], states[pair[1]])
+        return pair  # type: ignore[return-value]
+
+    def depends_history(
+        self,
+        sources: Iterable[str],
+        target: str,
+        history: History | Operation,
+        constraint: Constraint | None = None,
+    ) -> DependencyResult:
+        """Exact ``A |>_phi^H beta`` for a *fixed* history (Def 2-10).
+
+        The first query for a given ``(A, H, phi)`` pays one sweep over
+        the Def 1-1 buckets of sat(phi) against the composed successor
+        array of H; every further target is a dict lookup.  Witnesses are
+        the same state pairs the seed checker returns.
+
+        Raises :class:`~repro.core.errors.ForeignOperationError` when the
+        history contains operations that are not the system's own (see
+        :func:`repro.core.dependency.transmits` for the falling-back
+        wrapper).
+        """
+        if isinstance(history, Operation):
+            history = History.of(history)
+        source_set = self.system.space.check_names(sources)
+        self.system.space.check_names([target])
+        phi = self._resolve(constraint)
+        indices = self._history_indices(history)
+        table = self._history_table(source_set, indices, constraint)
+        targets = frozenset([target])
+        pair = table.get(target)
+        if pair is None:
+            return DependencyResult(False, source_set, targets, phi.name)
+        sigma1, sigma2 = self._decode_history_pair(pair)
+        witness = Witness(
+            sources=source_set,
+            targets=targets,
+            history=history,
+            sigma1=sigma1,
+            sigma2=sigma2,
+        )
+        return DependencyResult(True, source_set, targets, phi.name, witness)
+
+    def depends_history_set(
+        self,
+        sources: Iterable[str],
+        targets: Iterable[str],
+        history: History | Operation,
+        constraint: Constraint | None = None,
+    ) -> DependencyResult:
+        """Exact ``A |>_phi^H B`` for a *set* target (Def 5-6): the two
+        finals must differ at **every** object of B simultaneously.
+
+        The single-target table prunes first (Theorem 5-3's forward
+        direction: if some member of B is never distinguished by H, no
+        pair differs at all of B); only then does the quadratic in-bucket
+        pair scan run, over composed finals — each state's final is
+        evaluated once, not once per target.  Memoized per
+        ``(A, op-indices, flow-key, B)``.
+        """
+        if isinstance(history, Operation):
+            history = History.of(history)
+        source_set = self.system.space.check_names(sources)
+        target_set = self.system.space.check_names(targets)
+        if not target_set:
+            raise ConstraintError("target set B must be non-empty")
+        phi = self._resolve(constraint)
+        indices = self._history_indices(history)
+        key = (source_set, indices, self._flow_key(constraint), target_set)
+        with self._lock:
+            pair = self._history_set_memo.get(key, _UNCOMPUTED)
+        if pair is _UNCOMPUTED:
+            table = self._history_table(source_set, indices, constraint)
+            if not all(t in table for t in target_set):
+                pair = None
+            elif self._use_compiled:
+                pair = self._compiled_history_set_pair(
+                    source_set, indices, sorted(target_set), constraint
+                )
+            else:
+                pair = self._object_history_set_pair(
+                    source_set, indices, sorted(target_set), phi
+                )
+            with self._lock:
+                self._history_set_memo.setdefault(key, pair)
+        if pair is None:
+            return DependencyResult(False, source_set, target_set, phi.name)
+        sigma1, sigma2 = self._decode_history_pair(pair)
+        witness = Witness(
+            sources=source_set,
+            targets=target_set,
+            history=history,
+            sigma1=sigma1,
+            sigma2=sigma2,
+        )
+        return DependencyResult(True, source_set, target_set, phi.name, witness)
+
+    def _compiled_history_set_pair(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        target_list: list[str],
+        constraint: Constraint | None,
+    ) -> tuple[int, int] | None:
+        compiled = self.compiled_system()
+        kernel = compiled.kernel
+        comp = compiled.history_array(indices)
+        column_of = dict(zip(kernel.names, kernel.columns))
+        cols = [column_of[t] for t in target_list]
+        for bucket in kernel.buckets(
+            compiled.source_indices(source_set), compiled.sat_ids(constraint)
+        ).values():
+            m = len(bucket)
+            if m < 2:
+                continue
+            finals = [comp[i] for i in bucket]
+            for a in range(m - 1):
+                fa = finals[a]
+                for b in range(a + 1, m):
+                    fb = finals[b]
+                    for column in cols:
+                        if column[fa] == column[fb]:
+                            break
+                    else:
+                        return (bucket[a], bucket[b])
+        return None
+
+    def _object_history_set_pair(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        target_list: list[str],
+        phi: Constraint,
+    ) -> Pair | None:
+        comp = self._history_map(indices)
+        buckets: dict[tuple, list[State]] = {}
+        for state in phi.states():
+            buckets.setdefault(state.restrict_away(source_set), []).append(state)
+        for bucket in buckets.values():
+            m = len(bucket)
+            if m < 2:
+                continue
+            finals = [comp[s] for s in bucket]
+            for a in range(m - 1):
+                fa = finals[a]
+                for b in range(a + 1, m):
+                    fb = finals[b]
+                    if all(fa[t] != fb[t] for t in target_list):
+                        return (bucket[a], bucket[b])
+        return None
+
     # -- batched queries ------------------------------------------------------
 
     def _source_family(
@@ -547,21 +869,24 @@ class DependencyEngine:
 
         Computed in one pass per source object — all targets of all
         operations fall out of each state pair — and memoized per
-        constraint.  On a compiled engine the pass is integer column
-        comparison over the successor arrays.  This is what the Millen
-        baseline and the per-operation flow graph consume.
+        *resolved* constraint (:meth:`_flow_key`): ``None`` and any
+        trivially-true instance share one entry.  On a compiled engine
+        the pass is integer column comparison over the successor arrays.
+        This is what the Millen baseline, the per-operation flow graph
+        and the induction provers consume.
         """
         phi = self._resolve(constraint)
+        key = self._flow_key(constraint)
         with self._lock:
-            cached = self._step_flows.get(constraint)
+            cached = self._step_flows.get(key)
         if cached is not None:
             return cached
         if self._use_compiled:
-            result = self._compiled_operation_flows(constraint)
+            result = self._compiled_operation_flows(key)
         else:
             result = self._object_operation_flows(phi)
         with self._lock:
-            return self._step_flows.setdefault(constraint, result)
+            return self._step_flows.setdefault(key, result)
 
     def _compiled_operation_flows(
         self, constraint: Constraint | None

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness, transmits, transmits_to_set
+from repro.core.engine import shared_engine
 from repro.core.errors import ProofError
 from repro.core.state import State
 from repro.core.system import History, System
@@ -102,17 +103,23 @@ def per_operation_flows(
     This is the executable analogue of the flow relation
     ``x -(delta)-> y`` the paper derives from semantics (section 1.5), and
     the raw material of every induction argument.
+
+    Membership comes from the engine's :meth:`operation_flows` matrix —
+    one bucket pass per source object decides every (operation, target)
+    cell — and only the positive cells pay for a witness query (itself a
+    memoized batched lookup).
     """
     names_src = tuple(sources) if sources is not None else system.space.names
     names_tgt = tuple(targets) if targets is not None else system.space.names
+    engine = shared_engine(system)
+    step = engine.operation_flows(constraint)
     flows: dict[tuple[str, str], DependencyResult] = {}
     for x in names_src:
         for y in names_tgt:
             found: DependencyResult | None = None
             for op in system.operations:
-                result = transmits(system, {x}, y, op, constraint)
-                if result:
-                    found = result
+                if (x, y) in step[op.name]:
+                    found = engine.depends_history({x}, y, op, constraint)
                     break
             if found is None:
                 found = DependencyResult(
@@ -166,13 +173,18 @@ def prove_no_dependency(
     phi = phi if phi is not None else Constraint.true(system.space)
     obligations = _check_preconditions(system, phi, need_autonomous=True)
 
+    # One operation_flows matrix decides every per-operation obligation of
+    # both alternatives; only the failing cells pay for a witness.
+    engine = shared_engine(system)
+    step = engine.operation_flows(phi)
+
     out_failures: list[Obligation] = []
     for m in system.space.names:
         if m == alpha:
             continue
         for op in system.operations:
-            result = transmits(system, {alpha}, m, op, phi)
-            if result:
+            if (alpha, m) in step[op.name]:
+                result = engine.depends_history({alpha}, m, op, phi)
                 out_failures.append(
                     Obligation(
                         f"{alpha} |>^{op.name} {m} given {phi.name}",
@@ -191,8 +203,8 @@ def prove_no_dependency(
         if m == beta:
             continue
         for op in system.operations:
-            result = transmits(system, {m}, beta, op, phi)
-            if result:
+            if (m, beta) in step[op.name]:
+                result = engine.depends_history({m}, beta, op, phi)
                 in_failures.append(
                     Obligation(
                         f"{m} |>^{op.name} {beta} given {phi.name}",
@@ -260,18 +272,26 @@ def prove_via_relation(
                    transitive_witness)
     )
 
+    # The closure obligations are exactly the cells of the engine's
+    # operation_flows matrix outside q: one bucket pass per source object
+    # replaces |Delta| * n^2 per-triple transmits calls.
+    engine = shared_engine(system)
+    step = engine.operation_flows(phi)
     for op in system.operations:
+        flows_op = step[op.name]
         for x in names:
             for y in names:
                 if q(x, y):
                     continue
-                result = transmits(system, {x}, y, op, phi)
+                holds = (x, y) in flows_op
                 obligations.append(
                     Obligation(
                         f"not {x} |>^{op.name} {y} given {phi.name} "
                         f"(since not {q_name}({x},{y}))",
-                        not result,
-                        result.witness if result else None,
+                        not holds,
+                        engine.depends_history({x}, y, op, phi).witness
+                        if holds
+                        else None,
                     )
                 )
     return Proof(
@@ -302,12 +322,18 @@ def prove_no_dependency_nonautonomous(
         raise ProofError("corollary 5-6 requires beta not in A")
     obligations = _check_preconditions(system, phi, need_autonomous=False)
 
+    # Set-valued sources don't fit the singleton operation_flows matrix,
+    # but the engine's batched fixed-history table answers every target m
+    # of one (A, op, phi) from a single bucket sweep — the m-loop below is
+    # |Delta| sweeps total, not |Delta| * n.
+    engine = shared_engine(system)
+
     out_failures: list[Obligation] = []
     for m in system.space.names:
         if m in source_set:
             continue
         for op in system.operations:
-            result = transmits(system, source_set, m, op, phi)
+            result = engine.depends_history(source_set, m, op, phi)
             if result:
                 out_failures.append(
                     Obligation(
@@ -326,7 +352,7 @@ def prove_no_dependency_nonautonomous(
     in_failure: Witness | None = None
     if everything_else:
         for op in system.operations:
-            result = transmits(system, everything_else, beta, op, phi)
+            result = engine.depends_history(everything_else, beta, op, phi)
             if result:
                 in_failure = result.witness
                 break

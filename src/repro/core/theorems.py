@@ -234,14 +234,18 @@ def thm_4_2_endpoints(
 
     if not depends_ever(system, {alpha}, beta, phi):
         return _ok(name, "vacuous: no dependency over any history")
+    from repro.core.engine import shared_engine
+
+    # One operation_flows matrix decides both endpoint existentials.
+    step = shared_engine(system).operation_flows(phi)
     out_exists = any(
-        transmits(system, {alpha}, m, History.of(op), phi)
+        (alpha, m) in step[op.name]
         for m in system.space.names
         if m != alpha
         for op in system.operations
     )
     in_exists = any(
-        transmits(system, {m}, beta, History.of(op), phi)
+        (m, beta) in step[op.name]
         for m in system.space.names
         if m != beta
         for op in system.operations
@@ -277,12 +281,16 @@ def thm_4_3_relation_bound(
             for z in names:
                 if q(y, z) and not q(x, z):
                     return _ok(name, "vacuous: q not transitive")
+    from repro.core.engine import shared_engine
+
+    # The closure precondition is exactly the operation_flows matrix
+    # restricted outside q: one bucket pass per source object.
+    step = shared_engine(system).operation_flows(phi)
     for op in system.operations:
+        flows_op = step[op.name]
         for x in names:
             for y in names:
-                if not q(x, y) and transmits(
-                    system, {x}, y, History.of(op), phi
-                ):
+                if not q(x, y) and (x, y) in flows_op:
                     return _ok(name, "vacuous: q not closed per-operation")
     for x in names:
         for y in names:

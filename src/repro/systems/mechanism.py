@@ -53,6 +53,11 @@ def value_observer(*names: str) -> Observer:
         final = history(initial)
         return tuple(final[n] for n in chosen)
 
+    # For a *fixed* history the observation is a function of the final
+    # values at `chosen` alone, which lets observed_transmits run on the
+    # engine's batched fixed-history tables instead of re-executing the
+    # observer per state.
+    observe.final_value_names = chosen  # type: ignore[attr-defined]
     return observe
 
 
@@ -65,6 +70,9 @@ def history_observer(*names: str) -> Observer:
     def observe(initial: State, history: History) -> Observation:
         return (base(initial, history), tuple(op.name for op in history))
 
+    # Both runs of a fixed H contribute the same history component, so
+    # observations differ iff the final values do.
+    observe.final_value_names = base.final_value_names  # type: ignore[attr-defined]
     return observe
 
 
@@ -76,6 +84,8 @@ def timed_observer(*names: str) -> Observer:
     def observe(initial: State, history: History) -> Observation:
         return (base(initial, history), len(history))
 
+    # len(H) is shared by both runs of a fixed H — final values decide.
+    observe.final_value_names = base.final_value_names  # type: ignore[attr-defined]
     return observe
 
 
@@ -120,10 +130,40 @@ def observed_transmits(
     ``transmits(system, A, beta, history, phi)`` for any fixed history
     (both runs execute the same H, so the history component never
     distinguishes) — the identification section 6.5 makes implicitly.
+
+    Observers whose observation of a fixed history is a function of the
+    final values at known objects (the stock value/history/timed
+    observers advertise theirs via ``final_value_names``) are decided on
+    the engine's batched fixed-history tables: one memoized query per
+    observed object instead of an observer call per state.  Arbitrary
+    observers (e.g. :func:`trace_observer`) take the generic scan below.
     """
     if isinstance(history, Operation):
         history = History.of(history)
     source_set = system.space.check_names(sources)
+    observed = getattr(observer, "final_value_names", None)
+    if observed is not None:
+        from repro.core.engine import shared_engine  # lazy: avoid cycles
+        from repro.core.errors import ForeignOperationError
+
+        try:
+            engine = shared_engine(system)
+            for target in observed:
+                result = engine.depends_history(
+                    source_set, target, history, constraint
+                )
+                if result:
+                    w = result.witness
+                    return ObservedWitness(
+                        w.sigma1,
+                        w.sigma2,
+                        history,
+                        observer(w.sigma1, history),
+                        observer(w.sigma2, history),
+                    )
+            return None
+        except ForeignOperationError:
+            pass  # composite operations: fall back to the direct scan
     phi = constraint if constraint is not None else Constraint.true(system.space)
     buckets: dict[tuple[Value, ...], list[State]] = {}
     for state in phi.states():

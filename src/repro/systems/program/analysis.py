@@ -80,6 +80,12 @@ def prove_program_no_flow(
        the entry assertion conjoined with ``pc = entry``.
 
     The returned proof contains all three stages as obligations.
+
+    Stage 3's per-(member, operation) obligations run on the shared
+    engine's batched fixed-history tables (one bucket sweep of
+    sat(member) per operation answers every intermediate object m), so
+    certification cost scales with ``|cover| * |Delta|`` sweeps rather
+    than ``|cover| * |Delta| * n`` transmits calls.
     """
     network = FloydAssertions(ps.flowchart, ps.space, assertions)
     vc_proof = network.check(ps.system)
