@@ -2,13 +2,18 @@
 # so a fresh clone works without a develop install.
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench bench-quick docs-check examples all
+.PHONY: install test chaos bench bench-quick docs-check examples all
 
 install:
 	python setup.py develop
 
 test:
 	$(PYTHONPATH_SRC) python -m pytest tests/
+
+# Chaos suite: fault injection (worker kills, transient errors, delays)
+# and budget-governed execution, checked bit-identical to the seed path.
+chaos:
+	$(PYTHONPATH_SRC) python -m pytest tests/chaos -q
 
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
@@ -20,7 +25,7 @@ bench:
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHONPATH_SRC) python -m pytest \
 		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py \
-		benchmarks/test_a3_induction.py -q
+		benchmarks/test_a3_induction.py benchmarks/test_a3_budget.py -q
 
 examples:
 	$(PYTHONPATH_SRC) python examples/quickstart.py

@@ -14,6 +14,13 @@ exists.  ``taint`` runs the syntactic taint closure for comparison.
 
 Domains: ``name=lo..hi`` (integer range, inclusive), ``name=v1,v2,...``
 (explicit integers), or ``name=bool``.
+
+Resource governance: ``program`` accepts ``--budget-seconds`` and
+``--budget-states``; when the governed search exhausts its budget the
+verdict is ``UNKNOWN`` (exit code 3 — distinct from flow/1, no-flow/0
+and error/2), with the partial-result snapshot printed.
+``--execution-report`` appends the engine's execution log (expansions,
+retries, pool degradations) to any outcome.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ import sys
 from collections.abc import Sequence
 
 from repro.baselines.taint import taint_closure
+from repro.core.budget import BudgetExceededError, ExecutionBudget
 from repro.core.constraints import Constraint
+from repro.core.engine import shared_engine
 from repro.core.errors import ReproError
 from repro.core.state import Value
 from repro.systems.program import (
@@ -31,6 +40,9 @@ from repro.systems.program import (
     parse_expr,
     program_transmits,
 )
+
+#: Exit code for a budget-exhausted (UNKNOWN) verdict.
+EXIT_UNKNOWN = 3
 
 
 def parse_domain(spec: str) -> tuple[str, tuple[Value, ...]]:
@@ -79,6 +91,18 @@ def _build(args: argparse.Namespace):
     return build_program_system(source_text, domains)
 
 
+def _parse_budget(args: argparse.Namespace) -> ExecutionBudget | None:
+    max_seconds = getattr(args, "budget_seconds", None)
+    max_expanded = getattr(args, "budget_states", None)
+    if max_seconds is None and max_expanded is None:
+        return None
+    return ExecutionBudget(max_seconds=max_seconds, max_expanded=max_expanded)
+
+
+def _print_execution_report(ps) -> None:
+    print(shared_engine(ps.system).execution_log.describe())
+
+
 def cmd_program(args: argparse.Namespace) -> int:
     ps = _build(args)
     entry = None
@@ -87,13 +111,27 @@ def cmd_program(args: argparse.Namespace) -> int:
         entry = Constraint(
             ps.space, lambda s: bool(expr.eval(s)), name=args.entry
         )
-    result = program_transmits(ps, {args.source}, args.target, entry)
+    budget = _parse_budget(args)
     label = f" given {args.entry!r}" if args.entry else ""
+    try:
+        result = program_transmits(ps, {args.source}, args.target, entry, budget)
+    except BudgetExceededError as exc:
+        print(f"UNKNOWN: {args.source} |>? {args.target}{label}")
+        print(exc.partial.describe())
+        print("(rerun with a larger --budget-seconds/--budget-states "
+              "to refine)")
+        if args.execution_report:
+            _print_execution_report(ps)
+        return EXIT_UNKNOWN
     if result:
         print(f"FLOW: {args.source} |> {args.target}{label}")
         print(result.witness.describe())
+        if args.execution_report:
+            _print_execution_report(ps)
         return 1
     print(f"NO FLOW: {args.source} cannot transmit to {args.target}{label}")
+    if args.execution_report:
+        _print_execution_report(ps)
     return 0
 
 
@@ -151,6 +189,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_program.add_argument(
         "--entry",
         help="entry assertion (mini-language boolean expression)",
+    )
+    p_program.add_argument(
+        "--budget-seconds",
+        type=float,
+        metavar="S",
+        help="wall-clock budget for the governed search; exhaustion "
+        "prints UNKNOWN and exits 3",
+    )
+    p_program.add_argument(
+        "--budget-states",
+        type=int,
+        metavar="N",
+        help="max pair-node expansions for the governed search; "
+        "exhaustion prints UNKNOWN and exits 3",
+    )
+    p_program.add_argument(
+        "--execution-report",
+        action="store_true",
+        help="print the engine's execution log (expansions, retries, "
+        "degradations) after the verdict",
     )
     p_program.set_defaults(handler=cmd_program)
 

@@ -1,0 +1,350 @@
+"""Execution governor: budgets, partial results and execution reports.
+
+The exact decision procedures in this library are BFS/sweep loops over a
+state space that is exponential in the number of objects (Defs 2-8…2-11):
+one unlucky ``(A, phi)`` query can pin a core for minutes.  Long-running,
+many-query workloads — lattice certification, covert-channel audits —
+need *bounded, degradable* execution rather than all-or-nothing runs.
+
+This module supplies the vocabulary:
+
+- :class:`ExecutionBudget` — an immutable bundle of limits (wall-clock
+  deadline, max pair-node expansions, max distinct pair nodes, a
+  cooperative :class:`CancellationToken`).  ``budget.start(label)``
+  produces a :class:`BudgetMeter` that the hot loops consult.
+- :class:`BudgetMeter` — the per-run counter.  Hot loops call
+  :meth:`BudgetMeter.check` every ``check_interval`` expansions; when a
+  limit trips it raises :class:`BudgetExceededError` carrying a
+  :class:`PartialResult` snapshot (states expanded, frontier size,
+  elapsed time, verdict ``UNKNOWN``).
+- :class:`ExecutionReport` / :class:`ExecutionLog` — per-query and
+  per-engine accounting (expansions, retries, pool degradations, the
+  fallback path taken), surfaced through the CLI and the audit report.
+
+Soundness of ``UNKNOWN``: a budget can only *truncate* the exploration of
+the pair graph, i.e. under-approximate the reachable pair set.  A ``YES``
+verdict needs one reachable differing pair — any pair found before the
+budget tripped is still a genuine witness — and a ``NO`` verdict needs
+the *complete* closure.  So a budgeted run either returns the same
+verdict an unbudgeted run would, or raises with ``UNKNOWN``; it can never
+flip a YES to a NO or vice versa.  Re-running with a larger budget
+monotonically refines ``UNKNOWN`` toward the exact verdict
+(docs/FORMALISM.md, "Budgeted execution").
+
+All of :class:`PartialResult`, :class:`ExecutionBudget` (sans token) and
+:class:`BudgetExceededError` pickle cleanly, so budgets cross the
+process-pool boundary as plain limit tuples and a worker's budget trip
+propagates back to the parent intact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ReproError
+
+#: Default number of expansions between two budget checks inside a hot
+#: loop.  Large enough that the check amortizes to well under 5% of the
+#: loop body (see benchmarks/test_a3_budget.py), small enough that a
+#: deadline is honoured within a few milliseconds of work.
+CHECK_INTERVAL = 256
+
+
+class CancellationToken:
+    """Cooperative cancellation: callers :meth:`cancel`, governed loops
+    observe ``token.cancelled`` at their next budget check.
+
+    Thread-safe (a :class:`threading.Event` underneath).  Tokens do not
+    cross process boundaries — a process-pool fan-out under a token is
+    cancelled between tasks by the parent, not mid-task by the worker.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancellationToken(cancelled={self.cancelled})"
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """What a governed run had established when its budget tripped.
+
+    The verdict is always ``UNKNOWN``: the run saw ``expanded`` pair
+    expansions of ``discovered`` discovered pair nodes, with ``frontier``
+    still unexplored — an under-approximation of the closure, so no
+    negative verdict is available (see module docstring).
+    """
+
+    label: str
+    reason: str  # "deadline" | "max_expanded" | "max_pairs" | "cancelled"
+    expanded: int
+    discovered: int
+    frontier: int
+    elapsed: float
+    verdict: str = "UNKNOWN"
+
+    def describe(self) -> str:
+        return (
+            f"{self.verdict} [{self.reason}] {self.label}: "
+            f"{self.expanded} expanded / {self.discovered} discovered, "
+            f"frontier {self.frontier}, {self.elapsed:.3f}s elapsed"
+        )
+
+
+class BudgetExceededError(ReproError):
+    """A governed loop ran out of budget.  Carries the
+    :class:`PartialResult` snapshot so callers can degrade (report
+    ``UNKNOWN``, fall back to per-operation obligations, retry with a
+    larger budget) instead of aborting a whole certification."""
+
+    def __init__(self, partial: PartialResult) -> None:
+        self.partial = partial
+        super().__init__(partial.describe())
+
+    def __reduce__(self):  # exceptions must survive the process boundary
+        return (BudgetExceededError, (self.partial,))
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """Limits for one governed execution region.
+
+    All limits are optional; an all-``None`` budget is unbounded and
+    :meth:`start` returns ``None`` so hot loops keep their unmetered fast
+    path.  ``max_seconds`` is wall-clock per governed run (each closure /
+    sweep started under the budget gets its own clock); ``max_expanded``
+    bounds pair-node *expansions*; ``max_pairs`` bounds distinct pair
+    nodes *discovered* (memory); ``token`` cancels cooperatively.
+    """
+
+    max_seconds: float | None = None
+    max_expanded: int | None = None
+    max_pairs: int | None = None
+    token: CancellationToken | None = None
+    check_interval: int = CHECK_INTERVAL
+
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.max_seconds is not None
+            or self.max_expanded is not None
+            or self.max_pairs is not None
+            or self.token is not None
+        )
+
+    def start(self, label: str = "") -> "BudgetMeter | None":
+        """A fresh meter for one governed run, or ``None`` if unbounded."""
+        if not self.bounded:
+            return None
+        return BudgetMeter(self, label)
+
+    def limits(self) -> tuple[float | None, int | None, int | None]:
+        """The picklable limit tuple shipped to process-pool workers
+        (tokens stay in the parent; see :class:`CancellationToken`)."""
+        return (self.max_seconds, self.max_expanded, self.max_pairs)
+
+    @classmethod
+    def from_limits(
+        cls, limits: tuple[float | None, int | None, int | None]
+    ) -> "ExecutionBudget":
+        max_seconds, max_expanded, max_pairs = limits
+        return cls(
+            max_seconds=max_seconds,
+            max_expanded=max_expanded,
+            max_pairs=max_pairs,
+        )
+
+    def scaled(self, factor: float) -> "ExecutionBudget":
+        """The same budget with every numeric limit multiplied by
+        ``factor`` — the retry-with-a-larger-budget helper.  A zero
+        limit scales from one unit (1 ms / 1 expansion / 1 pair):
+        multiplying zero would return the same exhausted budget and the
+        retry could never make progress."""
+        return replace(
+            self,
+            max_seconds=None
+            if self.max_seconds is None
+            else max(self.max_seconds, 1e-3) * factor,
+            max_expanded=None
+            if self.max_expanded is None
+            else int(max(self.max_expanded, 1) * factor),
+            max_pairs=None
+            if self.max_pairs is None
+            else int(max(self.max_pairs, 1) * factor),
+        )
+
+
+class BudgetMeter:
+    """The mutable per-run counterpart of an :class:`ExecutionBudget`.
+
+    Hot loops call :meth:`check` periodically (every
+    ``budget.check_interval`` expansions); the meter raises
+    :class:`BudgetExceededError` with a :class:`PartialResult` when a
+    limit trips.  One meter governs one logical run — a closure BFS plus
+    the sweeps answered from it share the meter's clock.
+    """
+
+    __slots__ = ("budget", "label", "started", "deadline", "expanded", "discovered")
+
+    def __init__(self, budget: ExecutionBudget, label: str = "") -> None:
+        self.budget = budget
+        self.label = label
+        self.started = time.perf_counter()
+        self.deadline = (
+            None
+            if budget.max_seconds is None
+            else self.started + budget.max_seconds
+        )
+        self.expanded = 0
+        self.discovered = 0
+
+    @property
+    def interval(self) -> int:
+        return self.budget.check_interval
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def check(self, expanded: int, discovered: int, frontier: int = 1) -> None:
+        """Record progress and raise if any limit has tripped.
+
+        ``frontier`` is the remaining-work estimate at the check point.
+        The expansion limit trips only while work remains (``frontier >
+        0``): a run that finishes using exactly its budget *completes* —
+        tripping it would turn a correct verdict into ``UNKNOWN``.  A
+        zero-expansion budget therefore trips at the pre-loop check,
+        before any pair is expanded.
+        """
+        self.expanded = expanded
+        self.discovered = discovered
+        budget = self.budget
+        if (
+            budget.max_expanded is not None
+            and frontier > 0
+            and expanded >= budget.max_expanded
+        ):
+            raise BudgetExceededError(self._snapshot("max_expanded", frontier))
+        if budget.max_pairs is not None and discovered > budget.max_pairs:
+            raise BudgetExceededError(self._snapshot("max_pairs", frontier))
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise BudgetExceededError(self._snapshot("deadline", frontier))
+        if budget.token is not None and budget.token.cancelled:
+            raise BudgetExceededError(self._snapshot("cancelled", frontier))
+
+    def _snapshot(self, reason: str, frontier: int) -> PartialResult:
+        return PartialResult(
+            label=self.label,
+            reason=reason,
+            expanded=self.expanded,
+            discovered=self.discovered,
+            frontier=frontier,
+            elapsed=self.elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Accounting for one governed execution (a closure, a sweep, or a
+    whole warm fan-out): how much work ran, how it was executed, and how
+    it degraded.
+
+    ``executor`` is the path that ultimately produced the result
+    (``"process"``, ``"thread"``, ``"serial"``); ``degradations`` lists
+    the ladder steps taken (e.g. ``("process->thread",)``); ``retries``
+    counts pool re-creations after worker death.  ``completed`` is False
+    exactly when the run ended in :class:`BudgetExceededError`, in which
+    case ``partial`` holds the snapshot.
+    """
+
+    label: str
+    executor: str = "serial"
+    expansions: int = 0
+    retries: int = 0
+    degradations: tuple[str, ...] = ()
+    elapsed: float = 0.0
+    completed: bool = True
+    partial: PartialResult | None = None
+
+    def describe(self) -> str:
+        bits = [
+            f"{self.label}: {self.expansions} expansions via {self.executor}",
+            f"{self.elapsed:.3f}s",
+        ]
+        if self.retries:
+            bits.append(f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}")
+        if self.degradations:
+            bits.append("degraded " + ", ".join(self.degradations))
+        if not self.completed:
+            bits.append(
+                "BUDGET EXCEEDED"
+                + (f" ({self.partial.reason})" if self.partial else "")
+            )
+        return "  ".join(bits)
+
+
+@dataclass
+class _LogState:
+    reports: list[ExecutionReport] = field(default_factory=list)
+
+
+class ExecutionLog:
+    """Thread-safe collector of :class:`ExecutionReport` entries — one per
+    governed run on an engine.  ``describe()`` renders the audit/CLI
+    "execution" section; ``summary()`` aggregates the counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state = _LogState()
+
+    def record(self, report: ExecutionReport) -> None:
+        with self._lock:
+            self._state.reports.append(report)
+
+    @property
+    def reports(self) -> tuple[ExecutionReport, ...]:
+        with self._lock:
+            return tuple(self._state.reports)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._state.reports.clear()
+
+    def summary(self) -> dict[str, object]:
+        reports = self.reports
+        degradations: list[str] = []
+        for report in reports:
+            degradations.extend(report.degradations)
+        return {
+            "runs": len(reports),
+            "expansions": sum(r.expansions for r in reports),
+            "retries": sum(r.retries for r in reports),
+            "degradations": tuple(degradations),
+            "incomplete": sum(1 for r in reports if not r.completed),
+            "elapsed": sum(r.elapsed for r in reports),
+        }
+
+    def describe(self) -> str:
+        reports = self.reports
+        if not reports:
+            return "execution: no governed runs recorded"
+        lines = ["execution:"]
+        lines.extend("  " + report.describe() for report in reports)
+        s = self.summary()
+        lines.append(
+            f"  total: {s['runs']} runs, {s['expansions']} expansions, "
+            f"{s['retries']} retries, {s['incomplete']} incomplete"
+        )
+        return "\n".join(lines)

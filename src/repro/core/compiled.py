@@ -52,6 +52,8 @@ from array import array
 from collections import deque
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+from repro.core import faults
+from repro.core.budget import BudgetMeter, ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.state import State
 from repro.core.system import System
@@ -134,6 +136,7 @@ class CompiledKernel:
         self,
         source_indices: Sequence[int],
         sat_ids: Iterable[int] | None = None,
+        meter: BudgetMeter | None = None,
     ) -> tuple[array, dict[int, int]]:
         """The reachable canonical-pair set for ``(A, phi)``.
 
@@ -148,6 +151,13 @@ class CompiledKernel:
         nowhere, and equal states have equal successors, so no stopping
         test is ever reachable through one — skipping them is sound and
         trims every converging edge of the graph.
+
+        With a ``meter`` (see :class:`~repro.core.budget.BudgetMeter`)
+        the BFS checks its budget once after seeding and then every
+        ``meter.interval`` expansions, raising
+        :class:`~repro.core.budget.BudgetExceededError` with the partial
+        counts.  The unmetered loop is kept separate so ungoverned runs
+        pay nothing.
         """
         n = self.n
         successors = self.successors
@@ -169,21 +179,45 @@ class CompiledKernel:
         record = order.append
         setdefault = parents.setdefault
         cursor = 0
+        if meter is None:
+            while cursor < len(order):
+                pair = order[cursor]
+                cursor += 1
+                i, j = divmod(pair, n)
+                # `packed` runs through pair*n_ops + d as d walks the
+                # operations, so the parent pointer is one add per edge.
+                packed = pair * n_ops
+                for successor in successors:
+                    si = successor[i]
+                    sj = successor[j]
+                    if si != sj:
+                        succ_pair = si * n + sj if si < sj else sj * n + si
+                        # One dict operation for membership + insert: the
+                        # packed value is unique per edge, so identity of
+                        # the returned value means the insert happened.
+                        if setdefault(succ_pair, packed) is packed:
+                            record(succ_pair)
+                    packed += 1
+            return array("L", order), parents
+        # Governed variant: identical body plus an amortized check every
+        # `interval` expansions (a zero-expansion budget trips before the
+        # first pair is expanded).
+        interval = meter.interval
+        meter.check(0, len(parents), len(order))
+        next_check = interval
         while cursor < len(order):
+            if cursor >= next_check:
+                meter.check(cursor, len(parents), len(order) - cursor)
+                next_check = cursor + interval
             pair = order[cursor]
             cursor += 1
             i, j = divmod(pair, n)
-            # `packed` runs through pair*n_ops + d as d walks the
-            # operations, so the parent pointer is one add per edge.
             packed = pair * n_ops
             for successor in successors:
                 si = successor[i]
                 sj = successor[j]
                 if si != sj:
                     succ_pair = si * n + sj if si < sj else sj * n + si
-                    # One dict operation for membership + insert: the
-                    # packed value is unique per edge, so identity of the
-                    # returned value means the insert happened.
                     if setdefault(succ_pair, packed) is packed:
                         record(succ_pair)
                 packed += 1
@@ -316,10 +350,11 @@ class CompiledSystem:
         sources: frozenset[str],
         constraint: Constraint | None = None,
         constraint_name: str = "tt",
+        meter: BudgetMeter | None = None,
     ) -> "CompiledClosure":
         """Compute one canonical-pair closure in this process."""
         order, parents = self.kernel.closure(
-            self.source_indices(sources), self.sat_ids(constraint)
+            self.source_indices(sources), self.sat_ids(constraint), meter
         )
         return CompiledClosure(self, sources, constraint_name, order, parents)
 
@@ -438,20 +473,36 @@ class CompiledClosure:
 # -- process-pool plumbing ----------------------------------------------------
 #
 # The worker side of DependencyEngine._warm's process fan-out: the kernel
-# (and the per-warm sat ids) are shipped once via the pool initializer;
-# each task is then just a tuple of source column indices, and the result
-# is the raw (order, parents) integer closure, decoded in the parent.
+# (and the per-warm sat ids / budget limits) are shipped once via the pool
+# initializer; each task is then a (task index, source column indices)
+# tuple, and the result is the raw (order, parents) integer closure,
+# decoded in the parent.  The task index feeds the fault-injection seam
+# (repro.core.faults) and labels worker-side budget trips.
 
 _WORKER_KERNEL: CompiledKernel | None = None
 _WORKER_SAT_IDS: array | None = None
+_WORKER_LIMITS: tuple[float | None, int | None, int | None] | None = None
 
 
-def _worker_init(kernel: CompiledKernel, sat_ids: array | None) -> None:
-    global _WORKER_KERNEL, _WORKER_SAT_IDS
+def _worker_init(
+    kernel: CompiledKernel,
+    sat_ids: array | None,
+    limits: tuple[float | None, int | None, int | None] | None = None,
+) -> None:
+    global _WORKER_KERNEL, _WORKER_SAT_IDS, _WORKER_LIMITS
     _WORKER_KERNEL = kernel
     _WORKER_SAT_IDS = sat_ids
+    _WORKER_LIMITS = limits
 
 
-def _worker_closure(source_indices: tuple[int, ...]) -> tuple[array, dict[int, int]]:
+def _worker_closure(
+    task: tuple[int, tuple[int, ...]]
+) -> tuple[array, dict[int, int]]:
     assert _WORKER_KERNEL is not None, "worker pool initializer did not run"
-    return _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS)
+    index, source_indices = task
+    faults.inject("worker", index)
+    meter = None
+    if _WORKER_LIMITS is not None:
+        budget = ExecutionBudget.from_limits(_WORKER_LIMITS)
+        meter = budget.start(f"worker closure #{index}")
+    return _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS, meter)

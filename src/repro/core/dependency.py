@@ -39,6 +39,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
+from repro.core.budget import ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State, Value
@@ -151,6 +152,7 @@ def transmits(
     target: str,
     history: History | Operation,
     constraint: Constraint | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> DependencyResult:
     """Decide ``A |>_phi^H beta`` (Def 2-10; Def 2-6 when phi is omitted).
 
@@ -178,7 +180,7 @@ def transmits(
 
     try:
         return shared_engine(system).depends_history(
-            sources, target, history, constraint
+            sources, target, history, constraint, budget
         )
     except ForeignOperationError:
         return _seed_transmits(system, sources, target, history, constraint)
@@ -229,6 +231,7 @@ def transmits_to_set(
     targets: Iterable[str],
     history: History | Operation,
     constraint: Constraint | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> DependencyResult:
     """Decide ``A |>_phi^H B`` for a *set* of targets (Def 5-6).
 
@@ -244,7 +247,7 @@ def transmits_to_set(
 
     try:
         return shared_engine(system).depends_history_set(
-            sources, targets, history, constraint
+            sources, targets, history, constraint, budget
         )
     except ForeignOperationError:
         return _seed_transmits_to_set(system, sources, targets, history, constraint)

@@ -51,10 +51,19 @@ work across the whole library.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections.abc import Iterable, Mapping
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.core import faults
+from repro.core.budget import (
+    BudgetExceededError,
+    BudgetMeter,
+    ExecutionBudget,
+    ExecutionLog,
+    ExecutionReport,
+)
 from repro.core.compiled import (
     CompiledClosure,
     CompiledSystem,
@@ -72,6 +81,19 @@ Pair = tuple[State, State]
 #: Distinguishes "never computed" from a memoized negative (``None``) in
 #: the set-target memo.
 _UNCOMPUTED = object()
+
+#: Failures the fault-tolerant pool treats as retryable: a worker died
+#: mid-map (``BrokenExecutor``/``EOFError``), the platform refused a pool
+#: (``OSError``), or an injected transient task error.  Budget trips are
+#: deliberately *not* here — exceeding a budget is a verdict about the
+#: query, not about the executor, and must propagate.
+_POOL_FAILURES = (BrokenExecutor, OSError, EOFError, faults.InjectedFaultError)
+
+#: Pool re-creations after a mid-map failure before degrading to threads.
+_POOL_RETRIES = 2
+#: Capped exponential backoff between pool retries (seconds).
+_RETRY_BASE_DELAY = 0.05
+_RETRY_MAX_DELAY = 1.0
 
 
 class PairClosure:
@@ -102,6 +124,9 @@ class PairClosure:
         self.pairs = pairs
         self.parents = parents
         self._first_diff: dict[str, Pair] | None = None
+
+    def __len__(self) -> int:
+        return len(self.pairs)
 
     def first_differing(self) -> Mapping[str, Pair]:
         """For each object name, the earliest reachable pair differing
@@ -166,9 +191,23 @@ class DependencyEngine:
     False
     """
 
-    def __init__(self, system: System, compiled: bool = True) -> None:
+    def __init__(
+        self,
+        system: System,
+        compiled: bool = True,
+        budget: ExecutionBudget | None = None,
+    ) -> None:
         self.system = system
         self._use_compiled = compiled
+        #: Engine-wide default :class:`~repro.core.budget.ExecutionBudget`.
+        #: Every governed loop (closure BFS, history sweep, flow sweep)
+        #: starts a fresh meter from it; per-call ``budget=`` arguments
+        #: override it.  ``None`` leaves the hot loops unmetered.
+        self.budget = budget
+        #: Per-engine :class:`~repro.core.budget.ExecutionLog`: one
+        #: :class:`~repro.core.budget.ExecutionReport` per governed run
+        #: and per warm fan-out (retries, degradations, fallback path).
+        self.execution_log = ExecutionLog()
         self._compiled: CompiledSystem | None = None
         self._tables: tuple[tuple[str, Mapping[State, State]], ...] | None = None
         self._closures: dict[
@@ -277,16 +316,31 @@ class DependencyEngine:
             return None
         return constraint
 
+    def _resolve_budget(
+        self, budget: ExecutionBudget | None
+    ) -> ExecutionBudget | None:
+        """Per-call budgets override the engine default; ``None`` inherits
+        it.  Pass an explicit all-``None`` :class:`ExecutionBudget` to run
+        a single call ungoverned on a budgeted engine."""
+        return budget if budget is not None else self.budget
+
     def _closure(
         self,
         sources: Iterable[str],
         constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> PairClosure | CompiledClosure:
         """The memoized closure for ``(A, phi)`` in its native form:
         :class:`~repro.core.compiled.CompiledClosure` on a compiled
         engine, :class:`PairClosure` on the PR-1 object path.  Both
         expose the same query surface (``first_differing``,
-        ``first_differing_at_all``, ``witness_path``)."""
+        ``first_differing_at_all``, ``witness_path``).
+
+        Under a budget the BFS is metered; a trip raises
+        :class:`~repro.core.budget.BudgetExceededError` and **nothing is
+        memoized** — the cache only ever holds complete closures, so a
+        budget-truncated run can never corrupt later unbudgeted answers.
+        """
         source_set = self.system.space.check_names(sources)
         phi = self._resolve(constraint)
         key = (source_set, constraint)
@@ -294,12 +348,39 @@ class DependencyEngine:
             cached = self._closures.get(key)
         if cached is not None:
             return cached
-        if self._use_compiled:
-            closure: PairClosure | CompiledClosure = self.compiled_system().closure(
-                source_set, constraint, phi.name
+        budget = self._resolve_budget(budget)
+        label = f"closure A={sorted(source_set)} phi={phi.name}"
+        meter = budget.start(label) if budget is not None else None
+        started = time.perf_counter()
+        try:
+            if self._use_compiled:
+                closure: PairClosure | CompiledClosure = (
+                    self.compiled_system().closure(
+                        source_set, constraint, phi.name, meter
+                    )
+                )
+            else:
+                closure = self._compute_closure(source_set, phi, meter)
+        except BudgetExceededError as exc:
+            self.execution_log.record(
+                ExecutionReport(
+                    label=label,
+                    executor="serial",
+                    expansions=exc.partial.expanded,
+                    elapsed=exc.partial.elapsed,
+                    completed=False,
+                    partial=exc.partial,
+                )
             )
-        else:
-            closure = self._compute_closure(source_set, phi)
+            raise
+        self.execution_log.record(
+            ExecutionReport(
+                label=label,
+                executor="serial",
+                expansions=len(closure),
+                elapsed=time.perf_counter() - started,
+            )
+        )
         with self._lock:
             return self._closures.setdefault(key, closure)
 
@@ -345,10 +426,15 @@ class DependencyEngine:
             return self._decoded.setdefault(key, decoded)
 
     def _compute_closure(
-        self, sources: frozenset[str], phi: Constraint
+        self,
+        sources: frozenset[str],
+        phi: Constraint,
+        meter: BudgetMeter | None = None,
     ) -> PairClosure:
         """The PR-1 object-path BFS over ordered ``State`` pairs — kept as
-        the reference implementation for ``compiled=False`` engines."""
+        the reference implementation for ``compiled=False`` engines.
+        Budget checks mirror the compiled kernel: once after seeding,
+        then every ``meter.interval`` expansions."""
         from collections import deque
 
         tables = self.transition_tables()
@@ -367,8 +453,14 @@ class DependencyEngine:
                     if pair not in parents:
                         parents[pair] = None
                         queue.append(pair)
+        if meter is not None:
+            meter.check(0, len(parents), len(queue))
+        next_check = meter.interval if meter is not None else 0
         order: list[Pair] = []
         while queue:
+            if meter is not None and len(order) >= next_check:
+                meter.check(len(order), len(parents), len(queue))
+                next_check = len(order) + meter.interval
             pair = queue.popleft()
             order.append(pair)
             s1, s2 = pair
@@ -402,11 +494,18 @@ class DependencyEngine:
         sources: Iterable[str],
         target: str,
         constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> DependencyResult:
         """Exact ``A |>_phi beta`` (Def 2-7/2-11) from the shared closure,
-        with a shortest witness when positive."""
+        with a shortest witness when positive.
+
+        Under a budget (per-call or the engine default) the closure BFS
+        is governed and may raise
+        :class:`~repro.core.budget.BudgetExceededError` with a partial
+        result instead of answering — it never returns a wrong verdict.
+        """
         self.system.space.check_names([target])
-        closure = self._closure(sources, constraint)
+        closure = self._closure(sources, constraint, budget)
         targets = frozenset([target])
         pair = closure.first_differing().get(target)
         if pair is None:
@@ -426,13 +525,14 @@ class DependencyEngine:
         sources: Iterable[str],
         targets: Iterable[str],
         constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> DependencyResult:
         """Exact ``A |>_phi B`` (Def 5-7): the earliest reachable pair
         differing at *every* object of B, from the same shared closure."""
         target_set = self.system.space.check_names(targets)
         if not target_set:
             raise ConstraintError("target set B must be non-empty")
-        closure = self._closure(sources, constraint)
+        closure = self._closure(sources, constraint, budget)
         pair = closure.first_differing_at_all(target_set)
         if pair is None:
             return DependencyResult(
@@ -489,6 +589,7 @@ class DependencyEngine:
         source_set: frozenset[str],
         indices: tuple[int, ...],
         constraint: Constraint | None,
+        budget: ExecutionBudget | None = None,
     ) -> Mapping[str, tuple[int, int] | Pair]:
         """For one ``(A, H, phi)``: the first witness pair per target.
 
@@ -501,18 +602,42 @@ class DependencyEngine:
         first member at ``t`` — and scanning buckets/members in
         enumeration order makes the recorded pair *identical* to the
         seed checker's.  Memoized per ``(A, op-indices, flow-key)``.
+
+        Like the closures, a budget governs the sweep (checked once per
+        bucket) and a trip memoizes nothing.
         """
         key = (source_set, indices, self._flow_key(constraint))
         with self._lock:
             cached = self._history_tables.get(key)
         if cached is not None:
             return cached
-        if self._use_compiled:
-            table = self._compiled_history_table(source_set, indices, constraint)
-        else:
-            table = self._object_history_table(
-                source_set, indices, self._resolve(constraint)
+        budget = self._resolve_budget(budget)
+        meter = (
+            budget.start(f"history sweep A={sorted(source_set)} |H|={len(indices)}")
+            if budget is not None
+            else None
+        )
+        try:
+            if self._use_compiled:
+                table = self._compiled_history_table(
+                    source_set, indices, constraint, meter
+                )
+            else:
+                table = self._object_history_table(
+                    source_set, indices, self._resolve(constraint), meter
+                )
+        except BudgetExceededError as exc:
+            self.execution_log.record(
+                ExecutionReport(
+                    label=exc.partial.label,
+                    executor="serial",
+                    expansions=exc.partial.expanded,
+                    elapsed=exc.partial.elapsed,
+                    completed=False,
+                    partial=exc.partial,
+                )
             )
+            raise
         with self._lock:
             return self._history_tables.setdefault(key, table)
 
@@ -521,6 +646,7 @@ class DependencyEngine:
         source_set: frozenset[str],
         indices: tuple[int, ...],
         constraint: Constraint | None,
+        meter: BudgetMeter | None = None,
     ) -> dict[str, tuple[int, int]]:
         compiled = self.compiled_system()
         kernel = compiled.kernel
@@ -529,9 +655,15 @@ class DependencyEngine:
         columns = kernel.columns
         n_names = len(names)
         first: dict[str, tuple[int, int]] = {}
+        scanned = 0
+        if meter is not None:
+            meter.check(0, 0)
         for bucket in kernel.buckets(
             compiled.source_indices(source_set), compiled.sat_ids(constraint)
         ).values():
+            if meter is not None:
+                meter.check(scanned, scanned)
+            scanned += len(bucket)
             if len(bucket) < 2:
                 continue
             i0 = bucket[0]
@@ -552,6 +684,7 @@ class DependencyEngine:
         source_set: frozenset[str],
         indices: tuple[int, ...],
         phi: Constraint,
+        meter: BudgetMeter | None = None,
     ) -> dict[str, Pair]:
         """The ``compiled=False`` reference: same sweep over ``State``
         buckets in enumeration order."""
@@ -561,7 +694,13 @@ class DependencyEngine:
         buckets: dict[tuple, list[State]] = {}
         for state in phi.states():
             buckets.setdefault(state.restrict_away(source_set), []).append(state)
+        scanned = 0
+        if meter is not None:
+            meter.check(0, 0)
         for bucket in buckets.values():
+            if meter is not None:
+                meter.check(scanned, scanned)
+            scanned += len(bucket)
             if len(bucket) < 2:
                 continue
             s0 = bucket[0]
@@ -589,6 +728,7 @@ class DependencyEngine:
         target: str,
         history: History | Operation,
         constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> DependencyResult:
         """Exact ``A |>_phi^H beta`` for a *fixed* history (Def 2-10).
 
@@ -608,7 +748,7 @@ class DependencyEngine:
         self.system.space.check_names([target])
         phi = self._resolve(constraint)
         indices = self._history_indices(history)
-        table = self._history_table(source_set, indices, constraint)
+        table = self._history_table(source_set, indices, constraint, budget)
         targets = frozenset([target])
         pair = table.get(target)
         if pair is None:
@@ -629,6 +769,7 @@ class DependencyEngine:
         targets: Iterable[str],
         history: History | Operation,
         constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> DependencyResult:
         """Exact ``A |>_phi^H B`` for a *set* target (Def 5-6): the two
         finals must differ at **every** object of B simultaneously.
@@ -652,7 +793,7 @@ class DependencyEngine:
         with self._lock:
             pair = self._history_set_memo.get(key, _UNCOMPUTED)
         if pair is _UNCOMPUTED:
-            table = self._history_table(source_set, indices, constraint)
+            table = self._history_table(source_set, indices, constraint, budget)
             if not all(t in table for t in target_set):
                 pair = None
             elif self._use_compiled:
@@ -746,6 +887,7 @@ class DependencyEngine:
         constraint: Constraint | None,
         max_workers: int | None,
         executor: str = "process",
+        budget: ExecutionBudget | None = None,
     ) -> None:
         """Compute the independent per-source closures, optionally fanned
         out across a process pool (each closure is an isolated BFS; the
@@ -757,7 +899,24 @@ class DependencyEngine:
         per worker instead and scales with cores.  ``executor="thread"``
         keeps the PR-1 thread pool, which is also the fallback whenever
         the engine is not compiled or the platform cannot spawn processes.
+
+        **Fault tolerance.**  The fan-out is a degradation ladder::
+
+            process pool  --(worker death, retries exhausted)-->  threads
+            threads       --(task failure)------------------->  serial
+
+        A worker killed mid-``map`` (``BrokenProcessPool``) loses only
+        the tasks not yet yielded: completed closures are memoized as
+        they stream back, so no finished work is ever recomputed or lost.
+        Lost tasks are retried on a fresh pool with capped exponential
+        backoff (:data:`_POOL_RETRIES` pools, then degrade).  Budget
+        trips (:class:`~repro.core.budget.BudgetExceededError`) are *not*
+        retried — they are a verdict about the query, not the executor —
+        and propagate to the caller.  Every warm records an
+        :class:`~repro.core.budget.ExecutionReport` (retries,
+        degradations, final executor) on :attr:`execution_log`.
         """
+        budget = self._resolve_budget(budget)
         # Dedupe preserving order (a source family with repeats must not
         # run the same BFS twice) and read the memo under the lock — a
         # concurrent warm may be filling it.
@@ -766,59 +925,168 @@ class DependencyEngine:
             pending = [a for a in unique if (a, constraint) not in self._closures]
         if not pending:
             return
-        if max_workers is not None and len(pending) > 1:
-            if self._use_compiled and executor == "process":
-                try:
-                    self._warm_processes(pending, constraint, max_workers)
-                    return
-                except OSError:
-                    # No usable process pool on this platform (sandboxed
-                    # semaphores, fork restrictions, ...): fall through.
-                    pass
-            # Warm the shared tables once, not per thread.
-            if self._use_compiled:
-                self.compiled_system()
-            else:
-                self.transition_tables()
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                list(pool.map(lambda a: self._closure(a, constraint), pending))
-        else:
-            for a in pending:
-                self._closure(a, constraint)
+        total = len(pending)
+        started = time.perf_counter()
+        retries = 0
+        degradations: list[str] = []
+        path = "serial"
+        fanned = max_workers is not None and len(pending) > 1
+        try:
+            if fanned and self._use_compiled and executor == "process":
+                path = "process"
+                retries, pending = self._warm_processes(
+                    pending, constraint, max_workers, budget
+                )
+                if pending:
+                    degradations.append("process->thread")
+            if pending and fanned:
+                path = "thread"
+                pending = self._warm_threads(
+                    pending, constraint, max_workers, budget
+                )
+                if pending:
+                    degradations.append("thread->serial")
+                    path = "serial"
+            if pending:
+                for k, a in enumerate(pending):
+                    faults.inject("task", k)
+                    self._closure(a, constraint, budget)
+        finally:
+            with self._lock:
+                completed = all(
+                    (a, constraint) in self._closures for a in unique
+                )
+            self.execution_log.record(
+                ExecutionReport(
+                    label=f"warm {total} closures "
+                    f"phi={self._resolve(constraint).name}",
+                    executor=path,
+                    retries=retries,
+                    degradations=tuple(degradations),
+                    elapsed=time.perf_counter() - started,
+                    completed=completed,
+                )
+            )
 
     def _warm_processes(
         self,
         pending: list[frozenset[str]],
         constraint: Constraint | None,
         max_workers: int,
-    ) -> None:
-        """Fan the pending ``(A, phi)`` closures across a process pool.
+        budget: ExecutionBudget | None = None,
+    ) -> tuple[int, list[frozenset[str]]]:
+        """Fan the pending ``(A, phi)`` closures across a process pool,
+        surviving worker death.
 
-        Workers receive the integer kernel (and phi's satisfying ids)
-        once via the pool initializer; each task is a tuple of source
-        column indices and returns the raw ``(order, parents)`` integer
-        closure, which the parent wraps and memoizes.  Constraints and
-        operations are lambdas and never cross the process boundary.
+        Workers receive the integer kernel (phi's satisfying ids and the
+        budget limits) once via the pool initializer; each task is a
+        ``(index, source column indices)`` tuple and returns the raw
+        ``(order, parents)`` integer closure, which the parent wraps and
+        memoizes **as results stream back** — a pool that breaks mid-map
+        therefore loses only unyielded tasks.  Constraints and operations
+        are lambdas and never cross the process boundary.
+
+        Returns ``(retries, remaining)``: how many fresh pools were spun
+        up after failures, and the sources still uncomputed when the
+        retry budget ran out (empty on success).  Pool-level failures are
+        *contained* here; only budget trips propagate.
         """
         phi = self._resolve(constraint)
         compiled = self.compiled_system()
         for sources in pending:
             self.system.space.check_names(sources)
-        tasks = [compiled.source_indices(a) for a in pending]
         sat_ids = compiled.sat_ids(constraint)
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_worker_init,
-            initargs=(compiled.kernel, sat_ids),
-        ) as pool:
-            results = list(pool.map(_worker_closure, tasks))
-        for sources, (order, parents) in zip(pending, results):
-            source_set = frozenset(sources)
-            closure = CompiledClosure(
-                compiled, source_set, phi.name, order, parents
-            )
-            with self._lock:
-                self._closures.setdefault((source_set, constraint), closure)
+        limits = budget.limits() if budget is not None and budget.bounded else None
+        remaining = list(pending)
+        retries = 0
+        delay = _RETRY_BASE_DELAY
+        while remaining:
+            tasks = [
+                (k, compiled.source_indices(a)) for k, a in enumerate(remaining)
+            ]
+            workers = min(max_workers, len(tasks))
+            # chunksize=1 (the map default) pays one IPC round-trip per
+            # closure; batch tiny tasks so each worker gets ~4 chunks.
+            chunksize = max(1, len(tasks) // (workers * 4))
+            done = 0
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(compiled.kernel, sat_ids, limits),
+                )
+            except OSError:
+                # No usable process pool on this platform (sandboxed
+                # semaphores, fork restrictions, ...): nothing to retry.
+                return retries, remaining
+            try:
+                with pool:
+                    for order, parents in pool.map(
+                        _worker_closure, tasks, chunksize=chunksize
+                    ):
+                        source_set = frozenset(remaining[done])
+                        closure = CompiledClosure(
+                            compiled, source_set, phi.name, order, parents
+                        )
+                        with self._lock:
+                            self._closures.setdefault(
+                                (source_set, constraint), closure
+                            )
+                        done += 1
+            except BudgetExceededError:
+                raise
+            except _POOL_FAILURES:
+                # Results stream back in task order, so the first `done`
+                # sources are memoized; only the rest need a fresh pool.
+                remaining = remaining[done:]
+                if retries >= _POOL_RETRIES:
+                    return retries, remaining
+                retries += 1
+                time.sleep(delay)
+                delay = min(delay * 2, _RETRY_MAX_DELAY)
+                continue
+            remaining = []
+        return retries, remaining
+
+    def _warm_threads(
+        self,
+        pending: list[frozenset[str]],
+        constraint: Constraint | None,
+        max_workers: int,
+        budget: ExecutionBudget | None = None,
+    ) -> list[frozenset[str]]:
+        """The thread rung of the ladder: fan closures across a thread
+        pool, returning the sources whose tasks failed (for the serial
+        rung).  Budget trips propagate; any other per-task failure is
+        contained — completed closures are already memoized by
+        :meth:`_closure`."""
+        # Warm the shared tables once, not per thread.
+        if self._use_compiled:
+            self.compiled_system()
+        else:
+            self.transition_tables()
+
+        def run(task: tuple[int, frozenset[str]]) -> None:
+            k, a = task
+            faults.inject("task", k)
+            self._closure(a, constraint, budget)
+
+        failed: list[frozenset[str]] = []
+        budget_trip: BudgetExceededError | None = None
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                (a, pool.submit(run, (k, a))) for k, a in enumerate(pending)
+            ]
+            for a, future in futures:
+                try:
+                    future.result()
+                except BudgetExceededError as exc:
+                    budget_trip = exc
+                except Exception:
+                    failed.append(a)
+        if budget_trip is not None:
+            raise budget_trip
+        return failed
 
     def closure(
         self,
@@ -826,16 +1094,23 @@ class DependencyEngine:
         sources: Iterable[frozenset[str]] | None = None,
         max_workers: int | None = None,
         executor: str = "process",
+        budget: ExecutionBudget | None = None,
     ) -> dict[tuple[frozenset[str], str], DependencyResult]:
         """All exact dependencies for a family of source sets (default:
         singletons) against every target — the Worth raw data (section
-        3.6) — from one closure per source set."""
+        3.6) — from one closure per source set.  Under a budget, the
+        first per-source closure to trip raises
+        :class:`~repro.core.budget.BudgetExceededError`; closures already
+        completed stay memoized, so a caller can catch, degrade, and
+        still answer the finished rows for free."""
         family = self._source_family(sources)
-        self._warm(family, constraint, max_workers, executor)
+        self._warm(family, constraint, max_workers, executor, budget)
         out: dict[tuple[frozenset[str], str], DependencyResult] = {}
         for source in family:
             for target in self.system.space.names:
-                out[(source, target)] = self.depends_ever(source, target, constraint)
+                out[(source, target)] = self.depends_ever(
+                    source, target, constraint, budget
+                )
         return out
 
     def matrix(
@@ -843,16 +1118,23 @@ class DependencyEngine:
         constraint: Constraint | None = None,
         max_workers: int | None = None,
         executor: str = "process",
+        budget: ExecutionBudget | None = None,
     ) -> dict[str, dict[str, bool]]:
         """``matrix[x][y]`` iff ``x |>_phi y`` over some history (exact),
         one BFS per row."""
         names = self.system.space.names
         self._warm(
-            [frozenset([n]) for n in names], constraint, max_workers, executor
+            [frozenset([n]) for n in names],
+            constraint,
+            max_workers,
+            executor,
+            budget,
         )
         return {
             x: {
-                y: bool(self.depends_ever(frozenset([x]), y, constraint))
+                y: bool(
+                    self.depends_ever(frozenset([x]), y, constraint, budget)
+                )
                 for y in names
             }
             for x in names
@@ -861,7 +1143,9 @@ class DependencyEngine:
     # -- single-step flows ----------------------------------------------------
 
     def operation_flows(
-        self, constraint: Constraint | None = None
+        self,
+        constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> Mapping[str, frozenset[tuple[str, str]]]:
         """Per-operation single-step flows: for each operation ``delta``,
         the pairs ``(x, y)`` with ``{x} |>_phi^delta y`` (Def 2-10 with the
@@ -881,15 +1165,36 @@ class DependencyEngine:
             cached = self._step_flows.get(key)
         if cached is not None:
             return cached
-        if self._use_compiled:
-            result = self._compiled_operation_flows(key)
-        else:
-            result = self._object_operation_flows(phi)
+        budget = self._resolve_budget(budget)
+        meter = (
+            budget.start(f"operation flows phi={phi.name}")
+            if budget is not None
+            else None
+        )
+        try:
+            if self._use_compiled:
+                result = self._compiled_operation_flows(key, meter)
+            else:
+                result = self._object_operation_flows(phi, meter)
+        except BudgetExceededError as exc:
+            self.execution_log.record(
+                ExecutionReport(
+                    label=exc.partial.label,
+                    executor="serial",
+                    expansions=exc.partial.expanded,
+                    elapsed=exc.partial.elapsed,
+                    completed=False,
+                    partial=exc.partial,
+                )
+            )
+            raise
         with self._lock:
             return self._step_flows.setdefault(key, result)
 
     def _compiled_operation_flows(
-        self, constraint: Constraint | None
+        self,
+        constraint: Constraint | None,
+        meter: BudgetMeter | None = None,
     ) -> dict[str, frozenset[tuple[str, str]]]:
         compiled = self.compiled_system()
         kernel = compiled.kernel
@@ -899,9 +1204,15 @@ class DependencyEngine:
         successors = kernel.successors
         op_names = kernel.op_names
         flows: dict[str, set[tuple[str, str]]] = {name: set() for name in op_names}
+        scanned = 0
+        if meter is not None:
+            meter.check(0, 0)
         for k, x in enumerate(names):
             for bucket in kernel.buckets((k,), sat_ids).values():
+                if meter is not None:
+                    meter.check(scanned, scanned)
                 m = len(bucket)
+                scanned += m
                 for a in range(m - 1):
                     i = bucket[a]
                     for b in range(a + 1, m):
@@ -918,18 +1229,24 @@ class DependencyEngine:
         return {name: frozenset(pairs) for name, pairs in flows.items()}
 
     def _object_operation_flows(
-        self, phi: Constraint
+        self, phi: Constraint, meter: BudgetMeter | None = None
     ) -> dict[str, frozenset[tuple[str, str]]]:
         """The PR-1 object path, kept for ``compiled=False`` engines."""
         tables = self.transition_tables()
         sat_states = list(phi.states())
         flows: dict[str, set[tuple[str, str]]] = {name: set() for name, _ in tables}
+        scanned = 0
+        if meter is not None:
+            meter.check(0, 0)
         for x in self.system.space.names:
             buckets: dict[tuple, list[State]] = {}
             only_x = frozenset([x])
             for state in sat_states:
                 buckets.setdefault(state.restrict_away(only_x), []).append(state)
             for bucket in buckets.values():
+                if meter is not None:
+                    meter.check(scanned, scanned)
+                scanned += len(bucket)
                 for i, s1 in enumerate(bucket):
                     for s2 in bucket[i + 1 :]:
                         for op_name, table in tables:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from repro.core.budget import BudgetExceededError, ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness, transmits, transmits_to_set
 from repro.core.engine import shared_engine
@@ -91,11 +92,30 @@ class Proof:
         return "\n".join(lines)
 
 
+def _budget_obligation(exc: BudgetExceededError) -> Obligation:
+    """A failed obligation recording a budget trip mid-proof.
+
+    The proof becomes *invalid* — i.e. UNKNOWN, not disproved.  This is
+    the sound direction: a valid proof needs every obligation discharged,
+    and an exhausted budget only means some obligations were never
+    decided (docs/FORMALISM.md, "Budgeted execution").  The partial
+    result rides along as the witness so the caller can retry with
+    ``budget.scaled(...)``.
+    """
+    return Obligation(
+        f"budget exhausted ({exc.partial.reason}): "
+        "remaining obligations UNKNOWN",
+        False,
+        exc.partial,
+    )
+
+
 def per_operation_flows(
     system: System,
     constraint: Constraint | None = None,
     sources: Iterable[str] | None = None,
     targets: Iterable[str] | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> dict[tuple[str, str], DependencyResult]:
     """The single-operation dependency relation, maximized over operations:
     ``flows[(x, y)]`` holds iff some delta has ``x |>_phi^delta y``.
@@ -107,19 +127,21 @@ def per_operation_flows(
     Membership comes from the engine's :meth:`operation_flows` matrix —
     one bucket pass per source object decides every (operation, target)
     cell — and only the positive cells pay for a witness query (itself a
-    memoized batched lookup).
+    memoized batched lookup).  Under a budget the sweeps are governed and
+    :class:`~repro.core.budget.BudgetExceededError` propagates to the
+    caller (the provers catch it and degrade to an UNKNOWN obligation).
     """
     names_src = tuple(sources) if sources is not None else system.space.names
     names_tgt = tuple(targets) if targets is not None else system.space.names
     engine = shared_engine(system)
-    step = engine.operation_flows(constraint)
+    step = engine.operation_flows(constraint, budget)
     flows: dict[tuple[str, str], DependencyResult] = {}
     for x in names_src:
         for y in names_tgt:
             found: DependencyResult | None = None
             for op in system.operations:
                 if (x, y) in step[op.name]:
-                    found = engine.depends_history({x}, y, op, constraint)
+                    found = engine.depends_history({x}, y, op, constraint, budget)
                     break
             if found is None:
                 found = DependencyResult(
@@ -158,6 +180,7 @@ def prove_no_dependency(
     phi: Constraint | None,
     alpha: str,
     beta: str,
+    budget: ExecutionBudget | None = None,
 ) -> Proof:
     """Corollary 4-2: prove ``not alpha |>_phi beta`` (over *all* histories).
 
@@ -166,7 +189,9 @@ def prove_no_dependency(
     object, or (b) no operation transmits to beta from any other object.
 
     The returned proof is *valid* only if the preconditions and at least one
-    alternative hold in full.
+    alternative hold in full.  Under a budget, an exhausted sweep yields
+    an *invalid* proof with an UNKNOWN obligation rather than an
+    exception (see :func:`_budget_obligation`).
     """
     if alpha == beta:
         raise ProofError("corollary 4-2 requires alpha != beta")
@@ -176,47 +201,52 @@ def prove_no_dependency(
     # One operation_flows matrix decides every per-operation obligation of
     # both alternatives; only the failing cells pay for a witness.
     engine = shared_engine(system)
-    step = engine.operation_flows(phi)
+    conclusion = f"not {alpha} |>_{phi.name} {beta}"
+    try:
+        step = engine.operation_flows(phi, budget)
 
-    out_failures: list[Obligation] = []
-    for m in system.space.names:
-        if m == alpha:
-            continue
-        for op in system.operations:
-            if (alpha, m) in step[op.name]:
-                result = engine.depends_history({alpha}, m, op, phi)
-                out_failures.append(
-                    Obligation(
-                        f"{alpha} |>^{op.name} {m} given {phi.name}",
-                        False,
-                        result.witness,
+        out_failures: list[Obligation] = []
+        for m in system.space.names:
+            if m == alpha:
+                continue
+            for op in system.operations:
+                if (alpha, m) in step[op.name]:
+                    result = engine.depends_history({alpha}, m, op, phi, budget)
+                    out_failures.append(
+                        Obligation(
+                            f"{alpha} |>^{op.name} {m} given {phi.name}",
+                            False,
+                            result.witness,
+                        )
                     )
-                )
-    alt_a = Obligation(
-        f"(a) no operation transmits from {alpha} to any other object",
-        not out_failures,
-        out_failures[0].witness if out_failures else None,
-    )
+        alt_a = Obligation(
+            f"(a) no operation transmits from {alpha} to any other object",
+            not out_failures,
+            out_failures[0].witness if out_failures else None,
+        )
 
-    in_failures: list[Obligation] = []
-    for m in system.space.names:
-        if m == beta:
-            continue
-        for op in system.operations:
-            if (m, beta) in step[op.name]:
-                result = engine.depends_history({m}, beta, op, phi)
-                in_failures.append(
-                    Obligation(
-                        f"{m} |>^{op.name} {beta} given {phi.name}",
-                        False,
-                        result.witness,
+        in_failures: list[Obligation] = []
+        for m in system.space.names:
+            if m == beta:
+                continue
+            for op in system.operations:
+                if (m, beta) in step[op.name]:
+                    result = engine.depends_history({m}, beta, op, phi, budget)
+                    in_failures.append(
+                        Obligation(
+                            f"{m} |>^{op.name} {beta} given {phi.name}",
+                            False,
+                            result.witness,
+                        )
                     )
-                )
-    alt_b = Obligation(
-        f"(b) no operation transmits to {beta} from any other object",
-        not in_failures,
-        in_failures[0].witness if in_failures else None,
-    )
+        alt_b = Obligation(
+            f"(b) no operation transmits to {beta} from any other object",
+            not in_failures,
+            in_failures[0].witness if in_failures else None,
+        )
+    except BudgetExceededError as exc:
+        obligations.append(_budget_obligation(exc))
+        return Proof(conclusion=conclusion, obligations=tuple(obligations))
 
     alternatives = Obligation(
         "alternative (a) or alternative (b) holds",
@@ -234,10 +264,7 @@ def prove_no_dependency(
         or ob.ok
         or not alternatives.ok
     )
-    return Proof(
-        conclusion=f"not {alpha} |>_{phi.name} {beta}",
-        obligations=final,
-    )
+    return Proof(conclusion=conclusion, obligations=final)
 
 
 def prove_via_relation(
@@ -245,13 +272,15 @@ def prove_via_relation(
     phi: Constraint | None,
     q: Callable[[str, str], bool],
     q_name: str = "q",
+    budget: ExecutionBudget | None = None,
 ) -> Proof:
     """Corollary 4-3: if q is reflexive and transitive, phi autonomous and
     invariant, and every per-operation dependency implies q, then *every*
     dependency over any history implies q.
 
     This is the engine behind multilevel-security arguments: take
-    ``q(x, y) = Cls(x) <= Cls(y)``.
+    ``q(x, y) = Cls(x) <= Cls(y)``.  Under a budget, an exhausted sweep
+    yields an invalid proof with an UNKNOWN obligation.
     """
     phi = phi if phi is not None else Constraint.true(system.space)
     names = system.space.names
@@ -276,24 +305,27 @@ def prove_via_relation(
     # operation_flows matrix outside q: one bucket pass per source object
     # replaces |Delta| * n^2 per-triple transmits calls.
     engine = shared_engine(system)
-    step = engine.operation_flows(phi)
-    for op in system.operations:
-        flows_op = step[op.name]
-        for x in names:
-            for y in names:
-                if q(x, y):
-                    continue
-                holds = (x, y) in flows_op
-                obligations.append(
-                    Obligation(
-                        f"not {x} |>^{op.name} {y} given {phi.name} "
-                        f"(since not {q_name}({x},{y}))",
-                        not holds,
-                        engine.depends_history({x}, y, op, phi).witness
-                        if holds
-                        else None,
+    try:
+        step = engine.operation_flows(phi, budget)
+        for op in system.operations:
+            flows_op = step[op.name]
+            for x in names:
+                for y in names:
+                    if q(x, y):
+                        continue
+                    holds = (x, y) in flows_op
+                    obligations.append(
+                        Obligation(
+                            f"not {x} |>^{op.name} {y} given {phi.name} "
+                            f"(since not {q_name}({x},{y}))",
+                            not holds,
+                            engine.depends_history({x}, y, op, phi, budget).witness
+                            if holds
+                            else None,
+                        )
                     )
-                )
+    except BudgetExceededError as exc:
+        obligations.append(_budget_obligation(exc))
     return Proof(
         conclusion=(
             f"forall x,y,H: x |>_{phi.name}^H y  implies  {q_name}(x,y)"
@@ -307,6 +339,7 @@ def prove_no_dependency_nonautonomous(
     phi: Constraint | None,
     sources: Iterable[str],
     beta: str,
+    budget: ExecutionBudget | None = None,
 ) -> Proof:
     """Corollary 5-6: the invariant (possibly non-autonomous) form.
 
@@ -314,13 +347,15 @@ def prove_no_dependency_nonautonomous(
     either (a) no operation transmits from A except into A itself, or
     (b) no operation transmits into beta from any set excluding beta —
     decided, by source-set monotonicity, with the single largest source
-    set ``all objects - {beta}``.
+    set ``all objects - {beta}``.  Under a budget, an exhausted sweep
+    yields an invalid proof with an UNKNOWN obligation.
     """
     phi = phi if phi is not None else Constraint.true(system.space)
     source_set = system.space.check_names(sources)
     if beta in source_set:
         raise ProofError("corollary 5-6 requires beta not in A")
     obligations = _check_preconditions(system, phi, need_autonomous=False)
+    conclusion = f"not {sorted(source_set)} |>_{phi.name} {beta}"
 
     # Set-valued sources don't fit the singleton operation_flows matrix,
     # but the engine's batched fixed-history table answers every target m
@@ -328,39 +363,43 @@ def prove_no_dependency_nonautonomous(
     # |Delta| sweeps total, not |Delta| * n.
     engine = shared_engine(system)
 
-    out_failures: list[Obligation] = []
-    for m in system.space.names:
-        if m in source_set:
-            continue
-        for op in system.operations:
-            result = engine.depends_history(source_set, m, op, phi)
-            if result:
-                out_failures.append(
-                    Obligation(
-                        f"A |>^{op.name} {m} given {phi.name}",
-                        False,
-                        result.witness,
+    try:
+        out_failures: list[Obligation] = []
+        for m in system.space.names:
+            if m in source_set:
+                continue
+            for op in system.operations:
+                result = engine.depends_history(source_set, m, op, phi, budget)
+                if result:
+                    out_failures.append(
+                        Obligation(
+                            f"A |>^{op.name} {m} given {phi.name}",
+                            False,
+                            result.witness,
+                        )
                     )
-                )
-    alt_a = Obligation(
-        "(a) no operation transmits from A to any object outside A",
-        not out_failures,
-        out_failures[0].witness if out_failures else None,
-    )
+        alt_a = Obligation(
+            "(a) no operation transmits from A to any object outside A",
+            not out_failures,
+            out_failures[0].witness if out_failures else None,
+        )
 
-    everything_else = frozenset(system.space.names) - {beta}
-    in_failure: Witness | None = None
-    if everything_else:
-        for op in system.operations:
-            result = engine.depends_history(everything_else, beta, op, phi)
-            if result:
-                in_failure = result.witness
-                break
-    alt_b = Obligation(
-        f"(b) no operation transmits to {beta} from outside {{{beta}}}",
-        in_failure is None,
-        in_failure,
-    )
+        everything_else = frozenset(system.space.names) - {beta}
+        in_failure: Witness | None = None
+        if everything_else:
+            for op in system.operations:
+                result = engine.depends_history(everything_else, beta, op, phi, budget)
+                if result:
+                    in_failure = result.witness
+                    break
+        alt_b = Obligation(
+            f"(b) no operation transmits to {beta} from outside {{{beta}}}",
+            in_failure is None,
+            in_failure,
+        )
+    except BudgetExceededError as exc:
+        obligations.append(_budget_obligation(exc))
+        return Proof(conclusion=conclusion, obligations=tuple(obligations))
 
     alternatives = Obligation(
         "alternative (a) or alternative (b) holds", alt_a.ok or alt_b.ok
@@ -369,10 +408,7 @@ def prove_no_dependency_nonautonomous(
         ob for ob in (alt_a, alt_b) if ob.ok or not alternatives.ok
     )
     obligations.append(alternatives)
-    return Proof(
-        conclusion=f"not {sorted(source_set)} |>_{phi.name} {beta}",
-        obligations=tuple(obligations),
-    )
+    return Proof(conclusion=conclusion, obligations=tuple(obligations))
 
 
 def intermediate_objects(

@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from repro.core.budget import ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness
 from repro.core.engine import shared_engine
@@ -64,6 +65,7 @@ def depends_ever(
     sources: Iterable[str],
     target: str,
     constraint: Constraint | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> DependencyResult:
     """Decide ``A |>_phi beta`` (Def 2-7/2-11) *exactly* — over all
     histories of any length — by pair-graph BFS.
@@ -71,6 +73,9 @@ def depends_ever(
     A positive result carries a shortest witness history and the state
     pair.  Delegates to the shared :class:`~repro.core.engine.DependencyEngine`,
     so repeated queries against the same ``(A, phi)`` reuse one closure.
+    Under an :class:`~repro.core.budget.ExecutionBudget` the BFS is
+    governed and may raise
+    :class:`~repro.core.budget.BudgetExceededError` instead of answering.
 
     >>> from repro.lang.builders import SystemBuilder
     >>> from repro.lang.expr import var
@@ -81,7 +86,7 @@ def depends_ever(
     >>> bool(result), len(result.witness.history)
     (True, 2)
     """
-    return shared_engine(system).depends_ever(sources, target, constraint)
+    return shared_engine(system).depends_ever(sources, target, constraint, budget)
 
 
 def depends_ever_set(
@@ -89,23 +94,27 @@ def depends_ever_set(
     sources: Iterable[str],
     targets: Iterable[str],
     constraint: Constraint | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> DependencyResult:
     """Exact ``A |>_phi B`` for a set target (Def 5-7): some reachable pair
     differs at *every* object of B.  Answered from the same shared
     per-``(A, phi)`` closure as :func:`depends_ever`."""
-    return shared_engine(system).depends_ever_set(sources, targets, constraint)
+    return shared_engine(system).depends_ever_set(
+        sources, targets, constraint, budget
+    )
 
 
 def dependency_closure(
     system: System,
     constraint: Constraint | None = None,
     sources: Iterable[frozenset[str]] | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> dict[tuple[frozenset[str], str], DependencyResult]:
     """All exact existential-history dependencies for a family of source
     sets (default: singletons) against every target — i.e. the paper's
     ``Worth`` raw data (section 3.6) computed exactly, one BFS per source
     set rather than one per (source, target) cell."""
-    return shared_engine(system).closure(constraint, sources)
+    return shared_engine(system).closure(constraint, sources, budget=budget)
 
 
 # -- seed reference implementations ------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from repro.core.budget import ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult
 from repro.core.induction import Proof
@@ -111,6 +112,7 @@ def program_transmits(
     sources: Iterable[str],
     target: str,
     entry_assertion: Constraint | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> DependencyResult:
     """Exact strong dependency on the flowchart system: does any operation
     sequence transmit from ``sources`` to ``target`` given the entry
@@ -122,6 +124,11 @@ def program_transmits(
     the branch); compare :func:`semantic_noninterference
     <repro.systems.program.semantics.semantic_noninterference>`, the
     whole-program notion under which it does not.
+
+    Under an :class:`~repro.core.budget.ExecutionBudget` the pair-graph
+    BFS is governed and may raise
+    :class:`~repro.core.budget.BudgetExceededError` (verdict UNKNOWN)
+    instead of answering; see the ``--budget-*`` CLI flags.
     """
     phi = ps.entry_constraint(entry_assertion)
-    return depends_ever(ps.system, sources, target, phi)
+    return depends_ever(ps.system, sources, target, phi, budget)
