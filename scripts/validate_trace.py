@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace written by ``repro ... --trace`` against the
+checked-in schema (``docs/trace.schema.json``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py TRACE.json [SCHEMA.json]
+
+Exits 0 when the trace satisfies the schema, 1 with a violation listing
+otherwise.  CI runs this on every trace artifact it uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.obs import schema  # noqa: E402
+
+DEFAULT_SCHEMA = (
+    pathlib.Path(__file__).resolve().parents[1] / "docs" / "trace.schema.json"
+)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = pathlib.Path(argv[1])
+    schema_path = pathlib.Path(argv[2]) if len(argv) == 3 else DEFAULT_SCHEMA
+    trace = json.loads(trace_path.read_text(encoding="utf-8"))
+    trace_schema = json.loads(schema_path.read_text(encoding="utf-8"))
+    errors = schema.validate(trace, trace_schema)
+    if errors:
+        print(f"{trace_path}: INVALID against {schema_path}")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    events = trace.get("traceEvents", [])
+    print(
+        f"{trace_path}: valid ({len(events)} events, "
+        f"{len(trace.get('otherData', {}).get('counters', {}))} counters)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

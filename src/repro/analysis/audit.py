@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.report import Table
 from repro.core.budget import BudgetExceededError, ExecutionBudget
 from repro.core.constraints import Constraint
@@ -29,6 +30,7 @@ from repro.core.induction import (
     prove_no_dependency_nonautonomous,
 )
 from repro.core.system import System
+from repro.obs.provenance import Provenance
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,9 @@ class PathFinding:
     closure), ``"one-step"`` (budget-degraded but sound — a length-1
     witness), or ``"unknown"`` (budget exhausted, nothing established;
     ``flows`` is ``False`` only as a placeholder in that case).
+    ``provenance`` carries the machine-readable lineage of the verdict —
+    which kernel decided it, memo hit or fresh BFS, budget state (see
+    :class:`repro.obs.provenance.Provenance`).  Every cell has one.
     """
 
     source: str
@@ -48,6 +53,7 @@ class PathFinding:
     forbidden: bool = False
     certificate: str = ""  # which technique certifies absence, if any
     verdict: str = "exact"  # "exact" | "one-step" | "unknown"
+    provenance: Provenance | None = None
 
 
 @dataclass(frozen=True)
@@ -88,7 +94,7 @@ class AuditReport:
                 "{" + ",".join(sorted(c)) + "}" for c in self.relative_clumps
             )
             lines.append(f"  autonomous relative to: {clumps}")
-        table = Table(["source", "target", "flows?", "policy", "evidence"])
+        table = Table(["source", "target", "flows?", "policy", "evidence", "via"])
         for f in self.findings:
             policy = "FORBIDDEN" if f.forbidden else "-"
             shown: object = "?" if f.verdict == "unknown" else f.flows
@@ -98,7 +104,8 @@ class AuditReport:
                 )
             else:
                 evidence = f.certificate or "exact search"
-            table.add(f.source, f.target, shown, policy, evidence)
+            via = f.provenance.short() if f.provenance is not None else "-"
+            table.add(f.source, f.target, shown, policy, evidence, via)
         lines.append(table.render())
         bits: list[str] = []
         if self.violations:
@@ -205,55 +212,66 @@ def audit_system(
             certificate = ""
             history: tuple[str, ...] = ()
             verdict = "exact"
-            try:
-                result = engine.depends_ever(
-                    {source}, target, constraint, budget
-                )
-                flows = bool(result)
-                if flows:
-                    history = tuple(
-                        op.name for op in result.witness.history
+            provenance: Provenance | None = None
+            with obs.span("audit.cell", source=source, target=target):
+                try:
+                    result = engine.depends_ever(
+                        {source}, target, constraint, budget
                     )
-                else:
-                    if autonomous and invariant:
-                        proof = prove_no_dependency(
-                            system, phi, source, target, budget
+                    flows = bool(result)
+                    provenance = result.provenance
+                    if flows:
+                        history = tuple(
+                            op.name for op in result.witness.history
                         )
-                        if proof.valid:
-                            certificate = "Corollary 4-2"
-                    if not certificate and invariant:
-                        proof = prove_no_dependency_nonautonomous(
-                            system, phi, {source}, target, budget
+                    else:
+                        if autonomous and invariant:
+                            proof = prove_no_dependency(
+                                system, phi, source, target, budget
+                            )
+                            if proof.valid:
+                                certificate = "Corollary 4-2"
+                        if not certificate and invariant:
+                            proof = prove_no_dependency_nonautonomous(
+                                system, phi, {source}, target, budget
+                            )
+                            if proof.valid:
+                                certificate = "Corollary 5-6"
+                        if not certificate:
+                            certificate = "exact pair-graph search"
+                except BudgetExceededError:
+                    step = one_step()
+                    op_name = (
+                        next(
+                            (
+                                name
+                                for name, pairs in step.items()
+                                if (source, target) in pairs
+                            ),
+                            None,
                         )
-                        if proof.valid:
-                            certificate = "Corollary 5-6"
-                    if not certificate:
-                        certificate = "exact pair-graph search"
-            except BudgetExceededError:
-                step = one_step()
-                op_name = (
-                    next(
-                        (
-                            name
-                            for name, pairs in step.items()
-                            if (source, target) in pairs
-                        ),
-                        None,
+                        if step is not None
+                        else None
                     )
-                    if step is not None
-                    else None
-                )
-                if op_name is not None:
-                    flows = True
-                    history = (op_name,)
-                    verdict = "one-step"
-                    certificate = "one-step flow (budget-degraded)"
-                else:
-                    flows = False
-                    verdict = "unknown"
-                    certificate = (
-                        "budget exhausted (one-step under-approximation)"
-                    )
+                    if op_name is not None:
+                        flows = True
+                        history = (op_name,)
+                        verdict = "one-step"
+                        certificate = "one-step flow (budget-degraded)"
+                        provenance = Provenance(
+                            kernel="one-step",
+                            budget="exhausted",
+                            witness_length=1,
+                        )
+                    else:
+                        flows = False
+                        verdict = "unknown"
+                        certificate = (
+                            "budget exhausted (one-step under-approximation)"
+                        )
+                        provenance = Provenance(
+                            kernel="unknown", budget="exhausted"
+                        )
             findings.append(
                 PathFinding(
                     source=source,
@@ -263,6 +281,7 @@ def audit_system(
                     forbidden=(source, target) in forbidden_set,
                     certificate=certificate,
                     verdict=verdict,
+                    provenance=provenance,
                 )
             )
     execution = (

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro import obs
 from repro.core.errors import OperationError
 from repro.core.system import History, Operation, System
 from repro.lang.cmd import Assign, Command, If, Seq, Skip
@@ -106,11 +107,12 @@ def taint_closure(
     """Objects ever taintable from ``sources`` over *any* history: iterate
     single-operation taint steps to a fixpoint (monotone, so it
     terminates)."""
-    tainted = frozenset(sources)
-    while True:
-        expanded = set(tainted)
-        for op in system.operations:
-            expanded |= taint_after(History.of(op), tainted)
-        if frozenset(expanded) == tainted:
-            return tainted
-        tainted = frozenset(expanded)
+    with obs.span("taint.closure", sources=",".join(sorted(sources))):
+        tainted = frozenset(sources)
+        while True:
+            expanded = set(tainted)
+            for op in system.operations:
+                expanded |= taint_after(History.of(op), tainted)
+            if frozenset(expanded) == tainted:
+                return tainted
+            tainted = frozenset(expanded)

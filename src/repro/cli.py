@@ -20,7 +20,15 @@ Resource governance: ``program`` accepts ``--budget-seconds`` and
 verdict is ``UNKNOWN`` (exit code 3 — distinct from flow/1, no-flow/0
 and error/2), with the partial-result snapshot printed.
 ``--execution-report`` appends the engine's execution log (expansions,
-retries, pool degradations) to any outcome.
+retries, pool degradations) to any outcome (``program`` and ``taint``).
+
+Observability: ``--trace FILE`` (``program`` and ``taint``) enables the
+telemetry collector for the run and writes a Chrome ``chrome://tracing``
+JSON trace on exit — including the UNKNOWN/exit-3 path, so a
+budget-exhausted run still explains where the time went.  ``repro stats
+TRACE`` summarizes a written trace (per-span timing, counters, gauges).
+``program`` verdicts also print their provenance line (kernel path, memo
+outcome, budget state).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.baselines.taint import taint_closure
 from repro.core.budget import BudgetExceededError, ExecutionBudget
 from repro.core.constraints import Constraint
@@ -103,7 +112,32 @@ def _print_execution_report(ps) -> None:
     print(shared_engine(ps.system).execution_log.describe())
 
 
+def _start_trace(args: argparse.Namespace) -> str | None:
+    """Enable telemetry when ``--trace FILE`` was given; returns the
+    target path (or ``None``)."""
+    path = getattr(args, "trace", None)
+    if path:
+        obs.enable(reset=True)
+    return path
+
+
+def _finish_trace(path: str | None) -> None:
+    """Write the collected trace.  Runs in ``finally`` so the exit-3
+    (UNKNOWN) and error paths still produce a loadable trace."""
+    if path:
+        obs.export.write_chrome_trace(path)
+        print(f"trace written: {path}", file=sys.stderr)
+
+
 def cmd_program(args: argparse.Namespace) -> int:
+    trace = _start_trace(args)
+    try:
+        return _run_program(args)
+    finally:
+        _finish_trace(trace)
+
+
+def _run_program(args: argparse.Namespace) -> int:
     ps = _build(args)
     entry = None
     if args.entry:
@@ -123,24 +157,73 @@ def cmd_program(args: argparse.Namespace) -> int:
         if args.execution_report:
             _print_execution_report(ps)
         return EXIT_UNKNOWN
+    if result.provenance is not None:
+        provenance_line = f"[{result.provenance.describe()}]"
+    else:
+        provenance_line = ""
     if result:
         print(f"FLOW: {args.source} |> {args.target}{label}")
+        if provenance_line:
+            print(provenance_line)
         print(result.witness.describe())
         if args.execution_report:
             _print_execution_report(ps)
         return 1
     print(f"NO FLOW: {args.source} cannot transmit to {args.target}{label}")
+    if provenance_line:
+        print(provenance_line)
     if args.execution_report:
         _print_execution_report(ps)
     return 0
 
 
 def cmd_taint(args: argparse.Namespace) -> int:
-    ps = _build(args)
-    tainted = taint_closure(ps.system, {args.source})
-    print(f"taint closure from {args.source!r}:")
-    for name in sorted(tainted):
-        print(f"  {name}")
+    trace = _start_trace(args)
+    try:
+        ps = _build(args)
+        tainted = taint_closure(ps.system, {args.source})
+        print(f"taint closure from {args.source!r}:")
+        for name in sorted(tainted):
+            print(f"  {name}")
+        if args.execution_report:
+            _print_execution_report(ps)
+        return 0
+    finally:
+        _finish_trace(trace)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a trace written by ``--trace`` (either format)."""
+    from repro.analysis.report import Table
+
+    events = obs.export.load_trace(args.trace_file)
+    summary = obs.export.aggregate(events)
+    spans = sorted(
+        summary["spans"].items(),
+        key=lambda item: item[1]["total_us"],
+        reverse=True,
+    )
+    if args.top:
+        spans = spans[: args.top]
+    table = Table(["span", "count", "total ms", "max ms"])
+    for name, stat in spans:
+        table.add(
+            name,
+            stat["count"],
+            f"{stat['total_us'] / 1000.0:.3f}",
+            f"{stat['max_us'] / 1000.0:.3f}",
+        )
+    print(table.render())
+    if summary["counters"]:
+        counters = Table(["counter", "value"])
+        for name in sorted(summary["counters"]):
+            counters.add(name, summary["counters"][name])
+        print(counters.render())
+    if summary["gauges"]:
+        gauges = Table(["gauge (high-water)", "value"])
+        for name in sorted(summary["gauges"]):
+            gauges.add(name, summary["gauges"][name])
+        print(gauges.render())
     return 0
 
 
@@ -210,13 +293,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's execution log (expansions, retries, "
         "degradations) after the verdict",
     )
+    p_program.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable telemetry and write a Chrome trace JSON on exit "
+        "(including the UNKNOWN/exit-3 path); summarize with "
+        "`repro stats FILE`",
+    )
     p_program.set_defaults(handler=cmd_program)
 
     p_taint = sub.add_parser(
         "taint", help="syntactic taint closure (baseline)"
     )
     common(p_taint, need_target=False)
+    p_taint.add_argument(
+        "--execution-report",
+        action="store_true",
+        help="print the engine's execution log after the closure",
+    )
+    p_taint.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable telemetry and write a Chrome trace JSON on exit",
+    )
     p_taint.set_defaults(handler=cmd_taint)
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a telemetry trace written by --trace"
+    )
+    p_stats.add_argument(
+        "trace_file", help="Chrome trace JSON or JSONL file to summarize"
+    )
+    p_stats.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the N spans with the largest total time",
+    )
+    p_stats.set_defaults(handler=cmd_stats)
 
     p_flows = sub.add_parser(
         "flows", help="exact information-flow graph (GraphViz dot)"

@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from collections import deque
+from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.core.errors import ReproError
 
 #: Default number of expansions between two budget checks inside a hot
@@ -295,40 +297,88 @@ class ExecutionReport:
         return "  ".join(bits)
 
 
-@dataclass
-class _LogState:
-    reports: list[ExecutionReport] = field(default_factory=list)
+#: Default :class:`ExecutionLog` ring-buffer capacity.  Long sessions
+#: (one shared engine per system, many audits) previously grew the log
+#: without bound; a ring keeps the freshest reports and counts the rest.
+LOG_CAPACITY = 1024
 
 
 class ExecutionLog:
-    """Thread-safe collector of :class:`ExecutionReport` entries — one per
-    governed run on an engine.  ``describe()`` renders the audit/CLI
-    "execution" section; ``summary()`` aggregates the counters."""
+    """Thread-safe **bounded** collector of :class:`ExecutionReport`
+    entries — one per governed run on an engine.
 
-    def __init__(self) -> None:
+    The log is a ring buffer of ``capacity`` reports: the newest always
+    fit, the oldest are dropped and counted (:attr:`dropped`), so a
+    long-lived shared engine cannot leak memory through its own
+    accounting.  Every :meth:`record` also feeds the telemetry counters
+    (``execution.reports``, ``budget.trips``, ``pool.retries``,
+    ``pool.degradations``) when :mod:`repro.obs` is enabled, which is
+    how the coarse PR-4 signal and the PR-5 trace stream stay in sync.
+
+    ``describe()`` renders the audit/CLI "execution" section;
+    ``summary()`` aggregates the counters.
+    """
+
+    def __init__(self, capacity: int = LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._lock = threading.Lock()
-        self._state = _LogState()
+        self.capacity = capacity
+        self._reports: deque[ExecutionReport] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._recorded = 0
 
     def record(self, report: ExecutionReport) -> None:
         with self._lock:
-            self._state.reports.append(report)
+            if len(self._reports) == self.capacity:
+                self._dropped += 1
+                obs.count("execution.reports_dropped")
+            self._reports.append(report)
+            self._recorded += 1
+            size = len(self._reports)
+        obs.count("execution.reports")
+        obs.gauge_max("execution.log_size", size)
+        if not report.completed:
+            obs.count("budget.trips")
+        if report.retries:
+            obs.count("pool.retries", report.retries)
+        if report.degradations:
+            obs.count("pool.degradations", len(report.degradations))
 
     @property
     def reports(self) -> tuple[ExecutionReport, ...]:
         with self._lock:
-            return tuple(self._state.reports)
+            return tuple(self._reports)
+
+    @property
+    def dropped(self) -> int:
+        """Reports evicted by the ring since construction/clear."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def recorded(self) -> int:
+        """Total reports ever recorded (kept + dropped)."""
+        with self._lock:
+            return self._recorded
 
     def clear(self) -> None:
         with self._lock:
-            self._state.reports.clear()
+            self._reports.clear()
+            self._dropped = 0
+            self._recorded = 0
 
     def summary(self) -> dict[str, object]:
-        reports = self.reports
+        with self._lock:
+            reports = tuple(self._reports)
+            dropped = self._dropped
         degradations: list[str] = []
         for report in reports:
             degradations.extend(report.degradations)
         return {
             "runs": len(reports),
+            "capacity": self.capacity,
+            "dropped": dropped,
             "expansions": sum(r.expansions for r in reports),
             "retries": sum(r.retries for r in reports),
             "degradations": tuple(degradations),
@@ -343,8 +393,14 @@ class ExecutionLog:
         lines = ["execution:"]
         lines.extend("  " + report.describe() for report in reports)
         s = self.summary()
-        lines.append(
+        tail = (
             f"  total: {s['runs']} runs, {s['expansions']} expansions, "
             f"{s['retries']} retries, {s['incomplete']} incomplete"
         )
+        if s["dropped"]:
+            tail += (
+                f" (ring capacity {s['capacity']}, "
+                f"{s['dropped']} older report(s) dropped)"
+            )
+        lines.append(tail)
         return "\n".join(lines)

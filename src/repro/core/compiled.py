@@ -52,6 +52,7 @@ from array import array
 from collections import deque
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+from repro import obs
 from repro.core import faults
 from repro.core.budget import BudgetMeter, ExecutionBudget
 from repro.core.constraints import Constraint
@@ -137,6 +138,7 @@ class CompiledKernel:
         source_indices: Sequence[int],
         sat_ids: Iterable[int] | None = None,
         meter: BudgetMeter | None = None,
+        stats: dict[str, int] | None = None,
     ) -> tuple[array, dict[int, int]]:
         """The reachable canonical-pair set for ``(A, phi)``.
 
@@ -156,8 +158,11 @@ class CompiledKernel:
         the BFS checks its budget once after seeding and then every
         ``meter.interval`` expansions, raising
         :class:`~repro.core.budget.BudgetExceededError` with the partial
-        counts.  The unmetered loop is kept separate so ungoverned runs
-        pay nothing.
+        counts.  With a ``stats`` dict (passed only when telemetry is
+        enabled) the loop additionally tracks the frontier high-water
+        mark and writes ``expansions`` / ``discovered`` /
+        ``frontier_high_water`` into it.  The plain loop is kept
+        separate so ungoverned, untraced runs pay nothing.
         """
         n = self.n
         successors = self.successors
@@ -179,7 +184,7 @@ class CompiledKernel:
         record = order.append
         setdefault = parents.setdefault
         cursor = 0
-        if meter is None:
+        if meter is None and stats is None:
             while cursor < len(order):
                 pair = order[cursor]
                 cursor += 1
@@ -199,28 +204,42 @@ class CompiledKernel:
                             record(succ_pair)
                     packed += 1
             return array("L", order), parents
-        # Governed variant: identical body plus an amortized check every
-        # `interval` expansions (a zero-expansion budget trips before the
-        # first pair is expanded).
-        interval = meter.interval
-        meter.check(0, len(parents), len(order))
+        # Governed/traced variant: identical body plus an amortized
+        # budget check every `interval` expansions (a zero-expansion
+        # budget trips before the first pair is expanded) and, when
+        # requested, frontier high-water tracking.
+        if meter is not None:
+            interval = meter.interval
+            meter.check(0, len(parents), len(order))
+        else:
+            interval = 0
         next_check = interval
-        while cursor < len(order):
-            if cursor >= next_check:
-                meter.check(cursor, len(parents), len(order) - cursor)
-                next_check = cursor + interval
-            pair = order[cursor]
-            cursor += 1
-            i, j = divmod(pair, n)
-            packed = pair * n_ops
-            for successor in successors:
-                si = successor[i]
-                sj = successor[j]
-                if si != sj:
-                    succ_pair = si * n + sj if si < sj else sj * n + si
-                    if setdefault(succ_pair, packed) is packed:
-                        record(succ_pair)
-                packed += 1
+        max_frontier = len(order)
+        try:
+            while cursor < len(order):
+                frontier = len(order) - cursor
+                if frontier > max_frontier:
+                    max_frontier = frontier
+                if meter is not None and cursor >= next_check:
+                    meter.check(cursor, len(parents), frontier)
+                    next_check = cursor + interval
+                pair = order[cursor]
+                cursor += 1
+                i, j = divmod(pair, n)
+                packed = pair * n_ops
+                for successor in successors:
+                    si = successor[i]
+                    sj = successor[j]
+                    if si != sj:
+                        succ_pair = si * n + sj if si < sj else sj * n + si
+                        if setdefault(succ_pair, packed) is packed:
+                            record(succ_pair)
+                    packed += 1
+        finally:
+            if stats is not None:
+                stats["expansions"] = cursor
+                stats["discovered"] = len(parents)
+                stats["frontier_high_water"] = max_frontier
         return array("L", order), parents
 
 
@@ -317,6 +336,7 @@ class CompiledSystem:
         key = tuple(op_indices)
         cached = self._composed.get(key)
         if cached is not None:
+            obs.count("kernel.history_compose.memo_hit")
             return cached
         identity = self._composed.get(())
         if identity is None:
@@ -338,6 +358,8 @@ class CompiledSystem:
             succ = successors[key[pos]]
             base = array("L", (succ[i] for i in base))
             self._composed[key[: pos + 1]] = base
+        if len(key) > prefix:
+            obs.count("kernel.history_compose.gathers", len(key) - prefix)
         return base
 
     def source_indices(self, sources: Iterable[str]) -> tuple[int, ...]:
@@ -353,9 +375,26 @@ class CompiledSystem:
         meter: BudgetMeter | None = None,
     ) -> "CompiledClosure":
         """Compute one canonical-pair closure in this process."""
-        order, parents = self.kernel.closure(
-            self.source_indices(sources), self.sat_ids(constraint), meter
-        )
+        if not obs.is_enabled():
+            order, parents = self.kernel.closure(
+                self.source_indices(sources), self.sat_ids(constraint), meter
+            )
+            return CompiledClosure(self, sources, constraint_name, order, parents)
+        stats: dict[str, int] = {}
+        with obs.span(
+            "kernel.closure",
+            sources=",".join(sorted(sources)),
+            constraint=constraint_name,
+        ):
+            try:
+                order, parents = self.kernel.closure(
+                    self.source_indices(sources),
+                    self.sat_ids(constraint),
+                    meter,
+                    stats,
+                )
+            finally:
+                _emit_kernel_stats(stats)
         return CompiledClosure(self, sources, constraint_name, order, parents)
 
 
@@ -484,20 +523,40 @@ _WORKER_SAT_IDS: array | None = None
 _WORKER_LIMITS: tuple[float | None, int | None, int | None] | None = None
 
 
+def _emit_kernel_stats(stats: dict[str, int]) -> None:
+    """Publish one traced BFS run's counters.  ``stats`` may be partial
+    when the budget tripped mid-sweep — only the keys the kernel managed
+    to write are emitted."""
+    if "expansions" in stats:
+        obs.count("kernel.pair_expansions", stats["expansions"])
+    if "discovered" in stats:
+        obs.count("kernel.pairs_discovered", stats["discovered"])
+    if "frontier_high_water" in stats:
+        obs.gauge_max("kernel.frontier_high_water", stats["frontier_high_water"])
+
+
 def _worker_init(
     kernel: CompiledKernel,
     sat_ids: array | None,
     limits: tuple[float | None, int | None, int | None] | None = None,
+    telemetry: bool = False,
 ) -> None:
     global _WORKER_KERNEL, _WORKER_SAT_IDS, _WORKER_LIMITS
     _WORKER_KERNEL = kernel
     _WORKER_SAT_IDS = sat_ids
     _WORKER_LIMITS = limits
+    if telemetry:
+        obs.enable()
 
 
 def _worker_closure(
     task: tuple[int, tuple[int, ...]]
-) -> tuple[array, dict[int, int]]:
+) -> tuple[array, dict[int, int], obs.telemetry.Batch | None]:
+    """One closure in a pool worker.  The third element is the worker's
+    telemetry batch (spans + counters accumulated since the previous
+    task), shipped home for :func:`repro.obs.absorb_batch` — or ``None``
+    when telemetry is off, keeping the result stream byte-identical to
+    the untraced path."""
     assert _WORKER_KERNEL is not None, "worker pool initializer did not run"
     index, source_indices = task
     faults.inject("worker", index)
@@ -505,4 +564,15 @@ def _worker_closure(
     if _WORKER_LIMITS is not None:
         budget = ExecutionBudget.from_limits(_WORKER_LIMITS)
         meter = budget.start(f"worker closure #{index}")
-    return _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS, meter)
+    if not obs.is_enabled():
+        order, parents = _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS, meter)
+        return order, parents, None
+    stats: dict[str, int] = {}
+    with obs.span("worker.closure", task=index):
+        try:
+            order, parents = _WORKER_KERNEL.closure(
+                source_indices, _WORKER_SAT_IDS, meter, stats
+            )
+        finally:
+            _emit_kernel_stats(stats)
+    return order, parents, obs.export_batch()

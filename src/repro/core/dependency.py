@@ -44,6 +44,7 @@ from repro.core.constraints import Constraint
 from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State, Value
 from repro.core.system import History, Operation, System
+from repro.obs.provenance import Provenance
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,11 @@ class DependencyResult:
     targets: frozenset[str]
     constraint_name: str
     witness: Witness | None = field(default=None)
+    #: How the answer was produced (which kernel, memo hit or fresh,
+    #: budget state) — see :class:`repro.obs.provenance.Provenance`.
+    #: Excluded from equality/repr: two results are the same verdict even
+    #: when one came from the memo and the other from a fresh BFS.
+    provenance: Provenance | None = field(default=None, compare=False, repr=False)
 
     def __bool__(self) -> bool:
         return self.holds
@@ -109,6 +115,8 @@ class DependencyResult:
         tgt = sorted(self.targets)
         verdict = "|>" if self.holds else "not |>"
         head = f"{src} {verdict}_{self.constraint_name} {tgt}"
+        if self.provenance is not None:
+            head += f"\n[{self.provenance.describe()}]"
         if self.witness is not None:
             return head + "\n" + self.witness.describe()
         return head
@@ -220,9 +228,22 @@ def _seed_transmits(
                     sigma2=state,
                 )
                 return DependencyResult(
-                    True, source_set, frozenset([target]), phi.name, witness
+                    True,
+                    source_set,
+                    frozenset([target]),
+                    phi.name,
+                    witness,
+                    provenance=Provenance(
+                        kernel="seed-fallback", witness_length=len(history)
+                    ),
                 )
-    return DependencyResult(False, source_set, frozenset([target]), phi.name)
+    return DependencyResult(
+        False,
+        source_set,
+        frozenset([target]),
+        phi.name,
+        provenance=Provenance(kernel="seed-fallback"),
+    )
 
 
 def transmits_to_set(
@@ -288,9 +309,22 @@ def _seed_transmits_to_set(
                         sigma2=s2,
                     )
                     return DependencyResult(
-                        True, source_set, target_set, phi.name, witness
+                        True,
+                        source_set,
+                        target_set,
+                        phi.name,
+                        witness,
+                        provenance=Provenance(
+                            kernel="seed-fallback", witness_length=len(history)
+                        ),
                     )
-    return DependencyResult(False, source_set, target_set, phi.name)
+    return DependencyResult(
+        False,
+        source_set,
+        target_set,
+        phi.name,
+        provenance=Provenance(kernel="seed-fallback"),
+    )
 
 
 def no_transmission(

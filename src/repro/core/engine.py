@@ -53,9 +53,11 @@ from __future__ import annotations
 import threading
 import time
 import weakref
+from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro import obs
 from repro.core import faults
 from repro.core.budget import (
     BudgetExceededError,
@@ -75,6 +77,7 @@ from repro.core.dependency import DependencyResult, Witness
 from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State
 from repro.core.system import History, Operation, System, transition_table
+from repro.obs.provenance import Provenance
 
 Pair = tuple[State, State]
 
@@ -94,6 +97,70 @@ _POOL_RETRIES = 2
 #: Capped exponential backoff between pool retries (seconds).
 _RETRY_BASE_DELAY = 0.05
 _RETRY_MAX_DELAY = 1.0
+
+#: LRU caps on the fixed-history memos.  The closure memo stays unbounded
+#: (closures are few and huge — recomputing one costs a full BFS), but the
+#: history memos grow with the number of *histories* queried, which
+#: ``System.histories(max_length)`` sweeps make combinatorial.
+_HISTORY_TABLE_CAP = 1024
+_HISTORY_SET_CAP = 4096
+
+
+class _LRUCache:
+    """Bounded memo: an :class:`~collections.OrderedDict` LRU, mutated
+    only under the owning engine's lock.
+
+    ``get`` refreshes recency; ``put`` keeps first-writer-wins semantics
+    (matching the ``setdefault`` idiom of the unbounded dicts it
+    replaces) and evicts least-recently-used entries past ``capacity``,
+    reporting each eviction on the named telemetry counter and the
+    running total as a gauge.  Eviction is safe by construction: every
+    entry is recomputable from the closure/bucket machinery, so a cap
+    only bounds memory, never correctness.
+    """
+
+    __slots__ = ("capacity", "counter", "evictions", "_data")
+
+    def __init__(self, capacity: int, counter: str) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.counter = counter
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value):
+        """Insert unless present (first writer wins) and return the
+        stored value, evicting past ``capacity``."""
+        existing = self._data.get(key, _UNCOMPUTED)
+        if existing is not _UNCOMPUTED:
+            self._data.move_to_end(key)
+            return existing
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            obs.count(self.counter)
+            obs.gauge_max(self.counter, self.evictions)
+        return value
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+        }
 
 
 class PairClosure:
@@ -224,20 +291,30 @@ class DependencyEngine:
             op.name: k for k, op in enumerate(self._ops)
         }
         self._history_maps: dict[tuple[int, ...], Mapping[State, State]] = {}
-        self._history_tables: dict[
-            tuple[frozenset[str], tuple[int, ...], Constraint | None],
-            Mapping[str, tuple[int, int] | Pair],
-        ] = {}
-        self._history_set_memo: dict[
-            tuple[
-                frozenset[str],
-                tuple[int, ...],
-                Constraint | None,
-                frozenset[str],
-            ],
-            tuple[int, int] | Pair | None,
-        ] = {}
+        # Bounded LRU memos (see _LRUCache): keys are
+        # (A, op-indices, flow-key) and (A, op-indices, flow-key, B);
+        # values are target->pair tables and set-target pairs (or None).
+        self._history_tables = _LRUCache(
+            _HISTORY_TABLE_CAP, "engine.history_table.evictions"
+        )
+        self._history_set_memo = _LRUCache(
+            _HISTORY_SET_CAP, "engine.history_set.evictions"
+        )
         self._lock = threading.Lock()
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Sizes (and, for the bounded memos, capacities and eviction
+        totals) of every engine cache — the observability surface the
+        ``repro stats`` subcommand and tests read."""
+        with self._lock:
+            return {
+                "closures": {"size": len(self._closures)},
+                "decoded": {"size": len(self._decoded)},
+                "step_flows": {"size": len(self._step_flows)},
+                "history_maps": {"size": len(self._history_maps)},
+                "history_tables": self._history_tables.stats(),
+                "history_set": self._history_set_memo.stats(),
+            }
 
     # -- compilation / transition tabulation ----------------------------------
 
@@ -341,26 +418,44 @@ class DependencyEngine:
         memoized** — the cache only ever holds complete closures, so a
         budget-truncated run can never corrupt later unbudgeted answers.
         """
+        return self._closure_info(sources, constraint, budget)[0]
+
+    def _closure_info(
+        self,
+        sources: Iterable[str],
+        constraint: Constraint | None = None,
+        budget: ExecutionBudget | None = None,
+    ) -> tuple[PairClosure | CompiledClosure, bool]:
+        """:meth:`_closure` plus whether the memo served it — the memo
+        outcome feeds the :class:`~repro.obs.provenance.Provenance`
+        record every public answer carries."""
         source_set = self.system.space.check_names(sources)
         phi = self._resolve(constraint)
         key = (source_set, constraint)
         with self._lock:
             cached = self._closures.get(key)
         if cached is not None:
-            return cached
+            obs.count("engine.closure.memo_hit")
+            return cached, True
+        obs.count("engine.closure.memo_miss")
         budget = self._resolve_budget(budget)
         label = f"closure A={sorted(source_set)} phi={phi.name}"
         meter = budget.start(label) if budget is not None else None
         started = time.perf_counter()
         try:
-            if self._use_compiled:
-                closure: PairClosure | CompiledClosure = (
-                    self.compiled_system().closure(
-                        source_set, constraint, phi.name, meter
+            with obs.span(
+                "engine.closure",
+                sources=",".join(sorted(source_set)),
+                constraint=phi.name,
+            ):
+                if self._use_compiled:
+                    closure: PairClosure | CompiledClosure = (
+                        self.compiled_system().closure(
+                            source_set, constraint, phi.name, meter
+                        )
                     )
-                )
-            else:
-                closure = self._compute_closure(source_set, phi, meter)
+                else:
+                    closure = self._compute_closure(source_set, phi, meter)
         except BudgetExceededError as exc:
             self.execution_log.record(
                 ExecutionReport(
@@ -381,8 +476,9 @@ class DependencyEngine:
                 elapsed=time.perf_counter() - started,
             )
         )
+        obs.gauge_max("engine.closure.pairs", len(closure))
         with self._lock:
-            return self._closures.setdefault(key, closure)
+            return self._closures.setdefault(key, closure), False
 
     def pair_closure(
         self,
@@ -456,8 +552,14 @@ class DependencyEngine:
         if meter is not None:
             meter.check(0, len(parents), len(queue))
         next_check = meter.interval if meter is not None else 0
+        # The compiled and object paths share the BFS counter names —
+        # "kernel" here means "the decision kernel", whichever loop runs.
+        traced = obs.is_enabled()
+        max_frontier = len(queue) if traced else 0
         order: list[Pair] = []
         while queue:
+            if traced and len(queue) > max_frontier:
+                max_frontier = len(queue)
             if meter is not None and len(order) >= next_check:
                 meter.check(len(order), len(parents), len(queue))
                 next_check = len(order) + meter.interval
@@ -469,6 +571,10 @@ class DependencyEngine:
                 if successor not in parents:
                     parents[successor] = (pair, op_name)
                     queue.append(successor)
+        if traced:
+            obs.count("kernel.pair_expansions", len(order))
+            obs.count("kernel.pairs_discovered", len(parents))
+            obs.gauge_max("kernel.frontier_high_water", max_frontier)
         return PairClosure(sources, phi.name, tuple(order), parents)
 
     # -- single queries -------------------------------------------------------
@@ -489,6 +595,25 @@ class DependencyEngine:
             sigma2=initial[1],
         )
 
+    def _provenance(
+        self,
+        hit: bool,
+        budget: ExecutionBudget | None,
+        witness: Witness | None = None,
+        closure_pairs: int | None = None,
+    ) -> Provenance:
+        """The provenance record for one engine answer: which kernel
+        decided it, whether the memo served it, and under what budget."""
+        return Provenance(
+            kernel="compiled" if self._use_compiled else "object",
+            memo="hit" if hit else "fresh",
+            budget=(
+                "governed" if self._resolve_budget(budget) is not None else "none"
+            ),
+            witness_length=len(witness.history) if witness is not None else None,
+            closure_pairs=closure_pairs,
+        )
+
     def depends_ever(
         self,
         sources: Iterable[str],
@@ -505,19 +630,29 @@ class DependencyEngine:
         result instead of answering — it never returns a wrong verdict.
         """
         self.system.space.check_names([target])
-        closure = self._closure(sources, constraint, budget)
+        closure, hit = self._closure_info(sources, constraint, budget)
         targets = frozenset([target])
         pair = closure.first_differing().get(target)
         if pair is None:
             return DependencyResult(
-                False, closure.sources, targets, closure.constraint_name
+                False,
+                closure.sources,
+                targets,
+                closure.constraint_name,
+                provenance=self._provenance(
+                    hit, budget, closure_pairs=len(closure)
+                ),
             )
+        witness = self._witness(closure, pair, targets)
         return DependencyResult(
             True,
             closure.sources,
             targets,
             closure.constraint_name,
-            self._witness(closure, pair, targets),
+            witness,
+            provenance=self._provenance(
+                hit, budget, witness, closure_pairs=len(closure)
+            ),
         )
 
     def depends_ever_set(
@@ -532,18 +667,28 @@ class DependencyEngine:
         target_set = self.system.space.check_names(targets)
         if not target_set:
             raise ConstraintError("target set B must be non-empty")
-        closure = self._closure(sources, constraint, budget)
+        closure, hit = self._closure_info(sources, constraint, budget)
         pair = closure.first_differing_at_all(target_set)
         if pair is None:
             return DependencyResult(
-                False, closure.sources, target_set, closure.constraint_name
+                False,
+                closure.sources,
+                target_set,
+                closure.constraint_name,
+                provenance=self._provenance(
+                    hit, budget, closure_pairs=len(closure)
+                ),
             )
+        witness = self._witness(closure, pair, target_set)
         return DependencyResult(
             True,
             closure.sources,
             target_set,
             closure.constraint_name,
-            self._witness(closure, pair, target_set),
+            witness,
+            provenance=self._provenance(
+                hit, budget, witness, closure_pairs=len(closure)
+            ),
         )
 
     # -- fixed-history queries ------------------------------------------------
@@ -606,11 +751,23 @@ class DependencyEngine:
         Like the closures, a budget governs the sweep (checked once per
         bucket) and a trip memoizes nothing.
         """
+        return self._history_table_info(source_set, indices, constraint, budget)[0]
+
+    def _history_table_info(
+        self,
+        source_set: frozenset[str],
+        indices: tuple[int, ...],
+        constraint: Constraint | None,
+        budget: ExecutionBudget | None = None,
+    ) -> tuple[Mapping[str, tuple[int, int] | Pair], bool]:
+        """:meth:`_history_table` plus whether the memo served it."""
         key = (source_set, indices, self._flow_key(constraint))
         with self._lock:
             cached = self._history_tables.get(key)
         if cached is not None:
-            return cached
+            obs.count("engine.history_table.memo_hit")
+            return cached, True
+        obs.count("engine.history_table.memo_miss")
         budget = self._resolve_budget(budget)
         meter = (
             budget.start(f"history sweep A={sorted(source_set)} |H|={len(indices)}")
@@ -618,14 +775,19 @@ class DependencyEngine:
             else None
         )
         try:
-            if self._use_compiled:
-                table = self._compiled_history_table(
-                    source_set, indices, constraint, meter
-                )
-            else:
-                table = self._object_history_table(
-                    source_set, indices, self._resolve(constraint), meter
-                )
+            with obs.span(
+                "engine.history_sweep",
+                sources=",".join(sorted(source_set)),
+                length=len(indices),
+            ):
+                if self._use_compiled:
+                    table = self._compiled_history_table(
+                        source_set, indices, constraint, meter
+                    )
+                else:
+                    table = self._object_history_table(
+                        source_set, indices, self._resolve(constraint), meter
+                    )
         except BudgetExceededError as exc:
             self.execution_log.record(
                 ExecutionReport(
@@ -639,7 +801,7 @@ class DependencyEngine:
             )
             raise
         with self._lock:
-            return self._history_tables.setdefault(key, table)
+            return self._history_tables.put(key, table), False
 
     def _compiled_history_table(
         self,
@@ -748,11 +910,17 @@ class DependencyEngine:
         self.system.space.check_names([target])
         phi = self._resolve(constraint)
         indices = self._history_indices(history)
-        table = self._history_table(source_set, indices, constraint, budget)
+        table, hit = self._history_table_info(source_set, indices, constraint, budget)
         targets = frozenset([target])
         pair = table.get(target)
         if pair is None:
-            return DependencyResult(False, source_set, targets, phi.name)
+            return DependencyResult(
+                False,
+                source_set,
+                targets,
+                phi.name,
+                provenance=self._provenance(hit, budget),
+            )
         sigma1, sigma2 = self._decode_history_pair(pair)
         witness = Witness(
             sources=source_set,
@@ -761,7 +929,14 @@ class DependencyEngine:
             sigma1=sigma1,
             sigma2=sigma2,
         )
-        return DependencyResult(True, source_set, targets, phi.name, witness)
+        return DependencyResult(
+            True,
+            source_set,
+            targets,
+            phi.name,
+            witness,
+            provenance=self._provenance(hit, budget, witness),
+        )
 
     def depends_history_set(
         self,
@@ -792,22 +967,38 @@ class DependencyEngine:
         key = (source_set, indices, self._flow_key(constraint), target_set)
         with self._lock:
             pair = self._history_set_memo.get(key, _UNCOMPUTED)
-        if pair is _UNCOMPUTED:
-            table = self._history_table(source_set, indices, constraint, budget)
-            if not all(t in table for t in target_set):
-                pair = None
-            elif self._use_compiled:
-                pair = self._compiled_history_set_pair(
-                    source_set, indices, sorted(target_set), constraint
-                )
-            else:
-                pair = self._object_history_set_pair(
-                    source_set, indices, sorted(target_set), phi
-                )
+        hit = pair is not _UNCOMPUTED
+        if hit:
+            obs.count("engine.history_set.memo_hit")
+        else:
+            obs.count("engine.history_set.memo_miss")
+            with obs.span(
+                "engine.history_set",
+                sources=",".join(sorted(source_set)),
+                targets=",".join(sorted(target_set)),
+                length=len(indices),
+            ):
+                table = self._history_table(source_set, indices, constraint, budget)
+                if not all(t in table for t in target_set):
+                    pair = None
+                elif self._use_compiled:
+                    pair = self._compiled_history_set_pair(
+                        source_set, indices, sorted(target_set), constraint
+                    )
+                else:
+                    pair = self._object_history_set_pair(
+                        source_set, indices, sorted(target_set), phi
+                    )
             with self._lock:
-                self._history_set_memo.setdefault(key, pair)
+                pair = self._history_set_memo.put(key, pair)
         if pair is None:
-            return DependencyResult(False, source_set, target_set, phi.name)
+            return DependencyResult(
+                False,
+                source_set,
+                target_set,
+                phi.name,
+                provenance=self._provenance(hit, budget),
+            )
         sigma1, sigma2 = self._decode_history_pair(pair)
         witness = Witness(
             sources=source_set,
@@ -816,7 +1007,14 @@ class DependencyEngine:
             sigma1=sigma1,
             sigma2=sigma2,
         )
-        return DependencyResult(True, source_set, target_set, phi.name, witness)
+        return DependencyResult(
+            True,
+            source_set,
+            target_set,
+            phi.name,
+            witness,
+            provenance=self._provenance(hit, budget, witness),
+        )
 
     def _compiled_history_set_pair(
         self,
@@ -932,25 +1130,26 @@ class DependencyEngine:
         path = "serial"
         fanned = max_workers is not None and len(pending) > 1
         try:
-            if fanned and self._use_compiled and executor == "process":
-                path = "process"
-                retries, pending = self._warm_processes(
-                    pending, constraint, max_workers, budget
-                )
+            with obs.span("engine.warm", pending=total, executor=executor):
+                if fanned and self._use_compiled and executor == "process":
+                    path = "process"
+                    retries, pending = self._warm_processes(
+                        pending, constraint, max_workers, budget
+                    )
+                    if pending:
+                        degradations.append("process->thread")
+                if pending and fanned:
+                    path = "thread"
+                    pending = self._warm_threads(
+                        pending, constraint, max_workers, budget
+                    )
+                    if pending:
+                        degradations.append("thread->serial")
+                        path = "serial"
                 if pending:
-                    degradations.append("process->thread")
-            if pending and fanned:
-                path = "thread"
-                pending = self._warm_threads(
-                    pending, constraint, max_workers, budget
-                )
-                if pending:
-                    degradations.append("thread->serial")
-                    path = "serial"
-            if pending:
-                for k, a in enumerate(pending):
-                    faults.inject("task", k)
-                    self._closure(a, constraint, budget)
+                    for k, a in enumerate(pending):
+                        faults.inject("task", k)
+                        self._closure(a, constraint, budget)
         finally:
             with self._lock:
                 completed = all(
@@ -1013,7 +1212,7 @@ class DependencyEngine:
                 pool = ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_worker_init,
-                    initargs=(compiled.kernel, sat_ids, limits),
+                    initargs=(compiled.kernel, sat_ids, limits, obs.is_enabled()),
                 )
             except OSError:
                 # No usable process pool on this platform (sandboxed
@@ -1021,9 +1220,10 @@ class DependencyEngine:
                 return retries, remaining
             try:
                 with pool:
-                    for order, parents in pool.map(
+                    for order, parents, batch in pool.map(
                         _worker_closure, tasks, chunksize=chunksize
                     ):
+                        obs.absorb_batch(batch)
                         source_set = frozenset(remaining[done])
                         closure = CompiledClosure(
                             compiled, source_set, phi.name, order, parents
@@ -1164,7 +1364,9 @@ class DependencyEngine:
         with self._lock:
             cached = self._step_flows.get(key)
         if cached is not None:
+            obs.count("engine.step_flows.memo_hit")
             return cached
+        obs.count("engine.step_flows.memo_miss")
         budget = self._resolve_budget(budget)
         meter = (
             budget.start(f"operation flows phi={phi.name}")
@@ -1172,10 +1374,11 @@ class DependencyEngine:
             else None
         )
         try:
-            if self._use_compiled:
-                result = self._compiled_operation_flows(key, meter)
-            else:
-                result = self._object_operation_flows(phi, meter)
+            with obs.span("engine.operation_flows", constraint=phi.name):
+                if self._use_compiled:
+                    result = self._compiled_operation_flows(key, meter)
+                else:
+                    result = self._object_operation_flows(phi, meter)
         except BudgetExceededError as exc:
             self.execution_log.record(
                 ExecutionReport(

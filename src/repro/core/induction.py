@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.budget import BudgetExceededError, ExecutionBudget
 from repro.core.constraints import Constraint
 from repro.core.dependency import DependencyResult, Witness, transmits, transmits_to_set
@@ -110,6 +111,7 @@ def _budget_obligation(exc: BudgetExceededError) -> Obligation:
     )
 
 
+@obs.traced("induction.per_operation_flows")
 def per_operation_flows(
     system: System,
     constraint: Constraint | None = None,
@@ -157,24 +159,26 @@ def per_operation_flows(
 def _check_preconditions(
     system: System, phi: Constraint, need_autonomous: bool
 ) -> list[Obligation]:
-    obligations = [
-        Obligation(
-            f"{phi.name} is invariant under every operation",
-            phi.is_invariant(system),
-            phi.invariance_witness(system),
-        )
-    ]
-    if need_autonomous:
-        obligations.append(
+    with obs.span("obligation.preconditions", constraint=phi.name):
+        obligations = [
             Obligation(
-                f"{phi.name} is autonomous",
-                phi.is_autonomous(),
-                phi.autonomy_witness(),
+                f"{phi.name} is invariant under every operation",
+                phi.is_invariant(system),
+                phi.invariance_witness(system),
             )
-        )
-    return obligations
+        ]
+        if need_autonomous:
+            obligations.append(
+                Obligation(
+                    f"{phi.name} is autonomous",
+                    phi.is_autonomous(),
+                    phi.autonomy_witness(),
+                )
+            )
+        return obligations
 
 
+@obs.traced("induction.cor4_2")
 def prove_no_dependency(
     system: System,
     phi: Constraint | None,
@@ -206,19 +210,22 @@ def prove_no_dependency(
         step = engine.operation_flows(phi, budget)
 
         out_failures: list[Obligation] = []
-        for m in system.space.names:
-            if m == alpha:
-                continue
-            for op in system.operations:
-                if (alpha, m) in step[op.name]:
-                    result = engine.depends_history({alpha}, m, op, phi, budget)
-                    out_failures.append(
-                        Obligation(
-                            f"{alpha} |>^{op.name} {m} given {phi.name}",
-                            False,
-                            result.witness,
+        with obs.span("obligation.alternative_a", source=alpha):
+            for m in system.space.names:
+                if m == alpha:
+                    continue
+                for op in system.operations:
+                    if (alpha, m) in step[op.name]:
+                        result = engine.depends_history(
+                            {alpha}, m, op, phi, budget
                         )
-                    )
+                        out_failures.append(
+                            Obligation(
+                                f"{alpha} |>^{op.name} {m} given {phi.name}",
+                                False,
+                                result.witness,
+                            )
+                        )
         alt_a = Obligation(
             f"(a) no operation transmits from {alpha} to any other object",
             not out_failures,
@@ -226,19 +233,22 @@ def prove_no_dependency(
         )
 
         in_failures: list[Obligation] = []
-        for m in system.space.names:
-            if m == beta:
-                continue
-            for op in system.operations:
-                if (m, beta) in step[op.name]:
-                    result = engine.depends_history({m}, beta, op, phi, budget)
-                    in_failures.append(
-                        Obligation(
-                            f"{m} |>^{op.name} {beta} given {phi.name}",
-                            False,
-                            result.witness,
+        with obs.span("obligation.alternative_b", target=beta):
+            for m in system.space.names:
+                if m == beta:
+                    continue
+                for op in system.operations:
+                    if (m, beta) in step[op.name]:
+                        result = engine.depends_history(
+                            {m}, beta, op, phi, budget
                         )
-                    )
+                        in_failures.append(
+                            Obligation(
+                                f"{m} |>^{op.name} {beta} given {phi.name}",
+                                False,
+                                result.witness,
+                            )
+                        )
         alt_b = Obligation(
             f"(b) no operation transmits to {beta} from any other object",
             not in_failures,
@@ -267,6 +277,7 @@ def prove_no_dependency(
     return Proof(conclusion=conclusion, obligations=final)
 
 
+@obs.traced("induction.cor4_3")
 def prove_via_relation(
     system: System,
     phi: Constraint | None,
@@ -307,23 +318,26 @@ def prove_via_relation(
     engine = shared_engine(system)
     try:
         step = engine.operation_flows(phi, budget)
-        for op in system.operations:
-            flows_op = step[op.name]
-            for x in names:
-                for y in names:
-                    if q(x, y):
-                        continue
-                    holds = (x, y) in flows_op
-                    obligations.append(
-                        Obligation(
-                            f"not {x} |>^{op.name} {y} given {phi.name} "
-                            f"(since not {q_name}({x},{y}))",
-                            not holds,
-                            engine.depends_history({x}, y, op, phi, budget).witness
-                            if holds
-                            else None,
+        with obs.span("obligation.relation_closure", relation=q_name):
+            for op in system.operations:
+                flows_op = step[op.name]
+                for x in names:
+                    for y in names:
+                        if q(x, y):
+                            continue
+                        holds = (x, y) in flows_op
+                        obligations.append(
+                            Obligation(
+                                f"not {x} |>^{op.name} {y} given {phi.name} "
+                                f"(since not {q_name}({x},{y}))",
+                                not holds,
+                                engine.depends_history(
+                                    {x}, y, op, phi, budget
+                                ).witness
+                                if holds
+                                else None,
+                            )
                         )
-                    )
     except BudgetExceededError as exc:
         obligations.append(_budget_obligation(exc))
     return Proof(
@@ -334,6 +348,7 @@ def prove_via_relation(
     )
 
 
+@obs.traced("induction.cor5_6")
 def prove_no_dependency_nonautonomous(
     system: System,
     phi: Constraint | None,
@@ -365,19 +380,20 @@ def prove_no_dependency_nonautonomous(
 
     try:
         out_failures: list[Obligation] = []
-        for m in system.space.names:
-            if m in source_set:
-                continue
-            for op in system.operations:
-                result = engine.depends_history(source_set, m, op, phi, budget)
-                if result:
-                    out_failures.append(
-                        Obligation(
-                            f"A |>^{op.name} {m} given {phi.name}",
-                            False,
-                            result.witness,
+        with obs.span("obligation.alternative_a", sources=",".join(sorted(source_set))):
+            for m in system.space.names:
+                if m in source_set:
+                    continue
+                for op in system.operations:
+                    result = engine.depends_history(source_set, m, op, phi, budget)
+                    if result:
+                        out_failures.append(
+                            Obligation(
+                                f"A |>^{op.name} {m} given {phi.name}",
+                                False,
+                                result.witness,
+                            )
                         )
-                    )
         alt_a = Obligation(
             "(a) no operation transmits from A to any object outside A",
             not out_failures,
@@ -386,12 +402,15 @@ def prove_no_dependency_nonautonomous(
 
         everything_else = frozenset(system.space.names) - {beta}
         in_failure: Witness | None = None
-        if everything_else:
-            for op in system.operations:
-                result = engine.depends_history(everything_else, beta, op, phi, budget)
-                if result:
-                    in_failure = result.witness
-                    break
+        with obs.span("obligation.alternative_b", target=beta):
+            if everything_else:
+                for op in system.operations:
+                    result = engine.depends_history(
+                        everything_else, beta, op, phi, budget
+                    )
+                    if result:
+                        in_failure = result.witness
+                        break
         alt_b = Obligation(
             f"(b) no operation transmits to {beta} from outside {{{beta}}}",
             in_failure is None,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.constraints import Constraint
 from repro.core.dependency import (
     transmits,
@@ -518,3 +519,11 @@ ALL_THEOREMS = (
     "thm_6_2_invariant_strictness",
     "thm_6_3_noninvariant_decomposition",
 )
+
+# Each checker runs under a "theorem.<name>" span when telemetry is
+# enabled (and is a plain passthrough call when it is not), so a traced
+# property-test or audit run shows exactly which theorem obligations the
+# time went into.
+for _name in ALL_THEOREMS:
+    globals()[_name] = obs.traced(f"theorem.{_name}")(globals()[_name])
+del _name

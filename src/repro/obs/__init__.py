@@ -1,0 +1,66 @@
+"""Telemetry for the dependency stack: spans, counters, gauges and
+verdict provenance.
+
+Everything is zero-dependency and off by default; ``obs.enable()`` (or
+``REPRO_TELEMETRY=1``) switches the collector on without changing a
+single verdict.  See :mod:`repro.obs.telemetry` for the collection
+model, :mod:`repro.obs.export` for the Chrome-trace / JSONL exporters,
+:mod:`repro.obs.provenance` for the per-verdict provenance records, and
+``docs/OBSERVABILITY.md`` for the span taxonomy and counter glossary.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable(reset=True)
+    ... run queries ...
+    obs.export.write_chrome_trace("trace.json")
+    print(obs.export.aggregate(obs.export.jsonl_events()))
+"""
+
+from repro.obs import export, schema
+from repro.obs.provenance import Provenance
+from repro.obs.telemetry import (
+    COUNTER_NAMES,
+    GAUGE_NAMES,
+    NULL_SPAN,
+    SPAN_NAMES,
+    Span,
+    SpanRecord,
+    TelemetrySnapshot,
+    absorb_batch,
+    count,
+    disable,
+    enable,
+    export_batch,
+    gauge_max,
+    is_enabled,
+    reset,
+    snapshot,
+    span,
+    traced,
+)
+
+__all__ = [
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
+    "NULL_SPAN",
+    "SPAN_NAMES",
+    "Provenance",
+    "Span",
+    "SpanRecord",
+    "TelemetrySnapshot",
+    "absorb_batch",
+    "count",
+    "disable",
+    "enable",
+    "export",
+    "export_batch",
+    "gauge_max",
+    "is_enabled",
+    "reset",
+    "schema",
+    "snapshot",
+    "span",
+    "traced",
+]

@@ -1,0 +1,209 @@
+"""Trace exporters and replay: Chrome ``chrome://tracing`` JSON and a
+flat JSONL event stream.
+
+Two formats, one snapshot:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` emit the Chrome
+  Trace Event Format (the ``{"traceEvents": [...]}`` object form):
+  every span becomes a complete (``"ph": "X"``) event with microsecond
+  ``ts``/``dur``, counters become one ``"C"`` event each, and process
+  metadata names the tracks.  The file loads directly in
+  ``chrome://tracing`` / Perfetto.  ``docs/trace.schema.json`` is the
+  checked-in schema CI validates emitted traces against.
+- :func:`write_jsonl` emits one JSON object per line (``{"type":
+  "span" | "counter" | "gauge", ...}``) — the greppable form for log
+  pipelines.
+
+:func:`load_trace` reads either format back, and :func:`aggregate`
+reduces the events to per-span-name timing statistics plus the final
+counter/gauge values — the engine behind the ``repro stats``
+subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable
+
+from repro.obs import telemetry
+from repro.obs.telemetry import TelemetrySnapshot
+
+
+def _normalized_spans(snap: TelemetrySnapshot) -> list[dict]:
+    """Spans as plain dicts with microsecond timestamps re-based to the
+    earliest span start (Chrome renders absolute perf-counter epochs as
+    astronomically distant; a zero-based trace stays readable)."""
+    if not snap.spans:
+        return []
+    base_ns = min(s.start_ns for s in snap.spans)
+    out = []
+    for s in snap.spans:
+        out.append(
+            {
+                "name": s.name,
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "ts_us": (s.start_ns - base_ns) / 1000.0,
+                "dur_us": s.duration_ns / 1000.0,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": dict(s.attrs),
+            }
+        )
+    return out
+
+
+def chrome_trace(snap: TelemetrySnapshot | None = None) -> dict:
+    """The collector state (or a given snapshot) as a Chrome trace
+    object.  Pure data — callers serialize with :func:`json.dump`."""
+    if snap is None:
+        snap = telemetry.snapshot()
+    spans = _normalized_spans(snap)
+    events: list[dict] = []
+    pids = sorted({s["pid"] for s in spans}) or [os.getpid()]
+    own_pid = os.getpid()
+    for pid in pids:
+        label = "repro" if pid == own_pid else f"repro worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for s in spans:
+        args = dict(s["args"])
+        if s["parent"] is not None:
+            args["parent_span"] = s["parent"]
+        events.append(
+            {
+                "name": s["name"],
+                "cat": telemetry.CATEGORY,
+                "ph": "X",
+                "ts": s["ts_us"],
+                "dur": s["dur_us"],
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "args": args,
+            }
+        )
+    end_ts = max((s["ts_us"] + s["dur_us"] for s in spans), default=0.0)
+    for name in sorted(snap.counters):
+        events.append(
+            {
+                "name": name,
+                "cat": telemetry.CATEGORY,
+                "ph": "C",
+                "ts": end_ts,
+                "pid": own_pid,
+                "tid": 0,
+                "args": {"value": snap.counters[name]},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "counters": dict(snap.counters),
+            "gauges": dict(snap.gauges),
+        },
+    }
+
+
+def write_chrome_trace(path: str, snap: TelemetrySnapshot | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(snap), handle, indent=1, default=str)
+        handle.write("\n")
+
+
+def jsonl_events(snap: TelemetrySnapshot | None = None) -> Iterable[dict]:
+    """The snapshot as a flat event stream (spans, then counters, then
+    gauges)."""
+    if snap is None:
+        snap = telemetry.snapshot()
+    for s in _normalized_spans(snap):
+        yield {"type": "span", **s}
+    for name in sorted(snap.counters):
+        yield {"type": "counter", "name": name, "value": snap.counters[name]}
+    for name in sorted(snap.gauges):
+        yield {"type": "gauge", "name": name, "value": snap.gauges[name]}
+
+
+def write_jsonl(path: str, snap: TelemetrySnapshot | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in jsonl_events(snap):
+            handle.write(json.dumps(event, default=str))
+            handle.write("\n")
+
+
+# -- replay (the `repro stats` engine) ----------------------------------------
+
+
+def load_trace(path: str) -> list[dict]:
+    """Read a trace written by either exporter back into the flat event
+    form: ``{"type": "span", "name", "dur_us", ...}`` /
+    ``{"type": "counter" | "gauge", "name", "value"}``."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        # A Chrome trace is one JSON document; JSONL fails here because
+        # its second line is "extra data" after the first object.
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict):
+        events: list[dict] = []
+        for ev in data.get("traceEvents", []):
+            if ev.get("ph") == "X":
+                events.append(
+                    {
+                        "type": "span",
+                        "name": ev["name"],
+                        "ts_us": ev.get("ts", 0.0),
+                        "dur_us": ev.get("dur", 0.0),
+                        "pid": ev.get("pid"),
+                        "tid": ev.get("tid"),
+                        "args": ev.get("args", {}),
+                    }
+                )
+        other = data.get("otherData", {})
+        for name, value in sorted(other.get("counters", {}).items()):
+            events.append({"type": "counter", "name": name, "value": value})
+        for name, value in sorted(other.get("gauges", {}).items()):
+            events.append({"type": "gauge", "name": name, "value": value})
+        return events
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def aggregate(events: Iterable[dict]) -> dict:
+    """Reduce a trace to per-span-name statistics and final metric
+    values: ``{"spans": {name: {count, total_us, max_us}}, "counters":
+    {...}, "gauges": {...}}``."""
+    spans: dict[str, dict[str, float]] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    for ev in events:
+        kind = ev.get("type")
+        if kind == "span":
+            stat = spans.setdefault(
+                ev["name"], {"count": 0, "total_us": 0.0, "max_us": 0.0}
+            )
+            dur = float(ev.get("dur_us", 0.0))
+            stat["count"] += 1
+            stat["total_us"] += dur
+            if dur > stat["max_us"]:
+                stat["max_us"] = dur
+        elif kind == "counter":
+            counters[ev["name"]] = ev["value"]
+        elif kind == "gauge":
+            gauges[ev["name"]] = ev["value"]
+    return {"spans": spans, "counters": counters, "gauges": gauges}

@@ -1,0 +1,69 @@
+"""Verdict provenance: which mechanism produced an engine answer.
+
+"A Theory of Service Dependency" frames dependency evidence as something
+*auditable*: a non-flow verdict is only as trustworthy as the mechanism
+that established it.  This module gives every public engine answer a
+small, always-on record of that mechanism — which kernel path ran
+(compiled integer BFS, PR-1 object BFS, or the seed per-state fallback
+for foreign operations), whether the answer came from a memoized closure
+or a fresh search, how execution was governed, and how long the witness
+is when one exists.
+
+Provenance is attached unconditionally (it is a single frozen dataclass
+allocation, far below the cost of even a memo hit) and **never**
+participates in result equality — two identical verdicts reached through
+different paths still compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The kernel paths a verdict can come from.
+KERNEL_PATHS = (
+    "compiled",       # integer kernel: canonical unordered pairs / arrays
+    "object",         # PR-1 object path (compiled=False engines)
+    "seed-fallback",  # direct per-state Def 2-10 checker (foreign operations)
+    "one-step",       # budget-degraded audit cell: length-1 witness only
+    "unknown",        # budget exhausted, nothing established
+)
+
+#: Memo outcomes.
+MEMO_OUTCOMES = ("hit", "fresh", "n/a")
+
+#: Budget states.
+BUDGET_STATES = ("none", "governed", "exhausted")
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """How one dependency verdict was produced.
+
+    ``kernel`` is the decision path (:data:`KERNEL_PATHS`); ``memo``
+    says whether the underlying closure/sweep was served from the
+    engine's memo (:data:`MEMO_OUTCOMES`); ``budget`` records the
+    governance state the query ran under (:data:`BUDGET_STATES`);
+    ``witness_length`` is the history length of the positive witness
+    (``None`` for negative or unknown verdicts); ``closure_pairs`` is
+    the size of the pair closure that answered an existential-history
+    query (``None`` for fixed-history sweeps).
+    """
+
+    kernel: str
+    memo: str = "n/a"
+    budget: str = "none"
+    witness_length: int | None = None
+    closure_pairs: int | None = None
+
+    def describe(self) -> str:
+        bits = [f"kernel={self.kernel}", f"memo={self.memo}",
+                f"budget={self.budget}"]
+        if self.witness_length is not None:
+            bits.append(f"witness_len={self.witness_length}")
+        if self.closure_pairs is not None:
+            bits.append(f"closure_pairs={self.closure_pairs}")
+        return " ".join(bits)
+
+    def short(self) -> str:
+        """Compact ``kernel/memo`` form for table cells."""
+        return f"{self.kernel}/{self.memo}"

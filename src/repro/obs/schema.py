@@ -1,0 +1,80 @@
+"""Minimal JSON-Schema-subset validator for trace files.
+
+CI validates every emitted Chrome trace against the checked-in schema
+(``docs/trace.schema.json``) before uploading it as a build artifact.
+The container has no ``jsonschema`` package, so this module implements
+the small subset the trace schema actually uses — ``type``,
+``required``, ``properties``, ``items``, ``enum``, ``minimum`` and
+``additionalProperties`` (boolean form) — and nothing else.  Unknown
+schema keywords are ignored, matching JSON Schema's open-world rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_TYPES = {
+    "object": lambda v: isinstance(v, Mapping),
+    "array": lambda v: isinstance(v, Sequence) and not isinstance(v, (str, bytes)),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(instance: object, schema: Mapping, path: str = "$") -> list[str]:
+    """All violations of ``schema`` by ``instance`` (empty list = valid).
+
+    Each violation is a human-readable string carrying the JSON path, so
+    a failing CI job says *where* the trace broke the contract.
+    """
+    errors: list[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPES[t](instance) for t in types):
+            errors.append(
+                f"{path}: expected type {declared}, got "
+                f"{type(instance).__name__}"
+            )
+            return errors  # structural checks below would be nonsense
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if (
+        "minimum" in schema
+        and isinstance(instance, (int, float))
+        and not isinstance(instance, bool)
+        and instance < schema["minimum"]
+    ):
+        errors.append(f"{path}: {instance!r} < minimum {schema['minimum']!r}")
+    if isinstance(instance, Mapping):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in instance:
+                errors.extend(validate(instance[key], subschema, f"{path}.{key}"))
+        if schema.get("additionalProperties") is False:
+            for key in instance:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected property {key!r}")
+    if (
+        isinstance(instance, Sequence)
+        and not isinstance(instance, (str, bytes))
+        and "items" in schema
+    ):
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def check(instance: object, schema: Mapping) -> None:
+    """Raise ``ValueError`` listing every violation, or return silently."""
+    errors = validate(instance, schema)
+    if errors:
+        raise ValueError(
+            "trace schema validation failed:\n  " + "\n  ".join(errors)
+        )

@@ -1,0 +1,430 @@
+"""Zero-dependency telemetry: hierarchical spans, counters and gauges.
+
+The dependency stack is four layers deep (object pair-graph, compiled
+integer kernel, batched fixed-history sweeps, budget-governed execution)
+and, before this module, emitted exactly one coarse signal — the
+:class:`~repro.core.budget.ExecutionLog`.  This module supplies the
+tracing/metrics vocabulary every serving stack needs, with the two
+properties the hot loops demand:
+
+- **Off by default, and free when off.**  The module-level
+  :data:`_ENABLED` flag is read once per instrumentation point; a
+  disabled :func:`span` returns the shared :data:`NULL_SPAN` singleton
+  (no allocation, no clock read) and disabled counters return before
+  touching the collector.  The BFS inner loops are *not* instrumented at
+  all when disabled — per-expansion statistics (frontier high-water
+  marks) are gathered only by the telemetry variant of the loop, which
+  is selected once per closure (see ``CompiledKernel.closure``).
+- **Thread- and process-safe.**  The collector is lock-protected; spans
+  parent through a :class:`contextvars.ContextVar`, so thread-pool and
+  asyncio fan-outs nest correctly.  Process-pool workers cannot share
+  the collector, so they :func:`export_batch` their finished spans and
+  counters (plain picklable tuples) and the parent :func:`absorb_batch`
+  merges them — the batch rides the existing ``_warm`` result stream,
+  no side channel.
+
+Telemetry **never changes verdicts**: instrumentation only reads the
+loop state the algorithms already maintain, and every governed code path
+is byte-identical whether or not the collector is live (property-tested
+in ``tests/property/test_telemetry_agreement.py``).
+
+Enable with :func:`enable` (or ``REPRO_TELEMETRY=1`` in the
+environment); export with :mod:`repro.obs.export` (Chrome
+``chrome://tracing`` JSON or a flat JSONL event stream); summarize a
+written trace with ``repro stats TRACE``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+import threading
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+#: Environment variable that enables telemetry at import time (any
+#: non-empty value other than "0").  This is how child processes and CI
+#: jobs switch the collector on without code changes.
+ENV_FLAG = "REPRO_TELEMETRY"
+
+#: Category tag stamped on every span record; exporters map it to the
+#: Chrome trace ``cat`` field.
+CATEGORY = "repro"
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span: a named, timed region of work.
+
+    ``start_ns``/``duration_ns`` come from :func:`time.perf_counter_ns`
+    (monotonic); ``parent_id`` is the span id of the enclosing span in
+    the same context, or ``None`` for roots.  ``attrs`` holds small
+    key→value annotations (source sets, constraint names, memo
+    outcomes) — values must be picklable and JSON-serializable.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    duration_ns: int
+    pid: int
+    tid: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+
+class _Collector:
+    """Thread-safe sink for finished spans, counters and gauges.
+
+    Counters accumulate (``+= n``); gauges keep a high-water mark
+    (``max``).  Both are plain ``str -> int/float`` dicts so snapshots
+    and batches are trivially picklable.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._next_id = 1
+
+    def new_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def add_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def add_count(self, name: str, n: int) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def add_gauge_max(self, name: str, value: float) -> None:
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+
+    def snapshot(self) -> "TelemetrySnapshot":
+        with self._lock:
+            return TelemetrySnapshot(
+                spans=tuple(self._spans),
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """An immutable copy of the collector state at one instant."""
+
+    spans: tuple[SpanRecord, ...]
+    counters: dict[str, int]
+    gauges: dict[str, float]
+
+
+_COLLECTOR = _Collector()
+
+#: The one flag every instrumentation point reads.  Mutated only by
+#: :func:`enable` / :func:`disable`; reads are unsynchronized on purpose
+#: (a stale read during the enable race loses at most one event).
+_ENABLED = False
+
+_CURRENT_SPAN: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def enable(reset: bool = False) -> None:
+    """Switch the collector on (optionally clearing prior state)."""
+    global _ENABLED
+    if reset:
+        _COLLECTOR.clear()
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Switch the collector off.  Already-collected data is kept until
+    :func:`reset` — so a CLI run can disable then export."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all collected spans, counters and gauges."""
+    _COLLECTOR.clear()
+
+
+def snapshot() -> TelemetrySnapshot:
+    """Copy out everything collected so far."""
+    return _COLLECTOR.snapshot()
+
+
+# -- spans --------------------------------------------------------------------
+
+
+class _NullSpan:
+    """The disabled-path span: a reusable, reentrant no-op context
+    manager.  A single shared instance serves every disabled call, so
+    ``with obs.span(...)`` costs one attribute load when telemetry is
+    off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, key: str, value: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span: times a region on the monotonic clock and records a
+    :class:`SpanRecord` on exit.  Nesting is tracked per-context via a
+    :class:`contextvars.ContextVar`, so spans parent correctly across
+    threads (each thread pool task runs in a copied context)."""
+
+    __slots__ = ("name", "attrs", "span_id", "_parent_token", "_start_ns")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _COLLECTOR.new_span_id()
+        self._parent_token: contextvars.Token | None = None
+        self._start_ns = 0
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute mid-span (e.g. a memo outcome discovered
+        after entry)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._parent_token = _CURRENT_SPAN.set(self.span_id)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end_ns = time.perf_counter_ns()
+        token = self._parent_token
+        parent_id = token.old_value if token is not None else None
+        if parent_id is contextvars.Token.MISSING:
+            parent_id = None
+        if token is not None:
+            _CURRENT_SPAN.reset(token)
+        _COLLECTOR.add_span(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=parent_id,
+                start_ns=self._start_ns,
+                duration_ns=end_ns - self._start_ns,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+
+
+def span(name: str, **attrs: object) -> Span | _NullSpan:
+    """A context manager timing one named region.
+
+    Disabled telemetry returns the shared no-op singleton.  Attribute
+    values should be small and JSON-serializable; expensive attrs should
+    be computed behind an :func:`is_enabled` guard at the call site.
+    """
+    if not _ENABLED:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: str) -> Callable:
+    """Decorator form of :func:`span` — wraps the function body in a
+    span named ``name`` when telemetry is enabled, and is a plain
+    passthrough call when disabled."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object):
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            with Span(name, {}):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- counters / gauges --------------------------------------------------------
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op when disabled)."""
+    if not _ENABLED:
+        return
+    _COLLECTOR.add_count(name, n)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to ``value`` if it is a new high-water mark
+    (no-op when disabled)."""
+    if not _ENABLED:
+        return
+    _COLLECTOR.add_gauge_max(name, value)
+
+
+# -- cross-process batches ----------------------------------------------------
+#
+# Process-pool workers enable telemetry from the pool initializer, run
+# their closures under local spans, and ship the batch back as the third
+# element of the task result.  Batches are plain tuples of primitives —
+# no SpanRecord instances cross the boundary — so absorbing them costs
+# one pickle round-trip they already paid for the closure itself.
+
+#: A picklable batch: (span tuples, counters, gauges).  Span tuples are
+#: ``(name, span_id, parent_id, start_ns, duration_ns, pid, tid, attrs)``.
+Batch = tuple[tuple[tuple, ...], dict[str, int], dict[str, float]]
+
+
+def export_batch(clear: bool = True) -> Batch:
+    """Snapshot the collector as a picklable batch (worker side)."""
+    snap = _COLLECTOR.snapshot()
+    if clear:
+        _COLLECTOR.clear()
+    spans = tuple(
+        (
+            s.name,
+            s.span_id,
+            s.parent_id,
+            s.start_ns,
+            s.duration_ns,
+            s.pid,
+            s.tid,
+            dict(s.attrs),
+        )
+        for s in snap.spans
+    )
+    return (spans, snap.counters, snap.gauges)
+
+
+def absorb_batch(batch: Batch | None) -> None:
+    """Merge a worker batch into this process's collector (parent side).
+
+    Worker clocks are per-process (``perf_counter_ns`` has an arbitrary
+    epoch per interpreter), so worker spans are **re-based**: the batch
+    keeps its internal relative timing but is anchored so its latest
+    span ends at absorb time — the moment its results streamed back.
+    Span ids are offset into a fresh id range to avoid colliding with
+    parent spans; parent links inside the batch are preserved.
+    """
+    if not batch or not _ENABLED:
+        return
+    spans, counters, gauges = batch
+    now_ns = time.perf_counter_ns()
+    if spans:
+        batch_end = max(s[3] + s[4] for s in spans)
+        shift = now_ns - batch_end
+        ids = {s[1] for s in spans}
+        base = _COLLECTOR.new_span_id()
+        remap = {old: base + k for k, old in enumerate(sorted(ids))}
+        # Reserve the remapped range so later parent spans don't collide.
+        for _ in range(len(ids) - 1):
+            _COLLECTOR.new_span_id()
+        for name, span_id, parent_id, start_ns, duration_ns, pid, tid, attrs in spans:
+            _COLLECTOR.add_span(
+                SpanRecord(
+                    name=name,
+                    span_id=remap[span_id],
+                    parent_id=remap.get(parent_id),
+                    start_ns=start_ns + shift,
+                    duration_ns=duration_ns,
+                    pid=pid,
+                    tid=tid,
+                    attrs=attrs,
+                )
+            )
+    for name, n in counters.items():
+        _COLLECTOR.add_count(name, n)
+    for name, value in gauges.items():
+        _COLLECTOR.add_gauge_max(name, value)
+
+
+# -- span/counter taxonomy ----------------------------------------------------
+
+#: The span names the stack emits, for reference and for the trace
+#: validator (docs/OBSERVABILITY.md is the prose glossary).
+SPAN_NAMES = (
+    "engine.closure",          # one (A, phi) pair-graph closure (memo miss)
+    "engine.history_sweep",    # one (A, H, phi) fixed-history bucket sweep
+    "engine.history_set",      # one (A, H, phi, B) set-target pair scan
+    "engine.operation_flows",  # one per-constraint single-step flow matrix
+    "engine.warm",             # one batched closure fan-out
+    "kernel.closure",          # the compiled integer BFS itself
+    "worker.closure",          # a process-pool worker's BFS
+    "audit.cell",              # one (source, target) audit cell
+    "taint.closure",           # the syntactic taint baseline
+    "induction.per_operation_flows",
+    "induction.cor4_2",        # prove_no_dependency
+    "induction.cor4_3",        # prove_via_relation
+    "induction.cor5_6",        # prove_no_dependency_nonautonomous
+    "obligation.preconditions",
+    "obligation.alternative_a",
+    "obligation.alternative_b",
+    "obligation.relation_closure",
+)
+
+#: Counter names (cumulative) and gauge names (high-water marks).
+COUNTER_NAMES = (
+    "engine.closure.memo_hit",
+    "engine.closure.memo_miss",
+    "engine.history_table.memo_hit",
+    "engine.history_table.memo_miss",
+    "engine.history_table.evictions",
+    "engine.history_set.memo_hit",
+    "engine.history_set.memo_miss",
+    "engine.history_set.evictions",
+    "engine.step_flows.memo_hit",
+    "engine.step_flows.memo_miss",
+    "kernel.pair_expansions",
+    "kernel.pairs_discovered",
+    "kernel.history_compose.memo_hit",
+    "kernel.history_compose.gathers",
+    "pool.retries",
+    "pool.degradations",
+    "budget.trips",
+    "execution.reports",
+    "execution.reports_dropped",
+)
+
+GAUGE_NAMES = (
+    "kernel.frontier_high_water",
+    "engine.closure.pairs",
+    "engine.history_table.evictions",
+    "engine.history_set.evictions",
+    "execution.log_size",
+)
+
+
+if os.environ.get(ENV_FLAG, "0") not in ("", "0"):
+    enable()

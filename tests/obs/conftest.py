@@ -1,0 +1,20 @@
+"""Telemetry test isolation: the collector is module-global state, so
+every test in this package starts disabled and empty and restores the
+entry state on exit (other suites run with telemetry off)."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

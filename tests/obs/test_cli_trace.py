@@ -1,0 +1,157 @@
+"""CLI observability surface: --trace, provenance lines, and `repro
+stats` — including the budget-exhausted exit-3 path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import schema
+
+
+@pytest.fixture
+def leaky_program(tmp_path):
+    path = tmp_path / "leaky.prog"
+    path.write_text("if secret > 0 then public := 1 else public := 0")
+    return str(path)
+
+
+def _program_args(leaky_program, *extra):
+    return [
+        "program",
+        leaky_program,
+        "--var",
+        "secret=0..1",
+        "--var",
+        "public=0..1",
+        "--source",
+        "secret",
+        "--target",
+        "public",
+        *extra,
+    ]
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestProgramTrace:
+    def test_trace_written_on_flow_verdict(self, leaky_program, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        code = main(_program_args(leaky_program, "--trace", trace))
+        captured = capsys.readouterr()
+        assert code == 1
+        assert f"trace written: {trace}" in captured.err
+        data = _load(trace)
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "engine.closure" in names and "kernel.closure" in names
+        assert data["otherData"]["counters"]["engine.closure.memo_miss"] >= 1
+
+    def test_trace_validates_against_checked_in_schema(
+        self, leaky_program, tmp_path
+    ):
+        import pathlib
+
+        trace = str(tmp_path / "trace.json")
+        main(_program_args(leaky_program, "--trace", trace))
+        schema_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "docs"
+            / "trace.schema.json"
+        )
+        schema.check(_load(trace), json.loads(schema_path.read_text()))
+
+    def test_verdict_prints_provenance_line(self, leaky_program, capsys):
+        code = main(_program_args(leaky_program))
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[kernel=compiled memo=" in out
+
+    def test_exit_3_path_still_writes_trace(
+        self, leaky_program, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "trace.json")
+        code = main(
+            _program_args(
+                leaky_program, "--budget-states", "0", "--trace", trace
+            )
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "UNKNOWN" in captured.out
+        data = _load(trace)
+        assert data["otherData"]["counters"]["budget.trips"] >= 1
+
+    def test_untraced_run_leaves_no_file(self, leaky_program, tmp_path):
+        code = main(_program_args(leaky_program))
+        assert code == 1
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestTaintTrace:
+    def test_taint_trace_and_execution_report(
+        self, leaky_program, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "taint.json")
+        code = main(
+            [
+                "taint",
+                leaky_program,
+                "--var",
+                "secret=0..1",
+                "--var",
+                "public=0..1",
+                "--source",
+                "secret",
+                "--trace",
+                trace,
+                "--execution-report",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "execution:" in captured.out or "no governed runs" in captured.out
+        names = {
+            e["name"]
+            for e in _load(trace)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "taint.closure" in names
+
+
+class TestStatsCommand:
+    def _write_trace(self, leaky_program, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        main(_program_args(leaky_program, "--trace", trace))
+        return trace
+
+    def test_stats_summarizes_a_trace(self, leaky_program, tmp_path, capsys):
+        trace = self._write_trace(leaky_program, tmp_path)
+        capsys.readouterr()
+        code = main(["stats", trace])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "span" in out and "engine.closure" in out
+        assert "counter" in out and "engine.closure.memo_miss" in out
+        assert "gauge" in out and "engine.closure.pairs" in out
+
+    def test_stats_top_limits_span_rows(self, leaky_program, tmp_path, capsys):
+        trace = self._write_trace(leaky_program, tmp_path)
+        capsys.readouterr()
+        code = main(["stats", trace, "--top", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        span_section = out.split("counter")[0]
+        rows = [
+            line
+            for line in span_section.splitlines()
+            if line.strip() and not line.lstrip().startswith(("span", "-"))
+        ]
+        assert len(rows) == 1
+
+    def test_stats_missing_file_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Telemetry must be inert: enabling the collector changes no verdict.
+
+Every instrumentation point added in PR 5 only *reads* loop state the
+algorithms already maintain; these tests pin that down over seeded
+random systems (:mod:`repro.analysis.random_systems`):
+
+- a telemetry-enabled engine returns verdicts and witness lengths
+  identical to a disabled engine's and to the seed reference, for
+  existential and fixed-history queries;
+- the same holds with the history memos shrunk to capacity 1, where
+  every query evicts (the LRU bound may cost recomputation, never
+  answers);
+- the enabled run actually collects (spans + counters), so the
+  agreement is not vacuous.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.analysis.random_systems import random_constraint, random_system
+from repro.core import engine as engine_mod
+from repro.core.dependency import _seed_transmits
+from repro.core.engine import DependencyEngine
+from repro.core.reachability import _seed_depends_ever
+from repro.core.system import History
+
+FLAVOURS = [None, "subset", "autonomous", "coupled"]
+
+
+@pytest.fixture(autouse=True)
+def restore_telemetry():
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+def _random_case(seed: int):
+    rng = random.Random(seed)
+    system = random_system(
+        rng,
+        n_objects=rng.choice([2, 3]),
+        domain_size=2,
+        n_operations=rng.choice([1, 2]),
+    )
+    flavour = FLAVOURS[seed % len(FLAVOURS)]
+    phi = (
+        random_constraint(rng, system.space, flavour)
+        if flavour is not None
+        else None
+    )
+    return system, phi, rng
+
+
+def _all_verdicts(engine: DependencyEngine, system, phi):
+    out = {}
+    for source in system.space.names:
+        for target in system.space.names:
+            result = engine.depends_ever({source}, target, phi)
+            out[(source, target)] = (
+                bool(result),
+                len(result.witness.history) if result else None,
+            )
+    return out
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_enabled_engine_agrees_with_disabled_and_seed(seed):
+    system, phi, _ = _random_case(seed)
+    baseline = _all_verdicts(DependencyEngine(system), system, phi)
+
+    obs.enable(reset=True)
+    enabled = _all_verdicts(DependencyEngine(system), system, phi)
+
+    assert enabled == baseline
+    for (source, target), (holds, _) in enabled.items():
+        assert holds == bool(
+            _seed_depends_ever(system, {source}, target, phi)
+        ), f"telemetry changed the verdict for {source} |> {target}"
+    snap = obs.snapshot()
+    assert snap.spans and snap.counters, (
+        "the enabled run must actually have collected telemetry"
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_enabled_history_queries_agree_with_seed(seed):
+    system, phi, rng = _random_case(seed)
+    histories = [
+        History.of(*(rng.choice(system.operations) for _ in range(length)))
+        for length in (1, 2, 3)
+    ]
+    obs.enable(reset=True)
+    engine = DependencyEngine(system)
+    for history in histories:
+        for source in system.space.names:
+            for target in system.space.names:
+                seed_result = _seed_transmits(
+                    system, {source}, target, history, phi
+                )
+                engine_result = engine.depends_history(
+                    {source}, target, history, phi
+                )
+                assert bool(engine_result) == bool(seed_result), (
+                    f"telemetry changed {source} |>^H {target} "
+                    f"under {phi.name if phi else 'tt'}"
+                )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_tiny_memo_capacity_changes_nothing_but_work(seed, monkeypatch):
+    """With both history memos at capacity 1 every second query evicts;
+    verdicts must still match an uncapped engine's."""
+    monkeypatch.setattr(engine_mod, "_HISTORY_TABLE_CAP", 1)
+    monkeypatch.setattr(engine_mod, "_HISTORY_SET_CAP", 1)
+    system, phi, rng = _random_case(seed)
+    tiny = DependencyEngine(system)
+    assert tiny._history_tables.capacity == 1
+
+    monkeypatch.undo()
+    roomy = DependencyEngine(system)
+
+    obs.enable(reset=True)
+    histories = [
+        History.of(*(rng.choice(system.operations) for _ in range(length)))
+        for length in (1, 2, 1, 2)
+    ]
+    for history in histories:
+        for source in system.space.names:
+            for target in system.space.names:
+                assert bool(
+                    tiny.depends_history({source}, target, history, phi)
+                ) == bool(
+                    roomy.depends_history({source}, target, history, phi)
+                )
+    stats = tiny.cache_stats()
+    assert stats["history_tables"]["size"] <= 1
+    if stats["history_tables"]["evictions"]:
+        assert (
+            obs.snapshot().counters["engine.history_table.evictions"]
+            == stats["history_tables"]["evictions"]
+        )

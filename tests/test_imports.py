@@ -22,6 +22,8 @@ MODULES = [
     "repro.quantitative",
     "repro.analysis",
     "repro.analysis.compare",
+    "repro.obs",
+    "repro.obs.export",
     "repro.cli",
 ]
 
