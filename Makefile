@@ -18,15 +18,15 @@ chaos:
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
-# Smoke-run the A3/A4 perf benches on tiny sizes: exercises the measured
-# paths (seed / object engine / compiled kernel / telemetry on+off) and
-# their agreement asserts without recording numbers or enforcing bars.
-# This is what the CI bench-smoke job runs.
+# Smoke-run the A3/A4/A5 perf benches on tiny sizes: exercises the
+# measured paths (seed / object engine / compiled kernel / bitset kernel /
+# telemetry on+off) and their agreement asserts without recording numbers
+# or enforcing bars.  This is what the CI bench-smoke job runs.
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHONPATH_SRC) python -m pytest \
 		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py \
 		benchmarks/test_a3_induction.py benchmarks/test_a3_budget.py \
-		benchmarks/test_a4_telemetry.py -q
+		benchmarks/test_a4_telemetry.py benchmarks/test_a5_bitset.py -q
 
 examples:
 	$(PYTHONPATH_SRC) python examples/quickstart.py

@@ -112,6 +112,22 @@ def _print_execution_report(ps) -> None:
     print(shared_engine(ps.system).execution_log.describe())
 
 
+def _dump_cache_stats(args: argparse.Namespace, ps) -> None:
+    """Write the shared engine's ``cache_stats()`` as JSON when
+    ``--cache-stats FILE`` was given.  Runs in ``finally`` so the
+    UNKNOWN/exit-3 path still reports what the caches held."""
+    path = getattr(args, "cache_stats", None)
+    if not path or ps is None:
+        return
+    import json
+
+    stats = shared_engine(ps.system).cache_stats()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"cache stats written: {path}", file=sys.stderr)
+
+
 def _start_trace(args: argparse.Namespace) -> str | None:
     """Enable telemetry when ``--trace FILE`` was given; returns the
     target path (or ``None``)."""
@@ -139,6 +155,13 @@ def cmd_program(args: argparse.Namespace) -> int:
 
 def _run_program(args: argparse.Namespace) -> int:
     ps = _build(args)
+    try:
+        return _decide_program(args, ps)
+    finally:
+        _dump_cache_stats(args, ps)
+
+
+def _decide_program(args: argparse.Namespace, ps) -> int:
     entry = None
     if args.entry:
         expr = parse_expr(args.entry)
@@ -179,6 +202,7 @@ def _run_program(args: argparse.Namespace) -> int:
 
 def cmd_taint(args: argparse.Namespace) -> int:
     trace = _start_trace(args)
+    ps = None
     try:
         ps = _build(args)
         tainted = taint_closure(ps.system, {args.source})
@@ -189,6 +213,7 @@ def cmd_taint(args: argparse.Namespace) -> int:
             _print_execution_report(ps)
         return 0
     finally:
+        _dump_cache_stats(args, ps)
         _finish_trace(trace)
 
 
@@ -300,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(including the UNKNOWN/exit-3 path); summarize with "
         "`repro stats FILE`",
     )
+    p_program.add_argument(
+        "--cache-stats",
+        metavar="FILE",
+        help="write the engine's cache statistics (sizes, capacities, "
+        "evictions) as JSON on exit",
+    )
     p_program.set_defaults(handler=cmd_program)
 
     p_taint = sub.add_parser(
@@ -315,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="enable telemetry and write a Chrome trace JSON on exit",
+    )
+    p_taint.add_argument(
+        "--cache-stats",
+        metavar="FILE",
+        help="write the engine's cache statistics as JSON on exit",
     )
     p_taint.set_defaults(handler=cmd_taint)
 

@@ -246,6 +246,17 @@ class BudgetMeter:
         if budget.token is not None and budget.token.cancelled:
             raise BudgetExceededError(self._snapshot("cancelled", frontier))
 
+    def advance(self, delta: int, discovered: int, frontier: int = 1) -> None:
+        """Bulk-loop metering: add ``delta`` expansions to the running
+        count and check.  The scalar BFS calls :meth:`check` with an
+        absolute cursor every ``interval`` expansions; bulk kernels
+        (:mod:`repro.core.bitset`) expand a whole frontier chunk per
+        step, so they meter in frontier-sized increments instead.  The
+        same trip semantics apply — in particular ``frontier == 0``
+        (nothing left after this chunk) never trips ``max_expanded``.
+        """
+        self.check(self.expanded + delta, discovered, frontier)
+
     def _snapshot(self, reason: str, frontier: int) -> PartialResult:
         return PartialResult(
             label=self.label,

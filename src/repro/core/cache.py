@@ -1,0 +1,83 @@
+"""Bounded memoization primitives shared by the engine and the compiled
+substrate.
+
+The dependency stack memoizes aggressively — closures, fixed-history
+tables, composed successor arrays, satisfying-id arrays — and PR 5
+established the policy: every memo that grows with the *query stream*
+(rather than with the system itself) must be bounded, observable, and
+safe to evict.  :class:`LRUCache` is that policy as a data structure.
+It lived inside :mod:`repro.core.engine` as ``_LRUCache`` until the
+compiled substrate (:mod:`repro.core.compiled`) needed the same
+bounding for its prefix and constraint memos; importing it from the
+engine there would be circular (the engine imports the compiled
+module), so it moved here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import obs
+
+#: Distinguishes "never computed" from a memoized ``None`` value.
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded memo: an :class:`~collections.OrderedDict` LRU, mutated
+    only under the owning object's lock.
+
+    ``get`` refreshes recency; ``put`` keeps first-writer-wins semantics
+    (matching the ``setdefault`` idiom of the unbounded dicts it
+    replaces) and evicts least-recently-used entries past ``capacity``,
+    reporting each eviction on the named telemetry counter and the
+    running total as a gauge.  Eviction is safe by construction: every
+    entry is recomputable from the closure/bucket machinery, so a cap
+    only bounds memory, never correctness.
+    """
+
+    __slots__ = ("capacity", "counter", "evictions", "_data")
+
+    def __init__(self, capacity: int, counter: str) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.counter = counter
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value):
+        """Insert unless present (first writer wins) and return the
+        stored value, evicting past ``capacity``."""
+        existing = self._data.get(key, _MISSING)
+        if existing is not _MISSING:
+            self._data.move_to_end(key)
+            return existing
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            obs.count(self.counter)
+            obs.gauge_max(self.counter, self.evictions)
+        return value
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+        }

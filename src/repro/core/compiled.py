@@ -48,19 +48,42 @@ processes scale.  :class:`CompiledSystem` binds a kernel to its
 
 from __future__ import annotations
 
+import threading
 from array import array
 from collections import deque
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro import obs
-from repro.core import faults
+from repro.core import bitset, faults
 from repro.core.budget import BudgetMeter, ExecutionBudget
+from repro.core.cache import LRUCache
 from repro.core.constraints import Constraint
 from repro.core.state import State
 from repro.core.system import System
 
 #: Packed-parent sentinel for Def 2-8 initial pairs (no predecessor).
 INITIAL = -1
+
+#: Bound on the per-system satisfying-id memo.  Entries are keyed by
+#: constraint *instance* (predicates cannot be hashed semantically), so
+#: a query stream minting equal-but-distinct constraints would otherwise
+#: grow it forever; the cap turns that into LRU churn.
+SAT_IDS_CAP = 256
+
+#: Bound on the composed-prefix memo.  ``System.histories(max_length)``
+#: sweeps touch a combinatorial number of prefixes; eviction only costs
+#: re-gathering from the longest prefix still cached.
+COMPOSED_CAP = 2048
+
+#: Kernel selection vocabulary: ``auto`` picks the bulk kernel for
+#: spaces of at least :data:`BITSET_AUTO_MIN_STATES` states and the
+#: scalar kernel below (tiny systems are faster scalar, and keep their
+#: historical ``compiled`` provenance).
+KERNEL_MODES = ("auto", "scalar", "bitset")
+BITSET_AUTO_MIN_STATES = 64
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
 
 
 class CompiledKernel:
@@ -182,7 +205,6 @@ class CompiledKernel:
         # every visited pair stays in it, in layer order.
         order = list(seed)
         record = order.append
-        setdefault = parents.setdefault
         cursor = 0
         if meter is None and stats is None:
             while cursor < len(order):
@@ -197,10 +219,12 @@ class CompiledKernel:
                     sj = successor[j]
                     if si != sj:
                         succ_pair = si * n + sj if si < sj else sj * n + si
-                        # One dict operation for membership + insert: the
-                        # packed value is unique per edge, so identity of
-                        # the returned value means the insert happened.
-                        if setdefault(succ_pair, packed) is packed:
+                        # Explicit containment, NOT `setdefault(...) is
+                        # packed`: identity of equal ints beyond the small
+                        # cache is a CPython detail, and a value-interning
+                        # runtime would re-record visited pairs.
+                        if succ_pair not in parents:
+                            parents[succ_pair] = packed
                             record(succ_pair)
                     packed += 1
             return array("L", order), parents
@@ -232,7 +256,8 @@ class CompiledKernel:
                     sj = successor[j]
                     if si != sj:
                         succ_pair = si * n + sj if si < sj else sj * n + si
-                        if setdefault(succ_pair, packed) is packed:
+                        if succ_pair not in parents:
+                            parents[succ_pair] = packed
                             record(succ_pair)
                     packed += 1
         finally:
@@ -252,7 +277,7 @@ class CompiledSystem:
     kept only for decoding ids back at the API boundary.
     """
 
-    __slots__ = ("system", "states", "kernel", "_sat_ids", "_composed")
+    __slots__ = ("system", "states", "kernel", "_bitset", "_lock", "_sat_ids", "_composed")
 
     def __init__(self, system: System) -> None:
         self.system = system
@@ -288,33 +313,61 @@ class CompiledSystem:
             tuple(op.name for op in system.operations),
             successors,
         )
-        self._sat_ids: dict[Constraint | None, array | None] = {}
-        self._composed: dict[tuple[int, ...], array] = {}
+        self._bitset: bitset.BitsetKernel | None = None
+        self._lock = threading.Lock()
+        self._sat_ids = LRUCache(SAT_IDS_CAP, "kernel.sat_ids.evictions")
+        self._composed = LRUCache(COMPOSED_CAP, "kernel.history_compose.evictions")
+
+    def bitset_kernel(self) -> bitset.BitsetKernel:
+        """The bulk (bitset/NumPy) twin of :attr:`kernel`, built once
+        (lazy — scalar-only engines never pay for the table copies)."""
+        if self._bitset is None:
+            built = bitset.BitsetKernel(self.kernel)
+            with self._lock:
+                if self._bitset is None:
+                    self._bitset = built
+        return self._bitset
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Size/capacity/eviction stats of the kernel-side bounded memos
+        — surfaced through ``DependencyEngine.cache_stats()``."""
+        with self._lock:
+            return {
+                "composed": self._composed.stats(),
+                "sat_ids": self._sat_ids.stats(),
+            }
 
     # -- constraints ----------------------------------------------------------
 
     def sat_ids(self, constraint: Constraint | None) -> array | None:
         """The satisfying state ids of ``constraint`` in ascending order,
-        or ``None`` for the unconstrained (full-space) fast path.  A
-        constraint satisfied by the whole space also maps to ``None`` —
-        its id list would be ``range(n)`` verbatim.  Cached per
-        constraint *instance*, mirroring the engine's closure keys."""
+        or ``None`` for the unconstrained (full-space) fast path.
+
+        Keyed by the *resolved* constraint identity, following the
+        engine's ``_flow_key`` convention: any constraint the whole
+        space satisfies resolves to ``None`` — the shared fast path —
+        so semantically-trivial instances stop minting per-instance
+        ``range(n)`` copies.  Distinct non-trivial instances still get
+        separate entries (predicates cannot be compared semantically
+        without enumerating them), but the memo is now a bounded LRU
+        (:data:`SAT_IDS_CAP`) instead of growing with the query stream.
+        """
         if constraint is None:
             return None
-        try:
-            return self._sat_ids[constraint]
-        except KeyError:
-            pass
+        with self._lock:
+            cached = self._sat_ids.get(constraint, _MISSING)
+        if cached is not _MISSING:
+            return cached
         sat = constraint.satisfying
-        cached: array | None
+        value: array | None
         if len(sat) == self.kernel.n:
-            cached = None
+            value = None
         else:
-            cached = array(
+            value = array(
                 "L", (i for i, state in enumerate(self.states) if state in sat)
             )
-        self._sat_ids[constraint] = cached
-        return cached
+        with self._lock:
+            return self._sat_ids.put(constraint, value)
 
     # -- fixed histories ------------------------------------------------------
 
@@ -332,32 +385,42 @@ class CompiledSystem:
         the way*: ``H`` and ``H' = H ; delta`` share all of ``H``'s work,
         which is what makes sweeps over ``System.histories(max_length)``
         linear in the number of histories rather than their total length.
+        The memo is a bounded LRU (:data:`COMPOSED_CAP`): long sweeps
+        churn the cold tail instead of growing without bound, and
+        eviction stays correct for prefix reuse because composition
+        always restarts from the *longest prefix still cached* (the
+        identity if everything was evicted) — an evicted prefix only
+        costs its gathers back, never a wrong array.
         """
         key = tuple(op_indices)
-        cached = self._composed.get(key)
-        if cached is not None:
-            obs.count("kernel.history_compose.memo_hit")
-            return cached
-        identity = self._composed.get(())
-        if identity is None:
-            identity = array("L", range(self.kernel.n))
-            self._composed[()] = identity
-        # Longest already-composed prefix, then extend one gather at a time.
-        prefix = len(key)
-        base = None
-        while prefix > 0:
-            base = self._composed.get(key[:prefix])
-            if base is not None:
-                break
-            prefix -= 1
-        if base is None:
-            base = identity
-            prefix = 0
+        with self._lock:
+            cached = self._composed.get(key)
+            if cached is not None:
+                obs.count("kernel.history_compose.memo_hit")
+                return cached
+            identity = self._composed.get(())
+            if identity is None:
+                identity = self._composed.put(
+                    (), array("L", range(self.kernel.n))
+                )
+            # Longest already-composed prefix, then extend one gather at
+            # a time (each written back, refreshing its recency).
+            prefix = len(key)
+            base = None
+            while prefix > 0:
+                base = self._composed.get(key[:prefix])
+                if base is not None:
+                    break
+                prefix -= 1
+            if base is None:
+                base = identity
+                prefix = 0
         successors = self.kernel.successors
         for pos in range(prefix, len(key)):
             succ = successors[key[pos]]
             base = array("L", (succ[i] for i in base))
-            self._composed[key[: pos + 1]] = base
+            with self._lock:
+                base = self._composed.put(key[: pos + 1], base)
         if len(key) > prefix:
             obs.count("kernel.history_compose.gathers", len(key) - prefix)
         return base
@@ -373,21 +436,39 @@ class CompiledSystem:
         constraint: Constraint | None = None,
         constraint_name: str = "tt",
         meter: BudgetMeter | None = None,
+        mode: str = "scalar",
     ) -> "CompiledClosure":
-        """Compute one canonical-pair closure in this process."""
+        """Compute one canonical-pair closure in this process.
+
+        ``mode`` selects the kernel: ``"scalar"`` runs the per-pair loop
+        above, ``"bitset"`` the bulk frontier kernel
+        (:class:`~repro.core.bitset.BitsetKernel`).  Both produce the
+        identical ``order``/parents sequence — the mode only changes how
+        fast it is computed and is recorded as the closure's
+        :attr:`~CompiledClosure.kernel_path` for provenance.
+        """
+        if mode == "bitset":
+            runner = self.bitset_kernel().closure
+            kernel_path = "compiled-bitset"
+        else:
+            runner = self.kernel.closure
+            kernel_path = "compiled"
         if not obs.is_enabled():
-            order, parents = self.kernel.closure(
+            order, parents = runner(
                 self.source_indices(sources), self.sat_ids(constraint), meter
             )
-            return CompiledClosure(self, sources, constraint_name, order, parents)
+            return CompiledClosure(
+                self, sources, constraint_name, order, parents, kernel_path
+            )
         stats: dict[str, int] = {}
         with obs.span(
             "kernel.closure",
             sources=",".join(sorted(sources)),
             constraint=constraint_name,
+            kernel=kernel_path,
         ):
             try:
-                order, parents = self.kernel.closure(
+                order, parents = runner(
                     self.source_indices(sources),
                     self.sat_ids(constraint),
                     meter,
@@ -395,7 +476,9 @@ class CompiledSystem:
                 )
             finally:
                 _emit_kernel_stats(stats)
-        return CompiledClosure(self, sources, constraint_name, order, parents)
+        return CompiledClosure(
+            self, sources, constraint_name, order, parents, kernel_path
+        )
 
 
 class CompiledClosure:
@@ -408,7 +491,15 @@ class CompiledClosure:
     to ``State`` objects happens only when a witness is materialized.
     """
 
-    __slots__ = ("compiled", "sources", "constraint_name", "order", "parents", "_first_diff")
+    __slots__ = (
+        "compiled",
+        "sources",
+        "constraint_name",
+        "order",
+        "parents",
+        "kernel_path",
+        "_first_diff",
+    )
 
     def __init__(
         self,
@@ -416,13 +507,15 @@ class CompiledClosure:
         sources: frozenset[str],
         constraint_name: str,
         order: array,
-        parents: dict[int, int],
+        parents: Mapping[int, int],
+        kernel_path: str = "compiled",
     ) -> None:
         self.compiled = compiled
         self.sources = sources
         self.constraint_name = constraint_name
         self.order = order
         self.parents = parents
+        self.kernel_path = kernel_path
         self._first_diff: dict[str, int] | None = None
 
     def __len__(self) -> int:
@@ -433,9 +526,18 @@ class CompiledClosure:
     def first_differing(self) -> Mapping[str, int]:
         """For each object name, the earliest reachable pair differing
         there (one integer sweep over the BFS order, cached).  A name
-        absent from the mapping is one no reachable pair distinguishes."""
+        absent from the mapping is one no reachable pair distinguishes.
+
+        Large closures are scanned as vectorized column comparisons
+        (:func:`repro.core.bitset.first_differing_scan`); small ones, or
+        NumPy-less runs, fall through to the scalar sweep — same result
+        either way."""
         if self._first_diff is None:
             kernel = self.compiled.kernel
+            scanned = bitset.first_differing_scan(kernel, self.order)
+            if scanned is not None:
+                self._first_diff = scanned
+                return self._first_diff
             n = kernel.n
             pending = list(zip(kernel.names, kernel.columns))
             first: dict[str, int] = {}
@@ -463,6 +565,11 @@ class CompiledClosure:
         target_list = sorted(targets)
         if not all(t in first for t in target_list):
             return None
+        handled, code = bitset.first_differing_at_all_scan(
+            kernel, self.order, target_list
+        )
+        if handled:
+            return code
         column_of = dict(zip(kernel.names, kernel.columns))
         cols = [column_of[t] for t in target_list]
         n = kernel.n
@@ -517,8 +624,17 @@ class CompiledClosure:
 # tuple, and the result is the raw (order, parents) integer closure,
 # decoded in the parent.  The task index feeds the fault-injection seam
 # (repro.core.faults) and labels worker-side budget trips.
+#
+# The kernel payload may also be a shared-memory handle (anything with an
+# ``attach()`` method — see repro.core.shm.KernelHandle): the worker then
+# maps the parent's table pages instead of unpickling per-process copies,
+# and parks the block in a module global so the memoryview casts stay
+# valid for the worker's lifetime.
 
 _WORKER_KERNEL: CompiledKernel | None = None
+_WORKER_SHM = None
+_WORKER_BITSET = None
+_WORKER_MODE: str = "scalar"
 _WORKER_SAT_IDS: array | None = None
 _WORKER_LIMITS: tuple[float | None, int | None, int | None] | None = None
 
@@ -526,23 +642,36 @@ _WORKER_LIMITS: tuple[float | None, int | None, int | None] | None = None
 def _emit_kernel_stats(stats: dict[str, int]) -> None:
     """Publish one traced BFS run's counters.  ``stats`` may be partial
     when the budget tripped mid-sweep — only the keys the kernel managed
-    to write are emitted."""
+    to write are emitted.  ``levels`` is written by the bulk kernel
+    only (the scalar loop has no level barrier to count)."""
     if "expansions" in stats:
         obs.count("kernel.pair_expansions", stats["expansions"])
     if "discovered" in stats:
         obs.count("kernel.pairs_discovered", stats["discovered"])
     if "frontier_high_water" in stats:
         obs.gauge_max("kernel.frontier_high_water", stats["frontier_high_water"])
+    if "levels" in stats:
+        obs.count("kernel.bitset.levels", stats["levels"])
 
 
 def _worker_init(
-    kernel: CompiledKernel,
+    kernel,
     sat_ids: array | None,
     limits: tuple[float | None, int | None, int | None] | None = None,
     telemetry: bool = False,
+    mode: str = "scalar",
 ) -> None:
-    global _WORKER_KERNEL, _WORKER_SAT_IDS, _WORKER_LIMITS
-    _WORKER_KERNEL = kernel
+    global _WORKER_KERNEL, _WORKER_SHM, _WORKER_BITSET, _WORKER_MODE
+    global _WORKER_SAT_IDS, _WORKER_LIMITS
+    if hasattr(kernel, "attach"):
+        _WORKER_KERNEL, _WORKER_SHM = kernel.attach()
+    else:
+        _WORKER_KERNEL = kernel
+        _WORKER_SHM = None
+    _WORKER_MODE = mode
+    _WORKER_BITSET = (
+        bitset.BitsetKernel(_WORKER_KERNEL) if mode == "bitset" else None
+    )
     _WORKER_SAT_IDS = sat_ids
     _WORKER_LIMITS = limits
     if telemetry:
@@ -551,13 +680,16 @@ def _worker_init(
 
 def _worker_closure(
     task: tuple[int, tuple[int, ...]]
-) -> tuple[array, dict[int, int], obs.telemetry.Batch | None]:
+) -> tuple[array, Mapping[int, int], obs.telemetry.Batch | None]:
     """One closure in a pool worker.  The third element is the worker's
     telemetry batch (spans + counters accumulated since the previous
     task), shipped home for :func:`repro.obs.absorb_batch` — or ``None``
     when telemetry is off, keeping the result stream byte-identical to
     the untraced path."""
     assert _WORKER_KERNEL is not None, "worker pool initializer did not run"
+    runner = (
+        _WORKER_BITSET.closure if _WORKER_BITSET is not None else _WORKER_KERNEL.closure
+    )
     index, source_indices = task
     faults.inject("worker", index)
     meter = None
@@ -565,14 +697,12 @@ def _worker_closure(
         budget = ExecutionBudget.from_limits(_WORKER_LIMITS)
         meter = budget.start(f"worker closure #{index}")
     if not obs.is_enabled():
-        order, parents = _WORKER_KERNEL.closure(source_indices, _WORKER_SAT_IDS, meter)
+        order, parents = runner(source_indices, _WORKER_SAT_IDS, meter)
         return order, parents, None
     stats: dict[str, int] = {}
     with obs.span("worker.closure", task=index):
         try:
-            order, parents = _WORKER_KERNEL.closure(
-                source_indices, _WORKER_SAT_IDS, meter, stats
-            )
+            order, parents = runner(source_indices, _WORKER_SAT_IDS, meter, stats)
         finally:
             _emit_kernel_stats(stats)
     return order, parents, obs.export_batch()

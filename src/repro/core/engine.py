@@ -50,10 +50,10 @@ work across the whole library.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
-from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -66,13 +66,19 @@ from repro.core.budget import (
     ExecutionLog,
     ExecutionReport,
 )
+from repro.core.cache import LRUCache as _LRUCache
 from repro.core.compiled import (
+    BITSET_AUTO_MIN_STATES,
+    COMPOSED_CAP,
+    KERNEL_MODES,
+    SAT_IDS_CAP,
     CompiledClosure,
     CompiledSystem,
     _worker_closure,
     _worker_init,
 )
 from repro.core.constraints import Constraint
+from repro.core.shm import KernelArena
 from repro.core.dependency import DependencyResult, Witness
 from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State
@@ -102,65 +108,28 @@ _RETRY_MAX_DELAY = 1.0
 #: (closures are few and huge — recomputing one costs a full BFS), but the
 #: history memos grow with the number of *histories* queried, which
 #: ``System.histories(max_length)`` sweeps make combinatorial.
+#: (``_LRUCache`` itself moved to :mod:`repro.core.cache` in PR 6 so the
+#: compiled substrate can bound its own memos without a circular import.)
 _HISTORY_TABLE_CAP = 1024
 _HISTORY_SET_CAP = 4096
 
+#: Environment override for the engine's kernel selection mode; any value
+#: in :data:`~repro.core.compiled.KERNEL_MODES` ("auto"/"scalar"/"bitset").
+ENV_KERNEL = "REPRO_KERNEL"
 
-class _LRUCache:
-    """Bounded memo: an :class:`~collections.OrderedDict` LRU, mutated
-    only under the owning engine's lock.
 
-    ``get`` refreshes recency; ``put`` keeps first-writer-wins semantics
-    (matching the ``setdefault`` idiom of the unbounded dicts it
-    replaces) and evicts least-recently-used entries past ``capacity``,
-    reporting each eviction on the named telemetry counter and the
-    running total as a gauge.  Eviction is safe by construction: every
-    entry is recomputable from the closure/bucket machinery, so a cap
-    only bounds memory, never correctness.
-    """
-
-    __slots__ = ("capacity", "counter", "evictions", "_data")
-
-    def __init__(self, capacity: int, counter: str) -> None:
-        if capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self.counter = counter
-        self.evictions = 0
-        self._data: OrderedDict = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def get(self, key, default=None):
-        try:
-            value = self._data[key]
-        except KeyError:
-            return default
-        self._data.move_to_end(key)
-        return value
-
-    def put(self, key, value):
-        """Insert unless present (first writer wins) and return the
-        stored value, evicting past ``capacity``."""
-        existing = self._data.get(key, _UNCOMPUTED)
-        if existing is not _UNCOMPUTED:
-            self._data.move_to_end(key)
-            return existing
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            obs.count(self.counter)
-            obs.gauge_max(self.counter, self.evictions)
-        return value
-
-    def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._data),
-            "capacity": self.capacity,
-            "evictions": self.evictions,
-        }
+def _resolve_kernel_mode(kernel: str | None) -> str:
+    """The engine's kernel-selection mode: the explicit constructor
+    argument, else the :data:`ENV_KERNEL` environment variable, else
+    ``auto``.  Rejects unknown modes loudly — a typo silently falling
+    back to scalar would be an invisible 10x."""
+    if kernel is None:
+        kernel = os.environ.get(ENV_KERNEL) or "auto"
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    return kernel
 
 
 class PairClosure:
@@ -263,9 +232,16 @@ class DependencyEngine:
         system: System,
         compiled: bool = True,
         budget: ExecutionBudget | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.system = system
         self._use_compiled = compiled
+        #: Kernel selection (see :data:`~repro.core.compiled.KERNEL_MODES`):
+        #: ``auto`` (default) runs the bulk bitset kernel on spaces of at
+        #: least :data:`~repro.core.compiled.BITSET_AUTO_MIN_STATES` states
+        #: and the scalar kernel below; ``scalar``/``bitset`` force one.
+        #: ``None`` defers to the ``REPRO_KERNEL`` environment variable.
+        self._kernel_mode = _resolve_kernel_mode(kernel)
         #: Engine-wide default :class:`~repro.core.budget.ExecutionBudget`.
         #: Every governed loop (closure BFS, history sweep, flow sweep)
         #: starts a fresh meter from it; per-call ``budget=`` arguments
@@ -300,12 +276,29 @@ class DependencyEngine:
         self._history_set_memo = _LRUCache(
             _HISTORY_SET_CAP, "engine.history_set.evictions"
         )
+        #: Closure request counts per (A, phi) key — every `_closure_info`
+        #: call increments, memo hit or miss, so the ranking reflects
+        #: demand, not cache state.  Feeds :meth:`hot_closures` and the
+        #: hotness-first ordering of warm fan-outs.
+        self._hotness: dict[
+            tuple[frozenset[str], Constraint | None], int
+        ] = {}
         self._lock = threading.Lock()
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Sizes (and, for the bounded memos, capacities and eviction
         totals) of every engine cache — the observability surface the
-        ``repro stats`` subcommand and tests read."""
+        ``repro stats`` subcommand and tests read.  Includes the
+        kernel-side bounded memos (composed prefixes, satisfying ids)
+        when the system has been compiled; before compilation they
+        report empty at their configured capacities."""
+        if self._compiled is not None:
+            kernel_stats = self._compiled.cache_stats()
+        else:
+            kernel_stats = {
+                "composed": {"size": 0, "capacity": COMPOSED_CAP, "evictions": 0},
+                "sat_ids": {"size": 0, "capacity": SAT_IDS_CAP, "evictions": 0},
+            }
         with self._lock:
             return {
                 "closures": {"size": len(self._closures)},
@@ -314,6 +307,9 @@ class DependencyEngine:
                 "history_maps": {"size": len(self._history_maps)},
                 "history_tables": self._history_tables.stats(),
                 "history_set": self._history_set_memo.stats(),
+                "kernel_composed": kernel_stats["composed"],
+                "kernel_sat_ids": kernel_stats["sat_ids"],
+                "hot_closures": {"size": len(self._hotness)},
             }
 
     # -- compilation / transition tabulation ----------------------------------
@@ -401,6 +397,21 @@ class DependencyEngine:
         a single call ungoverned on a budgeted engine."""
         return budget if budget is not None else self.budget
 
+    def _closure_mode(self) -> str:
+        """The concrete kernel this engine's closures run on: ``scalar``
+        or ``bitset``.  ``auto`` resolves by space size — bulk expansion
+        only pays off once frontiers are wide, and small systems keep
+        their historical ``compiled`` provenance."""
+        if not self._use_compiled:
+            return "scalar"
+        if self._kernel_mode == "auto":
+            return (
+                "bitset"
+                if self.system.space.size >= BITSET_AUTO_MIN_STATES
+                else "scalar"
+            )
+        return self._kernel_mode
+
     def _closure(
         self,
         sources: Iterable[str],
@@ -432,7 +443,11 @@ class DependencyEngine:
         source_set = self.system.space.check_names(sources)
         phi = self._resolve(constraint)
         key = (source_set, constraint)
+        obs.count("engine.closure.requests")
         with self._lock:
+            # Hotness counts *requests* (hit or miss): the ranking that
+            # drives prewarm_hot and warm ordering reflects demand.
+            self._hotness[key] = self._hotness.get(key, 0) + 1
             cached = self._closures.get(key)
         if cached is not None:
             obs.count("engine.closure.memo_hit")
@@ -451,7 +466,11 @@ class DependencyEngine:
                 if self._use_compiled:
                     closure: PairClosure | CompiledClosure = (
                         self.compiled_system().closure(
-                            source_set, constraint, phi.name, meter
+                            source_set,
+                            constraint,
+                            phi.name,
+                            meter,
+                            self._closure_mode(),
                         )
                     )
                 else:
@@ -601,11 +620,17 @@ class DependencyEngine:
         budget: ExecutionBudget | None,
         witness: Witness | None = None,
         closure_pairs: int | None = None,
+        kernel: str | None = None,
     ) -> Provenance:
         """The provenance record for one engine answer: which kernel
-        decided it, whether the memo served it, and under what budget."""
+        decided it, whether the memo served it, and under what budget.
+        ``kernel`` overrides the engine-level default with the closure's
+        own recorded path (``compiled-bitset`` vs ``compiled``) when the
+        answer came from a specific closure."""
+        if kernel is None:
+            kernel = "compiled" if self._use_compiled else "object"
         return Provenance(
-            kernel="compiled" if self._use_compiled else "object",
+            kernel=kernel,
             memo="hit" if hit else "fresh",
             budget=(
                 "governed" if self._resolve_budget(budget) is not None else "none"
@@ -632,6 +657,7 @@ class DependencyEngine:
         self.system.space.check_names([target])
         closure, hit = self._closure_info(sources, constraint, budget)
         targets = frozenset([target])
+        kernel_path = getattr(closure, "kernel_path", None)
         pair = closure.first_differing().get(target)
         if pair is None:
             return DependencyResult(
@@ -640,7 +666,7 @@ class DependencyEngine:
                 targets,
                 closure.constraint_name,
                 provenance=self._provenance(
-                    hit, budget, closure_pairs=len(closure)
+                    hit, budget, closure_pairs=len(closure), kernel=kernel_path
                 ),
             )
         witness = self._witness(closure, pair, targets)
@@ -651,7 +677,7 @@ class DependencyEngine:
             closure.constraint_name,
             witness,
             provenance=self._provenance(
-                hit, budget, witness, closure_pairs=len(closure)
+                hit, budget, witness, closure_pairs=len(closure), kernel=kernel_path
             ),
         )
 
@@ -668,6 +694,7 @@ class DependencyEngine:
         if not target_set:
             raise ConstraintError("target set B must be non-empty")
         closure, hit = self._closure_info(sources, constraint, budget)
+        kernel_path = getattr(closure, "kernel_path", None)
         pair = closure.first_differing_at_all(target_set)
         if pair is None:
             return DependencyResult(
@@ -676,7 +703,7 @@ class DependencyEngine:
                 target_set,
                 closure.constraint_name,
                 provenance=self._provenance(
-                    hit, budget, closure_pairs=len(closure)
+                    hit, budget, closure_pairs=len(closure), kernel=kernel_path
                 ),
             )
         witness = self._witness(closure, pair, target_set)
@@ -687,7 +714,7 @@ class DependencyEngine:
             closure.constraint_name,
             witness,
             provenance=self._provenance(
-                hit, budget, witness, closure_pairs=len(closure)
+                hit, budget, witness, closure_pairs=len(closure), kernel=kernel_path
             ),
         )
 
@@ -1121,8 +1148,16 @@ class DependencyEngine:
         unique = list(dict.fromkeys(family))
         with self._lock:
             pending = [a for a in unique if (a, constraint) not in self._closures]
+            hotness = {
+                a: self._hotness.get((a, constraint), 0) for a in pending
+            }
         if not pending:
             return
+        # Hottest first: under a budget (or a mid-warm failure) the
+        # closures most likely to be asked for again are the ones that
+        # made it into the memo.  The sort is stable, so untouched
+        # sources keep their family order.
+        pending.sort(key=lambda a: -hotness[a])
         total = len(pending)
         started = time.perf_counter()
         retries = 0
@@ -1189,6 +1224,13 @@ class DependencyEngine:
         up after failures, and the sources still uncomputed when the
         retry budget ran out (empty on success).  Pool-level failures are
         *contained* here; only budget trips propagate.
+
+        The kernel's flat tables travel through a shared-memory arena
+        (:class:`~repro.core.shm.KernelArena`) when the platform allows:
+        workers attach ``memoryview`` casts over one copy of the pages
+        instead of unpickling per-process duplicates.  Arena creation
+        failing (no POSIX shm) silently falls back to the pickled kernel
+        — counted on ``pool.shm.fallbacks``.
         """
         phi = self._resolve(constraint)
         compiled = self.compiled_system()
@@ -1196,57 +1238,77 @@ class DependencyEngine:
             self.system.space.check_names(sources)
         sat_ids = compiled.sat_ids(constraint)
         limits = budget.limits() if budget is not None and budget.bounded else None
-        remaining = list(pending)
-        retries = 0
-        delay = _RETRY_BASE_DELAY
-        while remaining:
-            tasks = [
-                (k, compiled.source_indices(a)) for k, a in enumerate(remaining)
-            ]
-            workers = min(max_workers, len(tasks))
-            # chunksize=1 (the map default) pays one IPC round-trip per
-            # closure; batch tiny tasks so each worker gets ~4 chunks.
-            chunksize = max(1, len(tasks) // (workers * 4))
-            done = 0
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_init,
-                    initargs=(compiled.kernel, sat_ids, limits, obs.is_enabled()),
-                )
-            except OSError:
-                # No usable process pool on this platform (sandboxed
-                # semaphores, fork restrictions, ...): nothing to retry.
-                return retries, remaining
-            try:
-                with pool:
-                    for order, parents, batch in pool.map(
-                        _worker_closure, tasks, chunksize=chunksize
-                    ):
-                        obs.absorb_batch(batch)
-                        source_set = frozenset(remaining[done])
-                        closure = CompiledClosure(
-                            compiled, source_set, phi.name, order, parents
-                        )
-                        with self._lock:
-                            self._closures.setdefault(
-                                (source_set, constraint), closure
-                            )
-                        done += 1
-            except BudgetExceededError:
-                raise
-            except _POOL_FAILURES:
-                # Results stream back in task order, so the first `done`
-                # sources are memoized; only the rest need a fresh pool.
-                remaining = remaining[done:]
-                if retries >= _POOL_RETRIES:
+        mode = self._closure_mode()
+        arena: KernelArena | None = None
+        try:
+            arena = KernelArena.create(compiled.kernel)
+            obs.count("pool.shm.arenas")
+            obs.gauge_max("pool.shm.bytes", arena.size)
+            payload = arena.handle()
+        except Exception:
+            obs.count("pool.shm.fallbacks")
+            payload = compiled.kernel
+        try:
+            remaining = list(pending)
+            retries = 0
+            delay = _RETRY_BASE_DELAY
+            while remaining:
+                tasks = [
+                    (k, compiled.source_indices(a)) for k, a in enumerate(remaining)
+                ]
+                workers = min(max_workers, len(tasks))
+                # chunksize=1 (the map default) pays one IPC round-trip per
+                # closure; batch tiny tasks so each worker gets ~4 chunks.
+                chunksize = max(1, len(tasks) // (workers * 4))
+                done = 0
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_worker_init,
+                        initargs=(payload, sat_ids, limits, obs.is_enabled(), mode),
+                    )
+                except OSError:
+                    # No usable process pool on this platform (sandboxed
+                    # semaphores, fork restrictions, ...): nothing to retry.
                     return retries, remaining
-                retries += 1
-                time.sleep(delay)
-                delay = min(delay * 2, _RETRY_MAX_DELAY)
-                continue
-            remaining = []
-        return retries, remaining
+                kernel_path = "compiled-bitset" if mode == "bitset" else "compiled"
+                try:
+                    with pool:
+                        for order, parents, batch in pool.map(
+                            _worker_closure, tasks, chunksize=chunksize
+                        ):
+                            obs.absorb_batch(batch)
+                            source_set = frozenset(remaining[done])
+                            closure = CompiledClosure(
+                                compiled,
+                                source_set,
+                                phi.name,
+                                order,
+                                parents,
+                                kernel_path,
+                            )
+                            with self._lock:
+                                self._closures.setdefault(
+                                    (source_set, constraint), closure
+                                )
+                            done += 1
+                except BudgetExceededError:
+                    raise
+                except _POOL_FAILURES:
+                    # Results stream back in task order, so the first `done`
+                    # sources are memoized; only the rest need a fresh pool.
+                    remaining = remaining[done:]
+                    if retries >= _POOL_RETRIES:
+                        return retries, remaining
+                    retries += 1
+                    time.sleep(delay)
+                    delay = min(delay * 2, _RETRY_MAX_DELAY)
+                    continue
+                remaining = []
+            return retries, remaining
+        finally:
+            if arena is not None:
+                arena.destroy()
 
     def _warm_threads(
         self,
@@ -1339,6 +1401,54 @@ class DependencyEngine:
             }
             for x in names
         }
+
+    # -- hotness / prewarming -------------------------------------------------
+
+    def hot_closures(
+        self, k: int | None = None
+    ) -> list[tuple[tuple[frozenset[str], Constraint | None], int]]:
+        """The most-requested ``(A, phi)`` closure keys with their request
+        counts, hottest first (ties in first-seen order — the count dict
+        preserves insertion and the sort is stable).  This is the PR-5
+        telemetry turned into a schedule: every :meth:`depends_ever` /
+        :meth:`depends_ever_set` call counts, whether the memo served it
+        or not."""
+        with self._lock:
+            ranked = sorted(self._hotness.items(), key=lambda kv: -kv[1])
+        return ranked if k is None else ranked[:k]
+
+    def prewarm_hot(
+        self,
+        k: int,
+        max_workers: int | None = None,
+        executor: str = "process",
+        budget: ExecutionBudget | None = None,
+    ) -> int:
+        """Compute the closures for the ``k`` hottest ``(A, phi)`` pairs
+        that are not yet memoized, fanned out like any other warm.
+
+        Budget-tripped closures never enter the memo, so this is the
+        recovery path after governed runs: lift (or keep) the budget and
+        re-run exactly the demand-ranked misses.  Returns the number of
+        closures that were actually pending.  Keys are grouped per
+        constraint (a warm fan-out ships one ``sat(phi)`` to the pool).
+        """
+        with self._lock:
+            missing = [
+                key
+                for key, _ in sorted(self._hotness.items(), key=lambda kv: -kv[1])
+                if key not in self._closures
+            ][:k]
+        if not missing:
+            return 0
+        by_constraint: dict[Constraint | None, list[frozenset[str]]] = {}
+        for source_set, constraint in missing:
+            by_constraint.setdefault(constraint, []).append(source_set)
+        obs.count("engine.prewarm.runs")
+        obs.count("engine.prewarm.closures", len(missing))
+        for constraint, family in by_constraint.items():
+            self._warm(family, constraint, max_workers, executor, budget)
+        return len(missing)
 
     # -- single-step flows ----------------------------------------------------
 

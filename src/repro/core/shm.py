@@ -1,0 +1,166 @@
+"""Shared-memory kernel arena for process-pool fan-out.
+
+``DependencyEngine._warm`` previously shipped the whole
+:class:`~repro.core.compiled.CompiledKernel` to every pool worker by
+pickle: the flat successor and column arrays — the only large part —
+were serialized once per worker and unpickled into per-process copies.
+This module moves those arrays into one
+:class:`multiprocessing.shared_memory.SharedMemory` block instead.  The
+parent builds a :class:`KernelArena` (one copy of every table into the
+block), ships the tiny picklable :class:`KernelHandle` (block name plus
+shape metadata) through the pool initializer, and each worker
+:meth:`attaches <KernelHandle.attach>` zero-copy ``memoryview`` casts
+over the same physical pages.  The reconstructed kernel is
+indistinguishable to the BFS: ``array('L')`` and a ``memoryview`` cast
+to ``'L'`` answer integer indexing identically.
+
+Failure posture: arena creation can fail on platforms without usable
+POSIX shared memory — the engine catches that and falls back to pickling
+the kernel, so shared memory is an optimization, never a requirement.
+The well-known CPython < 3.13 wart where *attaching* registers the block
+with the resource tracker is neutralized by suppressing the registration
+during attach (``track=False`` on 3.13+).  Unregistering *after* attach
+— the other common workaround — is wrong for fork-started pools: the
+children share the parent's tracker process, so a worker's unregister
+would delete the parent's own registration and the parent's ``unlink``
+would then crash the tracker loop.  The parent remains the single owner
+and unlinks in ``finally``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.core.compiled import CompiledKernel
+
+#: Bytes per table entry: every kernel table is ``array('L')``.
+ITEM_SIZE = array("L").itemsize
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering it with the resource
+    tracker.
+
+    On CPython < 3.13 merely *attaching* registers the segment, which
+    makes the tracker unlink (or warn about) pages the worker never
+    owned.  3.13+ exposes ``track=False`` for exactly this; earlier
+    versions get the registration suppressed for the duration of the
+    constructor — safe here because attach happens in the pool
+    initializer, before the worker runs anything concurrent.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+
+    def _skip(resource_name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class KernelHandle:
+    """The picklable pointer a pool worker needs to rebuild the kernel:
+    the shared block's name plus the small immutable metadata
+    (everything except the flat tables).  ``attach`` is the inverse of
+    :meth:`KernelArena.create`."""
+
+    name: str
+    n: int
+    names: tuple[str, ...]
+    sizes: tuple[int, ...]
+    strides: tuple[int, ...]
+    op_names: tuple[str, ...]
+    n_successors: int
+
+    def attach(self) -> tuple[CompiledKernel, shared_memory.SharedMemory]:
+        """Map the arena and rebuild a ``CompiledKernel`` whose tables
+        are ``memoryview`` casts into it.  The returned block must stay
+        referenced as long as the kernel is used (the views borrow its
+        buffer) — workers park it in a module global."""
+        block = _attach_untracked(self.name)
+        span = self.n * ITEM_SIZE
+        view = memoryview(block.buf)
+        tables = tuple(
+            view[k * span : (k + 1) * span].cast("L")
+            for k in range(self.n_successors + len(self.names))
+        )
+        kernel = CompiledKernel(
+            self.n,
+            self.names,
+            self.sizes,
+            self.strides,
+            tables[self.n_successors :],
+            self.op_names,
+            tables[: self.n_successors],
+        )
+        return kernel, block
+
+
+class KernelArena:
+    """Parent-side owner of one kernel's shared tables.
+
+    Layout: the successor arrays then the column arrays, back to back,
+    each exactly ``n`` items of ``'L'``.  The arena owns the block: it
+    is created here, every worker attaches read-only by convention, and
+    :meth:`destroy` (in the warm fan-out's ``finally``) closes and
+    unlinks it exactly once.
+    """
+
+    __slots__ = ("_block", "_handle", "size")
+
+    def __init__(
+        self, block: shared_memory.SharedMemory, handle: KernelHandle, size: int
+    ) -> None:
+        self._block = block
+        self._handle = handle
+        self.size = size
+
+    @classmethod
+    def create(cls, kernel: CompiledKernel) -> "KernelArena":
+        tables = (*kernel.successors, *kernel.columns)
+        total = max(len(tables) * kernel.n * ITEM_SIZE, 1)
+        block = shared_memory.SharedMemory(create=True, size=total)
+        offset = 0
+        for table in tables:
+            raw = bytes(table) if not isinstance(table, array) else table.tobytes()
+            block.buf[offset : offset + len(raw)] = raw
+            offset += len(raw)
+        handle = KernelHandle(
+            name=block.name,
+            n=kernel.n,
+            names=kernel.names,
+            sizes=kernel.sizes,
+            strides=kernel.strides,
+            op_names=kernel.op_names,
+            n_successors=len(kernel.successors),
+        )
+        return cls(block, handle, total)
+
+    def handle(self) -> KernelHandle:
+        return self._handle
+
+    def destroy(self) -> None:
+        """Close this mapping and unlink the segment.  Safe to call
+        once the pool has shut down; on Linux, unlinking while workers
+        are still attached only removes the name — the pages survive
+        until the last mapping drops."""
+        try:
+            self._block.close()
+        except Exception:
+            pass
+        try:
+            self._block.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass

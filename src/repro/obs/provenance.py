@@ -21,8 +21,10 @@ from dataclasses import dataclass
 
 #: The kernel paths a verdict can come from.
 KERNEL_PATHS = (
-    "compiled",       # integer kernel: canonical unordered pairs / arrays
-    "object",         # PR-1 object path (compiled=False engines)
+    "compiled",         # integer kernel: canonical unordered pairs / arrays
+    "compiled-bitset",  # bulk frontier kernel: bitset visited set, whole-
+                        # frontier expansion (witness-identical to compiled)
+    "object",           # PR-1 object path (compiled=False engines)
     "seed-fallback",  # direct per-state Def 2-10 checker (foreign operations)
     "one-step",       # budget-degraded audit cell: length-1 witness only
     "unknown",        # budget exhausted, nothing established

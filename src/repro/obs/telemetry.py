@@ -396,6 +396,7 @@ SPAN_NAMES = (
 
 #: Counter names (cumulative) and gauge names (high-water marks).
 COUNTER_NAMES = (
+    "engine.closure.requests",
     "engine.closure.memo_hit",
     "engine.closure.memo_miss",
     "engine.history_table.memo_hit",
@@ -406,12 +407,19 @@ COUNTER_NAMES = (
     "engine.history_set.evictions",
     "engine.step_flows.memo_hit",
     "engine.step_flows.memo_miss",
+    "engine.prewarm.runs",
+    "engine.prewarm.closures",
     "kernel.pair_expansions",
     "kernel.pairs_discovered",
     "kernel.history_compose.memo_hit",
     "kernel.history_compose.gathers",
+    "kernel.history_compose.evictions",
+    "kernel.sat_ids.evictions",
+    "kernel.bitset.levels",
     "pool.retries",
     "pool.degradations",
+    "pool.shm.arenas",
+    "pool.shm.fallbacks",
     "budget.trips",
     "execution.reports",
     "execution.reports_dropped",
@@ -422,6 +430,9 @@ GAUGE_NAMES = (
     "engine.closure.pairs",
     "engine.history_table.evictions",
     "engine.history_set.evictions",
+    "kernel.history_compose.evictions",
+    "kernel.sat_ids.evictions",
+    "pool.shm.bytes",
     "execution.log_size",
 )
 

@@ -1,0 +1,277 @@
+"""Unit tests for the bulk frontier kernel (repro.core.bitset).
+
+These pin the *mechanics*: vectorized Def 1-1 seeding reproduces the
+scalar bucket order exactly, the bulk BFS emits the byte-identical
+``order``/parents sequence on both the NumPy and the pure bulk paths,
+``PackedParents`` behaves like the dict it replaces, and the vectorized
+column scans agree with the scalar sweeps.  Statistical agreement over
+random systems lives in ``tests/property/test_bitset_agreement.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.core import bitset
+from repro.core.bitset import (
+    ENV_NUMPY_FLAG,
+    INITIAL,
+    SCAN_MIN_PAIRS,
+    BitsetKernel,
+    PackedParents,
+    load_numpy,
+)
+from repro.core.budget import BudgetExceededError, ExecutionBudget
+from repro.core.compiled import CompiledSystem
+from repro.core.state import Space
+from repro.core.system import Operation, System
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture
+def mixed() -> System:
+    space = Space({"a": (0, 1, 2), "b": (False, True), "c": ("x", "y")})
+    ops = [
+        Operation("bump", lambda s: s.replace(a=(s["a"] + 1) % 3)),
+        Operation(
+            "couple", lambda s: s.replace(b=s["a"] > 0, c="y" if s["b"] else "x")
+        ),
+    ]
+    return System(space, ops)
+
+
+def xor_ring(n: int) -> System:
+    b = SystemBuilder()
+    for i in range(n):
+        b.integers(f"x{i}", bits=1)
+    for i in range(n):
+        nxt = f"x{(i + 1) % n}"
+        b.op_assign(f"m{i}", nxt, (var(nxt) + var(f"x{i}")) % 2)
+    return b.build()
+
+
+def scalar_seeds(kernel, source_indices, sat_ids=None) -> list[int]:
+    """The Def 2-8 seed codes exactly as the scalar nested loops emit
+    them — the reference the vectorized seeding must reproduce."""
+    n = kernel.n
+    seeds: list[int] = []
+    for bucket in kernel.buckets(source_indices, sat_ids).values():
+        m = len(bucket)
+        for a in range(m - 1):
+            base = bucket[a] * n
+            for b in range(a + 1, m):
+                seeds.append(base + bucket[b])
+    return seeds
+
+
+class TestSeeding:
+    def test_seed_codes_match_scalar_bucket_order(self, mixed):
+        compiled = CompiledSystem(mixed)
+        bulk = BitsetKernel(compiled.kernel, use_numpy=True)
+        for sources in [(0,), (1,), (0, 2), (0, 1, 2)]:
+            got = bulk._seed_codes_np(sources, None).tolist()
+            assert got == scalar_seeds(compiled.kernel, sources)
+
+    def test_seed_codes_match_on_constrained_subsets(self, mixed):
+        compiled = CompiledSystem(mixed)
+        bulk = BitsetKernel(compiled.kernel, use_numpy=True)
+        # Every third state: uneven buckets, some singletons.
+        sat = array("L", range(0, compiled.kernel.n, 3))
+        for sources in [(0,), (2,), (0, 1)]:
+            got = bulk._seed_codes_np(sources, sat).tolist()
+            assert got == scalar_seeds(compiled.kernel, sources, sat)
+
+    def test_empty_source_set_seeds_within_single_bucket(self, mixed):
+        compiled = CompiledSystem(mixed)
+        bulk = BitsetKernel(compiled.kernel, use_numpy=True)
+        got = bulk._seed_codes_np((), None).tolist()
+        assert got == scalar_seeds(compiled.kernel, ())
+
+
+class TestClosureIdentity:
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_closure_identical_to_scalar(self, mixed, use_numpy, monkeypatch):
+        if not use_numpy:
+            monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        compiled = CompiledSystem(mixed)
+        bulk = BitsetKernel(compiled.kernel)
+        assert (bulk.np is not None) == use_numpy
+        for sources in [(0,), (1,), (2,), (0, 1)]:
+            s_order, s_parents = compiled.kernel.closure(sources)
+            b_order, b_parents = bulk.closure(sources)
+            assert list(b_order) == list(s_order)
+            assert dict(b_parents) == s_parents
+
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_closure_identical_on_xor_ring(self, use_numpy, monkeypatch):
+        if not use_numpy:
+            monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        compiled = CompiledSystem(xor_ring(6))
+        bulk = BitsetKernel(compiled.kernel)
+        s_order, s_parents = compiled.kernel.closure((0,))
+        b_order, b_parents = bulk.closure((0,))
+        assert list(b_order) == list(s_order)
+        assert dict(b_parents) == s_parents
+
+    def test_closure_with_constrained_sat_ids(self, mixed):
+        compiled = CompiledSystem(mixed)
+        bulk = BitsetKernel(compiled.kernel, use_numpy=True)
+        sat = array("L", range(0, compiled.kernel.n, 2))
+        s_order, s_parents = compiled.kernel.closure((0,), sat)
+        b_order, b_parents = bulk.closure((0,), sat)
+        assert list(b_order) == list(s_order)
+        assert dict(b_parents) == s_parents
+
+    def test_no_operations_closure_is_seeds_only(self):
+        space = Space({"a": (0, 1), "b": (0, 1)})
+        compiled = CompiledSystem(System(space, []))
+        bulk = BitsetKernel(compiled.kernel, use_numpy=True)
+        s_order, s_parents = compiled.kernel.closure((0,))
+        b_order, b_parents = bulk.closure((0,))
+        assert list(b_order) == list(s_order)
+        assert dict(b_parents) == s_parents
+        assert all(v == INITIAL for v in dict(b_parents).values())
+
+    def test_numpy_required_raises_without_numpy(self, mixed, monkeypatch):
+        monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        assert load_numpy() is None
+        with pytest.raises(RuntimeError):
+            BitsetKernel(CompiledSystem(mixed).kernel, use_numpy=True)
+
+
+class TestBudget:
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_zero_budget_trips_before_expansion(self, use_numpy, monkeypatch):
+        if not use_numpy:
+            monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        compiled = CompiledSystem(xor_ring(6))
+        bulk = BitsetKernel(compiled.kernel)
+        meter = ExecutionBudget(max_expanded=0).start("test")
+        with pytest.raises(BudgetExceededError) as exc:
+            bulk.closure((0,), meter=meter)
+        assert exc.value.partial.expanded == 0
+
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_small_budget_trips_and_completed_run_is_exact(
+        self, use_numpy, monkeypatch
+    ):
+        if not use_numpy:
+            monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        compiled = CompiledSystem(xor_ring(6))
+        bulk = BitsetKernel(compiled.kernel)
+        full_order, _ = compiled.kernel.closure((0,))
+        meter = ExecutionBudget(max_expanded=10).start("test")
+        with pytest.raises(BudgetExceededError):
+            bulk.closure((0,), meter=meter)
+        # A budget generous enough to finish changes nothing.
+        meter = ExecutionBudget(max_expanded=len(full_order) * 2).start("t")
+        order, _ = bulk.closure((0,), meter=meter)
+        assert list(order) == list(full_order)
+
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_stats_include_levels(self, use_numpy, monkeypatch):
+        if not use_numpy:
+            monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        compiled = CompiledSystem(xor_ring(5))
+        bulk = BitsetKernel(compiled.kernel)
+        stats: dict[str, int] = {}
+        order, parents = bulk.closure((0,), stats=stats)
+        assert stats["discovered"] == len(order) == len(parents)
+        assert stats["expansions"] == len(order)
+        assert stats["levels"] >= 1
+        assert stats["frontier_high_water"] >= 1
+
+
+class TestPackedParents:
+    def _packed(self):
+        codes = np.array([7, 3, 11, 5], dtype=np.int64)
+        packed = np.array([INITIAL, 70, 30, 110], dtype=np.int64)
+        return PackedParents(codes, packed)
+
+    def test_mapping_behaviour(self):
+        parents = self._packed()
+        assert len(parents) == 4
+        assert parents[7] == INITIAL
+        assert parents[3] == 70
+        assert 11 in parents
+        assert 4 not in parents
+        assert "x" not in parents
+        with pytest.raises(KeyError):
+            parents[4]
+
+    def test_iteration_is_discovery_order(self):
+        parents = self._packed()
+        assert list(parents) == [7, 3, 11, 5]
+        assert dict(parents) == {7: INITIAL, 3: 70, 11: 30, 5: 110}
+
+    def test_pickle_roundtrip(self):
+        parents = self._packed()
+        clone = pickle.loads(pickle.dumps(parents))
+        assert dict(clone) == dict(parents)
+        assert list(clone) == list(parents)
+
+
+class TestVectorScans:
+    def _big_closure(self):
+        compiled = CompiledSystem(xor_ring(6))
+        order, parents = compiled.kernel.closure((0,))
+        assert len(order) >= SCAN_MIN_PAIRS, "fixture must clear the threshold"
+        return compiled, order
+
+    def test_first_differing_scan_matches_scalar_sweep(self, monkeypatch):
+        compiled, order = self._big_closure()
+        scanned = bitset.first_differing_scan(compiled.kernel, order)
+        assert scanned is not None
+        # Scalar reference: the sweep CompiledClosure runs when the scan
+        # is unavailable.
+        kernel = compiled.kernel
+        reference: dict[str, int] = {}
+        for pair in order:
+            i, j = divmod(pair, kernel.n)
+            for name, column in zip(kernel.names, kernel.columns):
+                if name not in reference and column[i] != column[j]:
+                    reference[name] = pair
+        assert scanned == reference
+
+    def test_first_differing_at_all_scan_matches_scalar(self):
+        compiled, order = self._big_closure()
+        kernel = compiled.kernel
+        for targets in (["x0", "x1"], ["x2"], list(kernel.names)):
+            handled, code = bitset.first_differing_at_all_scan(
+                kernel, order, sorted(targets)
+            )
+            assert handled
+            column_of = dict(zip(kernel.names, kernel.columns))
+            cols = [column_of[t] for t in sorted(targets)]
+            expected = None
+            for pair in order:
+                i, j = divmod(pair, kernel.n)
+                if all(c[i] != c[j] for c in cols):
+                    expected = pair
+                    break
+            assert code == expected
+
+    def test_scans_decline_below_threshold(self, mixed):
+        compiled = CompiledSystem(mixed)
+        order, _ = compiled.kernel.closure((0,))
+        assert len(order) < SCAN_MIN_PAIRS
+        assert bitset.first_differing_scan(compiled.kernel, order) is None
+        handled, _ = bitset.first_differing_at_all_scan(
+            compiled.kernel, order, ["a"]
+        )
+        assert not handled
+
+    def test_scans_decline_without_numpy(self, monkeypatch):
+        compiled, order = self._big_closure()
+        monkeypatch.setenv(ENV_NUMPY_FLAG, "0")
+        assert bitset.first_differing_scan(compiled.kernel, order) is None
+        handled, _ = bitset.first_differing_at_all_scan(
+            compiled.kernel, order, ["x0"]
+        )
+        assert not handled

@@ -1,0 +1,68 @@
+"""Unit tests for the shared bounded-LRU memo primitive."""
+
+import pytest
+
+from repro import obs
+from repro.core.cache import LRUCache
+
+
+def test_get_returns_default_on_miss():
+    cache = LRUCache(4, "test.evictions")
+    assert cache.get("missing") is None
+    sentinel = object()
+    assert cache.get("missing", sentinel) is sentinel
+
+
+def test_put_first_writer_wins():
+    cache = LRUCache(4, "test.evictions")
+    assert cache.put("k", 1) == 1
+    # A second writer for the same key gets the stored value back.
+    assert cache.put("k", 2) == 1
+    assert cache.get("k") == 1
+
+
+def test_none_is_a_cacheable_value():
+    cache = LRUCache(4, "test.evictions")
+    cache.put("k", None)
+    assert "k" in cache
+    missing = object()
+    assert cache.get("k", missing) is None
+
+
+def test_eviction_is_lru_and_get_refreshes():
+    cache = LRUCache(2, "test.evictions")
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh: "b" is now least recently used
+    cache.put("c", 3)
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+
+
+def test_stats_shape():
+    cache = LRUCache(2, "test.evictions")
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert cache.stats() == {"size": 2, "capacity": 2, "evictions": 1}
+    assert len(cache) == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LRUCache(0, "test.evictions")
+
+
+def test_evictions_reported_on_counter():
+    obs.enable(reset=True)
+    try:
+        cache = LRUCache(1, "test.evictions")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        snap = obs.snapshot()
+        assert snap.counters.get("test.evictions") == 1
+        assert snap.gauges.get("test.evictions") == 1
+    finally:
+        obs.disable()

@@ -188,3 +188,104 @@ class TestBuckets:
                     assert compiled.states[a].equal_except_at(
                         compiled.states[b], {"a"}
                     )
+
+
+class TestClosureNoDuplicates:
+    """Regression for the ``setdefault(...) is packed`` membership test.
+
+    The old BFS loops decided "already visited" by ``setdefault``
+    returning the *identical* packed int object — true on CPython only
+    because equal large ints happen not to be interned; a value-interning
+    runtime would re-record visited pairs.  The explicit containment
+    check must keep every closure duplicate-free.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_closures_have_unique_orders(self, seed):
+        import random
+
+        from repro.analysis.random_systems import random_system
+
+        rng = random.Random(seed)
+        system = random_system(
+            rng,
+            n_objects=rng.choice([2, 3, 4]),
+            domain_size=rng.choice([2, 3]),
+            n_operations=rng.choice([1, 2, 3]),
+        )
+        compiled = CompiledSystem(system)
+        for name in system.space.names:
+            closure = compiled.closure(frozenset({name}))
+            order = list(closure.order)
+            assert len(order) == len(set(order)) == len(closure.parents)
+
+    def test_governed_closure_has_unique_order(self, mixed):
+        from repro.core.budget import ExecutionBudget
+
+        compiled = CompiledSystem(mixed)
+        meter = ExecutionBudget(max_expanded=10**6).start("test")
+        closure = compiled.closure(frozenset({"a"}), meter=meter)
+        order = list(closure.order)
+        assert len(order) == len(set(order)) == len(closure.parents)
+
+
+class TestBoundedKernelCaches:
+    """The compiled substrate's memos are bounded LRUs (PR-6): the
+    composed-prefix memo and the satisfying-id memo must evict without
+    ever returning a wrong array."""
+
+    def test_composed_memo_evicts_and_recomputes_correctly(self, mixed):
+        from repro.core.cache import LRUCache
+
+        compiled = CompiledSystem(mixed)
+        reference = CompiledSystem(mixed)
+        # Shrink the cap so a short sweep forces evictions.
+        compiled._composed = LRUCache(3, "kernel.history_compose.evictions")
+        keys = [(0,), (1,), (0, 1), (1, 0), (0, 0, 1), (1, 1), (0, 1, 0)]
+        first_pass = [list(compiled.history_array(k)) for k in keys]
+        assert compiled._composed.stats()["evictions"] > 0
+        # Evicted prefixes re-gather from whatever is still cached; the
+        # arrays must match an unbounded-memo engine exactly.
+        for key, expected in zip(keys, first_pass):
+            assert list(compiled.history_array(key)) == expected
+            assert list(reference.history_array(key)) == expected
+
+    def test_composed_identity_survives_eviction(self, mixed):
+        from repro.core.cache import LRUCache
+
+        compiled = CompiledSystem(mixed)
+        compiled._composed = LRUCache(1, "kernel.history_compose.evictions")
+        compiled.history_array((0, 1))  # churns the identity out
+        assert list(compiled.history_array(())) == list(
+            range(compiled.kernel.n)
+        )
+
+    def test_sat_ids_caches_trivial_constraints_as_none(self, mixed):
+        compiled = CompiledSystem(mixed)
+        trivial = Constraint(mixed.space, lambda s: True, name="tt2")
+        # Full-space constraints resolve to the shared None fast path
+        # instead of minting a range(n) copy per instance.
+        assert compiled.sat_ids(trivial) is None
+        assert compiled.sat_ids(None) is None
+
+    def test_sat_ids_memo_is_bounded(self, mixed):
+        from repro.core.cache import LRUCache
+
+        compiled = CompiledSystem(mixed)
+        compiled._sat_ids = LRUCache(2, "kernel.sat_ids.evictions")
+        constraints = [
+            Constraint(mixed.space, lambda s, v=v: s["a"] != v, name=f"a!={v}")
+            for v in (0, 1, 2)
+        ]
+        results = [list(compiled.sat_ids(phi)) for phi in constraints]
+        assert compiled._sat_ids.stats()["evictions"] > 0
+        # Evicted entries recompute to the same ids.
+        for phi, expected in zip(constraints, results):
+            assert list(compiled.sat_ids(phi)) == expected
+
+    def test_cache_stats_shape(self, mixed):
+        compiled = CompiledSystem(mixed)
+        stats = compiled.cache_stats()
+        assert set(stats) == {"composed", "sat_ids"}
+        for entry in stats.values():
+            assert set(entry) == {"size", "capacity", "evictions"}

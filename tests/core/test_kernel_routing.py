@@ -1,0 +1,119 @@
+"""Engine-side kernel selection, hotness ranking, and prewarming.
+
+The engine picks between the scalar and bulk (bitset) compiled kernels
+per :data:`~repro.core.compiled.KERNEL_MODES`: explicitly via the
+``kernel=`` constructor argument, ambiently via ``REPRO_KERNEL``, or by
+the ``auto`` space-size threshold.  Closure demand is counted per
+``(A, phi)`` and drives :meth:`hot_closures` / :meth:`prewarm_hot` and
+the hottest-first ordering of warm fan-outs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import BudgetExceededError, ExecutionBudget
+from repro.core.compiled import BITSET_AUTO_MIN_STATES
+from repro.core.engine import ENV_KERNEL, DependencyEngine, _resolve_kernel_mode
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+
+
+def xor_ring(n: int):
+    b = SystemBuilder()
+    for i in range(n):
+        b.integers(f"x{i}", bits=1)
+    for i in range(n):
+        nxt = f"x{(i + 1) % n}"
+        b.op_assign(f"m{i}", nxt, (var(nxt) + var(f"x{i}")) % 2)
+    return b.build()
+
+
+def relay():
+    b = SystemBuilder().booleans("a", "m", "b")
+    b.op_assign("d1", "m", var("a"))
+    b.op_assign("d2", "b", var("m"))
+    return b.build()
+
+
+class TestModeResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL, raising=False)
+        assert _resolve_kernel_mode(None) == "auto"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "bitset")
+        assert _resolve_kernel_mode(None) == "bitset"
+        # The explicit argument beats the environment.
+        assert _resolve_kernel_mode("scalar") == "scalar"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_kernel_mode("vectorized")
+        with pytest.raises(ValueError):
+            DependencyEngine(relay(), kernel="vectorized")
+
+    def test_auto_threshold_routes_by_space_size(self):
+        small = DependencyEngine(relay())  # 8 states
+        assert small.system.space.size < BITSET_AUTO_MIN_STATES
+        assert small._closure_mode() == "scalar"
+        big = DependencyEngine(xor_ring(6))  # 64 states
+        assert big.system.space.size >= BITSET_AUTO_MIN_STATES
+        assert big._closure_mode() == "bitset"
+
+    def test_object_engine_ignores_kernel_mode(self):
+        engine = DependencyEngine(relay(), compiled=False, kernel="bitset")
+        assert engine._closure_mode() == "scalar"
+        result = engine.depends_ever({"a"}, "b")
+        assert result.provenance.kernel == "object"
+
+    def test_provenance_tracks_the_closure_kernel(self):
+        scalar = DependencyEngine(xor_ring(6), kernel="scalar")
+        assert scalar.depends_ever({"x0"}, "x1").provenance.kernel == "compiled"
+        bulk = DependencyEngine(xor_ring(6), kernel="bitset")
+        assert (
+            bulk.depends_ever({"x0"}, "x1").provenance.kernel
+            == "compiled-bitset"
+        )
+
+
+class TestHotness:
+    def test_hot_closures_ranked_by_request_count(self):
+        engine = DependencyEngine(relay())
+        engine.depends_ever({"a"}, "b")
+        engine.depends_ever({"a"}, "m")  # memo hit, still counts
+        engine.depends_ever({"m"}, "b")
+        ranked = engine.hot_closures()
+        assert ranked[0][0] == (frozenset({"a"}), None)
+        assert ranked[0][1] == 2
+        assert ranked[1][1] == 1
+        assert engine.hot_closures(1) == ranked[:1]
+
+    def test_prewarm_hot_recomputes_budget_tripped_closures(self):
+        engine = DependencyEngine(xor_ring(6), kernel="bitset")
+        with pytest.raises(BudgetExceededError):
+            engine.depends_ever(
+                {"x0"}, "x1", budget=ExecutionBudget(max_expanded=0)
+            )
+        assert engine.cache_stats()["closures"]["size"] == 0
+        assert engine.prewarm_hot(4) == 1
+        assert engine.cache_stats()["closures"]["size"] == 1
+        # Now a hit, and nothing left to prewarm.
+        assert bool(engine.depends_ever({"x0"}, "x1")) == bool(
+            DependencyEngine(xor_ring(6), kernel="scalar").depends_ever(
+                {"x0"}, "x1"
+            )
+        )
+        assert engine.prewarm_hot(4) == 0
+
+    def test_cache_stats_includes_kernel_and_hotness_sections(self):
+        engine = DependencyEngine(relay())
+        stats = engine.cache_stats()
+        for key in ("kernel_composed", "kernel_sat_ids", "hot_closures"):
+            assert key in stats
+        # Before compilation the kernel memos report empty at capacity.
+        assert stats["kernel_composed"]["size"] == 0
+        assert stats["kernel_composed"]["capacity"] > 0
+        engine.depends_ever({"a"}, "b")
+        stats = engine.cache_stats()
+        assert stats["hot_closures"]["size"] == 1

@@ -1,0 +1,103 @@
+"""Unit tests for the shared-memory kernel arena (repro.core.shm).
+
+The attached kernel's tables are ``memoryview`` casts into the shared
+block, and a block cannot close while exported views exist — so each
+test copies what it needs into plain Python data, drops every view
+reference, closes the block, and only then asserts.  (Workers never hit
+this: they hold the block for their whole lifetime.)
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.compiled import CompiledSystem
+from repro.core.shm import ITEM_SIZE, KernelArena
+from repro.core.state import Space
+from repro.core.system import Operation, System
+
+
+@pytest.fixture
+def kernel():
+    space = Space({"a": (0, 1, 2), "b": (False, True), "c": ("x", "y")})
+    ops = [
+        Operation("bump", lambda s: s.replace(a=(s["a"] + 1) % 3)),
+        Operation(
+            "couple", lambda s: s.replace(b=s["a"] > 0, c="y" if s["b"] else "x")
+        ),
+    ]
+    return CompiledSystem(System(space, ops)).kernel
+
+
+def test_roundtrip_preserves_every_table(kernel):
+    arena = KernelArena.create(kernel)
+    try:
+        attached, block = arena.handle().attach()
+        meta = (attached.n, attached.names, attached.sizes, attached.strides,
+                attached.op_names)
+        successors = [list(t) for t in attached.successors]
+        columns = [list(t) for t in attached.columns]
+        del attached
+        block.close()
+    finally:
+        arena.destroy()
+    assert meta == (kernel.n, kernel.names, kernel.sizes, kernel.strides,
+                    kernel.op_names)
+    assert successors == [list(t) for t in kernel.successors]
+    assert columns == [list(t) for t in kernel.columns]
+
+
+def test_attached_kernel_computes_identical_closures(kernel):
+    arena = KernelArena.create(kernel)
+    results = []
+    try:
+        attached, block = arena.handle().attach()
+        for sources in [(0,), (1,), (0, 2)]:
+            a_order, a_parents = attached.closure(sources)
+            results.append((sources, list(a_order), dict(a_parents)))
+        del attached
+        block.close()
+    finally:
+        arena.destroy()
+    for sources, a_order, a_parents in results:
+        order, parents = kernel.closure(sources)
+        assert a_order == list(order)
+        assert a_parents == parents
+
+
+def test_handle_is_small_and_picklable(kernel):
+    arena = KernelArena.create(kernel)
+    try:
+        payload = pickle.dumps(arena.handle())
+        # The whole point: the handle ships metadata, not tables.
+        table_bytes = (
+            len(kernel.successors) + len(kernel.columns)
+        ) * kernel.n * ITEM_SIZE
+        assert len(payload) < max(table_bytes, 512)
+        clone = pickle.loads(payload)
+        attached, block = clone.attach()
+        n = attached.n
+        del attached
+        block.close()
+        assert n == kernel.n
+    finally:
+        arena.destroy()
+
+
+def test_arena_size_covers_all_tables(kernel):
+    arena = KernelArena.create(kernel)
+    try:
+        expected = (
+            len(kernel.successors) + len(kernel.columns)
+        ) * kernel.n * ITEM_SIZE
+        assert arena.size == expected
+    finally:
+        arena.destroy()
+
+
+def test_destroy_is_idempotent(kernel):
+    arena = KernelArena.create(kernel)
+    arena.destroy()
+    arena.destroy()  # second unlink finds nothing and stays silent
