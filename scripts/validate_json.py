@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Validate any JSON document against a checked-in schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_json.py DOC.json SCHEMA.json
+
+Generic sibling of ``validate_trace.py``: same subset validator
+(``repro.obs.schema``), but the schema is a required argument, so one
+script covers every JSON contract the repo ships (``repro diff --json``
+reports against ``docs/diff.schema.json``, cache-stats dumps, future
+formats).  Exits 0 when the document satisfies the schema, 1 with a
+violation listing otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.obs import schema  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        document = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        contract = json.load(handle)
+    errors = schema.validate(document, contract)
+    if errors:
+        print(f"{argv[1]}: {len(errors)} schema violation(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"{argv[1]}: valid against {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -7,6 +7,12 @@ from repro.analysis.compare import (
     compare_analyzers,
     comparison_matrix,
 )
+from repro.analysis.diff import (
+    DIFF_SCHEMA_VERSION,
+    DiffReport,
+    VerdictChange,
+    diff_systems,
+)
 from repro.analysis.explorer import (
     dependency_matrix,
     image_set_orbit,
@@ -40,8 +46,12 @@ __all__ = [
     "AnalyzerVerdict",
     "AuditReport",
     "Comparison",
+    "DIFF_SCHEMA_VERSION",
+    "DiffReport",
+    "VerdictChange",
     "compare_analyzers",
     "comparison_matrix",
+    "diff_systems",
     "PathFinding",
     "Table",
     "audit_system",

@@ -1,0 +1,303 @@
+"""``repro diff``: which verdicts changed between two system versions?
+
+The composed-system-evolution workload (More/Naumov's collaboration
+networks, Neovius et al.'s service dependencies — PAPERS.md) asks the
+same question after every small change: *the system evolved slightly;
+which secrets leak now that didn't, and which stopped?*  Recomputing
+every closure from cold answers it at full price.  This module answers
+it at the price of the change:
+
+1. Compile both versions and compare their canonical content
+   (:func:`repro.core.store.system_hash` and the per-operation delta
+   hashes).  When the two versions share their space and operation
+   names, the changed successor *entries* form a state bitset.
+2. Sweep the old version's closures.  A closure whose touched-states
+   bitset (:meth:`CompiledClosure.touched_states`) avoids every changed
+   entry replays **bit-identically** under the new version — the BFS
+   would read only agreeing table entries — so it is *carried across*
+   (:meth:`DependencyEngine.adopt_closure`, which also persists it
+   under the new version's hash when a store is attached).  Only the
+   invalidated frontier — closures that actually read a changed entry —
+   is recomputed (``store.invalidate`` counter).
+3. Compare per-target verdicts closure by closure and report exactly
+   which ``(A, beta)`` answers flipped.
+
+The soundness argument (docs/FORMALISM.md, "Persistent memoization")
+gives the key property the property suite checks: every changed verdict
+necessarily belongs to an invalidated closure, so the report is
+identical to a full recompute.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.compiled import CompiledClosure
+from repro.core.constraints import Constraint
+from repro.core.engine import DependencyEngine
+from repro.core.errors import ReproError
+from repro.core.store import (
+    PersistentStore,
+    bitset_count,
+    bitset_intersects,
+    changed_op_indices,
+    changed_state_bitset,
+    system_hash,
+)
+from repro.core.system import System
+
+#: Version stamp of the JSON report layout (docs/diff.schema.json).
+DIFF_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class VerdictChange:
+    """One flipped answer: ``A |>_phi beta`` before vs after."""
+
+    sources: tuple[str, ...]
+    target: str
+    constraint: str
+    before: bool
+    after: bool
+    #: Whether the closure this verdict came from was recomputed (it
+    #: always is when the report is sound — the invalidation property
+    #: tests assert exactly this).
+    recomputed: bool
+
+    def to_json(self) -> dict:
+        return {
+            "sources": list(self.sources),
+            "target": self.target,
+            "constraint": self.constraint,
+            "before": self.before,
+            "after": self.after,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class DiffReport:
+    """The outcome of one two-version sweep (:func:`diff_systems`)."""
+
+    old_hash: str
+    new_hash: str
+    comparable: bool
+    changed_operations: tuple[str, ...]
+    changed_states: int
+    closures_total: int
+    closures_reused: int
+    closures_recomputed: int
+    verdicts_checked: int
+    changed: tuple[VerdictChange, ...]
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Share of closures the delta actually invalidated — the
+        incrementality the persistence bench bounds (<20% for a
+        one-operation delta on the gated family)."""
+        if not self.closures_total:
+            return 0.0
+        return self.closures_recomputed / self.closures_total
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": DIFF_SCHEMA_VERSION,
+            "old_hash": self.old_hash,
+            "new_hash": self.new_hash,
+            "comparable": self.comparable,
+            "changed_operations": list(self.changed_operations),
+            "changed_states": self.changed_states,
+            "closures": {
+                "total": self.closures_total,
+                "reused": self.closures_reused,
+                "recomputed": self.closures_recomputed,
+            },
+            "verdicts": {
+                "checked": self.verdicts_checked,
+                "changed": [change.to_json() for change in self.changed],
+            },
+        }
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def describe(self) -> str:
+        lines = [
+            f"old system   {self.old_hash}",
+            f"new system   {self.new_hash}",
+            f"changed ops  {', '.join(self.changed_operations) or '(none)'}"
+            f"  ({self.changed_states} changed table entries)",
+            f"closures     {self.closures_total} total: "
+            f"{self.closures_reused} reused, "
+            f"{self.closures_recomputed} recomputed "
+            f"({self.recompute_fraction:.0%})",
+            f"verdicts     {self.verdicts_checked} checked, "
+            f"{len(self.changed)} changed",
+        ]
+        if not self.comparable:
+            lines.insert(2, "versions are not delta-comparable: full recompute")
+        for change in self.changed:
+            arrow = "now FLOWS" if change.after else "no longer flows"
+            lines.append(
+                f"  {{{', '.join(change.sources)}}} -> {change.target} "
+                f"[{change.constraint}]: {arrow} "
+                f"({change.before} -> {change.after})"
+            )
+        return "\n".join(lines)
+
+
+def _constraint_pairs(
+    constraints,
+) -> list[tuple[Constraint | None, Constraint | None]]:
+    """Normalize the ``constraints`` argument: each item is either one
+    constraint applied to both versions (spaces compare by value, so a
+    constraint built against either space binds to both) or an explicit
+    ``(old, new)`` pair."""
+    if constraints is None:
+        return [(None, None)]
+    out: list[tuple[Constraint | None, Constraint | None]] = []
+    for item in constraints:
+        if item is None or isinstance(item, Constraint):
+            out.append((item, item))
+        else:
+            phi_old, phi_new = item
+            out.append((phi_old, phi_new))
+    return out
+
+
+def _sat_equal(
+    e_old: DependencyEngine,
+    e_new: DependencyEngine,
+    phi_old: Constraint | None,
+    phi_new: Constraint | None,
+) -> bool:
+    """Closure reuse additionally requires the Def 2-8 seeds to match,
+    and those depend on sat(phi): the two resolved constraints must
+    satisfy the same state ids."""
+    sat_old = e_old.compiled_system().sat_ids(phi_old)
+    sat_new = e_new.compiled_system().sat_ids(phi_new)
+    if sat_old is None or sat_new is None:
+        return sat_old is None and sat_new is None
+    return sat_old == sat_new
+
+
+def diff_systems(
+    old: System,
+    new: System,
+    constraints: Sequence | None = None,
+    sources: Iterable[Iterable[str]] | None = None,
+    store: "PersistentStore | str | None" = None,
+    kernel: str | None = None,
+) -> DiffReport:
+    """Compare every ``(A, phi)`` dependency verdict of two system
+    versions, reusing every closure the delta provably left intact.
+
+    ``sources`` defaults to the singleton family (one closure per
+    object); ``constraints`` is a sequence of constraints or
+    ``(old, new)`` constraint pairs (default: unconstrained).  With a
+    ``store`` (instance or path) both versions read and write the
+    persistent memo store, so repeated diffs of the same pair are pure
+    row fetches and surviving closures are persisted under the new hash.
+
+    The two versions must share their object space (names and domains);
+    operations may change behaviour, be added, renamed or removed.
+    Reuse applies when the operation *names* also match (a pure-delta
+    change); otherwise everything recomputes and the report still
+    compares verdicts.
+    """
+    if old.space != new.space:
+        raise ReproError(
+            "diff requires both versions to share one object space "
+            f"(got {old.space!r} vs {new.space!r})"
+        )
+    store = PersistentStore.coerce(store)
+    e_old = DependencyEngine(old, store=store, kernel=kernel)
+    e_new = DependencyEngine(new, store=store, kernel=kernel)
+    k_old = e_old.compiled_system().kernel
+    k_new = e_new.compiled_system().kernel
+    old_hash = system_hash(k_old)
+    new_hash = system_hash(k_new)
+    comparable = k_old.op_names == k_new.op_names
+    if comparable:
+        changed_idx = changed_op_indices(k_old.successors, k_new.successors)
+        changed_ops = tuple(k_old.op_names[d] for d in changed_idx)
+        delta = changed_state_bitset(
+            k_old.n, k_old.successors, k_new.successors, changed_idx
+        )
+        changed_states = bitset_count(delta)
+    else:
+        changed_ops = tuple(
+            sorted(set(k_old.op_names) ^ set(k_new.op_names))
+        )
+        delta = b""
+        changed_states = k_new.n
+    family = (
+        [frozenset(a) for a in sources]
+        if sources is not None
+        else [frozenset([name]) for name in new.space.names]
+    )
+    pairs = _constraint_pairs(constraints)
+    names = new.space.names
+    reused = 0
+    recomputed = 0
+    checked = 0
+    changes: list[VerdictChange] = []
+    with obs.span(
+        "diff.compare", old=old_hash, new=new_hash, closures=len(family) * len(pairs)
+    ):
+        for phi_old, phi_new in pairs:
+            phi_name = e_new._resolve(phi_new).name
+            reusable_phi = comparable and _sat_equal(e_old, e_new, phi_old, phi_new)
+            for source_set in family:
+                c_old = e_old._closure(source_set, phi_old)
+                before = c_old.first_differing()
+                if (
+                    reusable_phi
+                    and isinstance(c_old, CompiledClosure)
+                    and not bitset_intersects(c_old.touched_states(), delta)
+                ):
+                    c_new = e_new.adopt_closure(
+                        source_set,
+                        phi_new,
+                        c_old.order,
+                        c_old.parents,
+                        c_old.kernel_path,
+                    )
+                    reused += 1
+                    was_recomputed = False
+                else:
+                    c_new = e_new._closure(source_set, phi_new)
+                    recomputed += 1
+                    was_recomputed = True
+                    if comparable:
+                        obs.count("store.invalidate")
+                after = c_new.first_differing()
+                for target in names:
+                    verdict_before = target in before
+                    verdict_after = target in after
+                    checked += 1
+                    if verdict_before != verdict_after:
+                        changes.append(
+                            VerdictChange(
+                                sources=tuple(sorted(source_set)),
+                                target=target,
+                                constraint=phi_name,
+                                before=verdict_before,
+                                after=verdict_after,
+                                recomputed=was_recomputed,
+                            )
+                        )
+    return DiffReport(
+        old_hash=old_hash,
+        new_hash=new_hash,
+        comparable=comparable,
+        changed_operations=changed_ops,
+        changed_states=changed_states,
+        closures_total=reused + recomputed,
+        closures_reused=reused,
+        closures_recomputed=recomputed,
+        verdicts_checked=checked,
+        changed=tuple(changes),
+    )

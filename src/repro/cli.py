@@ -29,11 +29,19 @@ budget-exhausted run still explains where the time went.  ``repro stats
 TRACE`` summarizes a written trace (per-span timing, counters, gauges).
 ``program`` verdicts also print their provenance line (kernel path, memo
 outcome, budget state).
+
+Persistence: ``--store PATH`` (or the ``REPRO_STORE`` environment
+variable) attaches a disk-backed memo store, so a repeat query in a new
+process is a row fetch instead of a recompute.  ``repro diff OLD NEW``
+compares two versions of a program, reuses every closure the delta left
+intact, and reports which verdicts changed (exit 1 when any did).
+``repro stats --store PATH`` reports the store's contents.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -100,6 +108,18 @@ def _build(args: argparse.Namespace):
     return build_program_system(source_text, domains)
 
 
+def _store_path(args: argparse.Namespace) -> str | None:
+    """Resolve the persistent-store path: ``--store`` wins, then the
+    ``REPRO_STORE`` environment variable, else no store."""
+    return getattr(args, "store", None) or os.environ.get("REPRO_STORE") or None
+
+
+def _attach_store(args: argparse.Namespace, ps) -> None:
+    path = _store_path(args)
+    if path:
+        shared_engine(ps.system).attach_store(path)
+
+
 def _parse_budget(args: argparse.Namespace) -> ExecutionBudget | None:
     max_seconds = getattr(args, "budget_seconds", None)
     max_expanded = getattr(args, "budget_states", None)
@@ -155,6 +175,7 @@ def cmd_program(args: argparse.Namespace) -> int:
 
 def _run_program(args: argparse.Namespace) -> int:
     ps = _build(args)
+    _attach_store(args, ps)
     try:
         return _decide_program(args, ps)
     finally:
@@ -218,9 +239,25 @@ def cmd_taint(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize a trace written by ``--trace`` (either format)."""
+    """Summarize a trace written by ``--trace`` (either format) and/or
+    a persistent store's contents (``--store PATH``)."""
     from repro.analysis.report import Table
 
+    if args.store:
+        import json
+
+        from repro.core.store import PersistentStore
+
+        store = PersistentStore(args.store)
+        try:
+            print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        finally:
+            store.close()
+        if not args.trace_file:
+            return 0
+    if not args.trace_file:
+        print("error: give a trace file and/or --store PATH", file=sys.stderr)
+        return 2
     events = obs.export.load_trace(args.trace_file)
     summary = obs.export.aggregate(events)
     spans = sorted(
@@ -250,6 +287,47 @@ def cmd_stats(args: argparse.Namespace) -> int:
             gauges.add(name, summary["gauges"][name])
         print(gauges.render())
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two versions of a program: which verdicts changed?
+
+    Builds both flowchart systems over the same variable domains, reuses
+    every closure whose touched states avoid the delta (recomputing only
+    the invalidated frontier — against a ``--store``, surviving closures
+    are carried across as row fetches), and reports the flipped
+    verdicts.  Exit 0 when no verdict changed, 1 when any did.
+    """
+    from repro.analysis.diff import diff_systems
+
+    domains = dict(parse_domain(spec) for spec in args.var)
+    ps_old = build_program_system(_read_program(args.old_file), domains)
+    ps_new = build_program_system(_read_program(args.new_file), domains)
+    extra_old = extra_new = None
+    if args.entry:
+        expr = parse_expr(args.entry)
+        extra_old = Constraint(
+            ps_old.space, lambda s: bool(expr.eval(s)), name=args.entry
+        )
+        extra_new = Constraint(
+            ps_new.space, lambda s: bool(expr.eval(s)), name=args.entry
+        )
+    phi_old = ps_old.entry_constraint(extra_old)
+    phi_new = ps_new.entry_constraint(extra_new)
+    report = diff_systems(
+        ps_old.system,
+        ps_new.system,
+        constraints=[(phi_old, phi_new)],
+        sources=[[name] for name in sorted(domains)],
+        store=_store_path(args),
+    )
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json_text())
+            handle.write("\n")
+        print(f"diff report written: {args.json}", file=sys.stderr)
+    return 1 if report.changed else 0
 
 
 def cmd_flows(args: argparse.Namespace) -> int:
@@ -331,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the engine's cache statistics (sizes, capacities, "
         "evictions) as JSON on exit",
     )
+    p_program.add_argument(
+        "--store",
+        metavar="PATH",
+        help="attach a persistent memo store (sqlite) so repeat queries "
+        "in new processes start warm; REPRO_STORE is the env fallback",
+    )
     p_program.set_defaults(handler=cmd_program)
 
     p_taint = sub.add_parser(
@@ -355,10 +439,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_taint.set_defaults(handler=cmd_taint)
 
     p_stats = sub.add_parser(
-        "stats", help="summarize a telemetry trace written by --trace"
+        "stats",
+        help="summarize a telemetry trace written by --trace and/or a "
+        "persistent store",
     )
     p_stats.add_argument(
-        "trace_file", help="Chrome trace JSON or JSONL file to summarize"
+        "trace_file",
+        nargs="?",
+        default=None,
+        help="Chrome trace JSON or JSONL file to summarize",
     )
     p_stats.add_argument(
         "--top",
@@ -367,7 +456,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="show only the N spans with the largest total time",
     )
+    p_stats.add_argument(
+        "--store",
+        metavar="PATH",
+        help="report a persistent memo store's contents (rows, bytes, "
+        "hit counters) as JSON",
+    )
     p_stats.set_defaults(handler=cmd_stats)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two program versions: reuse surviving closures, "
+        "recompute the invalidated frontier, report changed verdicts",
+    )
+    p_diff.add_argument(
+        "old_file", help="old program version, or - for stdin"
+    )
+    p_diff.add_argument("new_file", help="new program version")
+    p_diff.add_argument(
+        "--var",
+        action="append",
+        default=[],
+        metavar="NAME=DOMAIN",
+        help="variable domain: lo..hi, v1,v2,..., or bool (repeatable; "
+        "shared by both versions)",
+    )
+    p_diff.add_argument(
+        "--entry",
+        help="entry assertion applied to both versions",
+    )
+    p_diff.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent memo store shared by both versions "
+        "(REPRO_STORE is the env fallback)",
+    )
+    p_diff.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the report as JSON (docs/diff.schema.json)",
+    )
+    p_diff.set_defaults(handler=cmd_diff)
 
     p_flows = sub.add_parser(
         "flows", help="exact information-flow graph (GraphViz dot)"

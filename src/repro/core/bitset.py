@@ -164,6 +164,37 @@ class PackedParents(Mapping):
     def __reduce__(self):
         return (PackedParents, (self._codes, self._packed))
 
+    def packed_bytes(self) -> bytes:
+        """The packed predecessor values, order-aligned, as native int64
+        bytes — the persistent store's serialization of this mapping
+        (the codes half is the closure's ``order`` array, stored once)."""
+        return (
+            self._np.ascontiguousarray(self._packed, dtype=self._np.int64)
+            .tobytes()
+        )
+
+    def index_bytes(self) -> bytes:
+        """The sorted index's permutation as native int32 bytes, building
+        it if needed.  Persisting this next to the closure lets a warm
+        start skip the per-closure ``argsort`` on its first witness
+        lookup — it is derived data, so a store row without it (or with
+        a malformed one) just falls back to the lazy build."""
+        _, order = self._index()
+        return (
+            self._np.ascontiguousarray(order, dtype=self._np.int32).tobytes()
+        )
+
+    def preload_index(self, blob: bytes) -> None:
+        """Adopt a permutation produced by :meth:`index_bytes`.  Raises
+        ``ValueError`` on a length mismatch (caller falls back to the
+        lazy argsort); a permutation for the *right* codes array is the
+        caller's contract — the store keys rows by content hash."""
+        order = self._np.frombuffer(blob, dtype=self._np.int32)
+        if len(order) != len(self._codes):
+            raise ValueError("parent-index permutation length mismatch")
+        self._order = order
+        self._sorted = self._codes[order]
+
 
 class BitsetKernel:
     """Bulk-expansion twin of a scalar ``CompiledKernel``.
@@ -462,6 +493,35 @@ class BitsetKernel:
 
 
 # -- vectorized column scans --------------------------------------------------
+
+
+def touched_scan(n: int, order) -> bytes:
+    """The *read set* of a closure as a state bitset: bit ``i`` (little-
+    endian, bit ``i & 7`` of byte ``i >> 3``) is set iff state ``i``
+    appears as a component of some pair in ``order``.
+
+    This is the provenance the persistent store records for delta
+    invalidation: the BFS read every operation's successor table exactly
+    at these ids (each expanded pair applies each operation to both of
+    its components), so a modified system whose changed successor
+    entries avoid this set replays the closure bit-identically — same
+    order, same parents, same witnesses (docs/FORMALISM.md, "Persistent
+    memoization").  Derived from the order array after the fact, so the
+    hot BFS loops pay nothing for the tracking.
+    """
+    np = load_numpy()
+    if np is not None and len(order):
+        codes = _flat_int64(np, order)
+        mask = np.zeros(n, dtype=bool)
+        mask[codes // n] = True
+        mask[codes % n] = True
+        return np.packbits(mask, bitorder="little").tobytes()
+    out = bytearray((n + 7) >> 3)
+    for code in order:
+        i, j = divmod(code, n)
+        out[i >> 3] |= 1 << (i & 7)
+        out[j >> 3] |= 1 << (j & 7)
+    return bytes(out)
 
 
 def first_differing_scan(kernel, order: array) -> dict[str, int] | None:

@@ -35,6 +35,15 @@ All of :class:`PartialResult`, :class:`ExecutionBudget` (sans token) and
 :class:`BudgetExceededError` pickle cleanly, so budgets cross the
 process-pool boundary as plain limit tuples and a worker's budget trip
 propagates back to the parent intact.
+
+Persistence posture (PR 7): budget-tripped partial results are **never
+persisted**.  A trip raises out of the hot loop *before* the engine's
+memoization point, and the persistent store
+(:mod:`repro.core.store`) only receives closures at that point — so
+neither the RAM memo nor the on-disk store can ever serve a truncated
+closure to a later (possibly unbudgeted) query.  Governed runs that
+*complete* within budget are exact by the argument above and are
+persisted like any other result.
 """
 
 from __future__ import annotations

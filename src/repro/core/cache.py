@@ -81,3 +81,46 @@ class LRUCache:
             "capacity": self.capacity,
             "evictions": self.evictions,
         }
+
+
+class ByteMeter:
+    """Byte-budget accounting for caches whose entries have real sizes —
+    the disk half of the :class:`LRUCache` policy.
+
+    :class:`~repro.core.store.PersistentStore` bounds its on-disk payload
+    with the same observable-eviction contract as the in-RAM memos: the
+    store reports its payload bytes here, asks :meth:`over_budget`
+    whether LRU-by-last-access eviction must run, and records each
+    evicted row via :meth:`evicted` (telemetry counter + running total,
+    mirroring :class:`LRUCache`).  A ``capacity`` of ``None`` means
+    unbounded — accounting still runs so ``stats()`` stays meaningful.
+    """
+
+    __slots__ = ("capacity", "counter", "used", "evictions")
+
+    def __init__(self, capacity: int | None, counter: str) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"byte capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.counter = counter
+        self.used = 0
+        self.evictions = 0
+
+    def set_used(self, nbytes: int) -> None:
+        self.used = nbytes
+
+    def over_budget(self) -> bool:
+        return self.capacity is not None and self.used > self.capacity
+
+    def evicted(self, nbytes: int) -> None:
+        self.used -= nbytes
+        self.evictions += 1
+        obs.count(self.counter)
+        obs.gauge_max(self.counter, self.evictions)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "bytes": self.used,
+            "capacity_bytes": self.capacity or 0,
+            "evictions": self.evictions,
+        }

@@ -279,40 +279,59 @@ class CompiledSystem:
 
     __slots__ = ("system", "states", "kernel", "_bitset", "_lock", "_sat_ids", "_composed")
 
-    def __init__(self, system: System) -> None:
+    def __init__(self, system: System, kernel: CompiledKernel | None = None) -> None:
         self.system = system
         space = system.space
         states = tuple(space.states())
         n = len(states)
         names = space.names
         sizes = tuple(len(space.domain(name)) for name in names)
-        strides_rev: list[int] = []
-        acc = 1
-        for size in reversed(sizes):
-            strides_rev.append(acc)
-            acc *= size
-        strides = tuple(reversed(strides_rev))
-        # Enumeration is the mixed-radix product, so columns are pure
-        # arithmetic in the id — no per-state value hashing.
-        columns = tuple(
-            array("L", ((i // stride) % size for i in range(n)))
-            for stride, size in zip(strides, sizes)
-        )
-        index = {state: i for i, state in enumerate(states)}
-        successors = tuple(
-            array("L", (index[op(state)] for state in states))
-            for op in system.operations
-        )
+        op_names = tuple(op.name for op in system.operations)
         self.states = states
-        self.kernel = CompiledKernel(
-            n,
-            names,
-            sizes,
-            strides,
-            columns,
-            tuple(op.name for op in system.operations),
-            successors,
-        )
+        if kernel is not None:
+            # Hydration path: adopt tables loaded from a persistent store
+            # (repro.core.store) without re-executing any operation.  The
+            # shape check guards against a hash collision or a caller
+            # pairing the wrong kernel with this system; the successor
+            # *contents* are trusted — they are what the content hash is
+            # computed over.
+            if (
+                kernel.n != n
+                or kernel.names != names
+                or kernel.sizes != sizes
+                or kernel.op_names != op_names
+            ):
+                raise ValueError(
+                    "stored kernel does not match this system's shape"
+                )
+            self.kernel = kernel
+        else:
+            strides_rev: list[int] = []
+            acc = 1
+            for size in reversed(sizes):
+                strides_rev.append(acc)
+                acc *= size
+            strides = tuple(reversed(strides_rev))
+            # Enumeration is the mixed-radix product, so columns are pure
+            # arithmetic in the id — no per-state value hashing.
+            columns = tuple(
+                array("L", ((i // stride) % size for i in range(n)))
+                for stride, size in zip(strides, sizes)
+            )
+            index = {state: i for i, state in enumerate(states)}
+            successors = tuple(
+                array("L", (index[op(state)] for state in states))
+                for op in system.operations
+            )
+            self.kernel = CompiledKernel(
+                n,
+                names,
+                sizes,
+                strides,
+                columns,
+                op_names,
+                successors,
+            )
         self._bitset: bitset.BitsetKernel | None = None
         self._lock = threading.Lock()
         self._sat_ids = LRUCache(SAT_IDS_CAP, "kernel.sat_ids.evictions")
@@ -509,6 +528,7 @@ class CompiledClosure:
         order: array,
         parents: Mapping[int, int],
         kernel_path: str = "compiled",
+        first_diff: Mapping[str, int] | None = None,
     ) -> None:
         self.compiled = compiled
         self.sources = sources
@@ -516,7 +536,10 @@ class CompiledClosure:
         self.order = order
         self.parents = parents
         self.kernel_path = kernel_path
-        self._first_diff: dict[str, int] | None = None
+        # A persistent-store row may carry the first-differing scan it
+        # computed before persisting; adopting it here skips the
+        # re-scan on warm starts.
+        self._first_diff = dict(first_diff) if first_diff is not None else None
 
     def __len__(self) -> int:
         return len(self.order)
@@ -556,6 +579,16 @@ class CompiledClosure:
                         break
             self._first_diff = first
         return self._first_diff
+
+    def touched_states(self) -> bytes:
+        """The closure's *read set* as a little-endian state bitset: the
+        ids appearing as a component of some reachable pair.  The BFS
+        read each operation's successor table exactly at these ids, so a
+        modified system whose changed entries avoid them replays this
+        closure bit-identically — this is the provenance the persistent
+        store records for delta invalidation (docs/FORMALISM.md,
+        "Persistent memoization")."""
+        return bitset.touched_scan(self.compiled.kernel.n, self.order)
 
     def first_differing_at_all(self, targets: Iterable[str]) -> int | None:
         """The earliest reachable pair differing at *every* object of the

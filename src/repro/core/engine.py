@@ -79,6 +79,7 @@ from repro.core.compiled import (
 )
 from repro.core.constraints import Constraint
 from repro.core.shm import KernelArena
+from repro.core.store import PersistentStore, sat_key
 from repro.core.dependency import DependencyResult, Witness
 from repro.core.errors import ConstraintError, ForeignOperationError
 from repro.core.state import State
@@ -233,9 +234,16 @@ class DependencyEngine:
         compiled: bool = True,
         budget: ExecutionBudget | None = None,
         kernel: str | None = None,
+        store: "PersistentStore | str | os.PathLike | None" = None,
     ) -> None:
         self.system = system
         self._use_compiled = compiled
+        #: Optional persistent memo store (a :class:`PersistentStore`, a
+        #: path, or ``None``): a third memo tier below the RAM dicts —
+        #: RAM -> disk -> compute.  Compiled engines only; the object
+        #: path has no canonical integer encoding to key rows by.
+        self._store = PersistentStore.coerce(store)
+        self._store_hash: str | None = None
         #: Kernel selection (see :data:`~repro.core.compiled.KERNEL_MODES`):
         #: ``auto`` (default) runs the bulk bitset kernel on spaces of at
         #: least :data:`~repro.core.compiled.BITSET_AUTO_MIN_STATES` states
@@ -299,6 +307,11 @@ class DependencyEngine:
                 "composed": {"size": 0, "capacity": COMPOSED_CAP, "evictions": 0},
                 "sat_ids": {"size": 0, "capacity": SAT_IDS_CAP, "evictions": 0},
             }
+        store_stats = (
+            self._store.stats_brief()
+            if self._store is not None
+            else {"attached": 0}
+        )
         with self._lock:
             return {
                 "closures": {"size": len(self._closures)},
@@ -310,7 +323,98 @@ class DependencyEngine:
                 "kernel_composed": kernel_stats["composed"],
                 "kernel_sat_ids": kernel_stats["sat_ids"],
                 "hot_closures": {"size": len(self._hotness)},
+                "store": store_stats,
             }
+
+    # -- persistent store -----------------------------------------------------
+
+    def attach_store(
+        self, store: "PersistentStore | str | os.PathLike | None"
+    ) -> None:
+        """Attach (or replace, or with ``None`` detach) the persistent
+        memo store.  Closures already in RAM stay; the disk tier starts
+        serving the next miss."""
+        self._store = PersistentStore.coerce(store)
+        self._store_hash = None
+
+    @property
+    def store(self) -> PersistentStore | None:
+        return self._store
+
+    def _store_for(self) -> PersistentStore | None:
+        """The store, ready to serve this engine — or ``None`` when no
+        store is attached, the engine is not compiled (no canonical
+        integer encoding to key by), or the store has degraded.  First
+        use registers the compiled kernel and caches the system hash."""
+        store = self._store
+        if store is None or not self._use_compiled or store.degraded:
+            return None
+        if self._store_hash is None:
+            self._store_hash = store.register_system(self.compiled_system().kernel)
+        return store if self._store_hash is not None else None
+
+    def _constraint_key(self, constraint: Constraint | None) -> str:
+        return sat_key(self.compiled_system().sat_ids(constraint))
+
+    def _closure_from_store(
+        self,
+        store: PersistentStore,
+        source_set: frozenset[str],
+        constraint: Constraint | None,
+        constraint_name: str,
+    ) -> CompiledClosure | None:
+        row = store.load_closure(
+            self._store_hash, source_set, self._constraint_key(constraint)
+        )
+        if row is None:
+            return None
+        kernel_path, order, parents, _touched, first_diff = row
+        return CompiledClosure(
+            self.compiled_system(),
+            source_set,
+            constraint_name,
+            order,
+            parents,
+            kernel_path,
+            first_diff=first_diff,
+        )
+
+    def hydrate_kernel(self, kernel) -> CompiledSystem:
+        """Adopt precompiled tables (``PersistentStore.load_kernel`` /
+        a shared-memory attach) as this engine's compiled system, so no
+        operation executes at warm-up.  No-op if the engine already
+        compiled; the tables are shape-checked against the system."""
+        compiled = CompiledSystem(self.system, kernel=kernel)
+        with self._lock:
+            if self._compiled is None:
+                self._compiled = compiled
+        return self._compiled
+
+    def adopt_closure(
+        self,
+        sources: Iterable[str],
+        constraint: Constraint | None,
+        order,
+        parents,
+        kernel_path: str = "compiled",
+    ) -> CompiledClosure:
+        """Install a closure computed elsewhere — a surviving memo from
+        a previous system version (:mod:`repro.analysis.diff`) or a
+        peer process — into the RAM memo (first writer wins) and, when a
+        store is attached, onto disk under *this* system's hash."""
+        source_set = self.system.space.check_names(sources)
+        phi = self._resolve(constraint)
+        closure = CompiledClosure(
+            self.compiled_system(), source_set, phi.name, order, parents, kernel_path
+        )
+        with self._lock:
+            closure = self._closures.setdefault((source_set, constraint), closure)
+        store = self._store_for()
+        if store is not None:
+            store.save_closure(
+                self._store_hash, self._constraint_key(constraint), closure
+            )
+        return closure
 
     # -- compilation / transition tabulation ----------------------------------
 
@@ -436,10 +540,14 @@ class DependencyEngine:
         sources: Iterable[str],
         constraint: Constraint | None = None,
         budget: ExecutionBudget | None = None,
-    ) -> tuple[PairClosure | CompiledClosure, bool]:
-        """:meth:`_closure` plus whether the memo served it — the memo
-        outcome feeds the :class:`~repro.obs.provenance.Provenance`
-        record every public answer carries."""
+    ) -> tuple[PairClosure | CompiledClosure, bool, str]:
+        """:meth:`_closure` plus which memo tier served it — the memo
+        outcome and store outcome feed the
+        :class:`~repro.obs.provenance.Provenance` record every public
+        answer carries.  Tiers: RAM memo -> persistent store -> compute
+        (computing persists the fresh closure when a store is attached;
+        budget trips raise before either memo point, so partial results
+        never enter RAM or disk)."""
         source_set = self.system.space.check_names(sources)
         phi = self._resolve(constraint)
         key = (source_set, constraint)
@@ -451,8 +559,16 @@ class DependencyEngine:
             cached = self._closures.get(key)
         if cached is not None:
             obs.count("engine.closure.memo_hit")
-            return cached, True
+            return cached, True, "ram" if self._store is not None else "off"
         obs.count("engine.closure.memo_miss")
+        store = self._store_for()
+        if store is not None:
+            loaded = self._closure_from_store(
+                store, source_set, constraint, phi.name
+            )
+            if loaded is not None:
+                with self._lock:
+                    return self._closures.setdefault(key, loaded), True, "hit"
         budget = self._resolve_budget(budget)
         label = f"closure A={sorted(source_set)} phi={phi.name}"
         meter = budget.start(label) if budget is not None else None
@@ -496,8 +612,16 @@ class DependencyEngine:
             )
         )
         obs.gauge_max("engine.closure.pairs", len(closure))
+        if store is not None and isinstance(closure, CompiledClosure):
+            store.save_closure(
+                self._store_hash, self._constraint_key(constraint), closure
+            )
         with self._lock:
-            return self._closures.setdefault(key, closure), False
+            return (
+                self._closures.setdefault(key, closure),
+                False,
+                "miss" if store is not None else "off",
+            )
 
     def pair_closure(
         self,
@@ -621,12 +745,15 @@ class DependencyEngine:
         witness: Witness | None = None,
         closure_pairs: int | None = None,
         kernel: str | None = None,
+        store: str = "off",
     ) -> Provenance:
         """The provenance record for one engine answer: which kernel
-        decided it, whether the memo served it, and under what budget.
-        ``kernel`` overrides the engine-level default with the closure's
-        own recorded path (``compiled-bitset`` vs ``compiled``) when the
-        answer came from a specific closure."""
+        decided it, whether the memo served it (and, with a persistent
+        store attached, which tier — see
+        :data:`~repro.obs.provenance.STORE_STATES`), and under what
+        budget.  ``kernel`` overrides the engine-level default with the
+        closure's own recorded path (``compiled-bitset`` vs ``compiled``)
+        when the answer came from a specific closure."""
         if kernel is None:
             kernel = "compiled" if self._use_compiled else "object"
         return Provenance(
@@ -637,6 +764,7 @@ class DependencyEngine:
             ),
             witness_length=len(witness.history) if witness is not None else None,
             closure_pairs=closure_pairs,
+            store=store,
         )
 
     def depends_ever(
@@ -655,7 +783,7 @@ class DependencyEngine:
         result instead of answering — it never returns a wrong verdict.
         """
         self.system.space.check_names([target])
-        closure, hit = self._closure_info(sources, constraint, budget)
+        closure, hit, store_tier = self._closure_info(sources, constraint, budget)
         targets = frozenset([target])
         kernel_path = getattr(closure, "kernel_path", None)
         pair = closure.first_differing().get(target)
@@ -666,7 +794,11 @@ class DependencyEngine:
                 targets,
                 closure.constraint_name,
                 provenance=self._provenance(
-                    hit, budget, closure_pairs=len(closure), kernel=kernel_path
+                    hit,
+                    budget,
+                    closure_pairs=len(closure),
+                    kernel=kernel_path,
+                    store=store_tier,
                 ),
             )
         witness = self._witness(closure, pair, targets)
@@ -677,7 +809,12 @@ class DependencyEngine:
             closure.constraint_name,
             witness,
             provenance=self._provenance(
-                hit, budget, witness, closure_pairs=len(closure), kernel=kernel_path
+                hit,
+                budget,
+                witness,
+                closure_pairs=len(closure),
+                kernel=kernel_path,
+                store=store_tier,
             ),
         )
 
@@ -693,7 +830,7 @@ class DependencyEngine:
         target_set = self.system.space.check_names(targets)
         if not target_set:
             raise ConstraintError("target set B must be non-empty")
-        closure, hit = self._closure_info(sources, constraint, budget)
+        closure, hit, store_tier = self._closure_info(sources, constraint, budget)
         kernel_path = getattr(closure, "kernel_path", None)
         pair = closure.first_differing_at_all(target_set)
         if pair is None:
@@ -703,7 +840,11 @@ class DependencyEngine:
                 target_set,
                 closure.constraint_name,
                 provenance=self._provenance(
-                    hit, budget, closure_pairs=len(closure), kernel=kernel_path
+                    hit,
+                    budget,
+                    closure_pairs=len(closure),
+                    kernel=kernel_path,
+                    store=store_tier,
                 ),
             )
         witness = self._witness(closure, pair, target_set)
@@ -714,7 +855,12 @@ class DependencyEngine:
             closure.constraint_name,
             witness,
             provenance=self._provenance(
-                hit, budget, witness, closure_pairs=len(closure), kernel=kernel_path
+                hit,
+                budget,
+                witness,
+                closure_pairs=len(closure),
+                kernel=kernel_path,
+                store=store_tier,
             ),
         )
 
@@ -786,15 +932,27 @@ class DependencyEngine:
         indices: tuple[int, ...],
         constraint: Constraint | None,
         budget: ExecutionBudget | None = None,
-    ) -> tuple[Mapping[str, tuple[int, int] | Pair], bool]:
-        """:meth:`_history_table` plus whether the memo served it."""
+    ) -> tuple[Mapping[str, tuple[int, int] | Pair], bool, str]:
+        """:meth:`_history_table` plus which memo tier served it
+        (RAM LRU -> persistent store -> sweep, like the closures)."""
         key = (source_set, indices, self._flow_key(constraint))
         with self._lock:
             cached = self._history_tables.get(key)
         if cached is not None:
             obs.count("engine.history_table.memo_hit")
-            return cached, True
+            return cached, True, "ram" if self._store is not None else "off"
         obs.count("engine.history_table.memo_miss")
+        store = self._store_for()
+        if store is not None:
+            loaded = store.load_history_table(
+                self._store_hash,
+                source_set,
+                indices,
+                self._constraint_key(constraint),
+            )
+            if loaded is not None:
+                with self._lock:
+                    return self._history_tables.put(key, loaded), True, "hit"
         budget = self._resolve_budget(budget)
         meter = (
             budget.start(f"history sweep A={sorted(source_set)} |H|={len(indices)}")
@@ -827,8 +985,47 @@ class DependencyEngine:
                 )
             )
             raise
+        if store is not None and self._use_compiled:
+            store.save_history_table(
+                self._store_hash,
+                source_set,
+                indices,
+                self._constraint_key(constraint),
+                table,
+            )
         with self._lock:
-            return self._history_tables.put(key, table), False
+            return (
+                self._history_tables.put(key, table),
+                False,
+                "miss" if store is not None else "off",
+            )
+
+    def _buckets(
+        self,
+        source_indices: tuple[int, ...],
+        constraint: Constraint | None,
+    ) -> list[list[int]]:
+        """The Def 1-1 bucket partition for (source columns, sat(phi))
+        as a list of id lists — the store-backed form of
+        ``kernel.buckets(...).values()`` (first-seen order preserved).
+        Every compiled bucket sweep (history tables, set scans, operation
+        flows) goes through here, so a warm process skips the O(n)
+        partition pass too."""
+        compiled = self.compiled_system()
+        store = self._store_for()
+        if store is not None:
+            key = self._constraint_key(constraint)
+            cached = store.load_buckets(self._store_hash, source_indices, key)
+            if cached is not None:
+                return cached
+        buckets = list(
+            compiled.kernel.buckets(
+                source_indices, compiled.sat_ids(constraint)
+            ).values()
+        )
+        if store is not None:
+            store.save_buckets(self._store_hash, source_indices, key, buckets)
+        return buckets
 
     def _compiled_history_table(
         self,
@@ -847,9 +1044,7 @@ class DependencyEngine:
         scanned = 0
         if meter is not None:
             meter.check(0, 0)
-        for bucket in kernel.buckets(
-            compiled.source_indices(source_set), compiled.sat_ids(constraint)
-        ).values():
+        for bucket in self._buckets(compiled.source_indices(source_set), constraint):
             if meter is not None:
                 meter.check(scanned, scanned)
             scanned += len(bucket)
@@ -937,7 +1132,9 @@ class DependencyEngine:
         self.system.space.check_names([target])
         phi = self._resolve(constraint)
         indices = self._history_indices(history)
-        table, hit = self._history_table_info(source_set, indices, constraint, budget)
+        table, hit, store_tier = self._history_table_info(
+            source_set, indices, constraint, budget
+        )
         targets = frozenset([target])
         pair = table.get(target)
         if pair is None:
@@ -946,7 +1143,7 @@ class DependencyEngine:
                 source_set,
                 targets,
                 phi.name,
-                provenance=self._provenance(hit, budget),
+                provenance=self._provenance(hit, budget, store=store_tier),
             )
         sigma1, sigma2 = self._decode_history_pair(pair)
         witness = Witness(
@@ -962,7 +1159,7 @@ class DependencyEngine:
             targets,
             phi.name,
             witness,
-            provenance=self._provenance(hit, budget, witness),
+            provenance=self._provenance(hit, budget, witness, store=store_tier),
         )
 
     def depends_history_set(
@@ -1055,9 +1252,7 @@ class DependencyEngine:
         comp = compiled.history_array(indices)
         column_of = dict(zip(kernel.names, kernel.columns))
         cols = [column_of[t] for t in target_list]
-        for bucket in kernel.buckets(
-            compiled.source_indices(source_set), compiled.sat_ids(constraint)
-        ).values():
+        for bucket in self._buckets(compiled.source_indices(source_set), constraint):
             m = len(bucket)
             if m < 2:
                 continue
@@ -1153,6 +1348,22 @@ class DependencyEngine:
             }
         if not pending:
             return
+        # Disk tier before any fan-out: a warm store turns the whole
+        # batch into row fetches — no pool, no BFS.
+        store = self._store_for()
+        if store is not None:
+            phi_name = self._resolve(constraint).name
+            still_pending = []
+            for a in pending:
+                loaded = self._closure_from_store(store, a, constraint, phi_name)
+                if loaded is None:
+                    still_pending.append(a)
+                else:
+                    with self._lock:
+                        self._closures.setdefault((a, constraint), loaded)
+            pending = still_pending
+        if not pending:
+            return
         # Hottest first: under a budget (or a mid-warm failure) the
         # closures most likely to be asked for again are the ones that
         # made it into the memo.  The sort is stable, so untouched
@@ -1236,6 +1447,8 @@ class DependencyEngine:
         compiled = self.compiled_system()
         for sources in pending:
             self.system.space.check_names(sources)
+        store = self._store_for()
+        store_key = self._constraint_key(constraint) if store is not None else None
         sat_ids = compiled.sat_ids(constraint)
         limits = budget.limits() if budget is not None and budget.bounded else None
         mode = self._closure_mode()
@@ -1290,6 +1503,10 @@ class DependencyEngine:
                             with self._lock:
                                 self._closures.setdefault(
                                     (source_set, constraint), closure
+                                )
+                            if store is not None:
+                                store.save_closure(
+                                    self._store_hash, store_key, closure
                                 )
                             done += 1
                 except BudgetExceededError:
@@ -1511,7 +1728,6 @@ class DependencyEngine:
     ) -> dict[str, frozenset[tuple[str, str]]]:
         compiled = self.compiled_system()
         kernel = compiled.kernel
-        sat_ids = compiled.sat_ids(constraint)
         names = kernel.names
         columns = kernel.columns
         successors = kernel.successors
@@ -1521,7 +1737,7 @@ class DependencyEngine:
         if meter is not None:
             meter.check(0, 0)
         for k, x in enumerate(names):
-            for bucket in kernel.buckets((k,), sat_ids).values():
+            for bucket in self._buckets((k,), constraint):
                 if meter is not None:
                     meter.check(scanned, scanned)
                 m = len(bucket)

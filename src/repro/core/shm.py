@@ -146,6 +146,20 @@ class KernelArena:
         )
         return cls(block, handle, total)
 
+    @classmethod
+    def from_store(cls, store, system_hash: str) -> "KernelArena | None":
+        """Hydrate an arena straight from a persistent store
+        (:class:`~repro.core.store.PersistentStore`) — no system object,
+        no operation execution, no recompile.  This is the service
+        warm-boot path: a process that knows a system's canonical hash
+        places the stored tables directly into shared memory and fans
+        workers out over them.  Returns ``None`` when the store has no
+        kernel for ``system_hash`` (or has degraded)."""
+        kernel = store.load_kernel(system_hash)
+        if kernel is None:
+            return None
+        return cls.create(kernel)
+
     def handle(self) -> KernelHandle:
         return self._handle
 

@@ -36,6 +36,13 @@ MEMO_OUTCOMES = ("hit", "fresh", "n/a")
 #: Budget states.
 BUDGET_STATES = ("none", "governed", "exhausted")
 
+#: Persistent-store outcomes (PR 7).  ``off`` — no store attached (the
+#: field is omitted from ``describe()``); ``ram`` — the in-RAM memo
+#: answered before the disk tier was consulted; ``hit`` — deserialized
+#: from disk instead of computed; ``miss`` — disk consulted, absent,
+#: computed fresh (and persisted).
+STORE_STATES = ("off", "ram", "hit", "miss")
+
 
 @dataclass(frozen=True, slots=True)
 class Provenance:
@@ -48,7 +55,10 @@ class Provenance:
     ``witness_length`` is the history length of the positive witness
     (``None`` for negative or unknown verdicts); ``closure_pairs`` is
     the size of the pair closure that answered an existential-history
-    query (``None`` for fixed-history sweeps).
+    query (``None`` for fixed-history sweeps); ``store`` records the
+    persistent-store tier's involvement (:data:`STORE_STATES` —
+    ``off`` when no store is attached, and omitted from ``describe()``
+    so storeless provenance strings are unchanged).
     """
 
     kernel: str
@@ -56,10 +66,13 @@ class Provenance:
     budget: str = "none"
     witness_length: int | None = None
     closure_pairs: int | None = None
+    store: str = "off"
 
     def describe(self) -> str:
         bits = [f"kernel={self.kernel}", f"memo={self.memo}",
                 f"budget={self.budget}"]
+        if self.store != "off":
+            bits.append(f"store={self.store}")
         if self.witness_length is not None:
             bits.append(f"witness_len={self.witness_length}")
         if self.closure_pairs is not None:

@@ -392,6 +392,9 @@ SPAN_NAMES = (
     "obligation.alternative_a",
     "obligation.alternative_b",
     "obligation.relation_closure",
+    "store.load",              # one persistent-store row fetch (+kind attr)
+    "store.save",              # one persistent-store row write (+kind attr)
+    "diff.compare",            # one repro-diff closure sweep over two versions
 )
 
 #: Counter names (cumulative) and gauge names (high-water marks).
@@ -423,6 +426,14 @@ COUNTER_NAMES = (
     "budget.trips",
     "execution.reports",
     "execution.reports_dropped",
+    "store.hit",
+    "store.miss",
+    "store.write",
+    "store.invalidate",
+    "store.evictions",
+    "store.degraded",
+    "store.corrupt",
+    "store.kernel_loads",
 )
 
 GAUGE_NAMES = (
@@ -434,6 +445,8 @@ GAUGE_NAMES = (
     "kernel.sat_ids.evictions",
     "pool.shm.bytes",
     "execution.log_size",
+    "store.evictions",
+    "store.bytes",
 )
 
 

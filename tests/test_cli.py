@@ -177,3 +177,109 @@ class TestTaintCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "public" in out and "secret" in out
+
+
+class TestStoreOption:
+    ARGS = [
+        "--var", "secret=0..1", "--var", "public=0..1",
+        "--source", "secret", "--target", "public",
+    ]
+
+    def test_warm_replay_from_store(self, leaky_program, tmp_path, capsys):
+        store = str(tmp_path / "memo.sqlite")
+        code = main(
+            ["program", leaky_program, *self.ARGS, "--store", store]
+        )
+        cold_out = capsys.readouterr().out
+        assert code == 1
+        assert "store=miss" in cold_out
+        # A second run builds a fresh system/engine (a stand-in for a
+        # new process): the verdict replays from disk.
+        code = main(
+            ["program", leaky_program, *self.ARGS, "--store", store]
+        )
+        warm_out = capsys.readouterr().out
+        assert code == 1
+        assert "store=hit" in warm_out
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("[")
+        ]
+        assert strip(warm_out) == strip(cold_out)
+
+    def test_env_fallback(self, leaky_program, tmp_path, capsys, monkeypatch):
+        store = tmp_path / "memo.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store))
+        assert main(["program", leaky_program, *self.ARGS]) == 1
+        capsys.readouterr()
+        assert store.exists()
+
+    def test_stats_store(self, leaky_program, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "memo.sqlite")
+        main(["program", leaky_program, *self.ARGS, "--store", store])
+        capsys.readouterr()
+        assert main(["stats", "--store", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["rows"]["closures"] >= 1
+        assert stats["lifetime"]["writes"] >= 1
+
+    def test_stats_needs_trace_or_store(self, capsys):
+        assert main(["stats"]) == 2
+        assert "trace file and/or --store" in capsys.readouterr().err
+
+
+class TestDiffCommand:
+    VARS = ["--var", "secret=0..1", "--var", "public=0..1"]
+
+    @pytest.fixture
+    def versions(self, tmp_path):
+        old = tmp_path / "v1.prog"
+        old.write_text("public := secret")
+        new = tmp_path / "v2.prog"
+        new.write_text("public := 0")
+        return str(old), str(new)
+
+    def test_identical_versions_exit_0(self, versions, capsys):
+        old, _ = versions
+        code = main(["diff", old, old, *self.VARS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 changed" in out
+
+    def test_changed_verdict_exit_1(self, versions, tmp_path, capsys):
+        old, new = versions
+        report_path = str(tmp_path / "diff.json")
+        code = main(
+            ["diff", old, new, *self.VARS, "--json", report_path,
+             "--store", str(tmp_path / "memo.sqlite")]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no longer flows" in out
+
+        import json
+        from pathlib import Path
+
+        from repro.obs import schema
+
+        report = json.loads(Path(report_path).read_text())
+        contract = json.loads(
+            (Path(__file__).resolve().parents[1] / "docs"
+             / "diff.schema.json").read_text()
+        )
+        assert schema.validate(report, contract) == []
+        flips = [
+            (c["sources"], c["target"], c["before"], c["after"])
+            for c in report["verdicts"]["changed"]
+        ]
+        assert (["secret"], "public", True, False) in flips
+
+    def test_incomparable_spaces_error(self, versions, tmp_path, capsys):
+        old, _ = versions
+        other = tmp_path / "other.prog"
+        # Two statements -> a different pc domain -> a different space.
+        other.write_text("public := secret; public := secret")
+        code = main(["diff", old, str(other), *self.VARS])
+        assert code == 2
+        assert "object space" in capsys.readouterr().err
