@@ -18,20 +18,21 @@ chaos:
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
-# Smoke-run the A3/A4/A5/A6 perf benches on tiny sizes: exercises the
+# Smoke-run the A3/A4/A5/A6/A7 perf benches on tiny sizes: exercises the
 # measured paths (seed / object engine / compiled kernel / bitset kernel /
-# telemetry on+off / persistent store cold-vs-warm) and their agreement
-# asserts without recording numbers or enforcing most bars.  The A6 bench
-# always uses fresh tmp store paths and asserts its cold legs saw zero
-# hits, so a populated store lying around (e.g. REPRO_STORE pointing at
-# one) can never accidentally warm a measurement.  This is what the CI
-# bench-smoke job runs.
+# telemetry on+off / persistent store cold-vs-warm / compiled quantitative
+# substrate vs object channel path) and their agreement asserts without
+# recording numbers or enforcing most bars.  The A6 bench always uses
+# fresh tmp store paths and asserts its cold legs saw zero hits, so a
+# populated store lying around (e.g. REPRO_STORE pointing at one) can
+# never accidentally warm a measurement.  This is what the CI bench-smoke
+# job runs.
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHONPATH_SRC) python -m pytest \
 		benchmarks/test_a3_engine.py benchmarks/test_a3_compiled.py \
 		benchmarks/test_a3_induction.py benchmarks/test_a3_budget.py \
 		benchmarks/test_a4_telemetry.py benchmarks/test_a5_bitset.py \
-		benchmarks/test_a6_persist.py -q
+		benchmarks/test_a6_persist.py benchmarks/test_a7_quantitative.py -q
 
 examples:
 	$(PYTHONPATH_SRC) python examples/quickstart.py

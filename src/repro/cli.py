@@ -8,9 +8,16 @@ Usage::
 
     python -m repro taint FILE --var ... --source secret
 
+    python -m repro quantify FILE --var ... --source secret \\
+        --target public [--capacity] [--json OUT.json]
+
 ``program`` decides exact strong dependency on the compiled flowchart
 system (pair-graph, all histories) and prints a witness run when a flow
 exists.  ``taint`` runs the syntactic taint closure for comparison.
+``quantify`` computes the section 7.4 bits-transmitted measures (both
+the equivocation and the averaged measure, optionally Blahut-Arimoto
+channel capacity) on the compiled quantitative substrate, with JSON
+output validating against ``docs/quantify.schema.json``.
 
 Domains: ``name=lo..hi`` (integer range, inclusive), ``name=v1,v2,...``
 (explicit integers), or ``name=bool``.
@@ -221,6 +228,132 @@ def _decide_program(args: argparse.Namespace, ps) -> int:
     return 0
 
 
+def cmd_quantify(args: argparse.Namespace) -> int:
+    trace = _start_trace(args)
+    try:
+        return _run_quantify(args)
+    finally:
+        _finish_trace(trace)
+
+
+def _run_quantify(args: argparse.Namespace) -> int:
+    ps = _build(args)
+    _attach_store(args, ps)
+    try:
+        return _decide_quantify(args, ps)
+    finally:
+        _dump_cache_stats(args, ps)
+
+
+_QUANTIFY_MEASURES = (
+    "source_entropy",
+    "bits_transmitted",
+    "equivocation",
+    "bits_transmitted_averaged",
+    "capacity",
+)
+
+
+def _write_quantify_json(args: argparse.Namespace, doc: dict) -> None:
+    path = getattr(args, "json", None)
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written: {path}", file=sys.stderr)
+
+
+def _decide_quantify(args: argparse.Namespace, ps) -> int:
+    from repro.core.system import History
+    from repro.quantitative.compiled import QuantEngine
+
+    entry = None
+    if args.entry:
+        expr = parse_expr(args.entry)
+        entry = Constraint(
+            ps.space, lambda s: bool(expr.eval(s)), name=args.entry
+        )
+    phi = ps.entry_constraint(entry)
+    system = ps.system
+    if args.history:
+        names = [n.strip() for n in args.history.split(",") if n.strip()]
+        history = system.history(*names)
+    else:
+        # Each operation once, in program order — one full run of a
+        # straight-line flowchart.  Loops/branches need an explicit
+        # --history.
+        history = History(system.operations)
+    sources = sorted(set(args.source))
+    engine = shared_engine(system)
+    quant = QuantEngine(engine=engine, budget=_parse_budget(args))
+    doc = {
+        "schema_version": 1,
+        "program": args.file,
+        "sources": sources,
+        "target": args.target,
+        "history": [op.name for op in history],
+        "states": system.space.size,
+        "verdict": "ok",
+        "measures": dict.fromkeys(_QUANTIFY_MEASURES),
+        "partial": None,
+    }
+    try:
+        dist = quant.uniform(phi)
+        doc["support"] = len(dist)
+        measures = doc["measures"]
+        measures["source_entropy"] = quant.source_entropy(dist, sources)
+        measures["bits_transmitted"] = quant.bits_transmitted(
+            dist, sources, args.target, history
+        )
+        measures["equivocation"] = (
+            measures["source_entropy"] - measures["bits_transmitted"]
+        )
+        measures["bits_transmitted_averaged"] = (
+            quant.bits_transmitted_averaged(
+                dist, sources, args.target, history
+            )
+        )
+        if args.capacity:
+            measures["capacity"] = quant.capacity(
+                dist, sources, args.target, history
+            )
+    except BudgetExceededError as exc:
+        doc["verdict"] = "unknown"
+        doc["measures"] = dict.fromkeys(_QUANTIFY_MEASURES)
+        doc.setdefault("support", None)
+        doc["partial"] = {
+            "label": exc.partial.label,
+            "reason": exc.partial.reason,
+            "expanded": exc.partial.expanded,
+            "discovered": exc.partial.discovered,
+            "elapsed": exc.partial.elapsed,
+        }
+        print(f"UNKNOWN: b({'+'.join(sources)} -> {args.target}) not "
+              "determined within budget")
+        print(exc.partial.describe())
+        print("(rerun with a larger --budget-seconds/--budget-states "
+              "to refine)")
+        _write_quantify_json(args, doc)
+        return EXIT_UNKNOWN
+    measures = doc["measures"]
+    print(f"quantify {'+'.join(sources)} -> {args.target} "
+          f"over H={','.join(doc['history'])} "
+          f"({doc['support']} of {doc['states']} states)")
+    print(f"  source entropy:    {measures['source_entropy']:.6g} bits")
+    print(f"  bits transmitted:  {measures['bits_transmitted']:.6g} "
+          "(equivocation measure)")
+    print(f"  equivocation:      {measures['equivocation']:.6g} bits")
+    print(f"  averaged measure:  {measures['bits_transmitted_averaged']:.6g} "
+          "bits")
+    if measures["capacity"] is not None:
+        print(f"  channel capacity:  {measures['capacity']:.6g} bits/use")
+    _write_quantify_json(args, doc)
+    return 0
+
+
 def cmd_taint(args: argparse.Namespace) -> int:
     trace = _start_trace(args)
     ps = None
@@ -416,6 +549,87 @@ def build_parser() -> argparse.ArgumentParser:
         "in new processes start warm; REPRO_STORE is the env fallback",
     )
     p_program.set_defaults(handler=cmd_program)
+
+    p_quantify = sub.add_parser(
+        "quantify",
+        help="section 7.4 bits-transmitted measures on the compiled "
+        "quantitative substrate",
+    )
+    p_quantify.add_argument(
+        "file", help="mini-language program file, or - for stdin"
+    )
+    p_quantify.add_argument(
+        "--var",
+        action="append",
+        default=[],
+        metavar="NAME=DOMAIN",
+        help="variable domain: lo..hi, v1,v2,..., or bool (repeatable)",
+    )
+    p_quantify.add_argument(
+        "--source",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="source object (repeatable: the set A)",
+    )
+    p_quantify.add_argument(
+        "--target", required=True, help="target object beta"
+    )
+    p_quantify.add_argument(
+        "--entry",
+        help="entry assertion (mini-language boolean expression); the "
+        "initial distribution is uniform over sat(entry & pc=entry)",
+    )
+    p_quantify.add_argument(
+        "--history",
+        metavar="OP1,OP2,...",
+        help="operation names of the fixed history H (default: every "
+        "operation once, in program order)",
+    )
+    p_quantify.add_argument(
+        "--capacity",
+        action="store_true",
+        help="also solve the Blahut-Arimoto channel capacity (one "
+        "channel input per source-value combination; opt-in because "
+        "the input set is the product of the source domains)",
+    )
+    p_quantify.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the report as JSON (docs/quantify.schema.json)",
+    )
+    p_quantify.add_argument(
+        "--budget-seconds",
+        type=float,
+        metavar="S",
+        help="wall-clock budget for the governed sweeps; exhaustion "
+        "prints UNKNOWN (null measures) and exits 3",
+    )
+    p_quantify.add_argument(
+        "--budget-states",
+        type=int,
+        metavar="N",
+        help="max states scanned by the governed sweeps; exhaustion "
+        "prints UNKNOWN (null measures) and exits 3",
+    )
+    p_quantify.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable telemetry and write a Chrome trace JSON on exit",
+    )
+    p_quantify.add_argument(
+        "--cache-stats",
+        metavar="FILE",
+        help="write the engine's cache statistics as JSON on exit",
+    )
+    p_quantify.add_argument(
+        "--store",
+        metavar="PATH",
+        help="attach a persistent memo store (sqlite); composed history "
+        "tables and Def 1-1 buckets are reused across processes "
+        "(REPRO_STORE is the env fallback)",
+    )
+    p_quantify.set_defaults(handler=cmd_quantify)
 
     p_taint = sub.add_parser(
         "taint", help="syntactic taint closure (baseline)"

@@ -58,7 +58,7 @@ from repro.core import bitset, faults
 from repro.core.budget import BudgetMeter, ExecutionBudget
 from repro.core.cache import LRUCache
 from repro.core.constraints import Constraint
-from repro.core.state import State
+from repro.core.state import State, Value
 from repro.core.system import System
 
 #: Packed-parent sentinel for Def 2-8 initial pairs (no predecessor).
@@ -443,6 +443,44 @@ class CompiledSystem:
         if len(key) > prefix:
             obs.count("kernel.history_compose.gathers", len(key) - prefix)
         return base
+
+    def cached_history_array(self, op_indices: Sequence[int]) -> array | None:
+        """Peek the composed-array memo: the array if present, ``None``
+        otherwise — never composes on a miss (callers that have a
+        cheaper source, e.g. the persistent store, check here first)."""
+        with self._lock:
+            return self._composed.get(tuple(op_indices))
+
+    def adopt_history_array(
+        self, op_indices: Sequence[int], comp: array
+    ) -> array:
+        """Install an externally-computed composed array (a persistent-
+        store load) into the memo; returns the instance now cached."""
+        if len(comp) != self.kernel.n:
+            raise ValueError(
+                "composed array length does not match the space"
+            )
+        key = tuple(op_indices)
+        with self._lock:
+            cached = self._composed.get(key)
+            if cached is not None:
+                return cached
+            return self._composed.put(key, comp)
+
+    # -- value decoding -------------------------------------------------------
+
+    def value_column(self, name: str) -> tuple[array, tuple[Value, ...]]:
+        """``(column, domain)`` for one object: ``domain[column[i]]`` is
+        the value of ``name`` in ``state_i`` — value reads off ids with
+        no ``State`` materialization."""
+        k = self.kernel.names.index(name)
+        return self.kernel.columns[k], self.system.space.domain(name)
+
+    def value_columns(
+        self, names: Iterable[str]
+    ) -> tuple[tuple[array, tuple[Value, ...]], ...]:
+        """:meth:`value_column` over several objects, in the given order."""
+        return tuple(self.value_column(name) for name in names)
 
     def source_indices(self, sources: Iterable[str]) -> tuple[int, ...]:
         """Object names to column indices (ascending)."""

@@ -54,6 +54,7 @@ import os
 import threading
 import time
 import weakref
+from array import array
 from collections.abc import Iterable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -1026,6 +1027,51 @@ class DependencyEngine:
         if store is not None:
             store.save_buckets(self._store_hash, source_indices, key, buckets)
         return buckets
+
+    def history_indices(self, history: History | Operation) -> tuple[int, ...]:
+        """Resolve a history to indices into the compiled successor
+        arrays (public form of the internal resolver the fixed-history
+        provers use).  Raises
+        :class:`~repro.core.errors.ForeignOperationError` for operations
+        that are not the system's own — callers such as the compiled
+        quantitative layer catch it and fall back to the object path."""
+        return self._history_indices(history)
+
+    def def11_buckets(
+        self,
+        sources: Iterable[str],
+        constraint: Constraint | None = None,
+    ) -> list[list[int]]:
+        """The Def 1-1 bucket partition of sat(phi) for a source set, as
+        id lists in first-seen order — store-backed like every other
+        compiled bucket sweep.  Conditioning on "everything outside A
+        held at z" *is* membership in one of these buckets, which is how
+        the quantitative layer reads equivocation off them."""
+        source_set = self.system.space.check_names(sources)
+        compiled = self.compiled_system()
+        return self._buckets(compiled.source_indices(source_set), constraint)
+
+    def composed_history_array(self, indices: Iterable[int]) -> array:
+        """The composed successor array for a fixed history, served from
+        the same three tiers as the closures: RAM LRU -> persistent
+        store -> index-gather composition (then written back to both)."""
+        indices = tuple(indices)
+        compiled = self.compiled_system()
+        cached = compiled.cached_history_array(indices)
+        if cached is not None:
+            obs.count("kernel.history_compose.memo_hit")
+            return cached
+        store = self._store_for()
+        if store is not None and indices:
+            loaded = store.load_composed(
+                self._store_hash, indices, compiled.kernel.n
+            )
+            if loaded is not None:
+                return compiled.adopt_history_array(indices, loaded)
+        arr = compiled.history_array(indices)
+        if store is not None and indices:
+            store.save_composed(self._store_hash, indices, arr)
+        return arr
 
     def _compiled_history_table(
         self,

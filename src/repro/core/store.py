@@ -139,10 +139,18 @@ CREATE TABLE IF NOT EXISTS buckets (
     last_access REAL NOT NULL,
     PRIMARY KEY (system_hash, source_indices, constraint_key)
 );
+CREATE TABLE IF NOT EXISTS composed (
+    system_hash TEXT NOT NULL,
+    op_indices TEXT NOT NULL,
+    comp BLOB NOT NULL,
+    nbytes INTEGER NOT NULL,
+    last_access REAL NOT NULL,
+    PRIMARY KEY (system_hash, op_indices)
+);
 """
 
 #: The tables the byte budget governs (``systems`` is exempt).
-_PAYLOAD_TABLES = ("closures", "history_tables", "buckets")
+_PAYLOAD_TABLES = ("closures", "history_tables", "buckets", "composed")
 
 
 # -- canonical hashing --------------------------------------------------------
@@ -873,6 +881,89 @@ class PersistentStore:
         except ValueError:
             obs.count("store.corrupt")
             return None
+
+    # -- composed history arrays ----------------------------------------------
+
+    def save_composed(
+        self, h: str, op_indices: Sequence[int], comp
+    ) -> None:
+        """Persist one composed successor array (``comp[i] = id(H(i))``)
+        keyed by the history's op-index tuple, in the canonical 8-byte
+        little-endian encoding shared with the kernel tables."""
+        blob = _table_bytes(comp)
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return
+            try:
+                with obs.span("store.save", kind="composed"):
+                    conn.execute(
+                        "INSERT OR IGNORE INTO composed "
+                        "(system_hash, op_indices, comp, nbytes, last_access) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (
+                            h,
+                            _indices_key(op_indices),
+                            blob,
+                            len(blob),
+                            time.time(),
+                        ),
+                    )
+                    self.writes += 1
+                    obs.count("store.write")
+                    self._bump_meta(conn, "writes")
+                    self._enforce_budget(conn)
+                    conn.commit()
+            except sqlite3.Error as exc:
+                self._degrade("save_composed failed", exc)
+
+    def load_composed(
+        self, h: str, op_indices: Sequence[int], n: int
+    ) -> array | None:
+        """The composed array back, or ``None`` on miss/corruption.  A
+        blob of the wrong length for an ``n``-state space is deleted and
+        counted rather than trusted."""
+        key = (h, _indices_key(op_indices))
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                self._miss(None)
+                return None
+            try:
+                with obs.span("store.load", kind="composed"):
+                    row = conn.execute(
+                        "SELECT comp FROM composed WHERE system_hash=? "
+                        "AND op_indices=?",
+                        key,
+                    ).fetchone()
+                    if row is None:
+                        self._miss(conn)
+                        return None
+                    if len(row[0]) != 8 * n:
+                        conn.execute(
+                            "DELETE FROM composed WHERE system_hash=? "
+                            "AND op_indices=?",
+                            key,
+                        )
+                        conn.commit()
+                        obs.count("store.corrupt")
+                        self._miss(None)
+                        return None
+                    conn.execute(
+                        "UPDATE composed SET last_access=? WHERE system_hash=? "
+                        "AND op_indices=?",
+                        (time.time(), *key),
+                    )
+                    self._hit(conn)
+                    conn.commit()
+            except sqlite3.Error as exc:
+                self._degrade("load_composed failed", exc)
+                return None
+        arr = array("L")
+        arr.frombytes(row[0])
+        if sys.byteorder != "little":
+            arr.byteswap()
+        return arr
 
     # -- bounding / stats -----------------------------------------------------
 

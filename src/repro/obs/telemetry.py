@@ -395,6 +395,9 @@ SPAN_NAMES = (
     "store.load",              # one persistent-store row fetch (+kind attr)
     "store.save",              # one persistent-store row write (+kind attr)
     "diff.compare",            # one repro-diff closure sweep over two versions
+    "quant.measure",           # one compiled quantitative measure (+kind attr)
+    "quant.channel_matrix",    # one batched channel-matrix sweep
+    "quant.capacity",          # one Blahut-Arimoto capacity solve
 )
 
 #: Counter names (cumulative) and gauge names (high-water marks).
@@ -434,6 +437,10 @@ COUNTER_NAMES = (
     "store.degraded",
     "store.corrupt",
     "store.kernel_loads",
+    "quant.states_scanned",
+    "quant.buckets_scanned",
+    "quant.ba_iterations",
+    "quant.fallback_object",
 )
 
 GAUGE_NAMES = (

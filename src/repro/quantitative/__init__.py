@@ -8,7 +8,12 @@ from repro.quantitative.channel import (
     interference,
     source_entropy,
 )
-from repro.quantitative.bandwidth import capacity, channel_matrix
+from repro.quantitative.bandwidth import (
+    blahut_arimoto,
+    capacity,
+    channel_matrix,
+)
+from repro.quantitative.compiled import CompiledDistribution, QuantEngine
 from repro.quantitative.distributions import StateDistribution
 from repro.quantitative.induction import (
     bits_transmitted_joint,
@@ -25,8 +30,11 @@ from repro.quantitative.entropy import (
 )
 
 __all__ = [
+    "CompiledDistribution",
+    "QuantEngine",
     "StateDistribution",
     "bits_transmitted",
+    "blahut_arimoto",
     "capacity",
     "channel_matrix",
     "bits_transmitted_averaged",

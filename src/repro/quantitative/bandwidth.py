@@ -26,10 +26,13 @@ the capacity of a leaky path toward zero.
 
 from __future__ import annotations
 
+import itertools
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from fractions import Fraction
 
+from repro import obs
+from repro.core.bitset import load_numpy
 from repro.core.errors import DistributionError
 from repro.core.state import Value
 from repro.core.system import History
@@ -56,8 +59,6 @@ def channel_matrix(
     input_values = []
     for name in source_names:
         input_values.append(space.domain(name))
-    import itertools
-
     inputs: list[tuple[Value, ...]] = list(itertools.product(*input_values))
     row_tables: list[dict[Value, Fraction]] = []
     outputs_seen: dict[Value, None] = {}
@@ -108,14 +109,44 @@ def capacity(
     _inputs, _outputs, matrix = channel_matrix(
         rest_distribution, sources, target, history
     )
+    return blahut_arimoto(matrix, tolerance, max_iterations)
+
+
+def blahut_arimoto(
+    matrix: Sequence[Sequence[float]],
+    tolerance: float = 1e-9,
+    max_iterations: int = 10_000,
+) -> float:
+    """Capacity of a transition matrix ``matrix[i][j] = p(j | i)``.
+
+    At least one mutual-information evaluation always runs and the
+    *last computed* value is returned, so tiny ``max_iterations`` can
+    only under-estimate capacity — never return a ``-1.0`` sentinel or
+    other artifact.  Uses a NumPy bulk path when available (gated the
+    same way as the bitset kernels: ``REPRO_BITSET_NUMPY=0`` forces the
+    pure-Python fallback).
+    """
     n_inputs = len(matrix)
-    n_outputs = len(matrix[0]) if matrix else 0
+    n_outputs = len(matrix[0]) if n_inputs else 0
     if n_inputs == 0 or n_outputs == 0:
         return 0.0
+    iterations = max(1, max_iterations)
+    np = load_numpy()
+    if np is not None:
+        return _blahut_arimoto_numpy(np, matrix, tolerance, iterations)
+    return _blahut_arimoto_python(matrix, tolerance, iterations)
 
+
+def _blahut_arimoto_python(
+    matrix: Sequence[Sequence[float]], tolerance: float, max_iterations: int
+) -> float:
+    n_inputs = len(matrix)
+    n_outputs = len(matrix[0])
     p_input = [1.0 / n_inputs] * n_inputs
-    previous = -1.0
+    mutual = 0.0
+    steps = 0
     for _ in range(max_iterations):
+        steps += 1
         # q(j): output marginal under the current input distribution.
         q = [
             sum(p_input[i] * matrix[i][j] for i in range(n_inputs))
@@ -124,9 +155,10 @@ def capacity(
         # Per-input divergence D(p(.|i) || q).
         divergence = []
         for i in range(n_inputs):
+            row = matrix[i]
             d = 0.0
             for j in range(n_outputs):
-                pij = matrix[i][j]
+                pij = row[j]
                 if pij > 0:
                     d += pij * math.log2(pij / q[j])
             divergence.append(d)
@@ -135,10 +167,38 @@ def capacity(
         mutual = sum(p_input[i] * divergence[i] for i in range(n_inputs))
         upper = max(divergence)
         if upper - mutual < tolerance:
-            return max(mutual, 0.0)
+            break
         # Multiplicative update.
         weights = [p_input[i] * (2.0 ** divergence[i]) for i in range(n_inputs)]
         total = sum(weights)
         p_input = [w / total for w in weights]
-        previous = mutual
-    return max(previous, 0.0)
+    obs.count("quant.ba_iterations", steps)
+    return max(mutual, 0.0)
+
+
+def _blahut_arimoto_numpy(
+    np, matrix: Sequence[Sequence[float]], tolerance: float, max_iterations: int
+) -> float:
+    P = np.asarray(matrix, dtype=np.float64)
+    mask = P > 0.0
+    logP = np.zeros_like(P)
+    logP[mask] = np.log2(P[mask])
+    n_inputs = P.shape[0]
+    p_input = np.full(n_inputs, 1.0 / n_inputs)
+    mutual = 0.0
+    steps = 0
+    for _ in range(max_iterations):
+        steps += 1
+        q = p_input @ P
+        logq = np.zeros_like(q)
+        positive = q > 0.0
+        logq[positive] = np.log2(q[positive])
+        divergence = (P * (logP - logq[np.newaxis, :])).sum(axis=1)
+        mutual = float(p_input @ divergence)
+        upper = float(divergence.max())
+        if upper - mutual < tolerance:
+            break
+        weights = p_input * np.exp2(divergence)
+        p_input = weights / weights.sum()
+    obs.count("quant.ba_iterations", steps)
+    return max(mutual, 0.0)

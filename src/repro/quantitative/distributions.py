@@ -97,13 +97,19 @@ class StateDistribution:
     def condition(
         self, predicate: Callable[[State], bool]
     ) -> "StateDistribution":
-        """The conditional distribution given a predicate."""
-        mass = sum(
-            (p for s, p in self._probs.items() if predicate(s)), Fraction(0)
-        )
+        """The conditional distribution given a predicate.
+
+        One pass over the support: the predicate is evaluated exactly
+        once per state (it may be expensive — a composed-history check,
+        a z-slice tuple compare) and the surviving states are
+        renormalized afterwards.
+        """
+        kept: dict[State, Fraction] = {
+            s: p for s, p in self._probs.items() if predicate(s)
+        }
+        mass = sum(kept.values(), Fraction(0))
         if mass == 0:
             raise DistributionError("conditioning on a zero-probability event")
         return StateDistribution(
-            self.space,
-            {s: p / mass for s, p in self._probs.items() if predicate(s)},
+            self.space, {s: p / mass for s, p in kept.items()}
         )

@@ -31,8 +31,13 @@ def entropy(table: Mapping[object, Fraction]) -> float:
     1.0
     """
     _validate(table)
+    # Summation order is fixed by the key's repr so that object-path and
+    # compiled-path tables (which enumerate support in different orders)
+    # produce bit-identical floats for the same exact distribution.
     return -sum(
-        float(p) * math.log2(float(p)) for p in table.values() if p > 0
+        float(p) * math.log2(float(p))
+        for _, p in sorted(table.items(), key=lambda kv: repr(kv[0]))
+        if p > 0
     )
 
 

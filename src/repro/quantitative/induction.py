@@ -27,6 +27,7 @@ of the equivocation measure.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterable
 from fractions import Fraction
 
@@ -90,8 +91,6 @@ def summed_induction_gap(
     Candidate M sets are all subsets of the space's objects — exponential,
     fine at example scale.
     """
-    import itertools
-
     composite = prefix + suffix
     k = bits_transmitted(dist, sources, target, composite)
     pushed = dist.push_forward(prefix)

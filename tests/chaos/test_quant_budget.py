@@ -1,0 +1,166 @@
+"""Chaos tests: budget-governed quantitative measures.
+
+The §7.4 support sweeps and channel sweeps are metered exactly like the
+closure BFS: a trip raises :class:`BudgetExceededError` carrying an
+UNKNOWN :class:`PartialResult`, the caller never sees a truncated
+number, nothing poisoned lands in any memo (an unmetered rerun is
+exact), and `repro quantify` degrades to exit 3 with null measures and
+a schema-shaped partial block.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.budget import (
+    BudgetExceededError,
+    CancellationToken,
+    ExecutionBudget,
+    PartialResult,
+)
+from repro.core.system import History
+from repro.lang.builders import SystemBuilder
+from repro.lang.expr import var
+from repro.quantitative import QuantEngine
+
+
+@pytest.fixture
+def modsum():
+    b = SystemBuilder().integers("a1", "a2", "beta", bits=3)
+    b.op_assign("d", "beta", (var("a1") + var("a2")) % 8)
+    system = b.build()
+    return system, History.of(system.operation("d"))
+
+
+class TestMeasureTrips:
+    def test_zero_state_budget_trips_bits(self, modsum):
+        system, h = modsum
+        quant = QuantEngine(system)
+        with pytest.raises(BudgetExceededError) as info:
+            quant.bits_transmitted(
+                quant.uniform(), {"a1"}, "beta", h,
+                budget=ExecutionBudget(max_expanded=0),
+            )
+        partial = info.value.partial
+        assert isinstance(partial, PartialResult)
+        assert partial.verdict == "UNKNOWN"
+        assert partial.reason == "max_expanded"
+
+    def test_zero_state_budget_trips_averaged(self, modsum):
+        system, h = modsum
+        quant = QuantEngine(system)
+        with pytest.raises(BudgetExceededError) as info:
+            quant.bits_transmitted_averaged(
+                quant.uniform(), {"a1"}, "beta", h,
+                budget=ExecutionBudget(max_expanded=0),
+            )
+        assert info.value.partial.reason == "max_expanded"
+
+    def test_zero_state_budget_trips_channel(self, modsum):
+        system, h = modsum
+        quant = QuantEngine(system)
+        with pytest.raises(BudgetExceededError):
+            quant.channel_matrix(
+                quant.uniform(), {"a1"}, "beta", h,
+                budget=ExecutionBudget(max_expanded=0),
+            )
+
+    def test_deadline_trips(self, modsum):
+        system, h = modsum
+        quant = QuantEngine(system)
+        with pytest.raises(BudgetExceededError) as info:
+            quant.bits_transmitted(
+                quant.uniform(), {"a1"}, "beta", h,
+                budget=ExecutionBudget(max_seconds=0.0),
+            )
+        assert info.value.partial.reason == "deadline"
+
+    def test_cancellation_token(self, modsum):
+        system, h = modsum
+        token = CancellationToken()
+        token.cancel()
+        quant = QuantEngine(system)
+        with pytest.raises(BudgetExceededError) as info:
+            quant.bits_transmitted_averaged(
+                quant.uniform(), {"a1"}, "beta", h,
+                budget=ExecutionBudget(token=token),
+            )
+        assert info.value.partial.reason == "cancelled"
+
+    def test_engine_default_budget_and_override(self, modsum):
+        system, h = modsum
+        quant = QuantEngine(system, budget=ExecutionBudget(max_expanded=0))
+        with pytest.raises(BudgetExceededError):
+            quant.bits_transmitted(quant.uniform(), {"a1"}, "beta", h)
+        # A per-call unbounded budget overrides the engine default.
+        assert quant.bits_transmitted(
+            quant.uniform(), {"a1"}, "beta", h, budget=ExecutionBudget()
+        ) == 0.0
+
+    def test_trip_never_leaves_a_wrong_number(self, modsum):
+        """After any trip, the unmetered rerun on the same QuantEngine
+        (same memos, same composed arrays) is the exact answer."""
+        system, h = modsum
+        quant = QuantEngine(system)
+        for budget in (
+            ExecutionBudget(max_expanded=0),
+            ExecutionBudget(max_seconds=0.0),
+        ):
+            with pytest.raises(BudgetExceededError):
+                quant.bits_transmitted_averaged(
+                    quant.uniform(), {"a1"}, "beta", h, budget=budget
+                )
+        assert quant.bits_transmitted_averaged(
+            quant.uniform(), {"a1"}, "beta", h
+        ) == pytest.approx(3.0)
+        assert quant.bits_transmitted(
+            quant.uniform(), {"a1"}, "beta", h
+        ) == 0.0
+
+
+class TestCliQuantifyBudget:
+    @pytest.fixture
+    def modsum_prog(self, tmp_path):
+        path = tmp_path / "modsum.prog"
+        path.write_text("a2 := (a1 + a2) % 8\n")
+        return str(path)
+
+    def _args(self, program: str, *extra: str) -> list[str]:
+        return [
+            "quantify",
+            program,
+            "--var", "a1=0..7",
+            "--var", "a2=0..7",
+            "--source", "a1",
+            "--target", "a2",
+            *extra,
+        ]
+
+    def test_budget_exhaustion_exits_3_with_null_measures(
+        self, modsum_prog, tmp_path, capsys
+    ):
+        report = tmp_path / "q.json"
+        code = main(
+            self._args(
+                modsum_prog, "--budget-states", "0", "--json", str(report)
+            )
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "UNKNOWN" in out
+        doc = json.loads(report.read_text())
+        assert doc["verdict"] == "unknown"
+        assert all(v is None for v in doc["measures"].values())
+        assert doc["partial"]["reason"] == "max_expanded"
+
+    def test_generous_budget_matches_unmetered(self, modsum_prog, capsys):
+        code = main(
+            self._args(modsum_prog, "--budget-states", "1000000")
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bits transmitted:  0" in out
+        assert "averaged measure:  3" in out

@@ -8,7 +8,11 @@ from repro.core.system import History
 from repro.lang.builders import SystemBuilder
 from repro.lang.cmd import assign, when
 from repro.lang.expr import var
-from repro.quantitative.bandwidth import capacity, channel_matrix
+from repro.quantitative.bandwidth import (
+    blahut_arimoto,
+    capacity,
+    channel_matrix,
+)
 from repro.quantitative.distributions import StateDistribution
 
 
@@ -90,6 +94,25 @@ class TestCapacity:
         # A one-time pad: capacity collapses to zero.
         assert c_noisy == pytest.approx(0.0, abs=1e-6)
 
+    def test_truncated_iteration_never_negative(self):
+        """Regression: a convergence budget too small to meet tolerance
+        must return the best lower bound so far (here >= 0 after one
+        update), never a sentinel like -1.0."""
+        b = SystemBuilder().integers("a", "b", bits=2)
+        b.op_assign("copy", "b", var("a"))
+        system = b.build()
+        dist = StateDistribution.uniform_over_space(system.space)
+        h = History.of(system.operation("copy"))
+        for max_iterations in (0, 1, 2):
+            c = capacity(dist, {"a"}, "b", h, max_iterations=max_iterations)
+            assert c >= 0.0
+            assert c <= 2.0 + 1e-9
+        # One Blahut-Arimoto step on a noiseless channel already finds
+        # the uniform optimum.
+        assert capacity(
+            dist, {"a"}, "b", h, max_iterations=1
+        ) == pytest.approx(2.0, abs=1e-9)
+
     def test_partial_noise_partial_capacity(self):
         """Noise that only sometimes fires (a BSC with p=1/4) leaves the
         closed-form capacity 1 - H2(1/4)."""
@@ -103,3 +126,31 @@ class TestCapacity:
         c = capacity(dist, {"a"}, "b", History.of(system.operation("send")))
         h2 = lambda p: -p * math.log2(p) - (1 - p) * math.log2(1 - p)
         assert c == pytest.approx(1 - h2(0.25), abs=1e-5)
+
+
+class TestBlahutArimoto:
+    """The solver itself, on raw matrices, both vectorized and
+    pure-Python paths."""
+
+    BSC = [[0.75, 0.25], [0.25, 0.75]]
+
+    def test_bsc_closed_form(self):
+        h2 = lambda p: -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+        assert blahut_arimoto(self.BSC) == pytest.approx(
+            1 - h2(0.25), abs=1e-6
+        )
+
+    def test_empty_matrix(self):
+        assert blahut_arimoto([]) == 0.0
+
+    def test_python_and_numpy_paths_agree(self, monkeypatch):
+        pytest.importorskip("numpy")
+        fast = blahut_arimoto(self.BSC)
+        monkeypatch.setenv("REPRO_BITSET_NUMPY", "0")
+        slow = blahut_arimoto(self.BSC)
+        assert fast == pytest.approx(slow, abs=1e-9)
+
+    def test_truncation_clamps_at_zero(self, monkeypatch):
+        for env in ("0", "1"):
+            monkeypatch.setenv("REPRO_BITSET_NUMPY", env)
+            assert blahut_arimoto(self.BSC, max_iterations=0) >= 0.0

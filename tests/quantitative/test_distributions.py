@@ -79,3 +79,16 @@ class TestOperations:
         dist = StateDistribution.uniform_over_space(space)
         with pytest.raises(DistributionError):
             dist.condition(lambda s: False)
+
+    def test_condition_evaluates_predicate_once_per_state(self, space):
+        """Regression: the old implementation ran the predicate twice
+        per support state (once summing the mass, once filtering)."""
+        dist = StateDistribution.uniform_over_space(space)
+        calls = []
+        dist.condition(lambda s: calls.append(s) or s["a"] == 1)
+        assert len(calls) == len(list(dist.support))
+
+    def test_condition_exact_renormalization(self, space):
+        dist = StateDistribution.uniform_over_space(space)
+        cond = dist.condition(lambda s: s["a"] == 1)
+        assert all(p == Fraction(1, 2) for _, p in cond.items())

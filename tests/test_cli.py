@@ -283,3 +283,79 @@ class TestDiffCommand:
         code = main(["diff", old, str(other), *self.VARS])
         assert code == 2
         assert "object space" in capsys.readouterr().err
+
+
+class TestQuantifyCommand:
+    VARS = ["--var", "a1=0..7", "--var", "a2=0..7"]
+
+    @pytest.fixture
+    def modsum_prog(self, tmp_path):
+        path = tmp_path / "modsum.prog"
+        path.write_text("a2 := (a1 + a2) % 8\n")
+        return str(path)
+
+    def _args(self, program, *extra):
+        return [
+            "quantify", program, *self.VARS,
+            "--source", "a1", "--target", "a2", *extra,
+        ]
+
+    def test_modsum_split_exit_0(self, modsum_prog, capsys):
+        code = main(self._args(modsum_prog))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "source entropy:    3 bits" in out
+        assert "bits transmitted:  0" in out
+        assert "equivocation:      3 bits" in out
+        assert "averaged measure:  3" in out
+
+    def test_json_report_validates(self, modsum_prog, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        from repro.obs import schema
+
+        report_path = tmp_path / "q.json"
+        code = main(self._args(modsum_prog, "--json", str(report_path)))
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(report_path.read_text())
+        contract = json.loads(
+            (Path(__file__).resolve().parents[1] / "docs"
+             / "quantify.schema.json").read_text()
+        )
+        assert schema.validate(doc, contract) == []
+        assert doc["verdict"] == "ok"
+        assert doc["measures"]["bits_transmitted"] == 0.0
+        assert doc["measures"]["bits_transmitted_averaged"] == 3.0
+        assert doc["measures"]["capacity"] is None  # opt-in
+
+    def test_capacity_opt_in(self, modsum_prog, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "q.json"
+        code = main(
+            self._args(modsum_prog, "--capacity", "--json", str(report_path))
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capacity" in out
+        doc = json.loads(report_path.read_text())
+        # One-time-pad: the a2 pad hides a1 from a fixed-rest observer.
+        assert doc["measures"]["capacity"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_history_selection(self, modsum_prog, capsys):
+        code = main(self._args(modsum_prog, "--history", "delta1"))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "H=delta1" in out
+
+    def test_unknown_history_operation_errors(self, modsum_prog, capsys):
+        code = main(self._args(modsum_prog, "--history", "nosuch"))
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        code = main(self._args("nope.prog"))
+        assert code == 2
+        assert "error" in capsys.readouterr().err
