@@ -1,0 +1,189 @@
+"""A8 (perf): warm-session service vs cold-process CLI, and overload
+behavior under a deadline storm.
+
+Two cases:
+
+1. **Warm vs cold latency** (the acceptance bar).  The same
+   gate-program query answered (a) by a running :mod:`repro.serve`
+   server whose session already holds the compiled system and closure
+   memos, and (b) by a fresh ``python -m repro program`` subprocess per
+   query — interpreter start, parse, compile, BFS every time.  Reports
+   p50/p99 for both; the warm p50 must beat the cold p50 by >= 10x
+   (the whole point of keeping engines resident).
+
+2. **Deadline storm throughput.**  A burst of concurrent queries with
+   tight mixed deadlines against a small admission window: reports
+   achieved qps and the status mix.  Every response must be a correct
+   verdict or an honest shed/UNKNOWN — counted, not assumed — and the
+   server must answer a normal query immediately afterwards.
+
+Rows append to ``BENCH_serve.json``.  ``REPRO_BENCH_QUICK=1`` shrinks
+sizes, skips recording and the bars.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import Table
+
+from tests.serve.helpers import PROGRAM, VARS, create_session, rpc, serving
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+WARM_TARGET = 10.0  # warm-session p50 vs cold-process p50
+WARM_QUERIES = 10 if QUICK else 50
+COLD_QUERIES = 2 if QUICK else 5
+STORM_REQUESTS = 8 if QUICK else 48
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    ordered = sorted(samples)
+    mid = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return mid, p99
+
+
+def _record(case: str, row: dict) -> None:
+    """Append/replace one measurement row in BENCH_serve.json."""
+    data: dict = {"bench": "A8 serve layer", "rows": []}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    rows = [r for r in data.get("rows", []) if r.get("case") != case]
+    rows.append({"case": case, **row})
+    rows.sort(key=lambda r: r["case"])
+    data["rows"] = rows
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _cold_process_seconds(tmp_path) -> list[float]:
+    """One full CLI subprocess per query: the price of not serving."""
+    prog = tmp_path / "bench.prog"
+    prog.write_text(PROGRAM)
+    argv = [sys.executable, "-m", "repro", "program", str(prog),
+            "--source", "secret", "--target", "out"]
+    for name, spec in VARS.items():
+        argv += ["--var", f"{name}={spec}"]
+    env = dict(os.environ, PYTHONPATH=SRC)
+    samples = []
+    for _ in range(COLD_QUERIES):
+        start = time.perf_counter()
+        proc = subprocess.run(argv, env=env, capture_output=True, timeout=180)
+        samples.append(time.perf_counter() - start)
+        assert proc.returncode == 1, proc.stderr  # FLOW
+    return samples
+
+
+def test_a8_warm_session_vs_cold_process(tmp_path, show):
+    cold = _cold_process_seconds(tmp_path)
+
+    async def warm_leg() -> list[float]:
+        async with serving() as server:
+            key = await create_session(server, prewarm=True)
+            samples = []
+            for _ in range(WARM_QUERIES):
+                start = time.perf_counter()
+                status, doc = await rpc(
+                    server.port, "POST", "/v1/query",
+                    {"session": key, "source": "secret", "target": "out"},
+                )
+                samples.append(time.perf_counter() - start)
+                assert (status, doc["verdict"]) == (200, "flow")
+            return samples
+
+    warm = asyncio.run(warm_leg())
+
+    warm_p50, warm_p99 = _percentiles(warm)
+    cold_p50, cold_p99 = _percentiles(cold)
+    speedup = cold_p50 / warm_p50
+
+    table = Table(
+        ["leg", "queries", "p50 (ms)", "p99 (ms)"],
+        title="A8: warm session vs cold process, gate program",
+    )
+    table.add("warm session", len(warm), f"{warm_p50 * 1e3:.2f}",
+              f"{warm_p99 * 1e3:.2f}")
+    table.add("cold process", len(cold), f"{cold_p50 * 1e3:.2f}",
+              f"{cold_p99 * 1e3:.2f}")
+    show(table)
+
+    if not QUICK:
+        _record("warm_vs_cold", {
+            "warm_queries": len(warm),
+            "cold_queries": len(cold),
+            "warm_p50_ms": round(warm_p50 * 1e3, 3),
+            "warm_p99_ms": round(warm_p99 * 1e3, 3),
+            "cold_p50_ms": round(cold_p50 * 1e3, 3),
+            "cold_p99_ms": round(cold_p99 * 1e3, 3),
+            "speedup_warm_vs_cold_p50": round(speedup, 2),
+        })
+        assert speedup >= WARM_TARGET, (
+            f"warm session only {speedup:.1f}x faster than a cold process "
+            f"(target {WARM_TARGET}x)"
+        )
+
+
+def test_a8_deadline_storm_throughput(show):
+    async def storm():
+        async with serving(max_concurrency=4, max_queue=8,
+                           default_queue_wait_ms=200.0) as server:
+            key = await create_session(server, prewarm=True)
+            deadlines = (1, 5, 50, 5000)
+
+            async def one(i: int):
+                status, doc = await rpc(
+                    server.port, "POST", "/v1/query",
+                    {"session": key, "source": "secret", "target": "out",
+                     "quota": {"deadline_ms": deadlines[i % len(deadlines)]}},
+                )
+                if status == 200 and doc.get("verdict") != "unknown":
+                    assert doc["verdict"] == "flow", doc
+                else:
+                    assert status in (200, 429, 503, 504), (status, doc)
+                return status
+
+            start = time.perf_counter()
+            statuses = await asyncio.gather(
+                *[one(i) for i in range(STORM_REQUESTS)]
+            )
+            elapsed = time.perf_counter() - start
+            # Recovery: a normal query answers immediately afterwards.
+            status, doc = await rpc(
+                server.port, "POST", "/v1/query",
+                {"session": key, "source": "secret", "target": "out"},
+            )
+            assert (status, doc["verdict"]) == (200, "flow")
+            return statuses, elapsed
+
+    statuses, elapsed = asyncio.run(storm())
+    qps = len(statuses) / elapsed
+    mix = {code: statuses.count(code) for code in sorted(set(statuses))}
+    served = mix.get(200, 0)
+
+    table = Table(
+        ["requests", "seconds", "qps", "status mix"],
+        title="A8: deadline storm, mixed 1-5000ms deadlines",
+    )
+    table.add(len(statuses), f"{elapsed:.3f}", f"{qps:.1f}",
+              " ".join(f"{k}:{v}" for k, v in mix.items()))
+    show(table)
+
+    assert served >= 1  # the generous deadlines always make it through
+    if not QUICK:
+        _record("deadline_storm", {
+            "requests": len(statuses),
+            "seconds": round(elapsed, 4),
+            "qps": round(qps, 1),
+            "status_mix": {str(k): v for k, v in mix.items()},
+        })

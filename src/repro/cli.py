@@ -54,10 +54,15 @@ from collections.abc import Sequence
 
 from repro import obs
 from repro.baselines.taint import taint_closure
-from repro.core.budget import BudgetExceededError, ExecutionBudget
+from repro.core.budget import (
+    BudgetExceededError,
+    CancellationToken,
+    ExecutionBudget,
+)
 from repro.core.constraints import Constraint
 from repro.core.engine import shared_engine
 from repro.core.errors import ReproError
+from repro.core.signals import EXIT_INTERRUPTED, interrupt_token
 from repro.core.state import Value
 from repro.systems.program import (
     build_program_system,
@@ -127,12 +132,29 @@ def _attach_store(args: argparse.Namespace, ps) -> None:
         shared_engine(ps.system).attach_store(path)
 
 
-def _parse_budget(args: argparse.Namespace) -> ExecutionBudget | None:
+def _parse_budget(
+    args: argparse.Namespace,
+    token: CancellationToken | None = None,
+) -> ExecutionBudget | None:
     max_seconds = getattr(args, "budget_seconds", None)
     max_expanded = getattr(args, "budget_states", None)
-    if max_seconds is None and max_expanded is None:
+    if max_seconds is None and max_expanded is None and token is None:
         return None
-    return ExecutionBudget(max_seconds=max_seconds, max_expanded=max_expanded)
+    return ExecutionBudget(
+        max_seconds=max_seconds, max_expanded=max_expanded, token=token
+    )
+
+
+def _flush_on_interrupt(ps) -> None:
+    """Persist already-completed closures after a cooperative interrupt,
+    so the work a cancelled sweep did finish survives the exit (only
+    meaningful when a store is attached)."""
+    engine = shared_engine(ps.system)
+    if engine.store is None:
+        return
+    written = engine.persist_memos()
+    print(f"interrupted: flushed {written} completed memo(s) to the store",
+          file=sys.stderr)
 
 
 def _print_execution_report(ps) -> None:
@@ -181,26 +203,41 @@ def cmd_program(args: argparse.Namespace) -> int:
 
 
 def _run_program(args: argparse.Namespace) -> int:
-    ps = _build(args)
-    _attach_store(args, ps)
-    try:
-        return _decide_program(args, ps)
-    finally:
-        _dump_cache_stats(args, ps)
+    # The interrupt scope covers the build too: a Ctrl-C during system
+    # construction cancels the token, and the governed search trips at
+    # its first budget check (a second Ctrl-C force-kills as usual).
+    with interrupt_token() as token:
+        ps = _build(args)
+        _attach_store(args, ps)
+        try:
+            return _decide_program(args, ps, token)
+        finally:
+            _dump_cache_stats(args, ps)
 
 
-def _decide_program(args: argparse.Namespace, ps) -> int:
+def _decide_program(
+    args: argparse.Namespace, ps, token: CancellationToken | None = None
+) -> int:
     entry = None
     if args.entry:
         expr = parse_expr(args.entry)
         entry = Constraint(
             ps.space, lambda s: bool(expr.eval(s)), name=args.entry
         )
-    budget = _parse_budget(args)
     label = f" given {args.entry!r}" if args.entry else ""
     try:
-        result = program_transmits(ps, {args.source}, args.target, entry, budget)
+        budget = _parse_budget(args, token)
+        result = program_transmits(
+            ps, {args.source}, args.target, entry, budget
+        )
     except BudgetExceededError as exc:
+        if exc.partial.reason == "cancelled":
+            print(f"INTERRUPTED: {args.source} |>? {args.target}{label}")
+            print(exc.partial.describe())
+            _flush_on_interrupt(ps)
+            if args.execution_report:
+                _print_execution_report(ps)
+            return EXIT_INTERRUPTED
         print(f"UNKNOWN: {args.source} |>? {args.target}{label}")
         print(exc.partial.describe())
         print("(rerun with a larger --budget-seconds/--budget-states "
@@ -237,12 +274,13 @@ def cmd_quantify(args: argparse.Namespace) -> int:
 
 
 def _run_quantify(args: argparse.Namespace) -> int:
-    ps = _build(args)
-    _attach_store(args, ps)
-    try:
-        return _decide_quantify(args, ps)
-    finally:
-        _dump_cache_stats(args, ps)
+    with interrupt_token() as token:
+        ps = _build(args)
+        _attach_store(args, ps)
+        try:
+            return _decide_quantify(args, ps, token)
+        finally:
+            _dump_cache_stats(args, ps)
 
 
 _QUANTIFY_MEASURES = (
@@ -266,7 +304,9 @@ def _write_quantify_json(args: argparse.Namespace, doc: dict) -> None:
     print(f"report written: {path}", file=sys.stderr)
 
 
-def _decide_quantify(args: argparse.Namespace, ps) -> int:
+def _decide_quantify(
+    args: argparse.Namespace, ps, token: CancellationToken | None = None
+) -> int:
     from repro.core.system import History
     from repro.quantitative.compiled import QuantEngine
 
@@ -288,7 +328,6 @@ def _decide_quantify(args: argparse.Namespace, ps) -> int:
         history = History(system.operations)
     sources = sorted(set(args.source))
     engine = shared_engine(system)
-    quant = QuantEngine(engine=engine, budget=_parse_budget(args))
     doc = {
         "schema_version": 1,
         "program": args.file,
@@ -301,6 +340,7 @@ def _decide_quantify(args: argparse.Namespace, ps) -> int:
         "partial": None,
     }
     try:
+        quant = QuantEngine(engine=engine, budget=_parse_budget(args, token))
         dist = quant.uniform(phi)
         doc["support"] = len(dist)
         measures = doc["measures"]
@@ -331,6 +371,13 @@ def _decide_quantify(args: argparse.Namespace, ps) -> int:
             "discovered": exc.partial.discovered,
             "elapsed": exc.partial.elapsed,
         }
+        if exc.partial.reason == "cancelled":
+            print(f"INTERRUPTED: b({'+'.join(sources)} -> {args.target}) "
+                  "cancelled by signal")
+            print(exc.partial.describe())
+            _flush_on_interrupt(ps)
+            _write_quantify_json(args, doc)
+            return EXIT_INTERRUPTED
         print(f"UNKNOWN: b({'+'.join(sources)} -> {args.target}) not "
               "determined within budget")
         print(exc.partial.describe())
@@ -461,6 +508,28 @@ def cmd_diff(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"diff report written: {args.json}", file=sys.stderr)
     return 1 if report.changed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived analysis service (see docs/SERVICE.md)."""
+    import asyncio
+
+    from repro.serve.app import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store=_store_path(args),
+        workers=args.workers,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        default_queue_wait_ms=args.default_queue_wait_ms,
+        drain_grace_seconds=args.drain_grace_seconds,
+    )
+    server = ReproServer(config)
+    asyncio.run(server.run(port_file=args.port_file))
+    return 0
 
 
 def cmd_flows(args: argparse.Namespace) -> int:
@@ -711,6 +780,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report as JSON (docs/diff.schema.json)",
     )
     p_diff.set_defaults(handler=cmd_diff)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON analysis service with warm sessions, "
+        "admission control and graceful drain (docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 = ephemeral; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound port here once listening (for scripts "
+        "that start the server on an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent memo store shared by all sessions; a restarted "
+        "server answers warm from it (REPRO_STORE is the env fallback)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="executor threads running engine work (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="requests executing at once; more wait in the queue",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait; beyond this, shed with 429",
+    )
+    p_serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=5000.0,
+        help="per-request deadline when the quota omits one",
+    )
+    p_serve.add_argument(
+        "--default-queue-wait-ms",
+        type=float,
+        default=1000.0,
+        help="per-request queue-wait quota when the quota omits one",
+    )
+    p_serve.add_argument(
+        "--drain-grace-seconds",
+        type=float,
+        default=5.0,
+        help="SIGTERM drain: seconds to let in-flight requests finish "
+        "before cancelling their budgets",
+    )
+    p_serve.set_defaults(handler=cmd_serve)
 
     p_flows = sub.add_parser(
         "flows", help="exact information-flow graph (GraphViz dot)"

@@ -15,6 +15,7 @@ module), so it moved here.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro import obs
@@ -24,8 +25,7 @@ _MISSING = object()
 
 
 class LRUCache:
-    """Bounded memo: an :class:`~collections.OrderedDict` LRU, mutated
-    only under the owning object's lock.
+    """Bounded memo: an :class:`~collections.OrderedDict` LRU.
 
     ``get`` refreshes recency; ``put`` keeps first-writer-wins semantics
     (matching the ``setdefault`` idiom of the unbounded dicts it
@@ -34,9 +34,16 @@ class LRUCache:
     running total as a gauge.  Eviction is safe by construction: every
     entry is recomputable from the closure/bucket machinery, so a cap
     only bounds memory, never correctness.
+
+    The cache carries its own leaf-level lock, so it is safe to consult
+    from concurrent threads without (or in addition to) an owner's lock:
+    ``move_to_end``/``popitem`` racing unlocked would corrupt the
+    underlying :class:`~collections.OrderedDict`.  The serve layer hits
+    one session engine — and through it the kernel-side prefix and
+    sat-id memos — from many executor threads at once.
     """
 
-    __slots__ = ("capacity", "counter", "evictions", "_data")
+    __slots__ = ("capacity", "counter", "evictions", "_data", "_lock")
 
     def __init__(self, capacity: int, counter: str) -> None:
         if capacity < 1:
@@ -45,42 +52,59 @@ class LRUCache:
         self.counter = counter
         self.evictions = 0
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key, default=None):
-        try:
-            value = self._data[key]
-        except KeyError:
-            return default
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                return default
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key, value):
         """Insert unless present (first writer wins) and return the
         stored value, evicting past ``capacity``."""
-        existing = self._data.get(key, _MISSING)
-        if existing is not _MISSING:
-            self._data.move_to_end(key)
-            return existing
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING:
+                self._data.move_to_end(key)
+                return existing
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            total = self.evictions
+        for _ in range(evicted):
             obs.count(self.counter)
-            obs.gauge_max(self.counter, self.evictions)
+        if evicted:
+            obs.gauge_max(self.counter, total)
         return value
 
+    def items(self) -> list:
+        """A snapshot of ``(key, value)`` entries, oldest first, without
+        refreshing recency — the drain/persist paths iterate this."""
+        with self._lock:
+            return list(self._data.items())
+
     def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._data),
-            "capacity": self.capacity,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+            }
 
 
 class ByteMeter:

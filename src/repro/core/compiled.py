@@ -734,6 +734,9 @@ def _worker_init(
 ) -> None:
     global _WORKER_KERNEL, _WORKER_SHM, _WORKER_BITSET, _WORKER_MODE
     global _WORKER_SAT_IDS, _WORKER_LIMITS
+    from repro.core.signals import reset_inherited_signals
+
+    reset_inherited_signals()
     if hasattr(kernel, "attach"):
         _WORKER_KERNEL, _WORKER_SHM = kernel.attach()
     else:

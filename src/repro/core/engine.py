@@ -66,6 +66,7 @@ from repro.core.budget import (
     ExecutionBudget,
     ExecutionLog,
     ExecutionReport,
+    PartialResult,
 )
 from repro.core.cache import LRUCache as _LRUCache
 from repro.core.compiled import (
@@ -114,6 +115,16 @@ _RETRY_MAX_DELAY = 1.0
 #: compiled substrate can bound its own memos without a circular import.)
 _HISTORY_TABLE_CAP = 1024
 _HISTORY_SET_CAP = 4096
+#: LRU cap on the Def 1-1 bucket-partition memo: one entry per (source
+#: columns, flow key) pair actually swept.  Bucket lists are O(sat(phi))
+#: ints, so a few hundred entries bound memory while keeping the serve
+#: layer's repeated sweeps free.
+_BUCKETS_CAP = 512
+
+#: How often a *governed* waiter blocked behind another thread's
+#: single-flight compute re-checks its own deadline/cancellation token
+#: (seconds).  Ungoverned waiters block outright.
+_FLIGHT_POLL = 0.02
 
 #: Environment override for the engine's kernel selection mode; any value
 #: in :data:`~repro.core.compiled.KERNEL_MODES` ("auto"/"scalar"/"bitset").
@@ -285,6 +296,12 @@ class DependencyEngine:
         self._history_set_memo = _LRUCache(
             _HISTORY_SET_CAP, "engine.history_set.evictions"
         )
+        self._bucket_memo = _LRUCache(_BUCKETS_CAP, "engine.buckets.evictions")
+        #: Single-flight locks, one per in-progress memo key (see
+        #: :meth:`_flight`): the serve layer's executor threads hit one
+        #: session engine concurrently, and without these two threads
+        #: missing the same key would run the same BFS twice.
+        self._flights: dict[object, threading.Lock] = {}
         #: Closure request counts per (A, phi) key — every `_closure_info`
         #: call increments, memo hit or miss, so the ranking reflects
         #: demand, not cache state.  Feeds :meth:`hot_closures` and the
@@ -321,6 +338,7 @@ class DependencyEngine:
                 "history_maps": {"size": len(self._history_maps)},
                 "history_tables": self._history_tables.stats(),
                 "history_set": self._history_set_memo.stats(),
+                "buckets": self._bucket_memo.stats(),
                 "kernel_composed": kernel_stats["composed"],
                 "kernel_sat_ids": kernel_stats["sat_ids"],
                 "hot_closures": {"size": len(self._hotness)},
@@ -341,6 +359,42 @@ class DependencyEngine:
     @property
     def store(self) -> PersistentStore | None:
         return self._store
+
+    def persist_memos(self) -> int:
+        """Write every *complete* in-RAM memo (closures and fixed-history
+        sweep tables) through to the attached persistent store, returning
+        the number of rows written.
+
+        The normal path already persists at the memoization point, but
+        work computed before a store was attached — or closures adopted
+        from a pool that raced a store degradation — may exist only in
+        RAM.  The graceful-shutdown paths (service drain, CLI interrupt)
+        call this so no completed closure is lost; writes are idempotent
+        replaces, so double-persisting is safe.  Budget-tripped partials
+        never enter the RAM memos, so they can never leak to disk here.
+        """
+        store = self._store_for()
+        if store is None:
+            return 0
+        written = 0
+        with self._lock:
+            closures = list(self._closures.items())
+        for (_, constraint), closure in closures:
+            if isinstance(closure, CompiledClosure):
+                store.save_closure(
+                    self._store_hash, self._constraint_key(constraint), closure
+                )
+                written += 1
+        for (source_set, indices, flow_key), table in self._history_tables.items():
+            store.save_history_table(
+                self._store_hash,
+                source_set,
+                indices,
+                self._constraint_key(flow_key),
+                table,
+            )
+            written += 1
+        return written
 
     def _store_for(self) -> PersistentStore | None:
         """The store, ready to serve this engine — or ``None`` when no
@@ -467,6 +521,38 @@ class DependencyEngine:
                     self._tables = tables
         return self._tables
 
+    # -- single-flight memo coordination --------------------------------------
+
+    def _flight(self, key: object) -> threading.Lock:
+        """The single-flight lock for one memo key.
+
+        Concurrent get-or-compute for the *same* key serializes (the
+        loser re-checks the memo and finds the winner's entry), while
+        distinct keys still compute in parallel.  Lock objects are a few
+        hundred bytes and the registry tracks the memo population, so it
+        is not separately bounded.
+        """
+        with self._lock:
+            lock = self._flights.get(key)
+            if lock is None:
+                lock = self._flights.setdefault(key, threading.Lock())
+            return lock
+
+    def _acquire_flight(
+        self, lock: threading.Lock, meter: BudgetMeter | None = None
+    ) -> None:
+        """Acquire a single-flight lock, staying responsive to the
+        caller's budget: a governed waiter re-checks its deadline and
+        cancellation token every :data:`_FLIGHT_POLL` seconds instead of
+        blocking indefinitely behind another thread's compute — a client
+        timeout must cancel a *queued* query as surely as a running one.
+        """
+        if meter is None:
+            lock.acquire()
+            return
+        while not lock.acquire(timeout=_FLIGHT_POLL):
+            meter.check(meter.expanded, meter.discovered)
+
     # -- closures -------------------------------------------------------------
 
     def _resolve(self, constraint: Constraint | None) -> Constraint:
@@ -561,68 +647,79 @@ class DependencyEngine:
         if cached is not None:
             obs.count("engine.closure.memo_hit")
             return cached, True, "ram" if self._store is not None else "off"
-        obs.count("engine.closure.memo_miss")
-        store = self._store_for()
-        if store is not None:
-            loaded = self._closure_from_store(
-                store, source_set, constraint, phi.name
-            )
-            if loaded is not None:
-                with self._lock:
-                    return self._closures.setdefault(key, loaded), True, "hit"
         budget = self._resolve_budget(budget)
         label = f"closure A={sorted(source_set)} phi={phi.name}"
         meter = budget.start(label) if budget is not None else None
-        started = time.perf_counter()
+        flight = self._flight(("closure", key))
+        self._acquire_flight(flight, meter)
         try:
-            with obs.span(
-                "engine.closure",
-                sources=",".join(sorted(source_set)),
-                constraint=phi.name,
-            ):
-                if self._use_compiled:
-                    closure: PairClosure | CompiledClosure = (
-                        self.compiled_system().closure(
-                            source_set,
-                            constraint,
-                            phi.name,
-                            meter,
-                            self._closure_mode(),
+            with self._lock:
+                cached = self._closures.get(key)
+            if cached is not None:
+                # Another thread computed it while we queued.
+                obs.count("engine.closure.memo_hit")
+                return cached, True, "ram" if self._store is not None else "off"
+            obs.count("engine.closure.memo_miss")
+            store = self._store_for()
+            if store is not None:
+                loaded = self._closure_from_store(
+                    store, source_set, constraint, phi.name
+                )
+                if loaded is not None:
+                    with self._lock:
+                        return self._closures.setdefault(key, loaded), True, "hit"
+            started = time.perf_counter()
+            try:
+                with obs.span(
+                    "engine.closure",
+                    sources=",".join(sorted(source_set)),
+                    constraint=phi.name,
+                ):
+                    if self._use_compiled:
+                        closure: PairClosure | CompiledClosure = (
+                            self.compiled_system().closure(
+                                source_set,
+                                constraint,
+                                phi.name,
+                                meter,
+                                self._closure_mode(),
+                            )
                         )
+                    else:
+                        closure = self._compute_closure(source_set, phi, meter)
+            except BudgetExceededError as exc:
+                self.execution_log.record(
+                    ExecutionReport(
+                        label=label,
+                        executor="serial",
+                        expansions=exc.partial.expanded,
+                        elapsed=exc.partial.elapsed,
+                        completed=False,
+                        partial=exc.partial,
                     )
-                else:
-                    closure = self._compute_closure(source_set, phi, meter)
-        except BudgetExceededError as exc:
+                )
+                raise
             self.execution_log.record(
                 ExecutionReport(
                     label=label,
                     executor="serial",
-                    expansions=exc.partial.expanded,
-                    elapsed=exc.partial.elapsed,
-                    completed=False,
-                    partial=exc.partial,
+                    expansions=len(closure),
+                    elapsed=time.perf_counter() - started,
                 )
             )
-            raise
-        self.execution_log.record(
-            ExecutionReport(
-                label=label,
-                executor="serial",
-                expansions=len(closure),
-                elapsed=time.perf_counter() - started,
-            )
-        )
-        obs.gauge_max("engine.closure.pairs", len(closure))
-        if store is not None and isinstance(closure, CompiledClosure):
-            store.save_closure(
-                self._store_hash, self._constraint_key(constraint), closure
-            )
-        with self._lock:
-            return (
-                self._closures.setdefault(key, closure),
-                False,
-                "miss" if store is not None else "off",
-            )
+            obs.gauge_max("engine.closure.pairs", len(closure))
+            if store is not None and isinstance(closure, CompiledClosure):
+                store.save_closure(
+                    self._store_hash, self._constraint_key(constraint), closure
+                )
+            with self._lock:
+                return (
+                    self._closures.setdefault(key, closure),
+                    False,
+                    "miss" if store is not None else "off",
+                )
+        finally:
+            flight.release()
 
     def pair_closure(
         self,
@@ -937,69 +1034,75 @@ class DependencyEngine:
         """:meth:`_history_table` plus which memo tier served it
         (RAM LRU -> persistent store -> sweep, like the closures)."""
         key = (source_set, indices, self._flow_key(constraint))
-        with self._lock:
-            cached = self._history_tables.get(key)
+        cached = self._history_tables.get(key)
         if cached is not None:
             obs.count("engine.history_table.memo_hit")
             return cached, True, "ram" if self._store is not None else "off"
-        obs.count("engine.history_table.memo_miss")
-        store = self._store_for()
-        if store is not None:
-            loaded = store.load_history_table(
-                self._store_hash,
-                source_set,
-                indices,
-                self._constraint_key(constraint),
-            )
-            if loaded is not None:
-                with self._lock:
-                    return self._history_tables.put(key, loaded), True, "hit"
         budget = self._resolve_budget(budget)
         meter = (
             budget.start(f"history sweep A={sorted(source_set)} |H|={len(indices)}")
             if budget is not None
             else None
         )
+        flight = self._flight(("history", key))
+        self._acquire_flight(flight, meter)
         try:
-            with obs.span(
-                "engine.history_sweep",
-                sources=",".join(sorted(source_set)),
-                length=len(indices),
-            ):
-                if self._use_compiled:
-                    table = self._compiled_history_table(
-                        source_set, indices, constraint, meter
-                    )
-                else:
-                    table = self._object_history_table(
-                        source_set, indices, self._resolve(constraint), meter
-                    )
-        except BudgetExceededError as exc:
-            self.execution_log.record(
-                ExecutionReport(
-                    label=exc.partial.label,
-                    executor="serial",
-                    expansions=exc.partial.expanded,
-                    elapsed=exc.partial.elapsed,
-                    completed=False,
-                    partial=exc.partial,
+            cached = self._history_tables.get(key)
+            if cached is not None:
+                obs.count("engine.history_table.memo_hit")
+                return cached, True, "ram" if self._store is not None else "off"
+            obs.count("engine.history_table.memo_miss")
+            store = self._store_for()
+            if store is not None:
+                loaded = store.load_history_table(
+                    self._store_hash,
+                    source_set,
+                    indices,
+                    self._constraint_key(constraint),
                 )
-            )
-            raise
-        if store is not None and self._use_compiled:
-            store.save_history_table(
-                self._store_hash,
-                source_set,
-                indices,
-                self._constraint_key(constraint),
-                table,
-            )
-        with self._lock:
+                if loaded is not None:
+                    return self._history_tables.put(key, loaded), True, "hit"
+            try:
+                with obs.span(
+                    "engine.history_sweep",
+                    sources=",".join(sorted(source_set)),
+                    length=len(indices),
+                ):
+                    if self._use_compiled:
+                        table = self._compiled_history_table(
+                            source_set, indices, constraint, meter
+                        )
+                    else:
+                        table = self._object_history_table(
+                            source_set, indices, self._resolve(constraint), meter
+                        )
+            except BudgetExceededError as exc:
+                self.execution_log.record(
+                    ExecutionReport(
+                        label=exc.partial.label,
+                        executor="serial",
+                        expansions=exc.partial.expanded,
+                        elapsed=exc.partial.elapsed,
+                        completed=False,
+                        partial=exc.partial,
+                    )
+                )
+                raise
+            if store is not None and self._use_compiled:
+                store.save_history_table(
+                    self._store_hash,
+                    source_set,
+                    indices,
+                    self._constraint_key(constraint),
+                    table,
+                )
             return (
                 self._history_tables.put(key, table),
                 False,
                 "miss" if store is not None else "off",
             )
+        finally:
+            flight.release()
 
     def _buckets(
         self,
@@ -1011,22 +1114,36 @@ class DependencyEngine:
         ``kernel.buckets(...).values()`` (first-seen order preserved).
         Every compiled bucket sweep (history tables, set scans, operation
         flows) goes through here, so a warm process skips the O(n)
-        partition pass too."""
+        partition pass too.  Served RAM-first (a bounded LRU) with
+        single-flight get-or-compute, like the closures — the partitions
+        used to be recomputed (or re-fetched from disk) per sweep."""
         compiled = self.compiled_system()
-        store = self._store_for()
-        if store is not None:
-            key = self._constraint_key(constraint)
-            cached = store.load_buckets(self._store_hash, source_indices, key)
+        memo_key = (source_indices, self._flow_key(constraint))
+        cached = self._bucket_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        flight = self._flight(("buckets", memo_key))
+        self._acquire_flight(flight)
+        try:
+            cached = self._bucket_memo.get(memo_key)
             if cached is not None:
                 return cached
-        buckets = list(
-            compiled.kernel.buckets(
-                source_indices, compiled.sat_ids(constraint)
-            ).values()
-        )
-        if store is not None:
-            store.save_buckets(self._store_hash, source_indices, key, buckets)
-        return buckets
+            store = self._store_for()
+            if store is not None:
+                key = self._constraint_key(constraint)
+                loaded = store.load_buckets(self._store_hash, source_indices, key)
+                if loaded is not None:
+                    return self._bucket_memo.put(memo_key, loaded)
+            buckets = list(
+                compiled.kernel.buckets(
+                    source_indices, compiled.sat_ids(constraint)
+                ).values()
+            )
+            if store is not None:
+                store.save_buckets(self._store_hash, source_indices, key, buckets)
+            return self._bucket_memo.put(memo_key, buckets)
+        finally:
+            flight.release()
 
     def history_indices(self, history: History | Operation) -> tuple[int, ...]:
         """Resolve a history to indices into the compiled successor
@@ -1061,17 +1178,26 @@ class DependencyEngine:
         if cached is not None:
             obs.count("kernel.history_compose.memo_hit")
             return cached
-        store = self._store_for()
-        if store is not None and indices:
-            loaded = store.load_composed(
-                self._store_hash, indices, compiled.kernel.n
-            )
-            if loaded is not None:
-                return compiled.adopt_history_array(indices, loaded)
-        arr = compiled.history_array(indices)
-        if store is not None and indices:
-            store.save_composed(self._store_hash, indices, arr)
-        return arr
+        flight = self._flight(("composed", indices))
+        self._acquire_flight(flight)
+        try:
+            cached = compiled.cached_history_array(indices)
+            if cached is not None:
+                obs.count("kernel.history_compose.memo_hit")
+                return cached
+            store = self._store_for()
+            if store is not None and indices:
+                loaded = store.load_composed(
+                    self._store_hash, indices, compiled.kernel.n
+                )
+                if loaded is not None:
+                    return compiled.adopt_history_array(indices, loaded)
+            arr = compiled.history_array(indices)
+            if store is not None and indices:
+                store.save_composed(self._store_hash, indices, arr)
+            return arr
+        finally:
+            flight.release()
 
     def _compiled_history_table(
         self,
@@ -1235,32 +1361,42 @@ class DependencyEngine:
         phi = self._resolve(constraint)
         indices = self._history_indices(history)
         key = (source_set, indices, self._flow_key(constraint), target_set)
-        with self._lock:
-            pair = self._history_set_memo.get(key, _UNCOMPUTED)
+        pair = self._history_set_memo.get(key, _UNCOMPUTED)
         hit = pair is not _UNCOMPUTED
         if hit:
             obs.count("engine.history_set.memo_hit")
         else:
-            obs.count("engine.history_set.memo_miss")
-            with obs.span(
-                "engine.history_set",
-                sources=",".join(sorted(source_set)),
-                targets=",".join(sorted(target_set)),
-                length=len(indices),
-            ):
-                table = self._history_table(source_set, indices, constraint, budget)
-                if not all(t in table for t in target_set):
-                    pair = None
-                elif self._use_compiled:
-                    pair = self._compiled_history_set_pair(
-                        source_set, indices, sorted(target_set), constraint
-                    )
+            flight = self._flight(("history_set", key))
+            self._acquire_flight(flight)
+            try:
+                pair = self._history_set_memo.get(key, _UNCOMPUTED)
+                if pair is not _UNCOMPUTED:
+                    hit = True
+                    obs.count("engine.history_set.memo_hit")
                 else:
-                    pair = self._object_history_set_pair(
-                        source_set, indices, sorted(target_set), phi
-                    )
-            with self._lock:
-                pair = self._history_set_memo.put(key, pair)
+                    obs.count("engine.history_set.memo_miss")
+                    with obs.span(
+                        "engine.history_set",
+                        sources=",".join(sorted(source_set)),
+                        targets=",".join(sorted(target_set)),
+                        length=len(indices),
+                    ):
+                        table = self._history_table(
+                            source_set, indices, constraint, budget
+                        )
+                        if not all(t in table for t in target_set):
+                            pair = None
+                        elif self._use_compiled:
+                            pair = self._compiled_history_set_pair(
+                                source_set, indices, sorted(target_set), constraint
+                            )
+                        else:
+                            pair = self._object_history_set_pair(
+                                source_set, indices, sorted(target_set), phi
+                            )
+                    pair = self._history_set_memo.put(key, pair)
+            finally:
+                flight.release()
         if pair is None:
             return DependencyResult(
                 False,
@@ -1531,35 +1667,56 @@ class DependencyEngine:
                     # semaphores, fork restrictions, ...): nothing to retry.
                     return retries, remaining
                 kernel_path = "compiled-bitset" if mode == "bitset" else "compiled"
+                token = budget.token if budget is not None else None
                 try:
-                    with pool:
-                        for order, parents, batch in pool.map(
-                            _worker_closure, tasks, chunksize=chunksize
-                        ):
-                            obs.absorb_batch(batch)
-                            source_set = frozenset(remaining[done])
-                            closure = CompiledClosure(
-                                compiled,
-                                source_set,
-                                phi.name,
-                                order,
-                                parents,
-                                kernel_path,
+                    for order, parents, batch in pool.map(
+                        _worker_closure, tasks, chunksize=chunksize
+                    ):
+                        obs.absorb_batch(batch)
+                        source_set = frozenset(remaining[done])
+                        closure = CompiledClosure(
+                            compiled,
+                            source_set,
+                            phi.name,
+                            order,
+                            parents,
+                            kernel_path,
+                        )
+                        with self._lock:
+                            self._closures.setdefault(
+                                (source_set, constraint), closure
                             )
-                            with self._lock:
-                                self._closures.setdefault(
-                                    (source_set, constraint), closure
+                        if store is not None:
+                            store.save_closure(
+                                self._store_hash, store_key, closure
+                            )
+                        done += 1
+                        # Tokens do not cross the process boundary, so a
+                        # cooperative cancellation (client timeout, SIGINT)
+                        # is honoured here, between streamed results: the
+                        # closures already yielded stay memoized and the
+                        # unfinished tasks are abandoned, not awaited.
+                        if token is not None and token.cancelled:
+                            raise BudgetExceededError(
+                                PartialResult(
+                                    label=f"warm fan-out phi={phi.name}",
+                                    reason="cancelled",
+                                    expanded=done,
+                                    discovered=done,
+                                    frontier=len(remaining) - done,
+                                    elapsed=0.0,
                                 )
-                            if store is not None:
-                                store.save_closure(
-                                    self._store_hash, store_key, closure
-                                )
-                            done += 1
+                            )
                 except BudgetExceededError:
+                    # A verdict about the query (worker budget trip) or a
+                    # cooperative cancel: drop the queued tasks instead of
+                    # waiting the whole map out, then propagate.
+                    pool.shutdown(wait=False, cancel_futures=True)
                     raise
                 except _POOL_FAILURES:
                     # Results stream back in task order, so the first `done`
                     # sources are memoized; only the rest need a fresh pool.
+                    pool.shutdown(wait=False, cancel_futures=True)
                     remaining = remaining[done:]
                     if retries >= _POOL_RETRIES:
                         return retries, remaining
@@ -1567,6 +1724,8 @@ class DependencyEngine:
                     time.sleep(delay)
                     delay = min(delay * 2, _RETRY_MAX_DELAY)
                     continue
+                else:
+                    pool.shutdown()
                 remaining = []
             return retries, remaining
         finally:
@@ -1739,33 +1898,43 @@ class DependencyEngine:
         if cached is not None:
             obs.count("engine.step_flows.memo_hit")
             return cached
-        obs.count("engine.step_flows.memo_miss")
         budget = self._resolve_budget(budget)
         meter = (
             budget.start(f"operation flows phi={phi.name}")
             if budget is not None
             else None
         )
+        flight = self._flight(("flows", key))
+        self._acquire_flight(flight, meter)
         try:
-            with obs.span("engine.operation_flows", constraint=phi.name):
-                if self._use_compiled:
-                    result = self._compiled_operation_flows(key, meter)
-                else:
-                    result = self._object_operation_flows(phi, meter)
-        except BudgetExceededError as exc:
-            self.execution_log.record(
-                ExecutionReport(
-                    label=exc.partial.label,
-                    executor="serial",
-                    expansions=exc.partial.expanded,
-                    elapsed=exc.partial.elapsed,
-                    completed=False,
-                    partial=exc.partial,
+            with self._lock:
+                cached = self._step_flows.get(key)
+            if cached is not None:
+                obs.count("engine.step_flows.memo_hit")
+                return cached
+            obs.count("engine.step_flows.memo_miss")
+            try:
+                with obs.span("engine.operation_flows", constraint=phi.name):
+                    if self._use_compiled:
+                        result = self._compiled_operation_flows(key, meter)
+                    else:
+                        result = self._object_operation_flows(phi, meter)
+            except BudgetExceededError as exc:
+                self.execution_log.record(
+                    ExecutionReport(
+                        label=exc.partial.label,
+                        executor="serial",
+                        expansions=exc.partial.expanded,
+                        elapsed=exc.partial.elapsed,
+                        completed=False,
+                        partial=exc.partial,
+                    )
                 )
-            )
-            raise
-        with self._lock:
-            return self._step_flows.setdefault(key, result)
+                raise
+            with self._lock:
+                return self._step_flows.setdefault(key, result)
+        finally:
+            flight.release()
 
     def _compiled_operation_flows(
         self,

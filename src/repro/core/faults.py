@@ -53,8 +53,13 @@ from repro.core.errors import ReproError
 
 #: Instrumented points, for reference: ``"worker"`` — a process-pool
 #: worker about to compute task ``index``; ``"task"`` — the parent
-#: thread-pool / serial path about to compute task ``index``.
-POINTS = ("worker", "task")
+#: thread-pool / serial path about to compute task ``index``;
+#: ``"serve.admit"`` — the service's admission controller about to admit
+#: request number ``index``; ``"serve.request"`` — a service executor
+#: thread about to run the engine work for request number ``index``.
+#: The serve points index by *request ordinal* (1-based arrival order),
+#: not task id, so chaos suites can hit "the third request" exactly.
+POINTS = ("worker", "task", "serve.admit", "serve.request")
 
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_STAMP = "REPRO_FAULTS_STAMP"

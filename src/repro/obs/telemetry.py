@@ -398,6 +398,11 @@ SPAN_NAMES = (
     "quant.measure",           # one compiled quantitative measure (+kind attr)
     "quant.channel_matrix",    # one batched channel-matrix sweep
     "quant.capacity",          # one Blahut-Arimoto capacity solve
+    "serve.query",             # one service query's engine work
+    "serve.session.create",    # build + compile + key one session
+    "serve.warm",              # one session prewarm fan-out
+    "serve.probe",             # one breaker watchdog pool probe
+    "serve.drain",             # the SIGTERM drain sequence
 )
 
 #: Counter names (cumulative) and gauge names (high-water marks).
@@ -441,6 +446,16 @@ COUNTER_NAMES = (
     "quant.buckets_scanned",
     "quant.ba_iterations",
     "quant.fallback_object",
+    "engine.buckets.evictions",
+    "serve.requests",
+    "serve.shed",
+    "serve.deadline_timeouts",
+    "serve.breaker.trips",
+    "serve.breaker.probes",
+    "serve.breaker.recoveries",
+    "serve.sessions.created",
+    "serve.sessions.evicted",
+    "serve.drain.flushed",
 )
 
 GAUGE_NAMES = (
@@ -454,6 +469,8 @@ GAUGE_NAMES = (
     "execution.log_size",
     "store.evictions",
     "store.bytes",
+    "serve.queue_depth",
+    "serve.inflight",
 )
 
 

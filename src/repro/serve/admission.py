@@ -1,0 +1,159 @@
+"""Admission control: bounded queueing mapped onto execution budgets.
+
+The overload posture in one sentence: **shed early, never queue
+unboundedly, and make whatever is admitted finish inside its deadline
+or trip to an honest UNKNOWN**.  Concretely:
+
+- at most ``max_concurrency`` requests execute engine work at once
+  (an :class:`asyncio.Semaphore` gating the executor),
+- at most ``max_queue`` more may *wait* for a slot; request number
+  ``max_queue + 1`` is shed immediately with **429** (the client should
+  back off — the queue is full, waiting would only add latency),
+- a waiter that does not get a slot within its ``queue_wait_ms`` quota
+  is shed with **503** (the server is alive but saturated),
+- queue time is charged against the request's deadline: the
+  :class:`ExecutionBudget` a request finally runs under gets only the
+  *remaining* wall clock, so a request admitted late trips early rather
+  than blowing through its client's timeout.
+
+Quotas arrive per-request (the ``quota`` object in the JSON body) and
+fall back to server defaults; they map 1:1 onto the PR-2 budget fields,
+so the engine needs no serve-specific governance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.budget import CancellationToken, ExecutionBudget
+
+#: Budget check cadence under the service: tighter than the CLI default
+#: (256) because deadline propagation is the whole point here — a
+#: cancelled token must trip within a few milliseconds of work.
+_SERVE_CHECK_INTERVAL = 64
+
+
+class ShedError(Exception):
+    """A request refused by admission control (never started)."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        self.status = status
+        self.reason = reason
+        super().__init__(reason)
+
+
+@dataclass(frozen=True)
+class RequestQuota:
+    """Per-request resource quota, from the ``quota`` JSON object."""
+
+    deadline_ms: float
+    max_states: int | None
+    queue_wait_ms: float
+
+    @classmethod
+    def from_doc(
+        cls,
+        doc: dict,
+        default_deadline_ms: float,
+        default_queue_wait_ms: float,
+        default_max_states: int | None = None,
+    ) -> "RequestQuota":
+        quota = doc.get("quota") or {}
+        if not isinstance(quota, dict):
+            raise ValueError("quota must be an object")
+        deadline = float(quota.get("deadline_ms", default_deadline_ms))
+        queue_wait = float(quota.get("queue_wait_ms", default_queue_wait_ms))
+        raw_states = quota.get("max_states", default_max_states)
+        max_states = None if raw_states is None else int(raw_states)
+        if deadline <= 0 or queue_wait < 0:
+            raise ValueError("quota values must be positive")
+        if max_states is not None and max_states < 1:
+            raise ValueError("quota.max_states must be >= 1")
+        return cls(
+            deadline_ms=deadline,
+            max_states=max_states,
+            queue_wait_ms=queue_wait,
+        )
+
+    def budget(
+        self, remaining_seconds: float, token: CancellationToken
+    ) -> ExecutionBudget:
+        """The budget for the engine work, given the wall clock left
+        after queueing."""
+        return ExecutionBudget(
+            max_seconds=remaining_seconds,
+            max_expanded=self.max_states,
+            token=token,
+            check_interval=_SERVE_CHECK_INTERVAL,
+        )
+
+
+class AdmissionController:
+    """Bounded admission: ``max_concurrency`` running, ``max_queue``
+    waiting, everything beyond shed.
+
+    Single-threaded by design — all state is touched only from the event
+    loop, so plain integers are race-free.  The executing work itself
+    runs in worker threads; only the *gate* lives here.
+    """
+
+    def __init__(self, max_concurrency: int, max_queue: int) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._slots = asyncio.Semaphore(max_concurrency)
+        self.waiting = 0
+        self.inflight = 0
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_queue_wait = 0
+
+    @asynccontextmanager
+    async def admit(self, queue_wait_seconds: float):
+        """Hold one execution slot for the ``with`` body, or raise
+        :class:`ShedError` (429 queue full / 503 wait timeout).
+
+        The shed test is arrival-counted (``inflight + waiting`` against
+        ``max_concurrency + max_queue``), not semaphore-state-probed: a
+        burst admitted in one event-loop tick checks the gate before any
+        of its members actually acquires, and probing the semaphore
+        would let the whole burst register as waiters."""
+        if self.inflight + self.waiting >= self.max_concurrency + self.max_queue:
+            self.shed_queue_full += 1
+            obs.count("serve.shed")
+            raise ShedError(429, "queue full")
+        self.waiting += 1
+        obs.gauge_max("serve.queue_depth", self.waiting)
+        try:
+            await asyncio.wait_for(self._slots.acquire(), queue_wait_seconds)
+        except asyncio.TimeoutError:
+            self.shed_queue_wait += 1
+            obs.count("serve.shed")
+            raise ShedError(503, "no slot within queue-wait quota") from None
+        finally:
+            self.waiting -= 1
+        self.inflight += 1
+        self.admitted += 1
+        obs.gauge_max("serve.inflight", self.inflight)
+        try:
+            yield
+        finally:
+            self.inflight -= 1
+            self._slots.release()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "max_concurrency": self.max_concurrency,
+            "max_queue": self.max_queue,
+            "inflight": self.inflight,
+            "waiting": self.waiting,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_queue_wait": self.shed_queue_wait,
+        }

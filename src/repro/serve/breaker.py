@@ -1,0 +1,167 @@
+"""Circuit breaker over the warm process pool, with a recovery watchdog.
+
+The engine's fan-out already survives worker death by itself — the PR-4
+process→thread→serial ladder retries and degrades *within one call*.
+What a long-lived server adds is memory across calls: once a pool has
+died, spinning a fresh pool per warm request just re-pays pool startup
+and another crash-retry cycle under load.  The breaker remembers:
+
+- **closed** (healthy): warm fan-outs use the process pool;
+- **open** (tripped): fan-outs are steered straight to the thread
+  executor (the ladder's own destination, minus the per-call crash
+  detour), while a watchdog probes whether processes work again after a
+  capped-exponential cooldown (0.1s · 2^n, capped at 5s);
+- **half-open**: a probe is in flight; the first result decides.
+
+Failure evidence is the engine's own :class:`ExecutionReport` stream —
+a warm run that recorded pool retries or a ``process->thread``
+degradation is a failure observation; a clean process-executor run is a
+success.  The breaker therefore never interprets exceptions itself (the
+ladder already converted them into reports) and can never produce a
+wrong verdict: it only chooses *which executor* the next warm uses.
+
+Thread-safety: observations arrive from executor threads, probes from
+the event loop's watchdog — all state transitions take ``_lock``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import obs
+from repro.core.budget import ExecutionReport
+from repro.core.signals import reset_inherited_signals
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_BACKOFF_BASE = 0.1
+_BACKOFF_CAP = 5.0
+
+
+def _probe_task() -> int:
+    """Trivial picklable round-trip a probe sends through a fresh pool."""
+    return 42
+
+
+def probe_pool(timeout: float = 30.0) -> bool:
+    """Can this host run a process-pool round-trip right now?"""
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=1, initializer=reset_inherited_signals
+        )
+    except OSError:
+        return False
+    try:
+        return pool.submit(_probe_task).result(timeout=timeout) == 42
+    except Exception:
+        return False
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker steering warm fan-outs."""
+
+    def __init__(
+        self,
+        backoff_base: float = _BACKOFF_BASE,
+        backoff_cap: float = _BACKOFF_CAP,
+        clock=time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+        self._probe_at = 0.0
+
+    # -- observations ---------------------------------------------------------
+
+    def observe_reports(self, reports: tuple[ExecutionReport, ...]) -> None:
+        """Digest the execution reports one warm call produced."""
+        failed = any(
+            r.retries > 0
+            or any(step.startswith("process->") for step in r.degradations)
+            for r in reports
+        )
+        clean_process = any(
+            r.executor == "process" and not r.retries and not r.degradations
+            for r in reports
+        )
+        if failed:
+            self.record_failure()
+        elif clean_process:
+            self.record_success()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state != OPEN:
+                self.trips += 1
+                obs.count("serve.breaker.trips")
+            self.state = OPEN
+            backoff = min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (self.consecutive_failures - 1)),
+            )
+            self._probe_at = self._clock() + backoff
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state == CLOSED and self.consecutive_failures == 0:
+                return
+            self.state = CLOSED
+            self.consecutive_failures = 0
+
+    # -- executor steering ----------------------------------------------------
+
+    def executor_hint(self) -> str:
+        """Which executor the next warm fan-out should use."""
+        return "process" if self.state == CLOSED else "thread"
+
+    # -- watchdog protocol ----------------------------------------------------
+
+    def should_probe(self) -> bool:
+        with self._lock:
+            return self.state == OPEN and self._clock() >= self._probe_at
+
+    def begin_probe(self) -> None:
+        with self._lock:
+            self.state = HALF_OPEN
+            self.probes += 1
+        obs.count("serve.breaker.probes")
+
+    def probe_succeeded(self) -> None:
+        with self._lock:
+            self.state = CLOSED
+            self.consecutive_failures = 0
+            self.recoveries += 1
+        obs.count("serve.breaker.recoveries")
+
+    def probe_failed(self) -> None:
+        with self._lock:
+            self.state = OPEN
+            self.consecutive_failures += 1
+            backoff = min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (self.consecutive_failures - 1)),
+            )
+            self._probe_at = self._clock() + backoff
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "probes": self.probes,
+                "recoveries": self.recoveries,
+            }

@@ -1,0 +1,143 @@
+"""Minimal HTTP/1.1 on asyncio streams.
+
+The container is stdlib-only, so the service speaks just enough HTTP
+itself: request line + headers + ``Content-Length`` bodies in,
+``application/json`` out, keep-alive by default.  No chunked transfer,
+no multipart, no TLS — clients are ``scripts/serve_client.py``, CI
+smoke jobs and load generators, all of which speak this subset.
+
+Malformed input raises :class:`HttpError`, which the connection loop
+turns into a JSON error response with the carried status; oversized
+bodies are rejected before they are read (the request-size bound is
+part of the overload posture, not an afterthought).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Reason phrases for every status the service emits.
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Per-line bound: a request line or header longer than this is abuse.
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+
+class HttpError(Exception):
+    """A protocol-level rejection with the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object, or :class:`HttpError` 400."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            doc = json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(doc, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return doc
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise HttpError(400, "truncated request") from None
+        return b""  # clean EOF between requests
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "header line too long") from None
+    if len(line) > _MAX_LINE:
+        raise HttpError(400, "header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = 1 << 20
+) -> Request | None:
+    """Read one request; ``None`` on clean connection close."""
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"", b"\r\n", b"\n"):
+            break
+        if len(headers) >= _MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "bad header line")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer not supported")
+    # Strip any query string: routes are exact-path.
+    path = target.partition("?")[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def json_response(status: int, doc: dict, keep_alive: bool = True) -> bytes:
+    """Serialize one JSON response, ready for ``writer.write``."""
+    payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    head = (
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload

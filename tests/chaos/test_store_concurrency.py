@@ -1,0 +1,143 @@
+"""Concurrent PersistentStore use: threads, processes, WAL contention
+(PR-9 satellite 3).
+
+Three layers of sharing, matching how the service actually deploys:
+
+1. **Threads in one process** — many engines (same canonical hash,
+   distinct instances, like concurrent serve sessions) write and read
+   one store file at once; verdicts must match the storeless reference
+   and the store must stay healthy.
+2. **Two server processes, one sqlite file** — WAL mode plus the busy
+   timeout must let concurrent CLI processes share the file; a third
+   process then answers warm from their rows.
+3. **Busy-timeout exhaustion** — with the timeout shrunk to
+   milliseconds and the database locked exclusively by a foreign
+   connection, the store must degrade to the in-memory path (counted on
+   ``store.degraded``), never raise, and verdicts must be unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import subprocess
+import sys
+import threading
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import store as store_mod
+from repro.core.engine import DependencyEngine
+from repro.core.store import PersistentStore
+from repro.systems.program import build_program_system
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+PROGRAM = "gate := secret > limit;\nif gate then out := 1 else out := 0"
+DOMAINS = {
+    "secret": tuple(range(4)),
+    "limit": (0, 1),
+    "gate": (False, True),
+    "out": (0, 1),
+}
+N_THREADS = 6
+
+
+def _ps():
+    return build_program_system(PROGRAM, dict(DOMAINS))
+
+
+@pytest.fixture
+def telemetry():
+    obs.enable(reset=True)
+    try:
+        yield
+    finally:
+        obs.disable()
+
+
+def test_threads_share_one_store_file(tmp_path, telemetry):
+    path = str(tmp_path / "memo.db")
+    reference = DependencyEngine(_ps().system).matrix()
+    systems = [_ps().system for _ in range(N_THREADS)]
+    engines = [DependencyEngine(s, store=path) for s in systems]
+    barrier = threading.Barrier(N_THREADS)
+    failures: list[str] = []
+
+    def run(i: int) -> None:
+        barrier.wait()
+        try:
+            if engines[i].matrix() != reference:
+                failures.append(f"engine {i} verdict drift")
+            if engines[i].store.degraded:
+                failures.append(f"engine {i} store degraded")
+        except Exception as exc:
+            failures.append(f"engine {i}: {exc!r}")
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "store contention deadlock"
+    assert not failures, failures
+    # A fresh engine on the shared file answers warm.
+    warm = DependencyEngine(_ps().system, store=path)
+    assert warm.matrix() == reference
+    assert warm.store.hits > 0
+    assert obs.snapshot().counters.get("store.degraded", 0) == 0
+
+
+def test_two_processes_share_one_store_file(tmp_path):
+    prog = tmp_path / "p.prog"
+    prog.write_text(PROGRAM)
+    db = str(tmp_path / "memo.db")
+    argv = [sys.executable, "-m", "repro", "program", str(prog),
+            "--source", "secret", "--target", "out", "--store", db,
+            "--var", "secret=0..3", "--var", "limit=0,1",
+            "--var", "gate=bool", "--var", "out=0,1"]
+    env = dict(os.environ, PYTHONPATH=SRC)
+    procs = [
+        subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                         stderr=subprocess.PIPE)
+        for _ in range(2)
+    ]
+    outs = [p.communicate(timeout=180) for p in procs]
+    codes = [p.returncode for p in procs]
+    assert codes == [1, 1], outs  # both report the same FLOW verdict
+    for out, err in outs:
+        assert b"FLOW" in out
+        assert b"degraded" not in err.lower()
+    with PersistentStore(db) as store:
+        stats = store.stats()
+        assert not stats["degraded"]
+        assert stats["rows"]["closures"] >= 1
+    # Third process answers warm from their rows (store.hit counters
+    # are lifetime meta, bumped by loads).
+    third = subprocess.run(argv, env=env, capture_output=True, timeout=180)
+    assert third.returncode == 1
+    with PersistentStore(db) as store:
+        assert store.stats()["lifetime"].get("hits", 0) >= 1
+
+
+def test_busy_timeout_degrades_to_memory(tmp_path, telemetry, monkeypatch):
+    monkeypatch.setattr(store_mod, "BUSY_TIMEOUT_MS", 50)
+    path = str(tmp_path / "memo.db")
+    with PersistentStore(path) as seed:
+        assert not seed.degraded  # schema created, file healthy
+    blocker = sqlite3.connect(path)
+    try:
+        blocker.execute("BEGIN EXCLUSIVE")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = DependencyEngine(_ps().system, store=path)
+            result = engine.matrix()
+        assert result == DependencyEngine(_ps().system).matrix()
+        assert engine.store.degraded
+        assert "lock" in (engine.store.degraded_reason or "").lower()
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        assert obs.snapshot().counters.get("store.degraded", 0) == 1
+    finally:
+        blocker.close()
