@@ -86,6 +86,7 @@ def _baseline_matrix(n: int, monkeypatch):
         patch.setattr(obs, "span", _null_span)
         patch.setattr(obs, "count", _noop)
         patch.setattr(obs, "gauge_max", _noop)
+        patch.setattr(obs, "observe", _noop)
         patch.setattr(obs, "is_enabled", lambda: False)
         return _one_matrix(n)
 

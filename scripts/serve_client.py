@@ -69,6 +69,24 @@ def cmd_stats(args) -> int:
     return EXIT_NO_FLOW
 
 
+def cmd_metrics(args) -> int:
+    """GET /metrics — raw Prometheus text exposition."""
+    port = _read_port(args)
+    request = urllib.request.Request(
+        f"http://{args.host}:{port}/metrics", method="GET"
+    )
+    with urllib.request.urlopen(request, timeout=60.0) as response:
+        sys.stdout.write(response.read().decode("utf-8"))
+    return EXIT_NO_FLOW
+
+
+def cmd_flight(args) -> int:
+    """GET /stats?flight=1 — retained failure span trees."""
+    _, doc = call(args.host, _read_port(args), "GET", "/stats?flight=1")
+    print(json.dumps(doc, indent=2))
+    return EXIT_NO_FLOW
+
+
 def cmd_session(args) -> int:
     program = open(args.program).read()
     variables = dict(v.split("=", 1) for v in args.var)
@@ -115,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
                    parents=[common]).set_defaults(fn=cmd_health)
     sub.add_parser("stats", help="GET /stats",
                    parents=[common]).set_defaults(fn=cmd_stats)
+    sub.add_parser("metrics", help="GET /metrics (Prometheus text)",
+                   parents=[common]).set_defaults(fn=cmd_metrics)
+    sub.add_parser("flight", help="GET /stats?flight=1 (post-mortems)",
+                   parents=[common]).set_defaults(fn=cmd_flight)
 
     session = sub.add_parser("session", help="POST /v1/sessions",
                              parents=[common])

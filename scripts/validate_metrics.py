@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition scraped from ``GET /metrics``.
+
+Thin CLI over :func:`repro.obs.metrics.lint` for the CI metrics-smoke
+job and ad-hoc checks::
+
+    curl -s http://127.0.0.1:8080/metrics > metrics.txt
+    PYTHONPATH=src python scripts/validate_metrics.py metrics.txt \
+        --require repro_serve_request_seconds \
+        --require repro_serve_requests_total
+
+Exit 0 when the exposition parses cleanly and every ``--require``-d
+family is present with at least one sample; exit 1 with one problem per
+line otherwise.  ``-`` reads from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "file", help="scraped exposition text, or - for stdin"
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="metric family that must be present (repeatable); "
+        "histograms go by their base name, e.g. "
+        "repro_serve_request_seconds",
+    )
+    args = parser.parse_args(argv)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    problems = metrics.lint(text, require=args.require)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"metrics ok: {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -418,14 +418,79 @@ def cmd_taint(args: argparse.Namespace) -> int:
         _finish_trace(trace)
 
 
+def _fmt_pctl(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1000.0:.3f}"
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize a trace written by ``--trace`` (either format) and/or
-    a persistent store's contents (``--store PATH``)."""
+    """Summarize a trace written by ``--trace`` (either format), a
+    service access log (``{"type": "access"}`` JSONL), a flight-recorder
+    dump (``--flight FILE``), and/or a persistent store's contents
+    (``--store PATH``)."""
+    import json
+
     from repro.analysis.report import Table
 
-    if args.store:
-        import json
+    if args.flight:
+        with open(args.flight, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        records = doc.get("flight", doc) if isinstance(doc, dict) else doc
+        if not isinstance(records, list):
+            print("error: not a flight dump", file=sys.stderr)
+            return 2
+        table = Table(
+            ["trace", "reason", "status", "path", "ms", "spans"]
+        )
+        for rec in records:
+            table.add(
+                rec.get("trace", "?"),
+                rec.get("reason", "?"),
+                rec.get("status", "?"),
+                rec.get("path", ""),
+                "-" if rec.get("duration_ms") is None
+                else f"{rec['duration_ms']:.1f}",
+                len(rec.get("spans", [])),
+            )
+        print(table.render())
+        for rec in records:
+            spans = rec.get("spans", [])
+            if not spans:
+                continue
+            print(f"\ntrace {rec.get('trace', '?')} "
+                  f"[{rec.get('reason', '?')}]:")
+            children: dict = {}
+            for s in spans:
+                children.setdefault(s.get("parent"), []).append(s)
+            span_ids = {s.get("id") for s in spans}
 
+            def walk(parent, depth: int) -> None:
+                for s in sorted(
+                    children.get(parent, []),
+                    key=lambda s: s.get("ts_us", 0.0),
+                ):
+                    print(
+                        f"  {'  ' * depth}{s['name']}  "
+                        f"{s.get('dur_us', 0.0) / 1000.0:.3f}ms"
+                        f"  pid={s.get('pid')}"
+                    )
+                    walk(s.get("id"), depth + 1)
+
+            # Roots: no parent, or a parent outside the captured tree.
+            roots = [
+                s for s in spans
+                if s.get("parent") is None
+                or s.get("parent") not in span_ids
+            ]
+            for root in sorted(roots, key=lambda s: s.get("ts_us", 0.0)):
+                print(
+                    f"  {root['name']}  "
+                    f"{root.get('dur_us', 0.0) / 1000.0:.3f}ms"
+                    f"  pid={root.get('pid')}"
+                )
+                walk(root.get("id"), 1)
+        if not args.trace_file and not args.store:
+            return 0
+    if args.store:
         from repro.core.store import PersistentStore
 
         store = PersistentStore(args.store)
@@ -436,7 +501,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if not args.trace_file:
             return 0
     if not args.trace_file:
-        print("error: give a trace file and/or --store PATH", file=sys.stderr)
+        print(
+            "error: give a trace file and/or --store PATH (or --flight FILE)",
+            file=sys.stderr,
+        )
         return 2
     events = obs.export.load_trace(args.trace_file)
     summary = obs.export.aggregate(events)
@@ -455,7 +523,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"{stat['total_us'] / 1000.0:.3f}",
             f"{stat['max_us'] / 1000.0:.3f}",
         )
-    print(table.render())
+    if summary["spans"]:
+        print(table.render())
     if summary["counters"]:
         counters = Table(["counter", "value"])
         for name in sorted(summary["counters"]):
@@ -466,6 +535,39 @@ def cmd_stats(args: argparse.Namespace) -> int:
         for name in sorted(summary["gauges"]):
             gauges.add(name, summary["gauges"][name])
         print(gauges.render())
+    if summary.get("hists"):
+        hists = Table(
+            ["histogram", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"]
+        )
+        for name in sorted(summary["hists"]):
+            stat = summary["hists"][name]
+            mean = (
+                stat["sum_seconds"] / stat["count"] if stat["count"] else 0.0
+            )
+            hists.add(
+                name,
+                stat["count"],
+                _fmt_pctl(stat["p50"]),
+                _fmt_pctl(stat["p95"]),
+                _fmt_pctl(stat["p99"]),
+                f"{mean * 1000.0:.3f}",
+            )
+        print(hists.render())
+    if summary.get("access"):
+        access = summary["access"]
+        statuses = ", ".join(
+            f"{status}:{count}"
+            for status, count in sorted(access["statuses"].items())
+        )
+        print(
+            f"access: {access['count']} requests "
+            f"({access['traced']} traced)  [{statuses}]"
+        )
+        if "p50_ms" in access:
+            print(
+                f"access latency ms: p50={access['p50_ms']:.3f} "
+                f"p95={access['p95_ms']:.3f} p99={access['p99_ms']:.3f}"
+            )
     return 0
 
 
@@ -526,6 +628,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.default_deadline_ms,
         default_queue_wait_ms=args.default_queue_wait_ms,
         drain_grace_seconds=args.drain_grace_seconds,
+        access_log=args.access_log,
+        flight_capacity=args.flight_capacity,
+        slow_request_ms=args.slow_request_ms,
     )
     server = ReproServer(config)
     asyncio.run(server.run(port_file=args.port_file))
@@ -745,6 +850,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="report a persistent memo store's contents (rows, bytes, "
         "hit counters) as JSON",
     )
+    p_stats.add_argument(
+        "--flight",
+        metavar="FILE",
+        help="pretty-print a flight-recorder dump (the JSON from "
+        "GET /stats?flight=1): one row per retained failure plus its "
+        "span tree",
+    )
     p_stats.set_defaults(handler=cmd_stats)
 
     p_diff = sub.add_parser(
@@ -841,6 +953,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="SIGTERM drain: seconds to let in-flight requests finish "
         "before cancelling their budgets",
+    )
+    p_serve.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one JSON line per request (trace id, status, "
+        "queue wait) here; always also kept in a bounded in-memory "
+        "ring served under /stats",
+    )
+    p_serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=64,
+        help="failed-request span trees retained for post-mortems "
+        "(GET /stats?flight=1; default 64)",
+    )
+    p_serve.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        help="also flight-record successful requests slower than this",
     )
     p_serve.set_defaults(handler=cmd_serve)
 

@@ -50,6 +50,7 @@ work across the whole library.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 import time
@@ -1758,8 +1759,17 @@ class DependencyEngine:
         failed: list[frozenset[str]] = []
         budget_trip: BudgetExceededError | None = None
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            # copy_context(): thread-pool tasks inherit the caller's
+            # contextvars (trace id, span parent), so fan-out closures
+            # stay correlated with the request that triggered them.
             futures = [
-                (a, pool.submit(run, (k, a))) for k, a in enumerate(pending)
+                (
+                    a,
+                    pool.submit(
+                        contextvars.copy_context().run, run, (k, a)
+                    ),
+                )
+                for k, a in enumerate(pending)
             ]
             for a, future in futures:
                 try:

@@ -18,33 +18,47 @@ Typical use::
     print(obs.export.aggregate(obs.export.jsonl_events()))
 """
 
-from repro.obs import export, schema
+from repro.obs import export, flight, metrics, schema
 from repro.obs.provenance import Provenance
 from repro.obs.telemetry import (
     COUNTER_NAMES,
     GAUGE_NAMES,
+    HIST_BUCKETS,
+    HISTOGRAM_NAMES,
     NULL_SPAN,
+    SPAN_HISTOGRAMS,
     SPAN_NAMES,
+    Histogram,
     Span,
     SpanRecord,
     TelemetrySnapshot,
     absorb_batch,
     count,
+    current_trace,
     disable,
     enable,
     export_batch,
     gauge_max,
     is_enabled,
+    new_trace_id,
+    observe,
     reset,
+    reset_trace,
+    set_trace,
     snapshot,
     span,
+    trace_context,
     traced,
 )
 
 __all__ = [
     "COUNTER_NAMES",
     "GAUGE_NAMES",
+    "HIST_BUCKETS",
+    "HISTOGRAM_NAMES",
+    "Histogram",
     "NULL_SPAN",
+    "SPAN_HISTOGRAMS",
     "SPAN_NAMES",
     "Provenance",
     "Span",
@@ -52,15 +66,23 @@ __all__ = [
     "TelemetrySnapshot",
     "absorb_batch",
     "count",
+    "current_trace",
     "disable",
     "enable",
     "export",
     "export_batch",
+    "flight",
     "gauge_max",
     "is_enabled",
+    "metrics",
+    "new_trace_id",
+    "observe",
     "reset",
+    "reset_trace",
     "schema",
+    "set_trace",
     "snapshot",
     "span",
+    "trace_context",
     "traced",
 ]

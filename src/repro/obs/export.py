@@ -11,11 +11,13 @@ Two formats, one snapshot:
   ``chrome://tracing`` / Perfetto.  ``docs/trace.schema.json`` is the
   checked-in schema CI validates emitted traces against.
 - :func:`write_jsonl` emits one JSON object per line (``{"type":
-  "span" | "counter" | "gauge", ...}``) — the greppable form for log
-  pipelines.
+  "span" | "counter" | "gauge" | "hist", ...}``) — the greppable form
+  for log pipelines.
 
-:func:`load_trace` reads either format back, and :func:`aggregate`
-reduces the events to per-span-name timing statistics plus the final
+:func:`load_trace` reads either format back — plus the service access
+log (``{"type": "access", ...}`` JSONL lines, PR 10) — and
+:func:`aggregate` reduces the events to per-span-name timing
+statistics, histogram percentiles, access-log summaries, and the final
 counter/gauge values — the engine behind the ``repro stats``
 subcommand.
 """
@@ -48,9 +50,24 @@ def _normalized_spans(snap: TelemetrySnapshot) -> list[dict]:
                 "dur_us": s.duration_ns / 1000.0,
                 "pid": s.pid,
                 "tid": s.tid,
+                "trace": s.trace_id,
                 "args": dict(s.attrs),
             }
         )
+    return out
+
+
+def _hist_docs(snap: TelemetrySnapshot) -> dict[str, dict]:
+    """Histograms as plain dicts (shared bucket bounds + per-bucket
+    counts + running sum) — the picklable/JSON form for both exporters."""
+    out: dict[str, dict] = {}
+    for name in sorted(snap.hists):
+        hist = snap.hists[name]
+        out[name] = {
+            "buckets": list(telemetry.HIST_BUCKETS),
+            "counts": list(hist.counts),
+            "sum_seconds": hist.sum_seconds,
+        }
     return out
 
 
@@ -78,18 +95,19 @@ def chrome_trace(snap: TelemetrySnapshot | None = None) -> dict:
         args = dict(s["args"])
         if s["parent"] is not None:
             args["parent_span"] = s["parent"]
-        events.append(
-            {
-                "name": s["name"],
-                "cat": telemetry.CATEGORY,
-                "ph": "X",
-                "ts": s["ts_us"],
-                "dur": s["dur_us"],
-                "pid": s["pid"],
-                "tid": s["tid"],
-                "args": args,
-            }
-        )
+        event = {
+            "name": s["name"],
+            "cat": telemetry.CATEGORY,
+            "ph": "X",
+            "ts": s["ts_us"],
+            "dur": s["dur_us"],
+            "pid": s["pid"],
+            "tid": s["tid"],
+            "args": args,
+        }
+        if s["trace"] is not None:
+            event["trace_id"] = s["trace"]
+        events.append(event)
     end_ts = max((s["ts_us"] + s["dur_us"] for s in spans), default=0.0)
     for name in sorted(snap.counters):
         events.append(
@@ -110,6 +128,7 @@ def chrome_trace(snap: TelemetrySnapshot | None = None) -> dict:
             "generator": "repro.obs",
             "counters": dict(snap.counters),
             "gauges": dict(snap.gauges),
+            "hists": _hist_docs(snap),
         },
     }
 
@@ -131,6 +150,8 @@ def jsonl_events(snap: TelemetrySnapshot | None = None) -> Iterable[dict]:
         yield {"type": "counter", "name": name, "value": snap.counters[name]}
     for name in sorted(snap.gauges):
         yield {"type": "gauge", "name": name, "value": snap.gauges[name]}
+    for name, doc in _hist_docs(snap).items():
+        yield {"type": "hist", "name": name, **doc}
 
 
 def write_jsonl(path: str, snap: TelemetrySnapshot | None = None) -> None:
@@ -144,9 +165,11 @@ def write_jsonl(path: str, snap: TelemetrySnapshot | None = None) -> None:
 
 
 def load_trace(path: str) -> list[dict]:
-    """Read a trace written by either exporter back into the flat event
-    form: ``{"type": "span", "name", "dur_us", ...}`` /
-    ``{"type": "counter" | "gauge", "name", "value"}``."""
+    """Read a trace written by either exporter — or a service access
+    log — back into the flat event form: ``{"type": "span", "name",
+    "dur_us", ...}`` / ``{"type": "counter" | "gauge", "name",
+    "value"}`` / ``{"type": "hist", "name", "buckets", "counts",
+    "sum_seconds"}`` / ``{"type": "access", ...}``."""
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     try:
@@ -167,6 +190,7 @@ def load_trace(path: str) -> list[dict]:
                         "dur_us": ev.get("dur", 0.0),
                         "pid": ev.get("pid"),
                         "tid": ev.get("tid"),
+                        "trace": ev.get("trace_id"),
                         "args": ev.get("args", {}),
                     }
                 )
@@ -175,6 +199,8 @@ def load_trace(path: str) -> list[dict]:
             events.append({"type": "counter", "name": name, "value": value})
         for name, value in sorted(other.get("gauges", {}).items()):
             events.append({"type": "gauge", "name": name, "value": value})
+        for name, doc in sorted(other.get("hists", {}).items()):
+            events.append({"type": "hist", "name": name, **doc})
         return events
     events = []
     for line in text.splitlines():
@@ -184,13 +210,39 @@ def load_trace(path: str) -> list[dict]:
     return events
 
 
+def _bucket_percentile(
+    bounds: list[float], counts: list[float], q: float
+) -> float | None:
+    """The ``q``-quantile upper bound from cumulative bucket counts
+    (``counts`` has one trailing overflow bucket beyond ``bounds``).
+    Overflow observations report the largest finite bound — the
+    histogram cannot resolve beyond it."""
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank:
+            return bounds[i] if i < len(bounds) else bounds[-1]
+    return bounds[-1]
+
+
 def aggregate(events: Iterable[dict]) -> dict:
     """Reduce a trace to per-span-name statistics and final metric
     values: ``{"spans": {name: {count, total_us, max_us}}, "counters":
-    {...}, "gauges": {...}}``."""
+    {...}, "gauges": {...}, "hists": {name: {count, sum_seconds, p50,
+    p95, p99}}, "access": {count, statuses, traced}}``.
+
+    ``hists`` percentiles are bucket upper bounds (exact merge across
+    sources sharing the bucket bounds); ``access`` summarizes service
+    access-log lines when the input is an access JSONL."""
     spans: dict[str, dict[str, float]] = {}
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
+    hists: dict[str, dict] = {}
+    access = {"count": 0, "statuses": {}, "traced": 0}
     for ev in events:
         kind = ev.get("type")
         if kind == "span":
@@ -206,4 +258,35 @@ def aggregate(events: Iterable[dict]) -> dict:
             counters[ev["name"]] = ev["value"]
         elif kind == "gauge":
             gauges[ev["name"]] = ev["value"]
-    return {"spans": spans, "counters": counters, "gauges": gauges}
+        elif kind == "hist":
+            bounds = [float(b) for b in ev.get("buckets", [])]
+            counts = [float(c) for c in ev.get("counts", [])]
+            hists[ev["name"]] = {
+                "count": int(sum(counts)),
+                "sum_seconds": float(ev.get("sum_seconds", 0.0)),
+                "p50": _bucket_percentile(bounds, counts, 0.50),
+                "p95": _bucket_percentile(bounds, counts, 0.95),
+                "p99": _bucket_percentile(bounds, counts, 0.99),
+            }
+        elif kind == "access":
+            access["count"] += 1
+            status = str(ev.get("status", "?"))
+            access["statuses"][status] = access["statuses"].get(status, 0) + 1
+            if ev.get("trace"):
+                access["traced"] += 1
+            dur = ev.get("duration_ms")
+            if dur is not None:
+                durs = access.setdefault("durations_ms", [])
+                durs.append(float(dur))
+    result = {"spans": spans, "counters": counters, "gauges": gauges,
+              "hists": hists}
+    if access["count"]:
+        durs = sorted(access.pop("durations_ms", []))
+        if durs:
+            def pick(q: float) -> float:
+                return durs[min(len(durs) - 1, int(q * len(durs)))]
+            access["p50_ms"] = pick(0.50)
+            access["p95_ms"] = pick(0.95)
+            access["p99_ms"] = pick(0.99)
+        result["access"] = access
+    return result

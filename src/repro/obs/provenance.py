@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.telemetry import current_trace
+
 #: The kernel paths a verdict can come from.
 KERNEL_PATHS = (
     "compiled",         # integer kernel: canonical unordered pairs / arrays
@@ -58,7 +60,10 @@ class Provenance:
     query (``None`` for fixed-history sweeps); ``store`` records the
     persistent-store tier's involvement (:data:`STORE_STATES` —
     ``off`` when no store is attached, and omitted from ``describe()``
-    so storeless provenance strings are unchanged).
+    so storeless provenance strings are unchanged); ``trace_id`` is the
+    request trace the verdict was produced under (auto-filled from the
+    ambient trace context, ``None`` outside a traced request and omitted
+    from ``describe()`` so untraced provenance strings are unchanged).
     """
 
     kernel: str
@@ -67,6 +72,12 @@ class Provenance:
     witness_length: int | None = None
     closure_pairs: int | None = None
     store: str = "off"
+    trace_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_id is None:
+            # Frozen dataclass: bypass the frozen __setattr__ guard.
+            object.__setattr__(self, "trace_id", current_trace())
 
     def describe(self) -> str:
         bits = [f"kernel={self.kernel}", f"memo={self.memo}",
@@ -77,6 +88,8 @@ class Provenance:
             bits.append(f"witness_len={self.witness_length}")
         if self.closure_pairs is not None:
             bits.append(f"closure_pairs={self.closure_pairs}")
+        if self.trace_id is not None:
+            bits.append(f"trace={self.trace_id}")
         return " ".join(bits)
 
     def short(self) -> str:

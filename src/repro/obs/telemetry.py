@@ -36,18 +36,29 @@ written trace with ``repro stats TRACE``.
 
 from __future__ import annotations
 
+import bisect
 import contextvars
 import functools
 import os
 import threading
 import time
+from collections import deque
 from collections.abc import Callable, Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: Environment variable that enables telemetry at import time (any
 #: non-empty value other than "0").  This is how child processes and CI
 #: jobs switch the collector on without code changes.
 ENV_FLAG = "REPRO_TELEMETRY"
+
+#: Environment variable bounding the collector's span ring.  A resident
+#: service runs with telemetry enabled for days; an unbounded span list
+#: would be a slow leak.  The newest spans always win — the oldest are
+#: dropped and counted on the ``obs.spans_dropped`` counter.
+ENV_MAX_SPANS = "REPRO_TELEMETRY_MAX_SPANS"
+
+_DEFAULT_MAX_SPANS = 65536
 
 #: Category tag stamped on every span record; exporters map it to the
 #: Chrome trace ``cat`` field.
@@ -63,6 +74,9 @@ class SpanRecord:
     the same context, or ``None`` for roots.  ``attrs`` holds small
     key→value annotations (source sets, constraint names, memo
     outcomes) — values must be picklable and JSON-serializable.
+    ``trace_id`` is the request/trace correlation id active when the
+    span closed (see :func:`trace_context`), or ``None`` outside any
+    trace — e.g. a CLI run that never minted one.
     """
 
     name: str
@@ -73,6 +87,77 @@ class SpanRecord:
     pid: int
     tid: int
     attrs: Mapping[str, object] = field(default_factory=dict)
+    trace_id: str | None = None
+
+
+# -- latency histograms -------------------------------------------------------
+
+#: Fixed bucket upper bounds in **seconds** for every latency histogram.
+#: Fixed and shared means histograms merge exactly (element-wise count
+#: addition) across threads, process-pool workers and scraped servers —
+#: the property Prometheus exposition and `absorb_batch` both rely on.
+#: One implicit +Inf overflow bucket follows the last bound.
+HIST_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Span names whose durations also feed a fixed-bucket histogram on the
+#: enabled path (one dict lookup per span exit; the disabled path never
+#: allocates a span at all, so its cost is unchanged).
+SPAN_HISTOGRAMS = {
+    "engine.closure": "engine.closure.seconds",
+    "engine.history_sweep": "engine.history_sweep.seconds",
+    "worker.closure": "worker.closure.seconds",
+    "serve.query": "serve.query.seconds",
+    "serve.session.create": "serve.session.seconds",
+}
+
+#: Every histogram the stack records (the span-fed ones above plus the
+#: explicitly observed service-level ones).
+HISTOGRAM_NAMES = tuple(sorted(SPAN_HISTOGRAMS.values())) + (
+    "serve.queue_wait.seconds",   # admission: arrival -> execution slot
+    "serve.request.seconds",      # full request: read -> response bytes
+)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """One immutable fixed-bucket latency histogram.
+
+    ``counts[i]`` is the number of observations with
+    ``value <= HIST_BUCKETS[i]`` (non-cumulative, one extra overflow
+    slot at the end); ``sum_seconds`` is the exact sum of observed
+    values, so mean latency survives the bucketing.
+    """
+
+    counts: tuple[int, ...]
+    sum_seconds: float
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def percentile(self, q: float) -> float | None:
+        """The upper bucket bound covering quantile ``q`` (0 < q <= 1),
+        or ``None`` for an empty histogram.  Overflow observations
+        report the largest finite bound (Prometheus convention)."""
+        total = self.count
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= rank:
+                return HIST_BUCKETS[min(i, len(HIST_BUCKETS) - 1)]
+        return HIST_BUCKETS[-1]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        return Histogram(
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            sum_seconds=self.sum_seconds + other.sum_seconds,
+        )
 
 
 class _Collector:
@@ -83,11 +168,19 @@ class _Collector:
     and batches are trivially picklable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: int | None = None) -> None:
+        if max_spans is None:
+            try:
+                max_spans = int(
+                    os.environ.get(ENV_MAX_SPANS, _DEFAULT_MAX_SPANS)
+                )
+            except ValueError:
+                max_spans = _DEFAULT_MAX_SPANS
         self._lock = threading.Lock()
-        self._spans: list[SpanRecord] = []
+        self._spans: deque[SpanRecord] = deque(maxlen=max(1, max_spans))
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
+        self._hists: dict[str, list] = {}  # name -> [counts list, sum]
         self._next_id = 1
 
     def new_span_id(self) -> int:
@@ -98,6 +191,11 @@ class _Collector:
 
     def add_span(self, record: SpanRecord) -> None:
         with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                # The ring is full: the oldest span is about to fall off.
+                self._counters["obs.spans_dropped"] = (
+                    self._counters.get("obs.spans_dropped", 0) + 1
+                )
             self._spans.append(record)
 
     def add_count(self, name: str, n: int) -> None:
@@ -110,12 +208,36 @@ class _Collector:
             if current is None or value > current:
                 self._gauges[name] = value
 
+    def observe(self, name: str, seconds: float) -> None:
+        bucket = bisect.bisect_left(HIST_BUCKETS, seconds)
+        with self._lock:
+            entry = self._hists.get(name)
+            if entry is None:
+                entry = [[0] * (len(HIST_BUCKETS) + 1), 0.0]
+                self._hists[name] = entry
+            entry[0][bucket] += 1
+            entry[1] += seconds
+
+    def merge_hist(self, name: str, counts, sum_seconds: float) -> None:
+        with self._lock:
+            entry = self._hists.get(name)
+            if entry is None:
+                entry = [[0] * (len(HIST_BUCKETS) + 1), 0.0]
+                self._hists[name] = entry
+            for i, c in enumerate(counts):
+                entry[0][i] += c
+            entry[1] += sum_seconds
+
     def snapshot(self) -> "TelemetrySnapshot":
         with self._lock:
             return TelemetrySnapshot(
                 spans=tuple(self._spans),
                 counters=dict(self._counters),
                 gauges=dict(self._gauges),
+                hists={
+                    name: Histogram(counts=tuple(entry[0]), sum_seconds=entry[1])
+                    for name, entry in self._hists.items()
+                },
             )
 
     def clear(self) -> None:
@@ -123,6 +245,7 @@ class _Collector:
             self._spans.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._hists.clear()
 
 
 @dataclass(frozen=True)
@@ -132,6 +255,7 @@ class TelemetrySnapshot:
     spans: tuple[SpanRecord, ...]
     counters: dict[str, int]
     gauges: dict[str, float]
+    hists: dict[str, Histogram] = field(default_factory=dict)
 
 
 _COLLECTOR = _Collector()
@@ -144,6 +268,59 @@ _ENABLED = False
 _CURRENT_SPAN: contextvars.ContextVar[int | None] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+# -- trace context ------------------------------------------------------------
+#
+# A trace id is the per-request correlation key: minted once at the edge
+# (``serve/http.py`` per HTTP request, or any caller via trace_context),
+# carried by contextvar through the engine layers, and stamped on every
+# span, access-log line and Provenance record produced underneath it.
+# Trace propagation is deliberately NOT gated on _ENABLED — access logs
+# and provenance want correlation ids even when span collection is off,
+# and a contextvar read costs nanoseconds.
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random; collision odds are
+    negligible at service scale and ids never need to be sequential)."""
+    return os.urandom(8).hex()
+
+
+def current_trace() -> str | None:
+    """The trace id active in this context, or ``None`` outside any."""
+    return _TRACE_ID.get()
+
+
+def set_trace(trace_id: str | None) -> contextvars.Token:
+    """Install ``trace_id`` in this context; returns the token for
+    :func:`reset_trace`.  Use this form from executor threads, where a
+    ``with`` block cannot span the thread hop."""
+    return _TRACE_ID.set(trace_id)
+
+
+def reset_trace(token: contextvars.Token) -> None:
+    _TRACE_ID.reset(token)
+
+
+@contextmanager
+def trace_context(trace_id: str | None = None):
+    """Run a block under a trace id (minting one when not given)::
+
+        with obs.trace_context() as trace_id:
+            ... every span/provenance in here carries trace_id ...
+    """
+    if trace_id is None:
+        trace_id = new_trace_id()
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
 
 
 def enable(reset: bool = False) -> None:
@@ -242,8 +419,12 @@ class Span:
                 pid=os.getpid(),
                 tid=threading.get_ident(),
                 attrs=self.attrs,
+                trace_id=_TRACE_ID.get(),
             )
         )
+        hist = SPAN_HISTOGRAMS.get(self.name)
+        if hist is not None:
+            _COLLECTOR.observe(hist, (end_ns - self._start_ns) / 1e9)
 
 
 def span(name: str, **attrs: object) -> Span | _NullSpan:
@@ -294,6 +475,14 @@ def gauge_max(name: str, value: float) -> None:
     _COLLECTOR.add_gauge_max(name, value)
 
 
+def observe(name: str, seconds: float) -> None:
+    """Record one duration into the fixed-bucket histogram ``name``
+    (no-op when disabled).  Bucket bounds are :data:`HIST_BUCKETS`."""
+    if not _ENABLED:
+        return
+    _COLLECTOR.observe(name, seconds)
+
+
 # -- cross-process batches ----------------------------------------------------
 #
 # Process-pool workers enable telemetry from the pool initializer, run
@@ -302,9 +491,16 @@ def gauge_max(name: str, value: float) -> None:
 # no SpanRecord instances cross the boundary — so absorbing them costs
 # one pickle round-trip they already paid for the closure itself.
 
-#: A picklable batch: (span tuples, counters, gauges).  Span tuples are
-#: ``(name, span_id, parent_id, start_ns, duration_ns, pid, tid, attrs)``.
-Batch = tuple[tuple[tuple, ...], dict[str, int], dict[str, float]]
+#: A picklable batch: (span tuples, counters, gauges, histograms).
+#: Span tuples are ``(name, span_id, parent_id, start_ns, duration_ns,
+#: pid, tid, attrs, trace_id)``; histograms are
+#: ``name -> (bucket counts, sum_seconds)``.
+Batch = tuple[
+    tuple[tuple, ...],
+    dict[str, int],
+    dict[str, float],
+    dict[str, tuple[tuple[int, ...], float]],
+]
 
 
 def export_batch(clear: bool = True) -> Batch:
@@ -322,10 +518,15 @@ def export_batch(clear: bool = True) -> Batch:
             s.pid,
             s.tid,
             dict(s.attrs),
+            s.trace_id,
         )
         for s in snap.spans
     )
-    return (spans, snap.counters, snap.gauges)
+    hists = {
+        name: (hist.counts, hist.sum_seconds)
+        for name, hist in snap.hists.items()
+    }
+    return (spans, snap.counters, snap.gauges, hists)
 
 
 def absorb_batch(batch: Batch | None) -> None:
@@ -337,12 +538,21 @@ def absorb_batch(batch: Batch | None) -> None:
     span ends at absorb time — the moment its results streamed back.
     Span ids are offset into a fresh id range to avoid colliding with
     parent spans; parent links inside the batch are preserved.
+
+    Trace propagation: a worker has no way to know which request's
+    fan-out it is serving, so worker spans arrive with ``trace_id=None``
+    and are stamped with the trace id active *at absorb time* — the
+    absorbing thread is the one running the request's warm fan-out, so
+    the stamp lands on the correct request.  Histogram durations are
+    clock-difference values and merge exactly, untouched by re-basing.
     """
     if not batch or not _ENABLED:
         return
-    spans, counters, gauges = batch
+    spans, counters, gauges = batch[:3]
+    hists = batch[3] if len(batch) > 3 else {}
     now_ns = time.perf_counter_ns()
     if spans:
+        absorb_trace = _TRACE_ID.get()
         batch_end = max(s[3] + s[4] for s in spans)
         shift = now_ns - batch_end
         ids = {s[1] for s in spans}
@@ -351,7 +561,9 @@ def absorb_batch(batch: Batch | None) -> None:
         # Reserve the remapped range so later parent spans don't collide.
         for _ in range(len(ids) - 1):
             _COLLECTOR.new_span_id()
-        for name, span_id, parent_id, start_ns, duration_ns, pid, tid, attrs in spans:
+        for s in spans:
+            name, span_id, parent_id, start_ns, duration_ns, pid, tid, attrs = s[:8]
+            trace_id = s[8] if len(s) > 8 else None
             _COLLECTOR.add_span(
                 SpanRecord(
                     name=name,
@@ -362,12 +574,15 @@ def absorb_batch(batch: Batch | None) -> None:
                     pid=pid,
                     tid=tid,
                     attrs=attrs,
+                    trace_id=trace_id if trace_id is not None else absorb_trace,
                 )
             )
     for name, n in counters.items():
         _COLLECTOR.add_count(name, n)
     for name, value in gauges.items():
         _COLLECTOR.add_gauge_max(name, value)
+    for name, (counts, sum_seconds) in hists.items():
+        _COLLECTOR.merge_hist(name, counts, sum_seconds)
 
 
 # -- span/counter taxonomy ----------------------------------------------------
@@ -456,6 +671,10 @@ COUNTER_NAMES = (
     "serve.sessions.created",
     "serve.sessions.evicted",
     "serve.drain.flushed",
+    "serve.access.lines",
+    "serve.access.write_errors",
+    "serve.flight.recorded",
+    "obs.spans_dropped",
 )
 
 GAUGE_NAMES = (

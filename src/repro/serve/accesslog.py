@@ -1,0 +1,133 @@
+"""Structured JSONL access log: one line per request, shed or served.
+
+Every request that reaches the server — admitted queries, protocol
+errors (400/404/405/413), sheds (429/503), deadline trips (504) —
+produces exactly one JSON object on one line, carrying the trace id
+that also appears on the request's spans, Provenance and flight-recorder
+entry.  ``repro stats ACCESS.jsonl`` aggregates the file directly (the
+lines are ``{"type": "access", ...}`` events in the trace vocabulary),
+and the CI metrics-smoke job uploads it as an artifact.
+
+Writing is fail-open: the access log must never take the service down,
+so a full disk or yanked file degrades to the bounded in-memory ring
+(always kept, served under ``/stats``) and counts
+``serve.access.write_errors`` instead of raising.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import telemetry
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """The facts of one finished request."""
+
+    trace_id: str
+    method: str
+    path: str
+    status: int
+    duration_ms: float
+    ts: float = 0.0
+    session: str | None = None
+    verdict: str | None = None
+    queue_wait_ms: float | None = None
+    budget: str | None = None
+    shed: bool = False
+    error: str | None = None
+
+    def to_doc(self) -> dict:
+        """The JSONL form; optional fields are omitted, not null —
+        access logs get grepped, and absent beats ``null`` there."""
+        doc = {
+            "type": "access",
+            "ts": round(self.ts, 6),
+            "trace": self.trace_id,
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.session is not None:
+            doc["session"] = self.session
+        if self.verdict is not None:
+            doc["verdict"] = self.verdict
+        if self.queue_wait_ms is not None:
+            doc["queue_wait_ms"] = round(self.queue_wait_ms, 3)
+        if self.budget is not None:
+            doc["budget"] = self.budget
+        if self.shed:
+            doc["shed"] = True
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class AccessLog:
+    """JSONL sink plus a bounded in-memory tail.
+
+    ``path=None`` keeps only the ring — tests and ad-hoc servers get
+    the ``/stats`` tail without touching the filesystem.
+    """
+
+    def __init__(self, path: str | None = None, ring: int = 256) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=max(1, ring))
+        self._handle = None
+        self.lines = 0
+        self.write_errors = 0
+        if path:
+            try:
+                self._handle = open(path, "a", encoding="utf-8")
+            except OSError:
+                self.write_errors += 1
+                telemetry.count("serve.access.write_errors")
+
+    def write(self, record: AccessRecord) -> dict:
+        """Emit one line; returns the logged doc (for tests/stats)."""
+        doc = record.to_doc()
+        if not doc.get("ts"):
+            doc["ts"] = round(time.time(), 6)
+        line = json.dumps(doc, sort_keys=True)
+        with self._lock:
+            self._ring.append(doc)
+            self.lines += 1
+            if self._handle is not None:
+                try:
+                    self._handle.write(line + "\n")
+                    self._handle.flush()
+                except (OSError, ValueError):
+                    self.write_errors += 1
+                    telemetry.count("serve.access.write_errors")
+        telemetry.count("serve.access.lines")
+        return doc
+
+    def tail(self, n: int = 50) -> list[dict]:
+        with self._lock:
+            records = list(self._ring)
+        return records[-max(0, n):]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "lines": self.lines,
+                "ring": len(self._ring),
+                "write_errors": self.write_errors,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None

@@ -24,6 +24,7 @@ so the engine needs no serve-specific governance.
 from __future__ import annotations
 
 import asyncio
+import time
 from contextlib import asynccontextmanager
 from dataclasses import dataclass
 
@@ -130,14 +131,19 @@ class AdmissionController:
             raise ShedError(429, "queue full")
         self.waiting += 1
         obs.gauge_max("serve.queue_depth", self.waiting)
+        wait_from = time.monotonic()
         try:
             await asyncio.wait_for(self._slots.acquire(), queue_wait_seconds)
         except asyncio.TimeoutError:
             self.shed_queue_wait += 1
             obs.count("serve.shed")
+            obs.observe(
+                "serve.queue_wait.seconds", time.monotonic() - wait_from
+            )
             raise ShedError(503, "no slot within queue-wait quota") from None
         finally:
             self.waiting -= 1
+        obs.observe("serve.queue_wait.seconds", time.monotonic() - wait_from)
         self.inflight += 1
         self.admitted += 1
         obs.gauge_max("serve.inflight", self.inflight)

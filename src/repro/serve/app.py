@@ -54,9 +54,18 @@ from repro.core import faults
 from repro.core.budget import BudgetExceededError, CancellationToken
 from repro.core.constraints import Constraint
 from repro.core.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.flight import FlightRecorder
+from repro.serve.accesslog import AccessLog, AccessRecord
 from repro.serve.admission import AdmissionController, RequestQuota, ShedError
 from repro.serve.breaker import CircuitBreaker, probe_pool
-from repro.serve.http import HttpError, Request, json_response, read_request
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    text_response,
+)
 from repro.serve.sessions import Session, SessionRegistry
 from repro.systems.program import parse_expr, program_transmits
 
@@ -86,6 +95,17 @@ class ServeConfig:
     drain_grace_seconds: float = 5.0
     max_body: int = 1 << 20
     watchdog_interval_seconds: float = 0.2
+    access_log: str | None = None
+    flight_capacity: int = 64
+    slow_request_ms: float | None = None
+
+
+@dataclass
+class _TextPayload:
+    """A non-JSON response body (`/metrics` exposition text)."""
+
+    text: str
+    content_type: str
 
 
 def _parse_vars(doc: dict) -> dict:
@@ -129,6 +149,13 @@ class ReproServer:
         self._active_tokens: set[CancellationToken] = set()
         self.requests_by_status: dict[int, int] = {}
         self.drain_flushed = 0
+        self.access_log = AccessLog(config.access_log)
+        self.flight = FlightRecorder(config.flight_capacity)
+        #: Per-request side facts (queue wait, shed reason) keyed by
+        #: trace id: written while handling, popped when the access line
+        #: is emitted.  Requests are funneled through one event loop and
+        #: every trace id is unique, so plain dict ops suffice.
+        self._notes: dict[str, dict] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -202,6 +229,7 @@ class ReproServer:
             # before run() returns and the process exits.
             await asyncio.sleep(0.05)
             self.executor.shutdown(wait=False, cancel_futures=True)
+            self.access_log.close()
         print(
             f"repro serve drained ({self.drain_flushed} memo rows flushed)",
             file=sys.stderr,
@@ -232,22 +260,51 @@ class ReproServer:
         try:
             while True:
                 keep_alive = False
+                request: Request | None = None
+                trace_id: str | None = None
+                started = time.monotonic()
                 try:
                     request = await read_request(reader, self.config.max_body)
                     if request is None:
                         break
+                    trace_id = request.trace_id
                     keep_alive = request.keep_alive
-                    status, doc = await self._dispatch(request)
+                    token = obs.set_trace(trace_id)
+                    try:
+                        status, doc = await self._dispatch(request)
+                    finally:
+                        obs.reset_trace(token)
                 except HttpError as exc:
                     status, doc = exc.status, {"error": exc.message}
                     keep_alive = False
                 except Exception as exc:
                     status, doc = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                if trace_id is None:
+                    # The request never parsed (bad request line, huge
+                    # body): mint an id anyway so the rejection is still
+                    # a correlatable access-log line.
+                    trace_id = obs.new_trace_id()
+                duration_ms = (time.monotonic() - started) * 1000.0
                 self.requests_by_status[status] = (
                     self.requests_by_status.get(status, 0) + 1
                 )
                 obs.count("serve.requests")
-                writer.write(json_response(status, doc, keep_alive))
+                obs.observe("serve.request.seconds", duration_ms / 1000.0)
+                self._finish_request(
+                    request, trace_id, status, duration_ms, doc
+                )
+                headers = {"X-Trace-Id": trace_id}
+                if isinstance(doc, _TextPayload):
+                    writer.write(
+                        text_response(
+                            status, doc.text, doc.content_type,
+                            keep_alive, headers,
+                        )
+                    )
+                else:
+                    writer.write(
+                        json_response(status, doc, keep_alive, headers)
+                    )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -260,6 +317,75 @@ class ReproServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _finish_request(
+        self,
+        request: Request | None,
+        trace_id: str,
+        status: int,
+        duration_ms: float,
+        doc,
+    ) -> None:
+        """Emit the access-log line and, for failures, a flight record."""
+        note = self._notes.pop(trace_id, {})
+        body = doc if isinstance(doc, dict) else {}
+        budget = note.get("budget")
+        if budget is None and isinstance(body.get("partial"), dict):
+            budget = "exhausted"
+        record = AccessRecord(
+            trace_id=trace_id,
+            method=request.method if request else "",
+            path=request.path if request else "",
+            status=status,
+            duration_ms=duration_ms,
+            session=body.get("session") or note.get("session"),
+            verdict=body.get("verdict"),
+            queue_wait_ms=note.get("queue_wait_ms"),
+            budget=budget,
+            shed=bool(body.get("shed")),
+            error=body.get("error") if isinstance(body.get("error"), str)
+            else None,
+        )
+        self.access_log.write(record)
+        reason = note.get("reason")
+        if reason is None:
+            if status == 504:
+                reason = "deadline"
+            elif status in (429, 503):
+                reason = "shed"
+            elif status >= 500:
+                reason = "error"
+            elif (
+                self.config.slow_request_ms is not None
+                and duration_ms >= self.config.slow_request_ms
+            ):
+                reason = "slow"
+        if reason is not None:
+            self.flight.record(
+                trace_id,
+                reason,
+                status,
+                method=record.method,
+                path=record.path,
+                session=record.session,
+                duration_ms=duration_ms,
+                detail=record.error or "",
+            )
+
+    def _note(self, trace_id: str | None, **facts) -> None:
+        if trace_id:
+            self._notes.setdefault(trace_id, {}).update(facts)
+
+    def _in_trace(self, trace_id: str | None, fn, *args):
+        """Executor-thread entry: ``run_in_executor`` does not propagate
+        contextvars, so the request's trace id is re-installed
+        explicitly around the thread body (spans, Provenance and
+        absorbed pool batches all read it from there)."""
+        token = obs.set_trace(trace_id)
+        try:
+            return fn(*args)
+        finally:
+            obs.reset_trace(token)
+
     async def _dispatch(self, request: Request) -> tuple[int, dict]:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
@@ -269,13 +395,24 @@ class ReproServer:
                 return 200, {"ready": True}
             return 503, {"ready": False, "draining": self.draining}
         if route == ("GET", "/stats"):
+            if request.query.get("flight"):
+                return 200, {
+                    "flight": self.flight.dump(),
+                    **self.flight.stats(),
+                }
             return 200, self._stats()
+        if route == ("GET", "/metrics"):
+            return 200, _TextPayload(
+                obs_metrics.render(extra_gauges=self._live_gauges()),
+                obs_metrics.CONTENT_TYPE,
+            )
         if route == ("POST", "/v1/sessions"):
             return await self._handle_sessions(request)
         if route == ("POST", "/v1/query"):
             return await self._handle_query(request)
         if request.path in (
-            "/healthz", "/readyz", "/stats", "/v1/sessions", "/v1/query",
+            "/healthz", "/readyz", "/stats", "/metrics",
+            "/v1/sessions", "/v1/query",
         ):
             return 405, {"error": f"{request.method} not allowed"}
         return 404, {"error": f"no route {request.path}"}
@@ -301,8 +438,29 @@ class ReproServer:
             "queue_depth": self.admission.waiting,
         }
 
+    def _live_gauges(self) -> dict[str, float]:
+        """Point-in-time values for ``/metrics`` that the collector's
+        high-water gauges do not capture."""
+        return {
+            "serve.inflight.current": float(self.admission.inflight),
+            "serve.queue_depth.current": float(self.admission.waiting),
+            "serve.sessions.resident": float(len(self.registry.sessions())),
+            "serve.breaker.open": 0.0 if self.breaker.stats()["state"] == "closed" else 1.0,
+            "serve.flight.retained": float(self.flight.stats()["retained"]),
+        }
+
     def _stats(self) -> dict:
         snap = obs.snapshot()
+        hists = {}
+        for name in sorted(snap.hists):
+            hist = snap.hists[name]
+            hists[name] = {
+                "count": hist.count,
+                "sum_seconds": round(hist.sum_seconds, 6),
+                "p50": hist.percentile(0.50),
+                "p95": hist.percentile(0.95),
+                "p99": hist.percentile(0.99),
+            }
         return {
             "health": self._healthz(),
             "requests_by_status": {
@@ -311,9 +469,12 @@ class ReproServer:
             "admission": self.admission.stats(),
             "breaker": self.breaker.stats(),
             "sessions": self.registry.stats(),
+            "access": self.access_log.stats(),
+            "flight": self.flight.stats(),
             "telemetry": {
                 "counters": dict(sorted(snap.counters.items())),
                 "gauges": dict(sorted(snap.gauges.items())),
+                "hists": hists,
                 "spans": len(snap.spans),
             },
         }
@@ -330,16 +491,27 @@ class ReproServer:
         domains = _parse_vars(doc)
         prewarm = bool(doc.get("prewarm", False))
         loop = asyncio.get_running_loop()
+        trace_id = obs.current_trace()
         try:
             session, created = await loop.run_in_executor(
                 self.executor,
-                partial(self.registry.create, program, domains),
+                partial(
+                    self._in_trace,
+                    trace_id,
+                    partial(self.registry.create, program, domains),
+                ),
             )
         except ReproError as exc:
             raise HttpError(400, f"bad program: {exc}") from None
+        self._note(trace_id, session=session.key)
         if prewarm:
             await loop.run_in_executor(
-                self.executor, partial(self._warm_session, session)
+                self.executor,
+                partial(
+                    self._in_trace,
+                    trace_id,
+                    partial(self._warm_session, session),
+                ),
             )
         store = session.engine.store
         return 200, {
@@ -395,15 +567,23 @@ class ReproServer:
             faults.inject("serve.admit", ordinal)
         except faults.InjectedFaultError as exc:
             return 503, {"error": str(exc)}
+        trace_id = obs.current_trace()
         try:
             queue_wait = min(
                 quota.queue_wait_ms / 1000.0,
                 max(0.0, deadline_at - time.monotonic()),
             )
+            wait_from = time.monotonic()
             async with self.admission.admit(queue_wait):
+                self._note(
+                    trace_id,
+                    queue_wait_ms=(time.monotonic() - wait_from) * 1000.0,
+                    budget="governed",
+                )
                 remaining = deadline_at - time.monotonic()
                 if remaining <= 0:
                     obs.count("serve.deadline_timeouts")
+                    self._note(trace_id, budget="exhausted")
                     return 504, _unknown_doc(
                         "deadline", "deadline spent queueing"
                     )
@@ -411,6 +591,11 @@ class ReproServer:
                     ordinal, session, doc, quota, remaining
                 )
         except ShedError as exc:
+            self._note(
+                trace_id,
+                reason="shed",
+                queue_wait_ms=(time.monotonic() - wait_from) * 1000.0,
+            )
             return exc.status, {
                 "error": exc.reason,
                 "shed": True,
@@ -434,7 +619,11 @@ class ReproServer:
         try:
             session, _ = await loop.run_in_executor(
                 self.executor,
-                partial(self.registry.create, program, domains),
+                partial(
+                    self._in_trace,
+                    obs.current_trace(),
+                    partial(self.registry.create, program, domains),
+                ),
             )
         except ReproError as exc:
             raise HttpError(400, f"bad program: {exc}") from None
@@ -454,7 +643,11 @@ class ReproServer:
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(
             self.executor,
-            partial(self._run_query, ordinal, session, doc, budget),
+            partial(
+                self._in_trace,
+                obs.current_trace(),
+                partial(self._run_query, ordinal, session, doc, budget),
+            ),
         )
         try:
             # shield(): a wait_for timeout must not cancel the executor
@@ -515,6 +708,7 @@ class ReproServer:
                     exc.partial.describe(),
                     partial=exc.partial,
                 )
+                self._note(obs.current_trace(), budget="exhausted")
                 if exc.partial.reason in ("deadline", "cancelled"):
                     obs.count("serve.deadline_timeouts")
                     return 504, partial_doc

@@ -81,6 +81,7 @@ class CircuitBreaker:
         self.trips = 0
         self.probes = 0
         self.recoveries = 0
+        self.last_trip_trace: str | None = None
         self._probe_at = 0.0
 
     # -- observations ---------------------------------------------------------
@@ -102,8 +103,13 @@ class CircuitBreaker:
             self.record_success()
 
     def record_failure(self) -> None:
+        trace = obs.current_trace()
         with self._lock:
             self.consecutive_failures += 1
+            if trace is not None:
+                # The request whose warm fan-out produced the failing
+                # evidence — the post-mortem entry point.
+                self.last_trip_trace = trace
             if self.state != OPEN:
                 self.trips += 1
                 obs.count("serve.breaker.trips")
@@ -164,4 +170,5 @@ class CircuitBreaker:
                 "trips": self.trips,
                 "probes": self.probes,
                 "recoveries": self.recoveries,
+                "last_trip_trace": self.last_trip_trace,
             }

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 from dataclasses import dataclass, field
+from urllib.parse import parse_qsl
+
+from repro.obs.telemetry import new_trace_id
 
 #: Reason phrases for every status the service emits.
 STATUS_TEXT = {
@@ -35,6 +39,12 @@ STATUS_TEXT = {
 _MAX_LINE = 8192
 _MAX_HEADERS = 64
 
+#: What a client-supplied ``X-Trace-Id`` may look like.  Anything else
+#: (too long, control characters, header-injection attempts) is ignored
+#: and a fresh id is minted — the id is echoed into logs and response
+#: headers, so it must stay inert.
+_TRACE_ID_OK = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
 
 class HttpError(Exception):
     """A protocol-level rejection with the HTTP status to answer."""
@@ -47,12 +57,21 @@ class HttpError(Exception):
 
 @dataclass
 class Request:
-    """One parsed request."""
+    """One parsed request.
+
+    ``trace_id`` is the per-request correlation id: a well-formed
+    client-supplied ``X-Trace-Id`` header is honored (so a caller can
+    stitch our spans into its own trace), otherwise a fresh id is
+    minted at parse time — every request has one before any routing
+    or admission decision happens.
+    """
 
     method: str
     path: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    query: dict[str, str] = field(default_factory=dict)
+    trace_id: str = ""
 
     @property
     def keep_alive(self) -> bool:
@@ -125,19 +144,64 @@ async def read_request(
                 raise HttpError(400, "truncated body") from None
     elif headers.get("transfer-encoding"):
         raise HttpError(400, "chunked transfer not supported")
-    # Strip any query string: routes are exact-path.
-    path = target.partition("?")[0]
-    return Request(method=method.upper(), path=path, headers=headers, body=body)
+    # Routes are exact-path; the query string is parsed separately
+    # (e.g. /stats?flight=1).
+    path, _, query_text = target.partition("?")
+    query = dict(parse_qsl(query_text, keep_blank_values=True))
+    supplied = headers.get("x-trace-id", "")
+    trace_id = supplied if _TRACE_ID_OK.match(supplied) else new_trace_id()
+    return Request(
+        method=method.upper(),
+        path=path,
+        headers=headers,
+        body=body,
+        query=query,
+        trace_id=trace_id,
+    )
 
 
-def json_response(status: int, doc: dict, keep_alive: bool = True) -> bytes:
+def _head(
+    status: int,
+    content_type: str,
+    length: int,
+    keep_alive: bool,
+    headers: dict[str, str] | None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {length}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    status: int,
+    doc: dict,
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
+) -> bytes:
     """Serialize one JSON response, ready for ``writer.write``."""
     payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
-    head = (
-        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(payload)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
+    return (
+        _head(status, "application/json", len(payload), keep_alive, headers)
+        + payload
     )
-    return head.encode("latin-1") + payload
+
+
+def text_response(
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one plain-text response (the ``/metrics`` exposition)."""
+    payload = text.encode("utf-8")
+    return (
+        _head(status, content_type, len(payload), keep_alive, headers)
+        + payload
+    )

@@ -44,11 +44,15 @@ class Session:
     engine: DependencyEngine
     created_at: float
     queries: int = 0
+    last_trace: str | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def count_query(self) -> None:
+        trace = obs.current_trace()
         with self._lock:
             self.queries += 1
+            if trace is not None:
+                self.last_trace = trace
 
     @property
     def store_degraded(self) -> bool:
@@ -64,6 +68,7 @@ class Session:
         return {
             "states": self.ps.system.space.size,
             "queries": self.queries,
+            "last_trace": self.last_trace,
             "uptime_seconds": round(time.monotonic() - self.created_at, 3),
             "store": store.stats_brief() if store is not None else None,
         }

@@ -174,10 +174,13 @@ class TestBatches:
         import pickle
 
         batch = self._worker_batch()
-        spans, counters, gauges = pickle.loads(pickle.dumps(batch))
+        spans, counters, gauges, hists = pickle.loads(pickle.dumps(batch))
         assert counters == {"kernel.pair_expansions": 7}
         assert gauges == {"kernel.frontier_high_water": 4}
         assert {s[0] for s in spans} == {"worker.closure", "kernel.closure"}
+        assert "worker.closure.seconds" in hists
+        counts, sum_seconds = hists["worker.closure.seconds"]
+        assert sum(counts) == 1 and sum_seconds >= 0.0
 
     def test_absorb_merges_spans_counters_and_gauges(self):
         batch = self._worker_batch()
@@ -264,14 +267,16 @@ class TestExporters:
         export.write_chrome_trace(path, snap)
         events = export.load_trace(path)
         kinds = {e["type"] for e in events}
-        assert kinds == {"span", "counter", "gauge"}
+        assert kinds == {"span", "counter", "gauge", "hist"}
 
     def test_write_and_load_jsonl(self, tmp_path):
         snap = self._collect()
         path = str(tmp_path / "trace.jsonl")
         export.write_jsonl(path, snap)
         events = export.load_trace(path)
-        assert {e["type"] for e in events} == {"span", "counter", "gauge"}
+        assert {e["type"] for e in events} == {
+            "span", "counter", "gauge", "hist",
+        }
         spans = [e for e in events if e["type"] == "span"]
         assert {s["name"] for s in spans} == {
             "engine.closure",
